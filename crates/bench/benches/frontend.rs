@@ -1,0 +1,48 @@
+//! Compilation-pipeline benchmarks: SQL → calculus → central plan →
+//! parallel rewrite, plus WSDL import. These are the paper's Fig. 5 stages
+//! and establish that compilation cost is negligible next to even a single
+//! web service call.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use wsmed_core::paper;
+use wsmed_services::DatasetConfig;
+
+fn bench_frontend(c: &mut Criterion) {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let w = &setup.wsmed;
+
+    c.bench_function("frontend/calculus_query1", |b| {
+        b.iter(|| {
+            w.calculus(std::hint::black_box(paper::QUERY1_SQL))
+                .expect("calculus")
+        })
+    });
+    c.bench_function("frontend/central_plan_query2", |b| {
+        b.iter(|| {
+            w.compile_central(std::hint::black_box(paper::QUERY2_SQL))
+                .expect("compile")
+        })
+    });
+    let central = w.compile_central(paper::QUERY1_SQL).expect("compile");
+    c.bench_function("frontend/parallelize_query1", |b| {
+        b.iter(|| {
+            wsmed_core::parallelize(std::hint::black_box(&central), &vec![5, 4]).expect("rewrite")
+        })
+    });
+
+    let registry = setup.wsmed.registry();
+    let wsdl_xml = registry
+        .wsdl_xml(wsmed_services::GeoPlacesService::WSDL_URI)
+        .expect("wsdl");
+    c.bench_function("frontend/parse_wsdl_geoplaces", |b| {
+        b.iter(|| wsmed_wsdl::parse_wsdl(std::hint::black_box(&wsdl_xml)).expect("parse"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = bench_frontend
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Microbenchmarks for the plan-shipping wire format.
+//!
+//! `FF_APPLYP` ships a plan function once per child and then a tuple per
+//! call; these benches quantify both costs and justify the paper's design
+//! of shipping code once and streaming parameters (§III.A).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use wsmed_core::{paper, wire, PlanOp, QueryPlan};
+use wsmed_services::DatasetConfig;
+use wsmed_store::{Tuple, Value};
+
+/// Extracts the first shipped plan function from a compiled parallel plan.
+fn first_plan_function(plan: &QueryPlan) -> wsmed_core::PlanFunction {
+    fn find(op: &PlanOp) -> Option<&wsmed_core::PlanFunction> {
+        match op {
+            PlanOp::FfApply { pf, .. } | PlanOp::AffApply { pf, .. } => Some(pf),
+            _ => op.input().and_then(find),
+        }
+    }
+    find(&plan.root)
+        .expect("parallel plan has a plan function")
+        .clone()
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let plan = setup
+        .wsmed
+        .compile_parallel(paper::QUERY1_SQL, &vec![5, 4])
+        .expect("compile Query1");
+    let pf = first_plan_function(&plan);
+    let pf_bytes = wire::encode_plan_function(&pf);
+    println!("PF1 wire size: {} bytes", pf_bytes.len());
+
+    c.bench_function("wire/encode_plan_function", |b| {
+        b.iter(|| wire::encode_plan_function(std::hint::black_box(&pf)))
+    });
+    c.bench_function("wire/decode_plan_function", |b| {
+        b.iter_batched(
+            || pf_bytes.clone(),
+            |bytes| wire::decode_plan_function(bytes).expect("decode"),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let tuple = Tuple::new(vec![
+        Value::str("Atlanta Heights"),
+        Value::str("GA"),
+        Value::Real(12.25),
+        Value::str("Atlanta Heights, GA"),
+    ]);
+    let tuple_bytes = wire::encode_tuple(&tuple);
+    c.bench_function("wire/encode_tuple", |b| {
+        b.iter(|| wire::encode_tuple(std::hint::black_box(&tuple)))
+    });
+    c.bench_function("wire/decode_tuple", |b| {
+        b.iter_batched(
+            || tuple_bytes.clone(),
+            |bytes| wire::decode_tuple(bytes).expect("decode"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_wire
+}
+criterion_main!(benches);

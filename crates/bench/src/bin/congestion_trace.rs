@@ -1,0 +1,86 @@
+//! Exports the per-call latency time series behind the Fig. 16/17 story:
+//! how the bottleneck provider's in-flight count and per-call latency
+//! evolve under three strategies — central (sequential), WSMED's bounded
+//! tree, and the WSQ/DSQ unbounded burst.
+//!
+//! ```text
+//! cargo run --release -p wsmed-bench --bin congestion_trace
+//! ```
+//!
+//! Produces `target/experiments/congestion_<strategy>.csv`, each row
+//! `seq,operation,offset_secs,in_flight,model_latency`, ready to plot.
+
+use std::io::Write as _;
+
+use wsmed_bench::HarnessOpts;
+use wsmed_core::paper;
+use wsmed_services::ZipCodesService;
+
+fn main() {
+    let opts = HarnessOpts::parse(0.002, false);
+    println!(
+        "== congestion traces at the ZipCodes provider (scale {}, {} dataset) ==\n",
+        opts.scale,
+        if opts.full { "paper" } else { "small" }
+    );
+    std::fs::create_dir_all("target/experiments").expect("create experiments dir");
+
+    type Strategy = Box<dyn Fn(&paper::PaperSetup)>;
+    let strategies: [(&str, Strategy); 3] = [
+        (
+            "central",
+            Box::new(|s: &paper::PaperSetup| {
+                s.wsmed.run_central(paper::QUERY2_SQL).expect("central");
+            }),
+        ),
+        (
+            "wsmed_tree",
+            Box::new(|s: &paper::PaperSetup| {
+                s.wsmed
+                    .run_parallel(paper::QUERY2_SQL, &vec![4, 3])
+                    .expect("tree");
+            }),
+        ),
+        (
+            "wsq_burst",
+            Box::new(|s: &paper::PaperSetup| {
+                s.wsmed.run_materialized(paper::QUERY2_SQL).expect("wsq");
+            }),
+        ),
+    ];
+
+    println!(
+        "{:<12} {:>7} {:>14} {:>14} {:>12}",
+        "strategy", "calls", "peak in-flight", "mean latency", "p95 latency"
+    );
+    for (name, run) in strategies {
+        let setup = opts.setup();
+        let provider = setup
+            .network
+            .provider(ZipCodesService::PROVIDER)
+            .expect("zip");
+        let trace = provider.start_trace(100_000);
+        run(&setup);
+        provider.stop_trace();
+
+        let records = trace.records();
+        let peak = records.iter().map(|r| r.in_flight).max().unwrap_or(0);
+        let mut latencies: Vec<f64> = records.iter().map(|r| r.model_latency).collect();
+        latencies.sort_by(f64::total_cmp);
+        let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+        let p95 = latencies
+            .get((latencies.len() as f64 * 0.95) as usize)
+            .copied()
+            .unwrap_or(0.0);
+        println!(
+            "{name:<12} {:>7} {peak:>14} {mean:>14.2} {p95:>12.2}",
+            records.len()
+        );
+
+        let path = format!("target/experiments/congestion_{name}.csv");
+        let mut file = std::fs::File::create(&path).expect("create CSV");
+        file.write_all(trace.to_csv().as_bytes())
+            .expect("write CSV");
+    }
+    println!("\nCSV traces written to target/experiments/congestion_*.csv");
+}

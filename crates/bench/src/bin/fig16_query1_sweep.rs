@@ -1,0 +1,105 @@
+//! Regenerates **Fig. 16**: Query1 execution time over fanout vectors
+//! `{fo1, fo2}` with up to 60 query processes.
+//!
+//! Paper findings this sweep must reproduce:
+//! * the fastest region sits at small, near-balanced fanouts;
+//! * the best cell is `{5,4}` at 56.4 s — speedup 4.3 over the central
+//!   plan's 244.8 s;
+//! * tiny trees (`{1,1}`) are no better than the central plan, very wide
+//!   trees degrade again.
+//!
+//! ```text
+//! cargo run --release -p wsmed-bench --bin fig16_query1_sweep -- --full
+//! ```
+
+use wsmed_bench::{
+    best_cell, compare, csv_row, csv_writer, fanout_grid, print_matrix, run_central, run_parallel,
+    HarnessOpts,
+};
+use wsmed_core::paper;
+use wsmed_services::calibration;
+
+fn main() {
+    let opts = HarnessOpts::parse(0.002, true);
+    println!(
+        "== Fig. 16: Query1 fanout sweep (scale {}, {} dataset) ==",
+        opts.scale,
+        if opts.full { "paper" } else { "small" }
+    );
+    let setup = opts.setup();
+    let (path, mut csv) = csv_writer("fig16_query1.csv", "fo1,fo2,processes,model_secs,rows");
+
+    let central = run_central(&setup.wsmed, paper::QUERY1_SQL, opts.scale);
+    println!(
+        "central plan: {:.1} model-s (paper {:.1})\n",
+        central.model_secs,
+        calibration::PAPER_Q1_CENTRAL_SECS
+    );
+
+    let expected_rows = central.report.row_count();
+    let mut rows = Vec::new();
+    for (fo1, fo2) in fanout_grid(10, 10, 60) {
+        let t = run_parallel(&setup.wsmed, paper::QUERY1_SQL, &vec![fo1, fo2], opts.scale);
+        assert_eq!(
+            t.report.row_count(),
+            expected_rows,
+            "{{{fo1},{fo2}}} lost result tuples"
+        );
+        if opts.verbose {
+            println!("  {{{fo1},{fo2}}}: {:.1} model-s", t.model_secs);
+        }
+        csv_row(
+            &mut csv,
+            &format!(
+                "{fo1},{fo2},{},{:.2},{}",
+                fo1 + fo1 * fo2,
+                t.model_secs,
+                expected_rows
+            ),
+        );
+        rows.push((fo1, fo2, t.model_secs));
+    }
+
+    println!("execution time (model seconds), fo2 = 0 is the flat tree:");
+    print_matrix(&rows);
+
+    let (b1, b2, best) = best_cell(&rows);
+    println!("\nbest cell: {{{b1},{b2}}} at {best:.1} model-s");
+    compare("best parallel time", best, calibration::PAPER_Q1_BEST_SECS);
+    compare(
+        "speedup over central",
+        central.model_secs / best,
+        calibration::PAPER_Q1_CENTRAL_SECS / calibration::PAPER_Q1_BEST_SECS,
+    );
+    let (p1, p2) = calibration::PAPER_Q1_BEST_FANOUT;
+    let paper_cell = rows
+        .iter()
+        .find(|r| r.0 == p1 && r.1 == p2)
+        .expect("paper's best cell is in the grid");
+    println!(
+        "paper's best cell {{{p1},{p2}}}: {:.1} model-s ({:.0}% of our best)",
+        paper_cell.2,
+        100.0 * best / paper_cell.2
+    );
+
+    // Shape assertions (the figure's qualitative claims).
+    let tiny = rows
+        .iter()
+        .find(|r| r.0 == 1 && r.1 == 1)
+        .expect("{1,1} in grid")
+        .2;
+    assert!(
+        tiny > 2.0 * best,
+        "{{1,1}} ({tiny:.1}s) should be far worse than the optimum ({best:.1}s)"
+    );
+    assert!(
+        central.model_secs > 3.0 * best,
+        "parallelization should win big: central {:.1}s vs best {best:.1}s",
+        central.model_secs
+    );
+    assert!(
+        (2..=8).contains(&b1) && (1..=8).contains(&b2),
+        "optimum {{{b1},{b2}}} should be an interior near-balanced cell"
+    );
+    println!("shape checks passed; CSV written to {}", path.display());
+}

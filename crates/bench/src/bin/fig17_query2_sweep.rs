@@ -1,0 +1,104 @@
+//! Regenerates **Fig. 17**: Query2 execution time over fanout vectors
+//! `{fo1, fo2}`.
+//!
+//! Paper findings this sweep must reproduce:
+//! * best execution at `{4,3}` (1243.89 s), speedup ≈ 2 over the central
+//!   plan (2412.95 s);
+//! * the optimum is near-balanced and small — Query2's bottom-level
+//!   provider (codebump ZipCodes) saturates at low concurrency, so extra
+//!   processes stop helping much earlier than Query1.
+//!
+//! The full dataset issues > 5000 calls per run, so the default grid is
+//! coarser than Fig. 16's; `--verbose` prints each cell as it lands.
+//!
+//! ```text
+//! cargo run --release -p wsmed-bench --bin fig17_query2_sweep -- --full
+//! ```
+
+use wsmed_bench::{
+    best_cell, compare, csv_row, csv_writer, print_matrix, run_central, run_parallel, HarnessOpts,
+};
+use wsmed_core::paper;
+use wsmed_services::calibration;
+
+fn main() {
+    let opts = HarnessOpts::parse(0.0015, true);
+    println!(
+        "== Fig. 17: Query2 fanout sweep (scale {}, {} dataset) ==",
+        opts.scale,
+        if opts.full { "paper" } else { "small" }
+    );
+    let setup = opts.setup();
+    let (path, mut csv) = csv_writer("fig17_query2.csv", "fo1,fo2,processes,model_secs,rows");
+
+    let central = run_central(&setup.wsmed, paper::QUERY2_SQL, opts.scale);
+    println!(
+        "central plan: {:.1} model-s (paper {:.1}), {} calls\n",
+        central.model_secs,
+        calibration::PAPER_Q2_CENTRAL_SECS,
+        central.report.ws_calls
+    );
+
+    // A coarse grid over the same region as Fig. 17, N ≤ 60.
+    let fo1s = [1usize, 2, 3, 4, 5, 6, 8, 10];
+    let fo2s = [0usize, 1, 2, 3, 4, 6, 8];
+    let mut rows = Vec::new();
+    for fo1 in fo1s {
+        for fo2 in fo2s {
+            if fo1 + fo1 * fo2 > 60 {
+                continue;
+            }
+            let t = run_parallel(&setup.wsmed, paper::QUERY2_SQL, &vec![fo1, fo2], opts.scale);
+            assert_eq!(t.report.row_count(), 1, "{{{fo1},{fo2}}} lost USAF Academy");
+            if opts.verbose {
+                println!("  {{{fo1},{fo2}}}: {:.1} model-s", t.model_secs);
+            }
+            csv_row(
+                &mut csv,
+                &format!("{fo1},{fo2},{},{:.2},1", fo1 + fo1 * fo2, t.model_secs),
+            );
+            rows.push((fo1, fo2, t.model_secs));
+        }
+    }
+
+    println!("execution time (model seconds), fo2 = 0 is the flat tree:");
+    print_matrix(&rows);
+
+    let (b1, b2, best) = best_cell(&rows);
+    println!("\nbest cell: {{{b1},{b2}}} at {best:.1} model-s");
+    compare("best parallel time", best, calibration::PAPER_Q2_BEST_SECS);
+    compare(
+        "speedup over central",
+        central.model_secs / best,
+        calibration::PAPER_Q2_CENTRAL_SECS / calibration::PAPER_Q2_BEST_SECS,
+    );
+    let (p1, p2) = calibration::PAPER_Q2_BEST_FANOUT;
+    if let Some(paper_cell) = rows.iter().find(|r| r.0 == p1 && r.1 == p2) {
+        println!(
+            "paper's best cell {{{p1},{p2}}}: {:.1} model-s ({:.0}% of our best)",
+            paper_cell.2,
+            100.0 * best / paper_cell.2
+        );
+    }
+
+    // Shape assertions.
+    let tiny = rows
+        .iter()
+        .find(|r| r.0 == 1 && r.1 == 1)
+        .expect("{1,1} in grid")
+        .2;
+    assert!(
+        tiny > 1.5 * best,
+        "{{1,1}} ({tiny:.1}s) should be far worse than {best:.1}s"
+    );
+    assert!(
+        central.model_secs > 1.5 * best,
+        "parallel must beat central: {:.1} vs {best:.1}",
+        central.model_secs
+    );
+    assert!(
+        (2..=6).contains(&b1) && (1..=6).contains(&b2),
+        "optimum {{{b1},{b2}}} should be a small near-balanced cell"
+    );
+    println!("shape checks passed; CSV written to {}", path.display());
+}

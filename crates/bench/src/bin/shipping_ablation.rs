@@ -1,0 +1,75 @@
+//! Ablation: what parameter projection saves in inter-process shipping.
+//!
+//! §III.A's design ships the plan function once and then streams *minimal*
+//! parameter tuples (`PF1(Charstring st1)`). This harness compares the
+//! projected rewrite (the default) against shipping full prefix tuples,
+//! for both paper queries, in message bytes and model time.
+//!
+//! ```text
+//! cargo run --release -p wsmed-bench --bin shipping_ablation
+//! ```
+
+use wsmed_bench::{csv_row, csv_writer, timed, HarnessOpts};
+use wsmed_core::paper;
+
+fn main() {
+    let opts = HarnessOpts::parse(0.002, true);
+    println!(
+        "== shipping ablation: parameter projection on/off (scale {}) ==\n",
+        opts.scale
+    );
+    let setup = opts.setup();
+    let w = &setup.wsmed;
+    let (path, mut csv) = csv_writer(
+        "shipping_ablation.csv",
+        "query,mode,shipped_bytes,model_secs",
+    );
+
+    println!(
+        "{:<8} {:<12} {:>14} {:>12} {:>10}",
+        "query", "mode", "shipped bytes", "model-s", "saving"
+    );
+    for (name, sql, fanouts) in [
+        ("Query1", paper::QUERY1_SQL, vec![5usize, 4]),
+        ("Query2", paper::QUERY2_SQL, vec![4usize, 3]),
+    ] {
+        let projected_plan = w.compile_parallel(sql, &fanouts).expect("compile");
+        let unprojected_plan = w
+            .compile_parallel_unprojected(sql, &fanouts)
+            .expect("compile");
+
+        let unprojected = timed(opts.scale, || w.execute(&unprojected_plan));
+        let projected = timed(opts.scale, || w.execute(&projected_plan));
+
+        let saving = 100.0
+            * (1.0
+                - projected.report.shipped_bytes as f64 / unprojected.report.shipped_bytes as f64);
+        println!(
+            "{name:<8} {:<12} {:>14} {:>12.1} {:>10}",
+            "full", unprojected.report.shipped_bytes, unprojected.model_secs, "-"
+        );
+        println!(
+            "{name:<8} {:<12} {:>14} {:>12.1} {:>9.0}%",
+            "projected", projected.report.shipped_bytes, projected.model_secs, saving
+        );
+        csv_row(
+            &mut csv,
+            &format!(
+                "{name},full,{},{:.2}",
+                unprojected.report.shipped_bytes, unprojected.model_secs
+            ),
+        );
+        csv_row(
+            &mut csv,
+            &format!(
+                "{name},projected,{},{:.2}",
+                projected.report.shipped_bytes, projected.model_secs
+            ),
+        );
+        assert!(
+            projected.report.shipped_bytes < unprojected.report.shipped_bytes,
+            "{name}: projection must reduce shipped bytes"
+        );
+    }
+    println!("\nCSV written to {}", path.display());
+}

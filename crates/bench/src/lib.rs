@@ -1,0 +1,222 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the
+//! paper's §V, prints the measured numbers next to the paper's reported
+//! values, and writes a CSV under `target/experiments/` for plotting.
+//!
+//! Absolute numbers are **model seconds**: the simulated latency model
+//! replays the paper's 2008 web services, scaled down by `--scale` so a
+//! 2400-second experiment takes seconds of wall time. The claims under
+//! test are about *shape* — who wins, by what rough factor, and where the
+//! optimum fanout sits.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use wsmed_core::{paper, AdaptiveConfig, ExecutionReport, FanoutVector, Wsmed};
+use wsmed_services::DatasetConfig;
+
+/// Command-line options shared by all harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Wall seconds per model second.
+    pub scale: f64,
+    /// Use the full paper-scale dataset (Query2 > 5000 calls) instead of
+    /// the reduced one.
+    pub full: bool,
+    /// Print per-run detail.
+    pub verbose: bool,
+}
+
+impl HarnessOpts {
+    /// Parses `--scale <f>`, `--full`, `--small` and `--verbose` from argv,
+    /// with defaults per binary.
+    pub fn parse(default_scale: f64, default_full: bool) -> Self {
+        let mut opts = HarnessOpts {
+            scale: default_scale,
+            full: default_full,
+            verbose: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = args.next().expect("--scale needs a value");
+                    opts.scale = v.parse().expect("--scale must be a float");
+                }
+                "--full" => opts.full = true,
+                "--small" => opts.full = false,
+                "--verbose" => opts.verbose = true,
+                other => {
+                    eprintln!("unknown argument {other:?}");
+                    eprintln!("usage: [--scale <wall-per-model-sec>] [--full|--small] [--verbose]");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+
+    /// The dataset configuration this run uses.
+    pub fn dataset(&self) -> DatasetConfig {
+        if self.full {
+            DatasetConfig::paper()
+        } else {
+            DatasetConfig::small()
+        }
+    }
+
+    /// Builds the paper world at the chosen scale.
+    pub fn setup(&self) -> paper::PaperSetup {
+        paper::setup(self.scale, self.dataset())
+    }
+}
+
+/// Outcome of one timed execution, in model seconds.
+#[derive(Debug, Clone)]
+pub struct Timed {
+    /// Model seconds ( = wall / scale ).
+    pub model_secs: f64,
+    /// The execution report.
+    pub report: ExecutionReport,
+}
+
+/// Runs a closure and converts its wall time to model seconds.
+pub fn timed(scale: f64, run: impl FnOnce() -> wsmed_core::CoreResult<ExecutionReport>) -> Timed {
+    let t0 = Instant::now();
+    let report = run().expect("query execution failed");
+    let model_secs = t0.elapsed().as_secs_f64() / scale;
+    Timed { model_secs, report }
+}
+
+/// Executes the central plan and times it.
+pub fn run_central(w: &Wsmed, sql: &str, scale: f64) -> Timed {
+    timed(scale, || w.run_central(sql))
+}
+
+/// Executes a manually parallelized plan and times it.
+pub fn run_parallel(w: &Wsmed, sql: &str, fanouts: &FanoutVector, scale: f64) -> Timed {
+    timed(scale, || w.run_parallel(sql, fanouts))
+}
+
+/// Executes an adaptive plan and times it.
+pub fn run_adaptive(w: &Wsmed, sql: &str, config: &AdaptiveConfig, scale: f64) -> Timed {
+    timed(scale, || w.run_adaptive(sql, config))
+}
+
+/// Opens (and creates) a CSV file under `target/experiments/`.
+pub fn csv_writer(name: &str, header: &str) -> (PathBuf, fs::File) {
+    let dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&dir).expect("create target/experiments");
+    let path = dir.join(name);
+    let mut file = fs::File::create(&path).expect("create CSV");
+    writeln!(file, "{header}").expect("write CSV header");
+    (path, file)
+}
+
+/// Appends one CSV row.
+pub fn csv_row(file: &mut fs::File, row: &str) {
+    writeln!(file, "{row}").expect("write CSV row");
+}
+
+/// Prints a `measured vs paper` line with a rough agreement marker:
+/// `ok` within 2× either way, `≠` otherwise (absolute agreement is not the
+/// goal — the substrate is a simulator).
+pub fn compare(label: &str, measured: f64, paper_value: f64) {
+    let ratio = measured / paper_value;
+    let marker = if (0.5..=2.0).contains(&ratio) {
+        "ok"
+    } else {
+        "≠"
+    };
+    println!("  {label}: measured {measured:.1}  paper {paper_value:.1}  (×{ratio:.2} {marker})");
+}
+
+/// All fanout vectors `{fo1, fo2}` with `fo1 ≥ 1`, `fo2 ≥ 0` and total
+/// processes `fo1 + fo1·fo2 ≤ max_processes` — the space of Fig. 16/17.
+pub fn fanout_grid(max_fo1: usize, max_fo2: usize, max_processes: usize) -> Vec<(usize, usize)> {
+    let mut grid = Vec::new();
+    for fo1 in 1..=max_fo1 {
+        for fo2 in 0..=max_fo2 {
+            if fo1 + fo1 * fo2 <= max_processes {
+                grid.push((fo1, fo2));
+            }
+        }
+    }
+    grid
+}
+
+/// Renders a `fo1 × fo2` matrix of times as an aligned text table
+/// (the textual analogue of the paper's Fig. 16/17 surface plots).
+pub fn print_matrix(rows: &[(usize, usize, f64)]) {
+    let fo1s: Vec<usize> = {
+        let mut v: Vec<usize> = rows.iter().map(|r| r.0).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let fo2s: Vec<usize> = {
+        let mut v: Vec<usize> = rows.iter().map(|r| r.1).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    print!("fo1\\fo2 ");
+    for fo2 in &fo2s {
+        print!("{fo2:>8}");
+    }
+    println!();
+    for fo1 in &fo1s {
+        print!("{fo1:>7} ");
+        for fo2 in &fo2s {
+            match rows.iter().find(|r| r.0 == *fo1 && r.1 == *fo2) {
+                Some((_, _, secs)) => print!("{secs:>8.1}"),
+                None => print!("{:>8}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// The argmin cell of a sweep.
+pub fn best_cell(rows: &[(usize, usize, f64)]) -> (usize, usize, f64) {
+    *rows
+        .iter()
+        .min_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("non-empty sweep")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_respects_process_budget() {
+        let grid = fanout_grid(10, 10, 60);
+        assert!(grid.contains(&(5, 4)));
+        assert!(grid.contains(&(1, 0)));
+        for (fo1, fo2) in &grid {
+            assert!(fo1 + fo1 * fo2 <= 60, "({fo1},{fo2}) exceeds budget");
+        }
+        // The paper's corners: {10,5} fits (60), {10,6} does not (70).
+        assert!(grid.contains(&(10, 5)));
+        assert!(!grid.contains(&(10, 6)));
+    }
+
+    #[test]
+    fn best_cell_finds_minimum() {
+        let rows = vec![(1, 1, 100.0), (5, 4, 42.0), (2, 2, 77.0)];
+        assert_eq!(best_cell(&rows), (5, 4, 42.0));
+    }
+
+    #[test]
+    fn csv_writer_creates_file() {
+        let (path, mut f) = csv_writer("harness_selftest.csv", "a,b");
+        csv_row(&mut f, "1,2");
+        drop(f);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,137 @@
+//! The mediator's OWF catalog: what WSDL import produces.
+
+use std::collections::HashMap;
+
+use wsmed_sql::{MapCatalog, ViewDef, ViewKind};
+use wsmed_wsdl::{OwfDef, WsdlDocument};
+
+use crate::{CoreError, CoreResult};
+
+/// All operation wrapper functions known to the mediator, by name.
+///
+/// Importing a WSDL document generates one OWF per operation (paper §II.A)
+/// and registers an SQL view with the same name.
+#[derive(Debug, Clone, Default)]
+pub struct OwfCatalog {
+    owfs: HashMap<String, OwfDef>,
+}
+
+impl OwfCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        OwfCatalog::default()
+    }
+
+    /// Imports every operation of a WSDL document, returning the generated
+    /// OWF names. Operations whose result shape cannot be flattened are
+    /// reported as errors.
+    pub fn import(&mut self, doc: &WsdlDocument, wsdl_uri: &str) -> CoreResult<Vec<String>> {
+        let mut names = Vec::with_capacity(doc.operations.len());
+        for op in &doc.operations {
+            let owf = OwfDef::derive(op, &doc.service_name, wsdl_uri)?;
+            names.push(owf.name.clone());
+            self.owfs.insert(owf.name.clone(), owf);
+        }
+        Ok(names)
+    }
+
+    /// Looks up an OWF by name.
+    pub fn get(&self, name: &str) -> CoreResult<&OwfDef> {
+        self.owfs
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownOwf(name.to_owned()))
+    }
+
+    /// True if an OWF with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.owfs.contains_key(name)
+    }
+
+    /// All OWF names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.owfs.keys().map(String::as_str).collect();
+        names.sort();
+        names
+    }
+
+    /// Builds the SQL view catalog: every OWF becomes a view (inputs ⊕
+    /// outputs as columns) plus the built-in helping-function views.
+    pub fn sql_catalog(&self) -> MapCatalog {
+        let mut catalog = MapCatalog::with_helping_functions();
+        for owf in self.owfs.values() {
+            catalog.add(ViewDef {
+                name: owf.name.clone(),
+                kind: ViewKind::Owf,
+                inputs: owf.inputs.clone(),
+                outputs: owf.columns.clone(),
+            });
+        }
+        catalog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsmed_sql::Catalog;
+    use wsmed_store::SqlType;
+    use wsmed_wsdl::{OperationDef, TypeNode};
+
+    fn doc() -> WsdlDocument {
+        WsdlDocument {
+            service_name: "USZip".into(),
+            target_namespace: "urn:zip".into(),
+            operations: vec![OperationDef {
+                name: "GetInfoByState".into(),
+                inputs: vec![("USState".into(), SqlType::Charstring)],
+                output: TypeNode::Record {
+                    name: "GetInfoByStateResponse".into(),
+                    fields: vec![TypeNode::Scalar {
+                        name: "GetInfoByStateResult".into(),
+                        ty: SqlType::Charstring,
+                    }],
+                },
+                doc: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn import_and_lookup() {
+        let mut cat = OwfCatalog::new();
+        let names = cat.import(&doc(), "urn:zip.wsdl").unwrap();
+        assert_eq!(names, vec!["GetInfoByState"]);
+        assert!(cat.contains("GetInfoByState"));
+        let owf = cat.get("GetInfoByState").unwrap();
+        assert_eq!(owf.wsdl_uri, "urn:zip.wsdl");
+        assert_eq!(owf.service, "USZip");
+        assert!(matches!(
+            cat.get("Nope").unwrap_err(),
+            CoreError::UnknownOwf(_)
+        ));
+    }
+
+    #[test]
+    fn sql_catalog_has_views_and_helpers() {
+        let mut cat = OwfCatalog::new();
+        cat.import(&doc(), "urn:zip.wsdl").unwrap();
+        let sql = cat.sql_catalog();
+        let view = sql.view("GetInfoByState").unwrap();
+        assert_eq!(view.kind, ViewKind::Owf);
+        assert_eq!(view.inputs.len(), 1);
+        assert_eq!(view.outputs.len(), 1);
+        assert!(sql.view("getzipcode").is_some());
+    }
+
+    #[test]
+    fn reimport_replaces() {
+        let mut cat = OwfCatalog::new();
+        cat.import(&doc(), "urn:first.wsdl").unwrap();
+        cat.import(&doc(), "urn:second.wsdl").unwrap();
+        assert_eq!(
+            cat.get("GetInfoByState").unwrap().wsdl_uri,
+            "urn:second.wsdl"
+        );
+        assert_eq!(cat.names(), vec!["GetInfoByState"]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Unified error type for the query processor.
+
+use std::fmt;
+
+/// Result alias for core operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors raised while compiling or executing queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// SQL frontend error.
+    Sql(wsmed_sql::SqlError),
+    /// WSDL import error.
+    Wsdl(wsmed_wsdl::WsdlError),
+    /// Store / helping-function error.
+    Store(wsmed_store::StoreError),
+    /// Network / web-service error.
+    Net(wsmed_netsim::NetError),
+    /// An OWF referenced by a plan is not registered.
+    UnknownOwf(String),
+    /// Plan deserialization failed (corrupt shipped bytes).
+    Wire(String),
+    /// A query process died or a channel closed unexpectedly.
+    ProcessFailure(String),
+    /// A malformed plan (internal invariant violation).
+    InvalidPlan(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sql(e) => write!(f, "SQL error: {e}"),
+            CoreError::Wsdl(e) => write!(f, "WSDL error: {e}"),
+            CoreError::Store(e) => write!(f, "store error: {e}"),
+            CoreError::Net(e) => write!(f, "web service error: {e}"),
+            CoreError::UnknownOwf(name) => write!(f, "no OWF registered for {name:?}"),
+            CoreError::Wire(msg) => write!(f, "wire format error: {msg}"),
+            CoreError::ProcessFailure(msg) => write!(f, "query process failure: {msg}"),
+            CoreError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<wsmed_sql::SqlError> for CoreError {
+    fn from(e: wsmed_sql::SqlError) -> Self {
+        CoreError::Sql(e)
+    }
+}
+
+impl From<wsmed_wsdl::WsdlError> for CoreError {
+    fn from(e: wsmed_wsdl::WsdlError) -> Self {
+        CoreError::Wsdl(e)
+    }
+}
+
+impl From<wsmed_store::StoreError> for CoreError {
+    fn from(e: wsmed_store::StoreError) -> Self {
+        CoreError::Store(e)
+    }
+}
+
+impl From<wsmed_netsim::NetError> for CoreError {
+    fn from(e: wsmed_netsim::NetError) -> Self {
+        CoreError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = wsmed_sql::SqlError::UnknownName("v".into()).into();
+        assert!(e.to_string().contains("SQL error"));
+        let e: CoreError = wsmed_netsim::NetError::UnknownProvider("p".into()).into();
+        assert!(e.to_string().contains("web service error"));
+        let e: CoreError = wsmed_store::StoreError::UnknownFunction("f".into()).into();
+        assert!(e.to_string().contains("store error"));
+        assert!(CoreError::UnknownOwf("X".into()).to_string().contains("X"));
+        assert!(CoreError::Wire("truncated".into())
+            .to_string()
+            .contains("truncated"));
+    }
+}

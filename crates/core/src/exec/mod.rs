@@ -1,0 +1,646 @@
+//! Plan execution: the coordinator-side interpreter plus the query-process
+//! runtime for `FF_APPLYP` / `AFF_APPLYP`.
+
+mod parallel_op;
+mod process;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use wsmed_netsim::SimConfig;
+use wsmed_store::{FunctionRegistry, Tuple, Value};
+use wsmed_wsdl::OwfDef;
+
+use crate::catalog::OwfCatalog;
+use crate::plan::{ArgExpr, PlanOp, QueryPlan};
+use crate::stats::{ExecutionReport, TreeRegistry};
+use crate::transport::{DispatchPolicy, RetryPolicy, WsTransport};
+use crate::{CoreError, CoreResult};
+
+pub(crate) use parallel_op::ParallelApply;
+
+/// Key of the per-run web service call cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    owf: String,
+    args: bytes::Bytes,
+}
+
+/// Identity of the query process executing a plan fragment.
+#[derive(Debug, Clone, Copy)]
+pub struct ProcEnv {
+    /// Process id in the tree registry (coordinator = 0).
+    pub id: u64,
+    /// Tree level (coordinator = 0).
+    pub level: usize,
+}
+
+/// Shared execution state: transport, function registry, OWF catalog,
+/// simulation config and the live process tree.
+pub struct ExecContext {
+    transport: Arc<dyn WsTransport>,
+    functions: FunctionRegistry,
+    owfs: Arc<OwfCatalog>,
+    sim: SimConfig,
+    tree: RwLock<Arc<TreeRegistry>>,
+    next_id: AtomicU64,
+    /// Parameter/result/plan bytes shipped between query processes.
+    shipped_bytes: AtomicU64,
+    /// Nanoseconds from run start until the coordinator saw its first
+    /// result tuple (0 = not yet / not applicable).
+    first_result_nanos: AtomicU64,
+    /// Retry policy for transient web-service faults.
+    retry: RwLock<RetryPolicy>,
+    /// Parameter dispatch policy for fixed-fanout FF_APPLYP operators.
+    dispatch: RwLock<DispatchPolicy>,
+    /// Per-run memoization of web service calls (None = disabled).
+    call_cache: RwLock<Option<std::collections::HashMap<CacheKey, Value>>>,
+    /// Cache hits during the current run.
+    cache_hits: AtomicU64,
+    /// Run start marker used for the first-result measurement.
+    run_started: parking_lot::Mutex<Option<Instant>>,
+}
+
+impl ExecContext {
+    /// Creates a context. The function registry is preloaded with the
+    /// built-in helping functions.
+    pub fn new(
+        transport: Arc<dyn WsTransport>,
+        owfs: Arc<OwfCatalog>,
+        sim: SimConfig,
+    ) -> Arc<Self> {
+        Arc::new(ExecContext {
+            transport,
+            functions: FunctionRegistry::with_builtins(),
+            owfs,
+            sim,
+            tree: RwLock::new(TreeRegistry::new()),
+            next_id: AtomicU64::new(1),
+            shipped_bytes: AtomicU64::new(0),
+            first_result_nanos: AtomicU64::new(0),
+            retry: RwLock::new(RetryPolicy::default()),
+            dispatch: RwLock::new(DispatchPolicy::default()),
+            call_cache: RwLock::new(None),
+            cache_hits: AtomicU64::new(0),
+            run_started: parking_lot::Mutex::new(None),
+        })
+    }
+
+    /// The web service transport.
+    pub fn transport(&self) -> &Arc<dyn WsTransport> {
+        &self.transport
+    }
+
+    /// The helping-function registry.
+    pub fn functions(&self) -> &FunctionRegistry {
+        &self.functions
+    }
+
+    /// The OWF catalog.
+    pub fn owfs(&self) -> &OwfCatalog {
+        &self.owfs
+    }
+
+    /// The simulation config (client cost model + time scale).
+    pub fn sim(&self) -> &SimConfig {
+        &self.sim
+    }
+
+    /// The live process-tree registry of the current (or last) run.
+    pub fn tree(&self) -> Arc<TreeRegistry> {
+        self.tree.read().clone()
+    }
+
+    /// Installs a retry policy for transient web-service faults.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.write() = policy;
+    }
+
+    /// The current retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry.read()
+    }
+
+    /// Sets the parameter dispatch policy (ablation knob; the default is
+    /// the paper's first-finished dispatch).
+    pub fn set_dispatch_policy(&self, policy: DispatchPolicy) {
+        *self.dispatch.write() = policy;
+    }
+
+    /// The current dispatch policy.
+    pub fn dispatch_policy(&self) -> DispatchPolicy {
+        *self.dispatch.read()
+    }
+
+    /// Enables or disables per-run memoization of web service calls.
+    ///
+    /// Data-providing web services are side-effect-free (the paper's §I
+    /// premise), so within one query execution a repeated call with
+    /// identical arguments must return the same result — the mediator can
+    /// answer it from memory. This collapses the redundant calls a
+    /// cartesian dependent join would otherwise re-issue. The cache is
+    /// scoped to a single run and cleared at the start of the next.
+    pub fn set_call_cache(&self, enabled: bool) {
+        *self.call_cache.write() = if enabled {
+            Some(std::collections::HashMap::new())
+        } else {
+            None
+        };
+    }
+
+    /// Web service calls answered from the memoization cache this run.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Calls a web service operation, retrying transient faults per the
+    /// configured [`RetryPolicy`] and consulting the memoization cache.
+    pub(crate) fn call_with_retry(&self, owf: &OwfDef, args: &[Value]) -> CoreResult<Value> {
+        // Cache keys serialize the arguments through the wire format so
+        // value equality is structural.
+        let cache_key = if self.call_cache.read().is_some() {
+            let key = CacheKey {
+                owf: owf.name.clone(),
+                args: crate::wire::encode_tuple(&Tuple::new(args.to_vec())),
+            };
+            if let Some(cache) = self.call_cache.read().as_ref() {
+                if let Some(hit) = cache.get(&key) {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(hit.clone());
+                }
+            }
+            Some(key)
+        } else {
+            None
+        };
+        let result = self.call_uncached(owf, args);
+        if let (Some(key), Ok(value)) = (cache_key, &result) {
+            if let Some(cache) = self.call_cache.write().as_mut() {
+                // Bound the cache; dropping inserts is always sound.
+                if cache.len() < 100_000 {
+                    cache.insert(key, value.clone());
+                }
+            }
+        }
+        result
+    }
+
+    fn call_uncached(&self, owf: &OwfDef, args: &[Value]) -> CoreResult<Value> {
+        let policy = self.retry_policy();
+        let mut attempt = 1;
+        loop {
+            match self.transport.call_operation(owf, args) {
+                Err(CoreError::Net(wsmed_netsim::NetError::ServiceFault { .. }))
+                    if attempt < policy.max_attempts =>
+                {
+                    self.sim.sleep_model(policy.backoff_model_secs);
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    pub(crate) fn next_process_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records bytes shipped between query processes (plan functions,
+    /// parameter tuples, result tuples).
+    pub(crate) fn record_shipped(&self, bytes: usize) {
+        self.shipped_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Called by the coordinator's parallel operator when the first result
+    /// tuple of the run arrives (streaming latency, §III.A).
+    pub(crate) fn record_first_result(&self) {
+        if self.first_result_nanos.load(Ordering::Relaxed) != 0 {
+            return;
+        }
+        if let Some(start) = *self.run_started.lock() {
+            let nanos = start.elapsed().as_nanos() as u64;
+            let _ = self.first_result_nanos.compare_exchange(
+                0,
+                nanos.max(1),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// Executes a query plan as the coordinator process `q0` and collects
+    /// the results plus an execution report.
+    pub fn run_plan(self: &Arc<Self>, plan: &QueryPlan) -> CoreResult<ExecutionReport> {
+        // Fresh tree per run so reports describe exactly this execution.
+        let tree = TreeRegistry::new();
+        *self.tree.write() = Arc::clone(&tree);
+        tree.register(0, None, 0, "coordinator");
+        // Fresh cache per run: services may change between queries.
+        self.cache_hits.store(0, Ordering::Relaxed);
+        if let Some(cache) = self.call_cache.write().as_mut() {
+            cache.clear();
+        }
+
+        let calls_before = self.transport.metrics();
+        let shipped_before = self.shipped_bytes.load(Ordering::Relaxed);
+        let start = Instant::now();
+        self.first_result_nanos.store(0, Ordering::Relaxed);
+        *self.run_started.lock() = Some(start);
+
+        let env = ProcEnv { id: 0, level: 0 };
+        let mut root = compile(self, &env, &plan.root)?;
+        let result = eval(&mut root, self, &Tuple::empty());
+        let snapshot = tree.snapshot(); // before teardown: the final shape
+        drop(root); // tears the process tree down
+
+        let wall = start.elapsed();
+        let rows = result?;
+        let calls_after = self.transport.metrics();
+
+        let model_seconds = if self.sim.time_scale > 0.0 {
+            Some(wall.as_secs_f64() / self.sim.time_scale)
+        } else {
+            None
+        };
+        Ok(ExecutionReport {
+            rows,
+            column_names: plan.column_names.clone(),
+            wall,
+            model_seconds,
+            ws_calls: calls_after.calls - calls_before.calls,
+            ws_bytes: (calls_after.request_bytes + calls_after.response_bytes)
+                - (calls_before.request_bytes + calls_before.response_bytes),
+            shipped_bytes: self.shipped_bytes.load(Ordering::Relaxed) - shipped_before,
+            first_row_wall: match self.first_result_nanos.load(Ordering::Relaxed) {
+                0 => None,
+                nanos => Some(std::time::Duration::from_nanos(nanos)),
+            },
+            tree: snapshot,
+        })
+    }
+}
+
+impl std::fmt::Debug for ExecContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecContext")
+            .field("owfs", &self.owfs.names())
+            .field("time_scale", &self.sim.time_scale)
+            .finish()
+    }
+}
+
+/// A compiled, stateful operator tree. `FF_APPLYP`/`AFF_APPLYP` nodes own
+/// live child processes that persist across calls of the enclosing plan
+/// function — the process tree is built once, then parameter tuples stream
+/// through it.
+pub(crate) enum ExecNode {
+    Unit,
+    Param,
+    ApplyOwf {
+        owf: OwfDef,
+        args: Vec<ArgExpr>,
+        input: Box<ExecNode>,
+    },
+    ApplyFunction {
+        function: String,
+        args: Vec<ArgExpr>,
+        input: Box<ExecNode>,
+    },
+    Extend {
+        exprs: Vec<ArgExpr>,
+        input: Box<ExecNode>,
+    },
+    Project {
+        columns: Vec<usize>,
+        input: Box<ExecNode>,
+    },
+    Sort {
+        keys: Vec<(usize, bool)>,
+        input: Box<ExecNode>,
+    },
+    Distinct {
+        input: Box<ExecNode>,
+    },
+    Limit {
+        count: usize,
+        input: Box<ExecNode>,
+    },
+    Count {
+        input: Box<ExecNode>,
+    },
+    GroupBy {
+        key_count: usize,
+        aggs: Vec<(wsmed_sql::AggFunc, Option<usize>)>,
+        input: Box<ExecNode>,
+    },
+    Parallel {
+        op: ParallelApply,
+        input: Box<ExecNode>,
+    },
+}
+
+/// Compiles a plan into an executable node tree, spawning the child
+/// processes of any parallel operators (plan functions are shipped at
+/// compile time, before execution — §III).
+pub(crate) fn compile(ctx: &Arc<ExecContext>, env: &ProcEnv, op: &PlanOp) -> CoreResult<ExecNode> {
+    Ok(match op {
+        PlanOp::Unit => ExecNode::Unit,
+        PlanOp::Param { .. } => ExecNode::Param,
+        PlanOp::ApplyOwf {
+            owf,
+            args,
+            output_arity,
+            input,
+        } => {
+            let def = ctx.owfs.get(owf)?.clone();
+            if def.columns.len() != *output_arity {
+                return Err(CoreError::InvalidPlan(format!(
+                    "OWF {owf} output arity mismatch: plan says {output_arity}, OWF has {}",
+                    def.columns.len()
+                )));
+            }
+            ExecNode::ApplyOwf {
+                owf: def,
+                args: args.clone(),
+                input: Box::new(compile(ctx, env, input)?),
+            }
+        }
+        PlanOp::ApplyFunction {
+            function,
+            args,
+            output_arity,
+            input,
+        } => {
+            let sig = ctx.functions.signature(function)?;
+            if sig.outputs.len() != *output_arity {
+                return Err(CoreError::InvalidPlan(format!(
+                    "function {function} output arity mismatch: plan says {output_arity}, \
+                     signature has {}",
+                    sig.outputs.len()
+                )));
+            }
+            ExecNode::ApplyFunction {
+                function: function.clone(),
+                args: args.clone(),
+                input: Box::new(compile(ctx, env, input)?),
+            }
+        }
+        PlanOp::Extend { exprs, input } => ExecNode::Extend {
+            exprs: exprs.clone(),
+            input: Box::new(compile(ctx, env, input)?),
+        },
+        PlanOp::Project { columns, input } => ExecNode::Project {
+            columns: columns.clone(),
+            input: Box::new(compile(ctx, env, input)?),
+        },
+        PlanOp::Sort { keys, input } => ExecNode::Sort {
+            keys: keys.clone(),
+            input: Box::new(compile(ctx, env, input)?),
+        },
+        PlanOp::Distinct { input } => ExecNode::Distinct {
+            input: Box::new(compile(ctx, env, input)?),
+        },
+        PlanOp::Limit { count, input } => ExecNode::Limit {
+            count: *count,
+            input: Box::new(compile(ctx, env, input)?),
+        },
+        PlanOp::Count { input } => ExecNode::Count {
+            input: Box::new(compile(ctx, env, input)?),
+        },
+        PlanOp::GroupBy {
+            key_count,
+            aggs,
+            input,
+        } => ExecNode::GroupBy {
+            key_count: *key_count,
+            aggs: aggs.clone(),
+            input: Box::new(compile(ctx, env, input)?),
+        },
+        PlanOp::FfApply { pf, fanout, input } => {
+            if *fanout == 0 {
+                return Err(CoreError::InvalidPlan(format!(
+                    "FF_APPLYP of {} has fanout 0 (merge the section instead)",
+                    pf.name
+                )));
+            }
+            let op = ParallelApply::fixed(ctx, env, pf.clone(), *fanout)?;
+            ExecNode::Parallel {
+                op,
+                input: Box::new(compile(ctx, env, input)?),
+            }
+        }
+        PlanOp::AffApply { pf, config, input } => {
+            let op = ParallelApply::adaptive(ctx, env, pf.clone(), config.clone())?;
+            ExecNode::Parallel {
+                op,
+                input: Box::new(compile(ctx, env, input)?),
+            }
+        }
+    })
+}
+
+/// Evaluates a compiled node for one parameter tuple, producing the full
+/// (materialized) result bag. Within a query process evaluation is
+/// sequential; parallelism happens across processes.
+pub(crate) fn eval(
+    node: &mut ExecNode,
+    ctx: &Arc<ExecContext>,
+    param: &Tuple,
+) -> CoreResult<Vec<Tuple>> {
+    match node {
+        ExecNode::Unit => Ok(vec![Tuple::empty()]),
+        ExecNode::Param => Ok(vec![param.clone()]),
+        ExecNode::ApplyOwf { owf, args, input } => {
+            let rows = eval(input, ctx, param)?;
+            let mut out = Vec::new();
+            for row in rows {
+                let values = resolve_args(args, &row);
+                let response = ctx.call_with_retry(owf, &values)?;
+                for produced in owf.flatten(&response)? {
+                    out.push(row.concat(&produced));
+                }
+            }
+            Ok(out)
+        }
+        ExecNode::ApplyFunction {
+            function,
+            args,
+            input,
+        } => {
+            let rows = eval(input, ctx, param)?;
+            let mut out = Vec::new();
+            for row in rows {
+                let values = resolve_args(args, &row);
+                for produced in ctx.functions.apply(function, &values)? {
+                    out.push(row.concat(&produced));
+                }
+            }
+            Ok(out)
+        }
+        ExecNode::Extend { exprs, input } => {
+            let rows = eval(input, ctx, param)?;
+            Ok(rows
+                .into_iter()
+                .map(|row| {
+                    let extra = Tuple::new(resolve_args(exprs, &row));
+                    row.concat(&extra)
+                })
+                .collect())
+        }
+        ExecNode::Project { columns, input } => {
+            let rows = eval(input, ctx, param)?;
+            Ok(rows.into_iter().map(|row| row.project(columns)).collect())
+        }
+        ExecNode::Sort { keys, input } => {
+            let mut rows = eval(input, ctx, param)?;
+            rows.sort_by(|a, b| {
+                for &(col, desc) in keys.iter() {
+                    let ord = a.get(col).total_cmp(b.get(col));
+                    if ord != std::cmp::Ordering::Equal {
+                        return if desc { ord.reverse() } else { ord };
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(rows)
+        }
+        ExecNode::Distinct { input } => {
+            let mut rows = eval(input, ctx, param)?;
+            rows.sort_by(|a, b| a.total_cmp(b));
+            rows.dedup_by(|a, b| a.total_cmp(b) == std::cmp::Ordering::Equal);
+            Ok(rows)
+        }
+        ExecNode::Limit { count, input } => {
+            let mut rows = eval(input, ctx, param)?;
+            rows.truncate(*count);
+            Ok(rows)
+        }
+        ExecNode::Count { input } => {
+            let rows = eval(input, ctx, param)?;
+            Ok(vec![Tuple::new(vec![Value::Int(rows.len() as i64)])])
+        }
+        ExecNode::GroupBy {
+            key_count,
+            aggs,
+            input,
+        } => {
+            let rows = eval(input, ctx, param)?;
+            group_rows(*key_count, aggs, rows)
+        }
+        ExecNode::Parallel { op, input } => {
+            let params = eval(input, ctx, param)?;
+            op.run(ctx, params)
+        }
+    }
+}
+
+/// Grouped aggregation: sorts by the leading `key_count` columns, then
+/// emits one `keys ⊕ aggregate values` row per group. With no keys this is
+/// a global aggregate: exactly one row, even over empty input.
+pub(crate) fn group_rows(
+    key_count: usize,
+    aggs: &[(wsmed_sql::AggFunc, Option<usize>)],
+    mut rows: Vec<Tuple>,
+) -> CoreResult<Vec<Tuple>> {
+    let key_cmp = |a: &Tuple, b: &Tuple| {
+        for col in 0..key_count {
+            let ord = a.get(col).total_cmp(b.get(col));
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    };
+    rows.sort_by(key_cmp);
+
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < rows.len() || (key_count == 0 && out.is_empty()) {
+        let end = if start >= rows.len() {
+            start // empty global group
+        } else {
+            let mut end = start + 1;
+            while end < rows.len() && key_cmp(&rows[start], &rows[end]) == std::cmp::Ordering::Equal
+            {
+                end += 1;
+            }
+            end
+        };
+        let group = &rows[start..end];
+        let mut values: Vec<Value> = if group.is_empty() {
+            Vec::new()
+        } else {
+            (0..key_count).map(|c| group[0].get(c).clone()).collect()
+        };
+        for (func, arg) in aggs {
+            values.push(aggregate(*func, *arg, group)?);
+        }
+        out.push(Tuple::new(values));
+        if end == start {
+            break; // the empty global group emitted once
+        }
+        start = end;
+    }
+    Ok(out)
+}
+
+fn aggregate(func: wsmed_sql::AggFunc, arg: Option<usize>, group: &[Tuple]) -> CoreResult<Value> {
+    use wsmed_sql::AggFunc;
+    let column = |row: &Tuple| -> Value { arg.map(|c| row.get(c).clone()).unwrap_or(Value::Null) };
+    Ok(match func {
+        AggFunc::Count => Value::Int(group.len() as i64),
+        AggFunc::Sum => {
+            if group.iter().all(|r| matches!(column(r), Value::Int(_))) {
+                Value::Int(
+                    group
+                        .iter()
+                        .map(|r| column(r).as_int())
+                        .sum::<Result<i64, _>>()?,
+                )
+            } else {
+                let mut sum = 0.0;
+                for row in group {
+                    sum += column(row).as_real()?;
+                }
+                Value::Real(sum)
+            }
+        }
+        AggFunc::Avg => {
+            if group.is_empty() {
+                Value::Null
+            } else {
+                let mut sum = 0.0;
+                for row in group {
+                    sum += column(row).as_real()?;
+                }
+                Value::Real(sum / group.len() as f64)
+            }
+        }
+        AggFunc::Min => group
+            .iter()
+            .map(&column)
+            .min_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null),
+        AggFunc::Max => group
+            .iter()
+            .map(&column)
+            .max_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null),
+    })
+}
+
+fn resolve_args(args: &[ArgExpr], row: &Tuple) -> Vec<Value> {
+    args.iter()
+        .map(|a| match a {
+            ArgExpr::Col(i) => row.get(*i).clone(),
+            ArgExpr::Const(v) => v.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests;

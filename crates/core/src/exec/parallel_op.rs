@@ -1,0 +1,499 @@
+//! The `FF_APPLYP` and `AFF_APPLYP` operators (paper §III.A and §V.A).
+//!
+//! Both share one dispatch engine: ship the plan function to a pool of
+//! child query processes, then stream parameter tuples to whichever child
+//! is idle — *first finished, first served*. Results are merged as they
+//! arrive. The adaptive variant additionally monitors the average time per
+//! incoming result tuple over *monitoring cycles* and grows (add stage) or
+//! shrinks (drop stage) its pool of children, each of which adapts its own
+//! subtree the same way — purely local, greedy decisions.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use wsmed_store::Tuple;
+
+use crate::exec::process::{ChildProc, FromChild};
+use crate::exec::{ExecContext, ProcEnv};
+use crate::plan::{AdaptDecision, AdaptiveConfig, PlanFunction};
+use crate::transport::DispatchPolicy;
+use crate::wire;
+use crate::{CoreError, CoreResult};
+
+/// How long the dispatch loop waits for any child message before declaring
+/// the subtree wedged. Generously above any modeled latency at the time
+/// scales used in tests and benches.
+const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotStatus {
+    /// Spawned; plan function not yet confirmed installed.
+    Installing,
+    /// Ready for a parameter tuple.
+    Idle,
+    /// Processing a call.
+    Busy,
+    /// Processing a call, marked for removal once it finishes.
+    Draining,
+    /// Shut down (dropped by adaptation or failed to install).
+    Dead,
+}
+
+struct Slot {
+    proc: Option<ChildProc>,
+    status: SlotStatus,
+    /// The call id this slot is currently processing, for protocol checks.
+    current_call: Option<u64>,
+}
+
+struct AdaptState {
+    config: AdaptiveConfig,
+    /// End-of-call messages seen in the current monitoring cycle.
+    eoc_in_cycle: usize,
+    /// Result tuples received in the current monitoring cycle.
+    tuples_in_cycle: u64,
+    /// Active (in-dispatch-loop) time accumulated in the current cycle.
+    cycle_active: Duration,
+    /// Average per-tuple time of the previous cycle.
+    prev_t: Option<f64>,
+    /// Adaptation has converged; no more add/drop stages.
+    stopped: bool,
+    /// The previous stage was a drop (a second worsening stops adaptation).
+    last_was_drop: bool,
+}
+
+/// A pool of child query processes executing one plan function.
+pub(crate) struct ParallelApply {
+    pf_name: String,
+    pf_bytes: Bytes,
+    env: ProcEnv,
+    slots: Vec<Slot>,
+    idle: VecDeque<usize>,
+    results_tx: Sender<FromChild>,
+    results_rx: Receiver<FromChild>,
+    next_call_id: u64,
+    adapt: Option<AdaptState>,
+}
+
+impl ParallelApply {
+    /// `FF_APPLYP`: a fixed fanout, set manually in the plan.
+    pub fn fixed(
+        ctx: &Arc<ExecContext>,
+        env: &ProcEnv,
+        pf: PlanFunction,
+        fanout: usize,
+    ) -> CoreResult<Self> {
+        Self::new(ctx, env, pf, fanout, None)
+    }
+
+    /// `AFF_APPLYP`: starts from a binary tree and adapts.
+    pub fn adaptive(
+        ctx: &Arc<ExecContext>,
+        env: &ProcEnv,
+        pf: PlanFunction,
+        config: AdaptiveConfig,
+    ) -> CoreResult<Self> {
+        let init = config.init_fanout.max(1);
+        let adapt = AdaptState {
+            config,
+            eoc_in_cycle: 0,
+            tuples_in_cycle: 0,
+            cycle_active: Duration::ZERO,
+            prev_t: None,
+            stopped: false,
+            last_was_drop: false,
+        };
+        Self::new(ctx, env, pf, init, Some(adapt))
+    }
+
+    fn new(
+        ctx: &Arc<ExecContext>,
+        env: &ProcEnv,
+        pf: PlanFunction,
+        fanout: usize,
+        adapt: Option<AdaptState>,
+    ) -> CoreResult<Self> {
+        let (results_tx, results_rx) = unbounded();
+        let mut this = ParallelApply {
+            pf_name: pf.name.clone(),
+            pf_bytes: wire::encode_plan_function(&pf),
+            env: *env,
+            slots: Vec::new(),
+            idle: VecDeque::new(),
+            results_tx,
+            results_rx,
+            next_call_id: 0,
+            adapt,
+        };
+        for _ in 0..fanout {
+            this.spawn_child(ctx);
+        }
+        Ok(this)
+    }
+
+    /// Children currently alive.
+    pub fn alive_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.status != SlotStatus::Dead)
+            .count()
+    }
+
+    fn spawn_child(&mut self, ctx: &Arc<ExecContext>) {
+        let slot_index = self.slots.len();
+        let proc = ChildProc::spawn(
+            ctx,
+            &self.env,
+            slot_index,
+            &self.pf_name,
+            self.pf_bytes.clone(),
+            self.results_tx.clone(),
+        );
+        self.slots.push(Slot {
+            proc: Some(proc),
+            status: SlotStatus::Installing,
+            current_call: None,
+        });
+    }
+
+    fn busy_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s.status, SlotStatus::Busy | SlotStatus::Draining))
+            .count()
+    }
+
+    /// Streams `params` through the pool and returns the merged results.
+    pub fn run(&mut self, ctx: &Arc<ExecContext>, params: Vec<Tuple>) -> CoreResult<Vec<Tuple>> {
+        // Adaptive pools always use the paper's first-finished dispatch;
+        // the round-robin ablation only applies to fixed fanouts.
+        let policy = if self.adapt.is_some() {
+            DispatchPolicy::FirstFinished
+        } else {
+            ctx.dispatch_policy()
+        };
+        let mut pending = PendingParams::new(policy, self.slots.len(), &params);
+        let mut out: Vec<Tuple> = Vec::new();
+        let mut first_error: Option<CoreError> = None;
+        let mut segment_start = Instant::now();
+
+        self.dispatch_pending(ctx, &mut pending);
+
+        while self.busy_count() > 0 || !pending.is_empty() {
+            if !pending.is_empty() && self.alive_count() == 0 {
+                return Err(CoreError::ProcessFailure(format!(
+                    "all children of {} are dead with {} parameters pending",
+                    self.pf_name,
+                    pending.len()
+                )));
+            }
+            let msg = match self.results_rx.recv_timeout(RECV_TIMEOUT) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CoreError::ProcessFailure(format!(
+                        "no message from children of {} within {RECV_TIMEOUT:?}",
+                        self.pf_name
+                    )))
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CoreError::ProcessFailure(format!(
+                        "result channel of {} disconnected",
+                        self.pf_name
+                    )))
+                }
+            };
+            // Receiving a message costs the parent dispatch time, which is
+            // what makes an over-wide tree hurt on a single-core client.
+            ctx.sim().sleep_model(ctx.sim().client.message_dispatch);
+
+            match msg {
+                FromChild::Installed { slot, error: None } => {
+                    if self.slots[slot].status == SlotStatus::Installing {
+                        self.slots[slot].status = SlotStatus::Idle;
+                        self.idle.push_back(slot);
+                    }
+                }
+                FromChild::Installed {
+                    slot,
+                    error: Some(e),
+                } => {
+                    self.kill_slot(slot, false);
+                    if first_error.is_none() {
+                        first_error = Some(CoreError::ProcessFailure(format!(
+                            "child of {} failed to install: {e}",
+                            self.pf_name
+                        )));
+                        pending.clear();
+                    }
+                }
+                FromChild::Result {
+                    slot,
+                    call_id,
+                    tuple,
+                } => {
+                    if self.slots[slot].current_call != Some(call_id) {
+                        return Err(CoreError::ProcessFailure(format!(
+                            "{}: result for call {call_id} from slot {slot} which is \
+                             processing {:?}",
+                            self.pf_name, self.slots[slot].current_call
+                        )));
+                    }
+                    out.push(wire::decode_tuple(tuple)?);
+                    if self.env.level == 0 {
+                        ctx.record_first_result();
+                    }
+                    if let Some(adapt) = &mut self.adapt {
+                        adapt.tuples_in_cycle += 1;
+                    }
+                }
+                FromChild::EndOfCall {
+                    slot,
+                    call_id,
+                    error,
+                } => {
+                    if self.slots[slot].current_call != Some(call_id) {
+                        return Err(CoreError::ProcessFailure(format!(
+                            "{}: end-of-call {call_id} from slot {slot} which is \
+                             processing {:?}",
+                            self.pf_name, self.slots[slot].current_call
+                        )));
+                    }
+                    self.slots[slot].current_call = None;
+                    if let Some(e) = error {
+                        if first_error.is_none() {
+                            first_error = Some(CoreError::ProcessFailure(format!(
+                                "{} call failed: {e}",
+                                self.pf_name
+                            )));
+                            pending.clear();
+                        }
+                    }
+                    match self.slots[slot].status {
+                        SlotStatus::Draining => self.kill_slot(slot, true),
+                        SlotStatus::Busy => {
+                            self.slots[slot].status = SlotStatus::Idle;
+                            self.idle.push_back(slot);
+                        }
+                        _ => {}
+                    }
+                    self.monitoring_step(ctx, &mut segment_start);
+                }
+            }
+            self.dispatch_pending(ctx, &mut pending);
+        }
+
+        // Account trailing active time to the current monitoring cycle.
+        if let Some(adapt) = &mut self.adapt {
+            adapt.cycle_active += segment_start.elapsed();
+        }
+
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    fn dispatch_pending(&mut self, ctx: &Arc<ExecContext>, pending: &mut PendingParams) {
+        while !pending.is_empty() {
+            let Some(slot) = self.idle.pop_front() else {
+                break;
+            };
+            if self.slots[slot].status != SlotStatus::Idle {
+                continue; // stale queue entry (slot was drained/killed)
+            }
+            let Some(param) = pending.take_for(slot) else {
+                // Round-robin: this slot's static share is exhausted; it
+                // stays idle even though other slots still have work — the
+                // straggler cost FF dispatch avoids.
+                self.idle.push_back(slot);
+                // Avoid spinning when every idle slot is drained.
+                if self.idle.iter().all(|&s| pending.take_peek(s).is_none()) {
+                    break;
+                }
+                continue;
+            };
+            let call_id = self.next_call_id;
+            self.next_call_id += 1;
+            let proc = self.slots[slot]
+                .proc
+                .as_ref()
+                .expect("idle slot has a process");
+            ctx.tree().note_call(proc.id);
+            proc.send_call(ctx, call_id, param);
+            self.slots[slot].status = SlotStatus::Busy;
+            self.slots[slot].current_call = Some(call_id);
+        }
+    }
+
+    fn kill_slot(&mut self, slot: usize, dropped_by_adaptation: bool) {
+        if let Some(proc) = self.slots[slot].proc.take() {
+            proc.shutdown(dropped_by_adaptation);
+        }
+        self.slots[slot].status = SlotStatus::Dead;
+    }
+
+    /// The heart of `AFF_APPLYP` (§V.A): a monitoring cycle completes when
+    /// as many end-of-call messages arrived as there are children; the
+    /// operator then compares the average time per incoming tuple with the
+    /// previous cycle and adds or drops children.
+    fn monitoring_step(&mut self, ctx: &Arc<ExecContext>, segment_start: &mut Instant) {
+        let alive = self.alive_count();
+        let action = {
+            let Some(adapt) = &mut self.adapt else { return };
+            adapt.eoc_in_cycle += 1;
+            if alive == 0 || adapt.eoc_in_cycle < alive {
+                return;
+            }
+
+            // ---- cycle boundary ---------------------------------------------
+            adapt.cycle_active += segment_start.elapsed();
+            *segment_start = Instant::now();
+            let t = adapt.cycle_active.as_secs_f64() / adapt.tuples_in_cycle.max(1) as f64;
+            let decision = if adapt.stopped {
+                None
+            } else {
+                Some(
+                    adapt
+                        .config
+                        .decide(adapt.prev_t, t, alive, adapt.last_was_drop),
+                )
+            };
+            adapt.prev_t = Some(t);
+            adapt.eoc_in_cycle = 0;
+            adapt.tuples_in_cycle = 0;
+            adapt.cycle_active = Duration::ZERO;
+            let described = match &decision {
+                Some(AdaptDecision::Add(n)) => format!("add:{n}"),
+                Some(AdaptDecision::DropOne) => "drop".to_owned(),
+                Some(AdaptDecision::Stop) => "stop".to_owned(),
+                None => "converged".to_owned(),
+            };
+            ctx.tree().record_adapt_event(crate::stats::AdaptEvent {
+                process: self.env.id,
+                level: self.env.level,
+                per_tuple_secs: t,
+                alive,
+                decision: described,
+            });
+            match decision {
+                Some(AdaptDecision::Add(n)) => {
+                    adapt.last_was_drop = false;
+                    Some(AdaptDecision::Add(n))
+                }
+                Some(AdaptDecision::DropOne) => {
+                    adapt.last_was_drop = true;
+                    Some(AdaptDecision::DropOne)
+                }
+                Some(AdaptDecision::Stop) => {
+                    adapt.stopped = true;
+                    None
+                }
+                None => None,
+            }
+        };
+        match action {
+            Some(AdaptDecision::Add(n)) => {
+                for _ in 0..n {
+                    self.spawn_child(ctx);
+                }
+            }
+            Some(AdaptDecision::DropOne) => self.drop_one_child(),
+            _ => {}
+        }
+    }
+
+    /// Drops one child and its subtree (paper Fig. 20). Prefers an idle
+    /// child (killed immediately); otherwise marks the newest busy child to
+    /// drain away after its current call.
+    fn drop_one_child(&mut self) {
+        if let Some(slot) = self
+            .slots
+            .iter()
+            .rposition(|s| s.status == SlotStatus::Idle)
+        {
+            self.kill_slot(slot, true);
+            return;
+        }
+        if let Some(slot) = self
+            .slots
+            .iter()
+            .rposition(|s| s.status == SlotStatus::Busy)
+        {
+            self.slots[slot].status = SlotStatus::Draining;
+        }
+    }
+}
+
+/// The undispatched parameter tuples of one `run`, organized per the
+/// dispatch policy.
+enum PendingParams {
+    /// One shared queue: next parameter to the first finished child.
+    Shared(VecDeque<Bytes>),
+    /// One queue per slot: parameter i pre-assigned to slot i mod fanout.
+    PerSlot(Vec<VecDeque<Bytes>>),
+}
+
+impl PendingParams {
+    fn new(policy: DispatchPolicy, slot_count: usize, params: &[Tuple]) -> Self {
+        match policy {
+            DispatchPolicy::FirstFinished => {
+                PendingParams::Shared(params.iter().map(wire::encode_tuple).collect())
+            }
+            DispatchPolicy::RoundRobin => {
+                let n = slot_count.max(1);
+                let mut queues = vec![VecDeque::new(); n];
+                for (i, param) in params.iter().enumerate() {
+                    queues[i % n].push_back(wire::encode_tuple(param));
+                }
+                PendingParams::PerSlot(queues)
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            PendingParams::Shared(q) => q.len(),
+            PendingParams::PerSlot(queues) => queues.iter().map(VecDeque::len).sum(),
+        }
+    }
+
+    /// Takes the next parameter for `slot`, honoring the policy.
+    fn take_for(&mut self, slot: usize) -> Option<Bytes> {
+        match self {
+            PendingParams::Shared(q) => q.pop_front(),
+            PendingParams::PerSlot(queues) => queues.get_mut(slot)?.pop_front(),
+        }
+    }
+
+    /// Whether `slot` has any parameter available, without taking it.
+    fn take_peek(&self, slot: usize) -> Option<&Bytes> {
+        match self {
+            PendingParams::Shared(q) => q.front(),
+            PendingParams::PerSlot(queues) => queues.get(slot)?.front(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            PendingParams::Shared(q) => q.clear(),
+            PendingParams::PerSlot(queues) => queues.iter_mut().for_each(VecDeque::clear),
+        }
+    }
+}
+
+impl Drop for ParallelApply {
+    fn drop(&mut self) {
+        // Tear the subtree down; ChildProc::drop joins each thread.
+        for slot in &mut self.slots {
+            slot.proc.take();
+        }
+    }
+}

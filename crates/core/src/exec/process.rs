@@ -1,0 +1,270 @@
+//! Query processes: threads with message inboxes.
+//!
+//! A query process receives its plan function **once**, installed before
+//! execution (paper §III), then a stream of `Call` messages carrying
+//! parameter tuples. For each call it evaluates the installed body and
+//! streams `Result` messages back, terminated by an `EndOfCall` — the
+//! message `FF_APPLYP` uses to know a child is idle again.
+//!
+//! Plan functions and tuples cross the boundary as serialized bytes
+//! ([`crate::wire`]); the parent pays the modeled client-side costs
+//! (process startup, plan shipping, message dispatch) so the economics of
+//! the paper's single-core coordinator are preserved.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::exec::{compile, eval, ExecContext, ProcEnv};
+use crate::wire;
+
+/// Messages a parent sends to a child query process.
+#[derive(Debug)]
+pub(crate) enum ToChild {
+    /// Install the (serialized) plan function. Sent exactly once, first.
+    Install(Bytes),
+    /// Evaluate the installed plan function for a parameter tuple.
+    Call {
+        /// Correlation id, unique per parent.
+        call_id: u64,
+        /// Serialized parameter tuple.
+        param: Bytes,
+    },
+    /// Terminate: tear down the subtree and exit.
+    Shutdown,
+}
+
+/// Messages a child sends back to its parent.
+#[derive(Debug)]
+pub(crate) enum FromChild {
+    /// Plan function installed (or failed to).
+    Installed {
+        /// The child's slot at the parent.
+        slot: usize,
+        /// Install error, if any.
+        error: Option<String>,
+    },
+    /// One result tuple of the current call.
+    Result {
+        /// The child's slot at the parent.
+        slot: usize,
+        /// Correlation id of the call.
+        call_id: u64,
+        /// Serialized result tuple.
+        tuple: Bytes,
+    },
+    /// The current call finished (successfully or not).
+    EndOfCall {
+        /// The child's slot at the parent.
+        slot: usize,
+        /// Correlation id of the call.
+        call_id: u64,
+        /// Evaluation error, if any.
+        error: Option<String>,
+    },
+}
+
+/// A handle the parent keeps per child process.
+#[derive(Debug)]
+pub(crate) struct ChildProc {
+    /// Process id in the tree registry.
+    pub id: u64,
+    tx: Sender<ToChild>,
+    join: Option<JoinHandle<()>>,
+    tree: std::sync::Arc<crate::stats::TreeRegistry>,
+    deregistered: bool,
+}
+
+impl ChildProc {
+    /// Spawns a child query process and ships it the plan function.
+    ///
+    /// The calling (parent) thread pays the modeled process-startup and
+    /// plan-shipping costs before this returns, serializing process
+    /// management on the parent as on the paper's single-core client.
+    pub fn spawn(
+        ctx: &Arc<ExecContext>,
+        parent: &ProcEnv,
+        slot: usize,
+        pf_name: &str,
+        pf_bytes: Bytes,
+        results: Sender<FromChild>,
+    ) -> ChildProc {
+        let id = ctx.next_process_id();
+        let level = parent.level + 1;
+        let tree = ctx.tree();
+        tree.register(id, Some(parent.id), level, pf_name);
+
+        // Client-side costs: starting the process and shipping the plan.
+        let client = &ctx.sim().client;
+        ctx.sim().sleep_model(client.process_startup);
+        ctx.sim()
+            .sleep_model(client.plan_ship_per_kib * pf_bytes.len() as f64 / 1024.0);
+        ctx.record_shipped(pf_bytes.len());
+
+        let (tx, rx) = unbounded::<ToChild>();
+        let ctx_child = Arc::clone(ctx);
+        let join = std::thread::Builder::new()
+            .name(format!("wsmed-q{id}"))
+            .spawn(move || child_main(ctx_child, ProcEnv { id, level }, slot, rx, results))
+            .expect("failed to spawn query process thread");
+
+        tx.send(ToChild::Install(pf_bytes)).ok();
+        ChildProc {
+            id,
+            tx,
+            join: Some(join),
+            tree,
+            deregistered: false,
+        }
+    }
+
+    /// Sends a parameter tuple; the parent pays the dispatch cost.
+    pub fn send_call(&self, ctx: &ExecContext, call_id: u64, param: Bytes) {
+        ctx.sim().sleep_model(ctx.sim().client.message_dispatch);
+        ctx.record_shipped(param.len());
+        self.tx.send(ToChild::Call { call_id, param }).ok();
+    }
+
+    /// Shuts the child down and waits for its subtree to terminate.
+    pub fn shutdown(mut self, dropped_by_adaptation: bool) {
+        self.tx.send(ToChild::Shutdown).ok();
+        if let Some(join) = self.join.take() {
+            join.join().ok();
+        }
+        self.tree.deregister(self.id, dropped_by_adaptation);
+        self.deregistered = true;
+    }
+}
+
+impl Drop for ChildProc {
+    fn drop(&mut self) {
+        // Teardown on the normal path (operator dropped) and on unwinding.
+        // Threads must never leak.
+        self.tx.send(ToChild::Shutdown).ok();
+        if let Some(join) = self.join.take() {
+            join.join().ok();
+        }
+        if !self.deregistered {
+            self.tree.deregister(self.id, false);
+            self.deregistered = true;
+        }
+    }
+}
+
+/// The child process main loop.
+fn child_main(
+    ctx: Arc<ExecContext>,
+    env: ProcEnv,
+    slot: usize,
+    rx: Receiver<ToChild>,
+    results: Sender<FromChild>,
+) {
+    // ---- install phase ----------------------------------------------------
+    let pf = match rx.recv() {
+        Ok(ToChild::Install(bytes)) => match wire::decode_plan_function(bytes) {
+            Ok(pf) => pf,
+            Err(e) => {
+                results
+                    .send(FromChild::Installed {
+                        slot,
+                        error: Some(e.to_string()),
+                    })
+                    .ok();
+                return;
+            }
+        },
+        Ok(ToChild::Shutdown) | Err(_) => return,
+        Ok(ToChild::Call { call_id, .. }) => {
+            results
+                .send(FromChild::EndOfCall {
+                    slot,
+                    call_id,
+                    error: Some("call before plan function installation".into()),
+                })
+                .ok();
+            return;
+        }
+    };
+
+    // Compiling the body spawns this process's own children (the next tree
+    // level) — "each query process initially receives its own plan function
+    // definition once before execution" (§III).
+    let mut body = match compile(&ctx, &env, &pf.body) {
+        Ok(node) => node,
+        Err(e) => {
+            results
+                .send(FromChild::Installed {
+                    slot,
+                    error: Some(e.to_string()),
+                })
+                .ok();
+            return;
+        }
+    };
+    if results
+        .send(FromChild::Installed { slot, error: None })
+        .is_err()
+    {
+        return;
+    }
+
+    // ---- call loop ---------------------------------------------------------
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToChild::Call { call_id, param } => {
+                let outcome =
+                    wire::decode_tuple(param).and_then(|param| eval(&mut body, &ctx, &param));
+                match outcome {
+                    Ok(tuples) => {
+                        for tuple in &tuples {
+                            // The child pays its own send cost; results are
+                            // streamed one message per tuple, as in §III.A.
+                            ctx.sim().sleep_model(ctx.sim().client.message_dispatch);
+                            let encoded = wire::encode_tuple(tuple);
+                            ctx.record_shipped(encoded.len());
+                            if results
+                                .send(FromChild::Result {
+                                    slot,
+                                    call_id,
+                                    tuple: encoded,
+                                })
+                                .is_err()
+                            {
+                                return;
+                            }
+                        }
+                        if results
+                            .send(FromChild::EndOfCall {
+                                slot,
+                                call_id,
+                                error: None,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        if results
+                            .send(FromChild::EndOfCall {
+                                slot,
+                                call_id,
+                                error: Some(e.to_string()),
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                }
+            }
+            ToChild::Shutdown => break,
+            ToChild::Install(_) => {
+                // Re-installation is a protocol violation; ignore.
+            }
+        }
+    }
+    // `body` drops here, recursively shutting down this process's children.
+}

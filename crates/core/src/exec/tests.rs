@@ -1,0 +1,427 @@
+//! Executor tests: sequential evaluation, FF_APPLYP, AFF_APPLYP.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wsmed_store::{canonicalize, SqlType, Tuple, Value};
+use wsmed_wsdl::OwfDef;
+
+use crate::catalog::OwfCatalog;
+use crate::exec::ExecContext;
+use crate::plan::{AdaptiveConfig, ArgExpr, PlanFunction, PlanOp, QueryPlan};
+use crate::transport::{MockTransport, WsTransport};
+use crate::{CoreError, CoreResult};
+
+/// Builds a catalog with one mock OWF `Echo(x) -> <y>` that the mock
+/// transport answers by splitting its argument on `|`.
+fn echo_catalog() -> Arc<OwfCatalog> {
+    use wsmed_wsdl::{OperationDef, TypeNode, WsdlDocument};
+    let mut cat = OwfCatalog::new();
+    let doc = WsdlDocument {
+        service_name: "Mock".into(),
+        target_namespace: "urn:mock".into(),
+        operations: vec![OperationDef {
+            name: "Echo".into(),
+            inputs: vec![("x".into(), SqlType::Charstring)],
+            output: TypeNode::Record {
+                name: "EchoResponse".into(),
+                fields: vec![TypeNode::Repeated {
+                    element: Box::new(TypeNode::Scalar {
+                        name: "y".into(),
+                        ty: SqlType::Charstring,
+                    }),
+                }],
+            },
+            doc: None,
+        }],
+    };
+    cat.import(&doc, "urn:mock.wsdl").unwrap();
+    Arc::new(cat)
+}
+
+/// Wraps rows in the shape `xml_to_value` gives an `<EchoResponse>` body:
+/// a record whose `y` field holds the repeated values.
+fn echo_response(parts: Vec<Value>) -> Value {
+    Value::Record(wsmed_store::Record::new().with("y", Value::Sequence(parts)))
+}
+
+/// Splits an argument on `sep` into an Echo response.
+fn split_response(arg: &str, sep: char) -> Value {
+    echo_response(
+        arg.split(sep)
+            .filter(|s| !s.is_empty())
+            .map(Value::str)
+            .collect(),
+    )
+}
+
+/// Mock responder: `Echo("a|b")` yields rows `a`, `b`. The response shape
+/// matches the Echo OWF's flatten spec (a repeated scalar).
+fn echo_responder(_owf: &OwfDef, args: &[Value]) -> CoreResult<Value> {
+    let arg = args[0].as_str().map_err(CoreError::Store)?;
+    Ok(split_response(arg, '|'))
+}
+
+fn mock_ctx(transport: Arc<MockTransport>) -> Arc<ExecContext> {
+    ExecContext::new(
+        transport as Arc<dyn WsTransport>,
+        echo_catalog(),
+        wsmed_netsim::SimConfig::default(),
+    )
+}
+
+/// A two-stage Echo plan over the seed string:
+/// `unit → extend(seed) → Echo(#0)` splits the seed in the coordinator,
+/// then a second `Echo(#1)` runs once per value — inline (sequential), via
+/// `FF_APPLYP`, or via `AFF_APPLYP`.
+fn echo_plan(seed: &str, parallel: Option<(usize, bool)>) -> QueryPlan {
+    let source = PlanOp::ApplyOwf {
+        owf: "Echo".into(),
+        args: vec![ArgExpr::Col(0)],
+        output_arity: 1,
+        input: Box::new(PlanOp::Extend {
+            exprs: vec![ArgExpr::Const(Value::str(seed))],
+            input: Box::new(PlanOp::Unit),
+        }),
+    };
+    let per_value = |input: PlanOp, param_col: usize| PlanOp::ApplyOwf {
+        owf: "Echo".into(),
+        args: vec![ArgExpr::Col(param_col)],
+        output_arity: 1,
+        input: Box::new(input),
+    };
+    let root = match parallel {
+        None => PlanOp::Project {
+            columns: vec![2],
+            input: Box::new(per_value(source, 1)),
+        },
+        Some((fanout, adaptive)) => {
+            let pf = PlanFunction {
+                name: "PF1".into(),
+                param_arity: 2,
+                body: Box::new(per_value(PlanOp::Param { arity: 2 }, 1)),
+                output_arity: 3,
+            };
+            let par = if adaptive {
+                PlanOp::AffApply {
+                    pf,
+                    config: AdaptiveConfig {
+                        init_fanout: fanout,
+                        ..Default::default()
+                    },
+                    input: Box::new(source),
+                }
+            } else {
+                PlanOp::FfApply {
+                    pf,
+                    fanout,
+                    input: Box::new(source),
+                }
+            };
+            PlanOp::Project {
+                columns: vec![2],
+                input: Box::new(par),
+            }
+        }
+    };
+    QueryPlan {
+        root,
+        column_names: vec!["y".into()],
+    }
+}
+
+fn rows_as_strings(rows: &[Tuple]) -> Vec<String> {
+    let mut out: Vec<String> = rows
+        .iter()
+        .map(|t| t.get(0).as_str().unwrap().to_owned())
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn sequential_chain_evaluates() {
+    let transport = MockTransport::new(echo_responder);
+    let ctx = mock_ctx(Arc::clone(&transport));
+    let plan = echo_plan("a|b|c", None);
+    let report = ctx.run_plan(&plan).unwrap();
+    assert_eq!(rows_as_strings(&report.rows), vec!["a", "b", "c"]);
+    // One splitting call plus one per value.
+    assert_eq!(transport.call_count(), 4);
+    assert_eq!(report.column_names, vec!["y"]);
+}
+
+#[test]
+fn ff_apply_matches_sequential_results() {
+    let transport = MockTransport::new(echo_responder);
+    let ctx = mock_ctx(transport);
+    let plan = echo_plan("a|b|c", Some((3, false)));
+    let report = ctx.run_plan(&plan).unwrap();
+    assert_eq!(rows_as_strings(&report.rows), vec!["a", "b", "c"]);
+    // Process tree: coordinator + 3 children on level 1.
+    assert_eq!(report.tree.levels[1].alive, 3);
+    assert_eq!(report.tree.fanout_at(0), Some(3.0));
+}
+
+/// A two-level nested plan: the outer PF splits on '|', the inner on ','.
+fn nested_plan(fo1: usize, fo2: usize) -> QueryPlan {
+    let inner_pf = PlanFunction {
+        name: "PF2".into(),
+        param_arity: 2,
+        body: Box::new(PlanOp::ApplyOwf {
+            owf: "Echo".into(),
+            args: vec![ArgExpr::Col(1)],
+            output_arity: 1,
+            input: Box::new(PlanOp::Param { arity: 2 }),
+        }),
+        output_arity: 3,
+    };
+    let outer_pf = PlanFunction {
+        name: "PF1".into(),
+        param_arity: 1,
+        body: Box::new(PlanOp::FfApply {
+            pf: inner_pf,
+            fanout: fo2,
+            input: Box::new(PlanOp::ApplyOwf {
+                owf: "Echo".into(),
+                args: vec![ArgExpr::Col(0)],
+                output_arity: 1,
+                input: Box::new(PlanOp::Param { arity: 1 }),
+            }),
+        }),
+        output_arity: 3,
+    };
+    QueryPlan {
+        root: PlanOp::Project {
+            columns: vec![2],
+            input: Box::new(PlanOp::FfApply {
+                pf: outer_pf,
+                fanout: fo1,
+                input: Box::new(PlanOp::Extend {
+                    exprs: vec![ArgExpr::Const(Value::str("x,y|z,w"))],
+                    input: Box::new(PlanOp::Unit),
+                }),
+            }),
+        },
+        column_names: vec!["y".into()],
+    }
+}
+
+#[test]
+fn nested_ff_builds_two_level_tree_and_is_correct() {
+    // Seed "x,y|z,w": outer Echo → "x,y", "z,w"; inner Echo splits commas.
+    let transport = MockTransport::new(|owf, args| {
+        let arg = args[0].as_str().map_err(CoreError::Store)?;
+        let sep = if arg.contains('|') { '|' } else { ',' };
+        let _ = owf;
+        Ok(split_response(arg, sep))
+    });
+    let ctx = mock_ctx(transport);
+    let report = ctx.run_plan(&nested_plan(2, 3)).unwrap();
+    assert_eq!(rows_as_strings(&report.rows), vec!["w", "x", "y", "z"]);
+    // Tree: 1 coordinator, 2 level-1 children, each with 3 level-2 children.
+    assert_eq!(report.tree.levels[1].alive, 2);
+    assert_eq!(report.tree.levels[2].alive, 6);
+    assert_eq!(report.tree.fanout_at(1), Some(3.0));
+    assert_eq!(report.tree.peak_alive, 9);
+}
+
+#[test]
+fn ff_apply_overlaps_calls_in_wall_time() {
+    // 16 params, 30ms per call: sequential would take ≥ 480ms; with fanout
+    // 8 it must finish far sooner.
+    let seed = (0..16)
+        .map(|i| format!("p{i}"))
+        .collect::<Vec<_>>()
+        .join("|");
+    let split_plan = echo_plan(&seed, None);
+    let transport = MockTransport::with_delay(Duration::from_millis(30), echo_responder);
+    let ctx = mock_ctx(transport);
+    let sequential = ctx.run_plan(&split_plan).unwrap();
+    assert_eq!(sequential.rows.len(), 16);
+
+    // Parallel: first split the seed (1 call), then fan out per-parameter
+    // calls of Echo over the 16 values.
+    let plan = echo_plan(&seed, Some((8, false)));
+    let transport = MockTransport::with_delay(Duration::from_millis(30), echo_responder);
+    let ctx = mock_ctx(transport);
+    let parallel = ctx.run_plan(&plan).unwrap();
+    assert_eq!(parallel.rows.len(), 16);
+    assert_eq!(
+        canonicalize(parallel.rows.clone()),
+        canonicalize(sequential.rows.clone())
+    );
+    // 17 calls of 30ms each: sequential ≥ 510ms. Parallel: 1 + ceil(16/8)
+    // rounds ≈ 90ms. Allow generous slack for scheduling.
+    assert!(
+        parallel.wall < sequential.wall / 2,
+        "parallel {:?} not faster than sequential {:?}",
+        parallel.wall,
+        sequential.wall
+    );
+}
+
+#[test]
+fn ff_apply_first_finished_dispatch_beats_stragglers() {
+    // One slow parameter ("slow") takes 150ms, others 5ms. With fanout 2
+    // and FF dispatch, the fast children keep churning while one child is
+    // stuck — total should be ≈ 150ms, not 150ms + stragglers.
+    let transport = MockTransport::new(|_, args| {
+        let arg = args[0].as_str().map_err(CoreError::Store)?;
+        if arg.starts_with("slow") {
+            std::thread::sleep(Duration::from_millis(150));
+        } else if !arg.contains('|') {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(split_response(arg, '|'))
+    });
+    let seed = "slow|a|b|c|d|e|f|g|h";
+    let plan = echo_plan(seed, Some((2, false)));
+    let ctx = mock_ctx(transport);
+    let report = ctx.run_plan(&plan).unwrap();
+    assert_eq!(report.rows.len(), 9);
+    // First-finished: the fast child absorbs the 8 fast params (~40ms)
+    // while the slow child handles one. Bound well below the ~190ms a
+    // round-robin split (slow + 4 fast on one child) could cost.
+    assert!(
+        report.wall < Duration::from_millis(400),
+        "took {:?}",
+        report.wall
+    );
+}
+
+#[test]
+fn aff_apply_produces_correct_results_and_adapts() {
+    // 40 parameters with a small per-call delay: enough monitoring cycles
+    // for at least one add stage from the initial binary tree.
+    let seed = (0..40)
+        .map(|i| format!("p{i}"))
+        .collect::<Vec<_>>()
+        .join("|");
+    let plan = echo_plan(&seed, Some((2, true)));
+    let ctx = mock_ctx(MockTransport::new(move |_, args| {
+        let arg = args[0].as_str().map_err(CoreError::Store)?;
+        if !arg.contains('|') {
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        Ok(split_response(arg, '|'))
+    }));
+    let report = ctx.run_plan(&plan).unwrap();
+    assert_eq!(report.rows.len(), 40);
+    // Started binary, added at least once after the first monitoring cycle.
+    assert!(
+        report.tree.levels[1].ever > 2,
+        "no add stage ran: {:?}",
+        report.tree
+    );
+    assert!(report.tree.adds >= 3); // 2 initial + at least 1 added
+}
+
+#[test]
+fn adaptive_plan_same_results_as_fixed() {
+    let seed = (0..25)
+        .map(|i| format!("v{i}"))
+        .collect::<Vec<_>>()
+        .join("|");
+    let fixed = echo_plan(&seed, Some((4, false)));
+    let adaptive = echo_plan(&seed, Some((2, true)));
+    let r1 = mock_ctx(MockTransport::new(echo_responder))
+        .run_plan(&fixed)
+        .unwrap();
+    let r2 = mock_ctx(MockTransport::new(echo_responder))
+        .run_plan(&adaptive)
+        .unwrap();
+    assert_eq!(canonicalize(r1.rows), canonicalize(r2.rows));
+}
+
+#[test]
+fn child_call_error_propagates() {
+    let transport = MockTransport::new(|_, args| {
+        let arg = args[0].as_str().map_err(CoreError::Store)?;
+        if arg == "boom" {
+            return Err(CoreError::ProcessFailure("injected failure".into()));
+        }
+        Ok(split_response(arg, '|'))
+    });
+    let ctx = mock_ctx(transport);
+    let plan = echo_plan("a|boom|c", Some((2, false)));
+    let err = ctx.run_plan(&plan).unwrap_err();
+    match err {
+        CoreError::ProcessFailure(msg) => assert!(msg.contains("injected failure"), "{msg}"),
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn error_in_coordinator_section_propagates() {
+    let transport =
+        MockTransport::new(|_, _| Err(CoreError::ProcessFailure("root failure".into())));
+    let ctx = mock_ctx(transport);
+    let plan = echo_plan("a|b", None);
+    assert!(matches!(
+        ctx.run_plan(&plan),
+        Err(CoreError::ProcessFailure(_))
+    ));
+}
+
+#[test]
+fn unknown_owf_fails_at_compile_time() {
+    let ctx = mock_ctx(MockTransport::new(echo_responder));
+    let plan = QueryPlan {
+        root: PlanOp::ApplyOwf {
+            owf: "Mystery".into(),
+            args: vec![],
+            output_arity: 1,
+            input: Box::new(PlanOp::Unit),
+        },
+        column_names: vec!["x".into()],
+    };
+    assert!(matches!(ctx.run_plan(&plan), Err(CoreError::UnknownOwf(_))));
+}
+
+#[test]
+fn zero_fanout_rejected_at_compile() {
+    let ctx = mock_ctx(MockTransport::new(echo_responder));
+    let mut plan = echo_plan("a", Some((1, false)));
+    // Patch fanout to zero.
+    if let PlanOp::Project { input, .. } = &mut plan.root {
+        if let PlanOp::FfApply { fanout, .. } = &mut **input {
+            *fanout = 0;
+        }
+    }
+    assert!(matches!(
+        ctx.run_plan(&plan),
+        Err(CoreError::InvalidPlan(_))
+    ));
+}
+
+#[test]
+fn processes_are_torn_down_after_run() {
+    let ctx = mock_ctx(MockTransport::new(echo_responder));
+    let plan = echo_plan("a|b|c|d", Some((3, false)));
+    let report = ctx.run_plan(&plan).unwrap();
+    assert_eq!(report.tree.levels[1].alive, 3); // snapshot at completion
+                                                // After run_plan returns, the tree registry shows only dead children.
+    let now = ctx.tree().snapshot();
+    assert_eq!(
+        now.levels.get(1).map(|l| l.alive).unwrap_or(0),
+        0,
+        "children leaked: {now:?}"
+    );
+}
+
+#[test]
+fn report_counts_ws_calls_via_sim_transport() {
+    use wsmed_services::{install_paper_services, Dataset, DatasetConfig};
+    let network = wsmed_netsim::Network::new(wsmed_netsim::SimConfig::default());
+    let dataset = Arc::new(Dataset::generate(DatasetConfig::tiny()));
+    let registry = install_paper_services(network, dataset);
+    let mut wsmed = crate::Wsmed::new(registry);
+    wsmed.import_all_wsdl().unwrap();
+    let report = wsmed
+        .run_central("select gs.State from GetAllStates gs")
+        .unwrap();
+    assert_eq!(report.rows.len(), 51);
+    assert_eq!(report.ws_calls, 1);
+    assert!(report.ws_bytes > 0);
+}

@@ -1,0 +1,56 @@
+#![deny(missing_docs)]
+
+//! # wsmed-core
+//!
+//! The WSMED query processor — the primary contribution of
+//! *"Adaptive Parallelization of Queries over Dependent Web Service Calls"*
+//! (Sabesan & Risch, ICDE 2009).
+//!
+//! The pipeline follows the paper's Fig. 5:
+//!
+//! ```text
+//!  SQL ──calculus generator──▶ calculus ──central plan creator──▶ γ-chain
+//!      ──parallelizer──▶ sections ──plan function generator──▶ PF1..PFn
+//!      ──plan rewriter──▶ FF_APPLYP / AFF_APPLYP plan ──▶ process tree
+//! ```
+//!
+//! * [`central`] builds the naïve central plan: a chain of γ (apply)
+//!   operators invoking OWFs and helping functions in dependency order
+//!   (Fig. 6/10).
+//! * [`parallel`] splits the central plan into sections, wraps each
+//!   parallelizable section in a *plan function*, and rewrites the plan
+//!   with [`plan::PlanOp::FfApply`] / [`plan::PlanOp::AffApply`] operators
+//!   (Fig. 9/13). Plan functions are *shipped* to child query processes as
+//!   serialized bytes ([`wire`]), mirroring the paper's code shipping.
+//! * [`exec`] interprets plans. Query processes are threads with message
+//!   inboxes; `FF_APPLYP` streams parameter tuples to whichever child
+//!   finished first; `AFF_APPLYP` starts from a binary process tree and
+//!   adapts each subtree locally by monitoring the average time per
+//!   incoming result tuple (§V.A).
+//! * [`Wsmed`] is the mediator facade: import WSDL → SQL → execute
+//!   (central, manually parallel, or adaptive).
+
+pub mod catalog;
+pub mod central;
+pub mod error;
+pub mod exec;
+pub mod materialized;
+pub mod parallel;
+pub mod plan;
+pub mod stats;
+pub mod transport;
+pub mod wire;
+mod wsmed;
+
+pub use catalog::OwfCatalog;
+pub use central::create_central_plan;
+pub use error::{CoreError, CoreResult};
+pub use exec::ExecContext;
+pub use materialized::run_materialized;
+pub use parallel::{
+    parallel_level_count, parallelize, parallelize_adaptive, parallelize_unprojected, FanoutVector,
+};
+pub use plan::{AdaptDecision, AdaptiveConfig, ArgExpr, PlanFunction, PlanOp, QueryPlan};
+pub use stats::{AdaptEvent, ExecutionReport, LevelStats, TreeNode, TreeRegistry, TreeSnapshot};
+pub use transport::{DispatchPolicy, MockTransport, RetryPolicy, SimTransport, WsTransport};
+pub use wsmed::{paper, Wsmed};

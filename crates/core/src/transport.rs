@@ -1,0 +1,270 @@
+//! The web-service transport abstraction.
+//!
+//! Operator code (γ apply, `FF_APPLYP`, `AFF_APPLYP`) never talks to a
+//! concrete network; it calls a [`WsTransport`]. Production code uses
+//! [`SimTransport`] over the simulated providers; operator unit tests use
+//! [`MockTransport`] with scripted results and optional artificial delays.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use wsmed_services::ServiceRegistry;
+use wsmed_store::{xml_to_value, Value};
+use wsmed_wsdl::OwfDef;
+
+use crate::{CoreError, CoreResult};
+
+/// How the mediator handles transient web-service faults
+/// ([`wsmed_netsim::NetError::ServiceFault`]): each faulting call is
+/// retried up to `max_attempts` total tries with a fixed model-time
+/// backoff. Non-transient errors (bad requests, unknown operations) are
+/// never retried. The default policy performs no retries, matching the
+/// paper's behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per call (1 = no retries).
+    pub max_attempts: usize,
+    /// Model seconds to wait between attempts.
+    pub backoff_model_secs: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_model_secs: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy retrying up to `attempts` total tries with a 0.5 model-s
+    /// backoff.
+    pub fn attempts(attempts: usize) -> Self {
+        assert!(attempts >= 1, "at least one attempt is required");
+        RetryPolicy {
+            max_attempts: attempts,
+            ..Default::default()
+        }
+    }
+}
+
+/// How `FF_APPLYP` assigns parameter tuples to child processes.
+///
+/// The paper's operator is *first finished*: whichever child reports
+/// end-of-call first receives the next pending parameter, so slow calls
+/// never block fast children. The round-robin alternative statically
+/// pre-partitions the parameter stream across children — the classic
+/// static-partitioning baseline the FF design improves on under skewed
+/// per-call latency. Exposed as an execution-level knob for the ablation
+/// bench; adaptive plans always use first-finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchPolicy {
+    /// Paper semantics: next parameter to the first finished child.
+    #[default]
+    FirstFinished,
+    /// Static pre-partitioning: parameter i goes to child i mod fanout.
+    RoundRobin,
+}
+
+/// Something that can invoke a data-providing web service operation.
+pub trait WsTransport: Send + Sync {
+    /// Invokes `owf`'s operation with typed argument values and returns the
+    /// response converted into record/sequence values (the `cwo` built-in,
+    /// paper Fig. 2 line 14).
+    fn call_operation(&self, owf: &OwfDef, args: &[Value]) -> CoreResult<Value>;
+
+    /// Aggregate call metrics across all providers, for execution reports.
+    /// The default (for mocks) reports nothing.
+    fn metrics(&self) -> wsmed_netsim::MetricsSnapshot {
+        wsmed_netsim::MetricsSnapshot::default()
+    }
+}
+
+/// Transport over the simulated service registry.
+pub struct SimTransport {
+    registry: ServiceRegistry,
+}
+
+impl SimTransport {
+    /// Wraps a service registry.
+    pub fn new(registry: ServiceRegistry) -> Self {
+        SimTransport { registry }
+    }
+
+    /// The underlying registry (for WSDL import and metrics).
+    pub fn registry(&self) -> &ServiceRegistry {
+        &self.registry
+    }
+}
+
+impl WsTransport for SimTransport {
+    fn call_operation(&self, owf: &OwfDef, args: &[Value]) -> CoreResult<Value> {
+        if args.len() != owf.inputs.len() {
+            return Err(CoreError::InvalidPlan(format!(
+                "OWF {} expects {} arguments, plan supplied {}",
+                owf.name,
+                owf.inputs.len(),
+                args.len()
+            )));
+        }
+        let mut rendered = Vec::with_capacity(args.len());
+        for ((name, ty), value) in owf.inputs.iter().zip(args) {
+            rendered.push((name.clone(), ty.value_to_text(value)?));
+        }
+        let response =
+            self.registry
+                .call(&owf.wsdl_uri, &owf.service, &owf.operation, &rendered)?;
+        Ok(xml_to_value(&response))
+    }
+
+    fn metrics(&self) -> wsmed_netsim::MetricsSnapshot {
+        self.registry.network().total_metrics()
+    }
+}
+
+/// The closure type a [`MockTransport`] dispatches to.
+type Responder = Box<dyn Fn(&OwfDef, &[Value]) -> CoreResult<Value> + Send + Sync>;
+
+/// Scripted transport for operator tests: a closure maps `(operation,
+/// args)` to a response value, with an optional fixed wall-clock delay to
+/// exercise concurrency.
+pub struct MockTransport {
+    respond: Responder,
+    delay: Option<Duration>,
+    calls: AtomicU64,
+}
+
+impl MockTransport {
+    /// Creates a mock from a response function.
+    pub fn new(
+        respond: impl Fn(&OwfDef, &[Value]) -> CoreResult<Value> + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        Arc::new(MockTransport {
+            respond: Box::new(respond),
+            delay: None,
+            calls: AtomicU64::new(0),
+        })
+    }
+
+    /// Creates a mock that also sleeps `delay` per call.
+    pub fn with_delay(
+        delay: Duration,
+        respond: impl Fn(&OwfDef, &[Value]) -> CoreResult<Value> + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        Arc::new(MockTransport {
+            respond: Box::new(respond),
+            delay: Some(delay),
+            calls: AtomicU64::new(0),
+        })
+    }
+
+    /// How many calls were made.
+    pub fn call_count(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl WsTransport for MockTransport {
+    fn call_operation(&self, owf: &OwfDef, args: &[Value]) -> CoreResult<Value> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if let Some(d) = self.delay {
+            std::thread::sleep(d);
+        }
+        (self.respond)(owf, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use wsmed_netsim::{Network, SimConfig};
+    use wsmed_services::{install_paper_services, Dataset, DatasetConfig};
+
+    fn sim() -> SimTransport {
+        let network = Network::new(SimConfig::default());
+        let dataset = StdArc::new(Dataset::generate(DatasetConfig::tiny()));
+        SimTransport::new(install_paper_services(network, dataset))
+    }
+
+    fn states_owf(transport: &SimTransport) -> OwfDef {
+        let xml = transport
+            .registry()
+            .wsdl_xml(wsmed_services::GeoPlacesService::WSDL_URI)
+            .unwrap();
+        let doc = wsmed_wsdl::parse_wsdl(&xml).unwrap();
+        OwfDef::derive(
+            doc.operation("GetAllStates").unwrap(),
+            &doc.service_name,
+            wsmed_services::GeoPlacesService::WSDL_URI,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sim_transport_calls_and_flattens() {
+        let t = sim();
+        let owf = states_owf(&t);
+        let value = t.call_operation(&owf, &[]).unwrap();
+        let rows = owf.flatten(&value).unwrap();
+        assert_eq!(rows.len(), 51);
+    }
+
+    #[test]
+    fn sim_transport_checks_arity() {
+        let t = sim();
+        let owf = states_owf(&t);
+        let err = t.call_operation(&owf, &[Value::str("extra")]).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidPlan(_)));
+    }
+
+    #[test]
+    fn sim_transport_renders_typed_args() {
+        let t = sim();
+        let xml = t
+            .registry()
+            .wsdl_xml(wsmed_services::TerraService::WSDL_URI)
+            .unwrap();
+        let doc = wsmed_wsdl::parse_wsdl(&xml).unwrap();
+        let owf = OwfDef::derive(
+            doc.operation("GetPlaceList").unwrap(),
+            &doc.service_name,
+            wsmed_services::TerraService::WSDL_URI,
+        )
+        .unwrap();
+        // Int and Str-as-bool coerce correctly on the way out.
+        let value = t
+            .call_operation(
+                &owf,
+                &[
+                    Value::str("Nowhere, ZZ"),
+                    Value::Int(100),
+                    Value::str("true"),
+                ],
+            )
+            .unwrap();
+        assert!(owf.flatten(&value).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mock_transport_counts_and_responds() {
+        let mock = MockTransport::new(|_, args| Ok(Value::Sequence(vec![args[0].clone()])));
+        let owf = OwfDef {
+            name: "F".into(),
+            service: "S".into(),
+            wsdl_uri: "u".into(),
+            operation: "F".into(),
+            inputs: vec![("x".into(), wsmed_store::SqlType::Charstring)],
+            columns: vec![("y".into(), wsmed_store::SqlType::Charstring)],
+            flatten: wsmed_wsdl::FlattenSpec {
+                path: vec![],
+                leaf: wsmed_wsdl::LeafKind::Scalar("y".into(), wsmed_store::SqlType::Charstring),
+            },
+        };
+        let v = mock.call_operation(&owf, &[Value::str("hello")]).unwrap();
+        assert_eq!(v, Value::Sequence(vec![Value::str("hello")]));
+        assert_eq!(mock.call_count(), 1);
+    }
+}

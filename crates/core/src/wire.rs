@@ -1,0 +1,657 @@
+//! The wire format used to *ship* plan functions and parameter tuples.
+//!
+//! The paper's `FF_APPLYP` "ships in parallel to other query processes the
+//! same plan function for different parameters" — code shipping, not
+//! shared memory. To reproduce that faithfully, plan functions and tuples
+//! cross process boundaries as serialized bytes: the receiving query
+//! process deserializes and installs its own copy. Message sizes feed the
+//! client cost model (`plan_ship_per_kib`).
+//!
+//! The format is a deliberately simple tagged binary encoding (little
+//! endian, u32 lengths). It is not versioned — both ends are always the
+//! same build, as in the paper's single-system deployment.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use wsmed_store::{Record, Tuple, Value};
+
+use crate::plan::{AdaptiveConfig, ArgExpr, PlanFunction, PlanOp};
+use crate::{CoreError, CoreResult};
+
+// ---------------------------------------------------------------- encode --
+
+/// Serializes a plan function for shipping.
+pub fn encode_plan_function(pf: &PlanFunction) -> Bytes {
+    let mut buf = BytesMut::with_capacity(256);
+    put_plan_function(&mut buf, pf);
+    buf.freeze()
+}
+
+/// Serializes a tuple for shipping as a parameter or result message.
+pub fn encode_tuple(tuple: &Tuple) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    put_tuple(&mut buf, tuple);
+    buf.freeze()
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_value(buf: &mut BytesMut, value: &Value) {
+    match value {
+        Value::Null => buf.put_u8(0),
+        Value::Str(s) => {
+            buf.put_u8(1);
+            put_str(buf, s);
+        }
+        Value::Real(r) => {
+            buf.put_u8(2);
+            buf.put_f64_le(*r);
+        }
+        Value::Int(i) => {
+            buf.put_u8(3);
+            buf.put_i64_le(*i);
+        }
+        Value::Bool(b) => {
+            buf.put_u8(4);
+            buf.put_u8(u8::from(*b));
+        }
+        Value::Record(record) => {
+            buf.put_u8(5);
+            buf.put_u32_le(record.len() as u32);
+            for (name, v) in record.iter() {
+                put_str(buf, name);
+                put_value(buf, v);
+            }
+        }
+        Value::Sequence(items) => {
+            buf.put_u8(6);
+            buf.put_u32_le(items.len() as u32);
+            for v in items {
+                put_value(buf, v);
+            }
+        }
+        Value::Bag(items) => {
+            buf.put_u8(7);
+            buf.put_u32_le(items.len() as u32);
+            for v in items {
+                put_value(buf, v);
+            }
+        }
+    }
+}
+
+fn put_tuple(buf: &mut BytesMut, tuple: &Tuple) {
+    buf.put_u32_le(tuple.arity() as u32);
+    for v in tuple.values() {
+        put_value(buf, v);
+    }
+}
+
+fn put_arg(buf: &mut BytesMut, arg: &ArgExpr) {
+    match arg {
+        ArgExpr::Col(i) => {
+            buf.put_u8(0);
+            buf.put_u32_le(*i as u32);
+        }
+        ArgExpr::Const(v) => {
+            buf.put_u8(1);
+            put_value(buf, v);
+        }
+    }
+}
+
+fn put_args(buf: &mut BytesMut, args: &[ArgExpr]) {
+    buf.put_u32_le(args.len() as u32);
+    for a in args {
+        put_arg(buf, a);
+    }
+}
+
+fn put_plan_op(buf: &mut BytesMut, op: &PlanOp) {
+    match op {
+        PlanOp::Unit => buf.put_u8(0),
+        PlanOp::Param { arity } => {
+            buf.put_u8(1);
+            buf.put_u32_le(*arity as u32);
+        }
+        PlanOp::ApplyOwf {
+            owf,
+            args,
+            output_arity,
+            input,
+        } => {
+            buf.put_u8(2);
+            put_str(buf, owf);
+            put_args(buf, args);
+            buf.put_u32_le(*output_arity as u32);
+            put_plan_op(buf, input);
+        }
+        PlanOp::ApplyFunction {
+            function,
+            args,
+            output_arity,
+            input,
+        } => {
+            buf.put_u8(3);
+            put_str(buf, function);
+            put_args(buf, args);
+            buf.put_u32_le(*output_arity as u32);
+            put_plan_op(buf, input);
+        }
+        PlanOp::Extend { exprs, input } => {
+            buf.put_u8(4);
+            put_args(buf, exprs);
+            put_plan_op(buf, input);
+        }
+        PlanOp::Project { columns, input } => {
+            buf.put_u8(5);
+            buf.put_u32_le(columns.len() as u32);
+            for c in columns {
+                buf.put_u32_le(*c as u32);
+            }
+            put_plan_op(buf, input);
+        }
+        PlanOp::FfApply { pf, fanout, input } => {
+            buf.put_u8(6);
+            put_plan_function(buf, pf);
+            buf.put_u32_le(*fanout as u32);
+            put_plan_op(buf, input);
+        }
+        PlanOp::Sort { keys, input } => {
+            buf.put_u8(8);
+            buf.put_u32_le(keys.len() as u32);
+            for (col, desc) in keys {
+                buf.put_u32_le(*col as u32);
+                buf.put_u8(u8::from(*desc));
+            }
+            put_plan_op(buf, input);
+        }
+        PlanOp::Distinct { input } => {
+            buf.put_u8(9);
+            put_plan_op(buf, input);
+        }
+        PlanOp::Limit { count, input } => {
+            buf.put_u8(10);
+            buf.put_u32_le(*count as u32);
+            put_plan_op(buf, input);
+        }
+        PlanOp::Count { input } => {
+            buf.put_u8(11);
+            put_plan_op(buf, input);
+        }
+        PlanOp::GroupBy {
+            key_count,
+            aggs,
+            input,
+        } => {
+            buf.put_u8(12);
+            buf.put_u32_le(*key_count as u32);
+            buf.put_u32_le(aggs.len() as u32);
+            for (func, arg) in aggs {
+                buf.put_u8(agg_code(*func));
+                match arg {
+                    Some(col) => {
+                        buf.put_u8(1);
+                        buf.put_u32_le(*col as u32);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+            put_plan_op(buf, input);
+        }
+        PlanOp::AffApply { pf, config, input } => {
+            buf.put_u8(7);
+            put_plan_function(buf, pf);
+            buf.put_u32_le(config.add_step as u32);
+            buf.put_f64_le(config.threshold);
+            buf.put_u8(u8::from(config.drop_enabled));
+            buf.put_u32_le(config.init_fanout as u32);
+            buf.put_u32_le(config.max_fanout as u32);
+            put_plan_op(buf, input);
+        }
+    }
+}
+
+fn put_plan_function(buf: &mut BytesMut, pf: &PlanFunction) {
+    put_str(buf, &pf.name);
+    buf.put_u32_le(pf.param_arity as u32);
+    buf.put_u32_le(pf.output_arity as u32);
+    put_plan_op(buf, &pf.body);
+}
+
+// ---------------------------------------------------------------- decode --
+
+/// Deserializes a plan function received from a parent process.
+pub fn decode_plan_function(mut bytes: Bytes) -> CoreResult<PlanFunction> {
+    let pf = get_plan_function(&mut bytes)?;
+    if bytes.has_remaining() {
+        return Err(CoreError::Wire(format!(
+            "{} trailing bytes",
+            bytes.remaining()
+        )));
+    }
+    Ok(pf)
+}
+
+/// Deserializes a tuple.
+pub fn decode_tuple(mut bytes: Bytes) -> CoreResult<Tuple> {
+    let t = get_tuple(&mut bytes)?;
+    if bytes.has_remaining() {
+        return Err(CoreError::Wire(format!(
+            "{} trailing bytes",
+            bytes.remaining()
+        )));
+    }
+    Ok(t)
+}
+
+fn need(buf: &Bytes, n: usize) -> CoreResult<()> {
+    if buf.remaining() < n {
+        Err(CoreError::Wire(format!(
+            "needed {n} bytes, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u8(buf: &mut Bytes) -> CoreResult<u8> {
+    need(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut Bytes) -> CoreResult<usize> {
+    need(buf, 4)?;
+    Ok(buf.get_u32_le() as usize)
+}
+
+fn get_f64(buf: &mut Bytes) -> CoreResult<f64> {
+    need(buf, 8)?;
+    Ok(buf.get_f64_le())
+}
+
+fn get_str(buf: &mut Bytes) -> CoreResult<String> {
+    let len = get_u32(buf)?;
+    need(buf, len)?;
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| CoreError::Wire("invalid UTF-8".into()))
+}
+
+fn get_value(buf: &mut Bytes) -> CoreResult<Value> {
+    match get_u8(buf)? {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::from(get_str(buf)?)),
+        2 => Ok(Value::Real(get_f64(buf)?)),
+        3 => {
+            need(buf, 8)?;
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        4 => Ok(Value::Bool(get_u8(buf)? != 0)),
+        5 => {
+            let n = get_u32(buf)?;
+            let mut record = Record::new();
+            for _ in 0..n {
+                let name = get_str(buf)?;
+                let value = get_value(buf)?;
+                record.set(name, value);
+            }
+            Ok(Value::Record(record))
+        }
+        6 => {
+            let n = get_u32(buf)?;
+            let mut items = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                items.push(get_value(buf)?);
+            }
+            Ok(Value::Sequence(items))
+        }
+        7 => {
+            let n = get_u32(buf)?;
+            let mut items = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                items.push(get_value(buf)?);
+            }
+            Ok(Value::Bag(items))
+        }
+        tag => Err(CoreError::Wire(format!("unknown value tag {tag}"))),
+    }
+}
+
+fn get_tuple(buf: &mut Bytes) -> CoreResult<Tuple> {
+    let n = get_u32(buf)?;
+    let mut values = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        values.push(get_value(buf)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+fn get_arg(buf: &mut Bytes) -> CoreResult<ArgExpr> {
+    match get_u8(buf)? {
+        0 => Ok(ArgExpr::Col(get_u32(buf)?)),
+        1 => Ok(ArgExpr::Const(get_value(buf)?)),
+        tag => Err(CoreError::Wire(format!("unknown arg tag {tag}"))),
+    }
+}
+
+fn get_args(buf: &mut Bytes) -> CoreResult<Vec<ArgExpr>> {
+    let n = get_u32(buf)?;
+    let mut args = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        args.push(get_arg(buf)?);
+    }
+    Ok(args)
+}
+
+fn get_plan_op(buf: &mut Bytes) -> CoreResult<PlanOp> {
+    match get_u8(buf)? {
+        0 => Ok(PlanOp::Unit),
+        1 => Ok(PlanOp::Param {
+            arity: get_u32(buf)?,
+        }),
+        2 => {
+            let owf = get_str(buf)?;
+            let args = get_args(buf)?;
+            let output_arity = get_u32(buf)?;
+            let input = Box::new(get_plan_op(buf)?);
+            Ok(PlanOp::ApplyOwf {
+                owf,
+                args,
+                output_arity,
+                input,
+            })
+        }
+        3 => {
+            let function = get_str(buf)?;
+            let args = get_args(buf)?;
+            let output_arity = get_u32(buf)?;
+            let input = Box::new(get_plan_op(buf)?);
+            Ok(PlanOp::ApplyFunction {
+                function,
+                args,
+                output_arity,
+                input,
+            })
+        }
+        4 => {
+            let exprs = get_args(buf)?;
+            let input = Box::new(get_plan_op(buf)?);
+            Ok(PlanOp::Extend { exprs, input })
+        }
+        5 => {
+            let n = get_u32(buf)?;
+            let mut columns = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                columns.push(get_u32(buf)?);
+            }
+            let input = Box::new(get_plan_op(buf)?);
+            Ok(PlanOp::Project { columns, input })
+        }
+        6 => {
+            let pf = get_plan_function(buf)?;
+            let fanout = get_u32(buf)?;
+            let input = Box::new(get_plan_op(buf)?);
+            Ok(PlanOp::FfApply { pf, fanout, input })
+        }
+        7 => {
+            let pf = get_plan_function(buf)?;
+            let config = AdaptiveConfig {
+                add_step: get_u32(buf)?,
+                threshold: get_f64(buf)?,
+                drop_enabled: get_u8(buf)? != 0,
+                init_fanout: get_u32(buf)?,
+                max_fanout: get_u32(buf)?,
+            };
+            let input = Box::new(get_plan_op(buf)?);
+            Ok(PlanOp::AffApply { pf, config, input })
+        }
+        8 => {
+            let n = get_u32(buf)?;
+            let mut keys = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let col = get_u32(buf)?;
+                let desc = get_u8(buf)? != 0;
+                keys.push((col, desc));
+            }
+            let input = Box::new(get_plan_op(buf)?);
+            Ok(PlanOp::Sort { keys, input })
+        }
+        9 => {
+            let input = Box::new(get_plan_op(buf)?);
+            Ok(PlanOp::Distinct { input })
+        }
+        10 => {
+            let count = get_u32(buf)?;
+            let input = Box::new(get_plan_op(buf)?);
+            Ok(PlanOp::Limit { count, input })
+        }
+        11 => {
+            let input = Box::new(get_plan_op(buf)?);
+            Ok(PlanOp::Count { input })
+        }
+        12 => {
+            let key_count = get_u32(buf)?;
+            let n = get_u32(buf)?;
+            let mut aggs = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let func = agg_from_code(get_u8(buf)?)?;
+                let arg = match get_u8(buf)? {
+                    0 => None,
+                    1 => Some(get_u32(buf)?),
+                    tag => return Err(CoreError::Wire(format!("bad agg-arg tag {tag}"))),
+                };
+                aggs.push((func, arg));
+            }
+            let input = Box::new(get_plan_op(buf)?);
+            Ok(PlanOp::GroupBy {
+                key_count,
+                aggs,
+                input,
+            })
+        }
+        tag => Err(CoreError::Wire(format!("unknown plan-op tag {tag}"))),
+    }
+}
+
+fn agg_code(func: wsmed_sql::AggFunc) -> u8 {
+    match func {
+        wsmed_sql::AggFunc::Count => 0,
+        wsmed_sql::AggFunc::Sum => 1,
+        wsmed_sql::AggFunc::Min => 2,
+        wsmed_sql::AggFunc::Max => 3,
+        wsmed_sql::AggFunc::Avg => 4,
+    }
+}
+
+fn agg_from_code(code: u8) -> CoreResult<wsmed_sql::AggFunc> {
+    Ok(match code {
+        0 => wsmed_sql::AggFunc::Count,
+        1 => wsmed_sql::AggFunc::Sum,
+        2 => wsmed_sql::AggFunc::Min,
+        3 => wsmed_sql::AggFunc::Max,
+        4 => wsmed_sql::AggFunc::Avg,
+        other => return Err(CoreError::Wire(format!("unknown aggregate code {other}"))),
+    })
+}
+
+fn get_plan_function(buf: &mut Bytes) -> CoreResult<PlanFunction> {
+    let name = get_str(buf)?;
+    let param_arity = get_u32(buf)?;
+    let output_arity = get_u32(buf)?;
+    let body = Box::new(get_plan_op(buf)?);
+    Ok(PlanFunction {
+        name,
+        param_arity,
+        body,
+        output_arity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_pf() -> PlanFunction {
+        PlanFunction {
+            name: "PF1".into(),
+            param_arity: 1,
+            output_arity: 2,
+            body: Box::new(PlanOp::ApplyFunction {
+                function: "concat".into(),
+                args: vec![ArgExpr::Col(0), ArgExpr::Const(Value::str(", "))],
+                output_arity: 1,
+                input: Box::new(PlanOp::ApplyOwf {
+                    owf: "GetPlacesWithin".into(),
+                    args: vec![
+                        ArgExpr::Const(Value::str("Atlanta")),
+                        ArgExpr::Col(0),
+                        ArgExpr::Const(Value::Real(15.0)),
+                        ArgExpr::Const(Value::str("City")),
+                    ],
+                    output_arity: 3,
+                    input: Box::new(PlanOp::Param { arity: 1 }),
+                }),
+            }),
+        }
+    }
+
+    #[test]
+    fn plan_function_roundtrip() {
+        let pf = sample_pf();
+        let bytes = encode_plan_function(&pf);
+        let back = decode_plan_function(bytes).unwrap();
+        assert_eq!(back, pf);
+    }
+
+    #[test]
+    fn nested_ff_roundtrip() {
+        let inner = sample_pf();
+        let outer = PlanFunction {
+            name: "PF0".into(),
+            param_arity: 1,
+            output_arity: 2,
+            body: Box::new(PlanOp::FfApply {
+                pf: inner,
+                fanout: 4,
+                input: Box::new(PlanOp::Param { arity: 1 }),
+            }),
+        };
+        let back = decode_plan_function(encode_plan_function(&outer)).unwrap();
+        assert_eq!(back, outer);
+    }
+
+    #[test]
+    fn aff_roundtrip_preserves_config() {
+        let pf = PlanFunction {
+            name: "A".into(),
+            param_arity: 0,
+            output_arity: 0,
+            body: Box::new(PlanOp::AffApply {
+                pf: sample_pf(),
+                config: AdaptiveConfig {
+                    add_step: 4,
+                    threshold: 0.1,
+                    drop_enabled: true,
+                    init_fanout: 2,
+                    max_fanout: 9,
+                },
+                input: Box::new(PlanOp::Unit),
+            }),
+        };
+        let back = decode_plan_function(encode_plan_function(&pf)).unwrap();
+        assert_eq!(back, pf);
+    }
+
+    #[test]
+    fn sort_distinct_limit_roundtrip() {
+        let pf = PlanFunction {
+            name: "T".into(),
+            param_arity: 0,
+            output_arity: 2,
+            body: Box::new(PlanOp::Limit {
+                count: 10,
+                input: Box::new(PlanOp::Sort {
+                    keys: vec![(1, true), (0, false)],
+                    input: Box::new(PlanOp::Distinct {
+                        input: Box::new(PlanOp::Unit),
+                    }),
+                }),
+            }),
+        };
+        let back = decode_plan_function(encode_plan_function(&pf)).unwrap();
+        assert_eq!(back, pf);
+    }
+
+    #[test]
+    fn truncated_bytes_error() {
+        let bytes = encode_plan_function(&sample_pf());
+        for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+            let truncated = bytes.slice(0..cut);
+            assert!(
+                decode_plan_function(truncated).is_err(),
+                "cut at {cut} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut raw = encode_plan_function(&sample_pf()).to_vec();
+        raw.push(0);
+        assert!(decode_plan_function(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn garbage_tag_error() {
+        let t = Tuple::new(vec![Value::Int(1)]);
+        let mut raw = encode_tuple(&t).to_vec();
+        raw[4] = 250; // value tag position
+        assert!(decode_tuple(Bytes::from(raw)).is_err());
+    }
+
+    // ---- property tests --------------------------------------------------
+
+    fn value_strategy() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            "[ -~]{0,24}".prop_map(Value::from),
+            any::<f64>().prop_map(Value::Real),
+            any::<i64>().prop_map(Value::Int),
+            any::<bool>().prop_map(Value::Bool),
+        ];
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Sequence),
+                proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Bag),
+                proptest::collection::vec(("[a-z]{1,8}", inner), 0..4).prop_map(|fields| {
+                    let mut r = Record::new();
+                    for (k, v) in fields {
+                        r.set(k, v);
+                    }
+                    Value::Record(r)
+                }),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tuple_roundtrip(values in proptest::collection::vec(value_strategy(), 0..6)) {
+            let t = Tuple::new(values);
+            let back = decode_tuple(encode_tuple(&t)).unwrap();
+            // NaN != NaN under PartialEq; compare via total ordering.
+            prop_assert_eq!(back.total_cmp(&t), std::cmp::Ordering::Equal);
+        }
+
+        #[test]
+        fn prop_decoder_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_plan_function(Bytes::from(raw.clone()));
+            let _ = decode_tuple(Bytes::from(raw));
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! The WSMED mediator facade: import WSDL, pose SQL, execute plans.
+
+use std::sync::Arc;
+
+use wsmed_netsim::SimConfig;
+use wsmed_services::ServiceRegistry;
+use wsmed_sql::CalculusExpr;
+use wsmed_store::FunctionRegistry;
+
+use crate::catalog::OwfCatalog;
+use crate::central::create_central_plan;
+use crate::exec::ExecContext;
+use crate::parallel::{parallel_level_count, parallelize, parallelize_adaptive, FanoutVector};
+use crate::plan::{AdaptiveConfig, QueryPlan};
+use crate::stats::ExecutionReport;
+use crate::transport::SimTransport;
+use crate::CoreResult;
+
+/// The mediator: owns the OWF catalog and the connection to the (simulated)
+/// web-service world.
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use wsmed_core::Wsmed;
+/// use wsmed_netsim::{Network, SimConfig};
+/// use wsmed_services::{install_paper_services, Dataset, DatasetConfig};
+///
+/// let network = Network::new(SimConfig::new(0.001, 42));
+/// let dataset = Arc::new(Dataset::generate(DatasetConfig::small()));
+/// let registry = install_paper_services(network, dataset);
+/// let mut wsmed = Wsmed::new(registry);
+/// wsmed.import_all_wsdl().unwrap();
+/// let report = wsmed
+///     .run_parallel("select gs.State from GetAllStates gs", &vec![])
+///     .unwrap_err(); // GetAllStates alone has nothing to parallelize
+/// # let _ = report;
+/// ```
+pub struct Wsmed {
+    transport: Arc<SimTransport>,
+    owfs: OwfCatalog,
+    sim: SimConfig,
+    retry: crate::transport::RetryPolicy,
+    dispatch: crate::transport::DispatchPolicy,
+    call_cache: bool,
+}
+
+impl Wsmed {
+    /// Creates a mediator over a service registry. The simulation config is
+    /// taken from the registry's network.
+    pub fn new(registry: ServiceRegistry) -> Self {
+        let sim = registry.network().config().clone();
+        Wsmed {
+            transport: Arc::new(SimTransport::new(registry)),
+            owfs: OwfCatalog::new(),
+            sim,
+            retry: crate::transport::RetryPolicy::default(),
+            dispatch: crate::transport::DispatchPolicy::default(),
+            call_cache: false,
+        }
+    }
+
+    /// Enables per-run memoization of web service calls: repeated calls
+    /// with identical arguments within one query are answered from memory
+    /// (sound for side-effect-free data providing services).
+    pub fn enable_call_cache(&mut self, enabled: bool) {
+        self.call_cache = enabled;
+    }
+
+    /// Sets the `FF_APPLYP` parameter dispatch policy for subsequent
+    /// executions (the ablation knob; defaults to first-finished).
+    pub fn set_dispatch_policy(&mut self, policy: crate::transport::DispatchPolicy) {
+        self.dispatch = policy;
+    }
+
+    /// Sets the retry policy used for transient web-service faults on all
+    /// subsequent executions.
+    pub fn set_retry_policy(&mut self, policy: crate::transport::RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Imports one WSDL document by URI, generating OWFs for its
+    /// operations. Returns the generated OWF (= view) names.
+    pub fn import_wsdl(&mut self, wsdl_uri: &str) -> CoreResult<Vec<String>> {
+        let xml = self.transport.registry().wsdl_xml(wsdl_uri)?;
+        let doc = wsmed_wsdl::parse_wsdl(&xml)?;
+        self.owfs.import(&doc, wsdl_uri)
+    }
+
+    /// Imports every WSDL the registry knows about.
+    pub fn import_all_wsdl(&mut self) -> CoreResult<Vec<String>> {
+        let uris: Vec<String> = self
+            .transport
+            .registry()
+            .wsdl_uris()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        let mut names = Vec::new();
+        for uri in uris {
+            names.extend(self.import_wsdl(&uri)?);
+        }
+        Ok(names)
+    }
+
+    /// The imported OWF names, sorted.
+    pub fn owf_names(&self) -> Vec<&str> {
+        self.owfs.names()
+    }
+
+    /// The OWF catalog.
+    pub fn owfs(&self) -> &OwfCatalog {
+        &self.owfs
+    }
+
+    /// The service registry (for metrics and fault injection in tests).
+    pub fn registry(&self) -> &ServiceRegistry {
+        self.transport.registry()
+    }
+
+    /// Generates the calculus expression for a query (paper §IV).
+    pub fn calculus(&self, sql: &str) -> CoreResult<CalculusExpr> {
+        let stmt = wsmed_sql::parse_select(sql)?;
+        let catalog = self.owfs.sql_catalog();
+        Ok(wsmed_sql::generate_calculus(&stmt, &catalog)?)
+    }
+
+    /// Compiles the naïve central plan (Fig. 6 / Fig. 10).
+    pub fn compile_central(&self, sql: &str) -> CoreResult<QueryPlan> {
+        let calc = self.calculus(sql)?;
+        create_central_plan(&calc, &self.owfs, &FunctionRegistry::with_builtins())
+    }
+
+    /// Number of parallelizable levels in a query — the length the fanout
+    /// vector must have.
+    pub fn parallel_levels(&self, sql: &str) -> CoreResult<usize> {
+        Ok(parallel_level_count(&self.compile_central(sql)?))
+    }
+
+    /// Compiles a manually parallelized plan with the given fanout vector
+    /// (Fig. 9 / Fig. 13).
+    pub fn compile_parallel(&self, sql: &str, fanouts: &FanoutVector) -> CoreResult<QueryPlan> {
+        parallelize(&self.compile_central(sql)?, fanouts)
+    }
+
+    /// Compiles a parallel plan *without* the parameter-projection
+    /// optimization (full prefix tuples are shipped). For the shipping-cost
+    /// ablation; results are identical to [`Wsmed::compile_parallel`].
+    pub fn compile_parallel_unprojected(
+        &self,
+        sql: &str,
+        fanouts: &FanoutVector,
+    ) -> CoreResult<QueryPlan> {
+        crate::parallel::parallelize_unprojected(&self.compile_central(sql)?, fanouts)
+    }
+
+    /// Compiles an adaptive plan using `AFF_APPLYP` (§V.A).
+    pub fn compile_adaptive(&self, sql: &str, config: &AdaptiveConfig) -> CoreResult<QueryPlan> {
+        parallelize_adaptive(&self.compile_central(sql)?, config)
+    }
+
+    /// Executes any compiled plan as the coordinator.
+    pub fn execute(&self, plan: &QueryPlan) -> CoreResult<ExecutionReport> {
+        let ctx = ExecContext::new(
+            Arc::clone(&self.transport) as Arc<dyn crate::transport::WsTransport>,
+            Arc::new(self.owfs.clone()),
+            self.sim.clone(),
+        );
+        ctx.set_retry_policy(self.retry);
+        ctx.set_dispatch_policy(self.dispatch);
+        ctx.set_call_cache(self.call_cache);
+        ctx.run_plan(plan)
+    }
+
+    /// Compile + execute the central plan.
+    pub fn run_central(&self, sql: &str) -> CoreResult<ExecutionReport> {
+        let plan = self.compile_central(sql)?;
+        self.execute(&plan)
+    }
+
+    /// Compile + execute with the WSQ/DSQ-style baseline (§VI): level-at-a-
+    /// time materialization with unbounded asynchronous calls per level.
+    /// Returns only the rows (the baseline has no process tree to report).
+    pub fn run_materialized(&self, sql: &str) -> CoreResult<Vec<wsmed_store::Tuple>> {
+        let plan = self.compile_central(sql)?;
+        let ctx = ExecContext::new(
+            Arc::clone(&self.transport) as Arc<dyn crate::transport::WsTransport>,
+            Arc::new(self.owfs.clone()),
+            self.sim.clone(),
+        );
+        ctx.set_retry_policy(self.retry);
+        ctx.set_call_cache(self.call_cache);
+        crate::materialized::run_materialized(&ctx, &plan)
+    }
+
+    /// Compile + execute with explicit fanouts.
+    pub fn run_parallel(&self, sql: &str, fanouts: &FanoutVector) -> CoreResult<ExecutionReport> {
+        let plan = self.compile_parallel(sql, fanouts)?;
+        self.execute(&plan)
+    }
+
+    /// Compile + execute adaptively.
+    pub fn run_adaptive(&self, sql: &str, config: &AdaptiveConfig) -> CoreResult<ExecutionReport> {
+        let plan = self.compile_adaptive(sql, config)?;
+        self.execute(&plan)
+    }
+
+    /// Human-readable compilation trace: calculus, central plan and (when a
+    /// fanout vector is given) the parallel plan.
+    pub fn explain(&self, sql: &str, fanouts: Option<&FanoutVector>) -> CoreResult<String> {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let calc = self.calculus(sql)?;
+        writeln!(out, "== calculus ==\n{calc}\n").expect("write to string");
+        let central = self.compile_central(sql)?;
+        writeln!(out, "== central plan ==\n{central}").expect("write to string");
+        if let Some(fanouts) = fanouts {
+            let parallel = parallelize(&central, fanouts)?;
+            writeln!(out, "== parallel plan (fanouts {fanouts:?}) ==\n{parallel}")
+                .expect("write to string");
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for Wsmed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wsmed")
+            .field("owfs", &self.owfs.names())
+            .finish()
+    }
+}
+
+/// The paper's experimental workload: queries, setup helper, and the SQL
+/// text of Fig. 1 and Fig. 3.
+pub mod paper {
+    use super::*;
+    use wsmed_netsim::Network;
+    use wsmed_services::{install_paper_services, Dataset, DatasetConfig};
+
+    /// Query1 (paper Fig. 1): places within 15 km of each Atlanta.
+    pub const QUERY1_SQL: &str = "\
+        Select gl.placename, gl.state \
+        From GetAllStates gs, GetPlacesWithin gp, GetPlaceList gl \
+        Where gs.State=gp.state and gp.distance=15.0 \
+          and gp.placeTypeToFind='City' and gp.place='Atlanta' \
+          and gl.placeName=gp.ToPlace+', '+gp.ToState \
+          and gl.MaxItems=100 and gl.imagePresence='true'";
+
+    /// Query2 (paper Fig. 3): the zip code and state of 'USAF Academy'.
+    pub const QUERY2_SQL: &str = "\
+        select gp.ToState, gp.zip \
+        From GetAllStates gs, GetInfoByState gi, getzipcode gc, GetPlacesInside gp \
+        Where gs.State=gi.USState and gi.GetInfoByStateResult=gc.zipstr \
+          and gc.zipcode=gp.zip and gp.ToPlace='USAF Academy'";
+
+    /// Query3 (this repository's extension workload): every delayed
+    /// departure in the country — a *three*-level dependent chain
+    /// (`GetAirports` → `GetDepartures` → `GetFlightStatus`), exercising
+    /// §VII's "any number of dependent joins" against simulated services.
+    pub const QUERY3_SQL: &str = "\
+        select d.FlightNo, a.Code, fs.DelayMinutes \
+        From GetAllStates gs, GetAirports a, GetDepartures d, GetFlightStatus fs \
+        Where gs.State = a.stateAbbr and a.Code = d.airportCode \
+          and d.FlightNo = fs.flightNo and fs.Status = 'Delayed' \
+        order by d.FlightNo";
+
+    /// A fully wired mediator over the paper's four simulated services.
+    pub struct PaperSetup {
+        /// The mediator, with all four WSDLs imported.
+        pub wsmed: Wsmed,
+        /// The simulated network (for metrics and fault injection).
+        pub network: Arc<Network>,
+        /// The synthetic dataset behind the services.
+        pub dataset: Arc<Dataset>,
+    }
+
+    /// Builds the paper's world: network at `time_scale`, the four
+    /// services over `dataset_config`, WSDLs imported.
+    pub fn setup(time_scale: f64, dataset_config: DatasetConfig) -> PaperSetup {
+        let network = Network::new(SimConfig::new(time_scale, 0x5EED_1CDE));
+        let dataset = Arc::new(Dataset::generate(dataset_config));
+        let registry = install_paper_services(Arc::clone(&network), Arc::clone(&dataset));
+        let mut wsmed = Wsmed::new(registry);
+        wsmed
+            .import_all_wsdl()
+            .expect("paper services import cleanly");
+        PaperSetup {
+            wsmed,
+            network,
+            dataset,
+        }
+    }
+}

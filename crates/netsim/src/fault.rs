@@ -1,0 +1,94 @@
+//! Fault injection for providers, used by failure-injection tests.
+
+/// Describes when a provider should fail calls.
+///
+/// Failures surface as [`crate::NetError::ServiceFault`] from
+/// [`crate::Provider::call`]; the mediator decides whether to retry, skip or
+/// abort the query.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSpec {
+    /// Fail every `n`-th call (1-based): `Some(3)` fails calls 3, 6, 9, …
+    pub fail_every: Option<u64>,
+    /// Fail calls with this probability, decided by the deterministic
+    /// per-call RNG. `0.0` never fails.
+    pub fail_probability: f64,
+    /// Fail the first `n` calls outright (cold-start outage).
+    pub fail_first: u64,
+}
+
+impl FaultSpec {
+    /// A spec that never fails (the default).
+    pub fn none() -> Self {
+        FaultSpec::default()
+    }
+
+    /// Fail every `n`-th call.
+    pub fn every(n: u64) -> Self {
+        assert!(n > 0, "fail_every must be positive");
+        FaultSpec {
+            fail_every: Some(n),
+            ..Default::default()
+        }
+    }
+
+    /// Decides whether call number `seq` (1-based) fails. `roll` is a uniform
+    /// sample in `[0,1)` from the deterministic per-call RNG.
+    pub fn should_fail(&self, seq: u64, roll: f64) -> bool {
+        if seq <= self.fail_first {
+            return true;
+        }
+        if let Some(n) = self.fail_every {
+            if seq.is_multiple_of(n) {
+                return true;
+            }
+        }
+        roll < self.fail_probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fails() {
+        let f = FaultSpec::none();
+        for seq in 1..100 {
+            assert!(!f.should_fail(seq, 0.0));
+        }
+    }
+
+    #[test]
+    fn every_n_fails_multiples() {
+        let f = FaultSpec::every(3);
+        let failed: Vec<u64> = (1..=9).filter(|&s| f.should_fail(s, 0.99)).collect();
+        assert_eq!(failed, vec![3, 6, 9]);
+    }
+
+    #[test]
+    fn fail_first_covers_prefix() {
+        let f = FaultSpec {
+            fail_first: 2,
+            ..Default::default()
+        };
+        assert!(f.should_fail(1, 0.9));
+        assert!(f.should_fail(2, 0.9));
+        assert!(!f.should_fail(3, 0.9));
+    }
+
+    #[test]
+    fn probability_uses_roll() {
+        let f = FaultSpec {
+            fail_probability: 0.5,
+            ..Default::default()
+        };
+        assert!(f.should_fail(1, 0.4));
+        assert!(!f.should_fail(1, 0.6));
+    }
+
+    #[test]
+    #[should_panic(expected = "fail_every must be positive")]
+    fn every_zero_panics() {
+        let _ = FaultSpec::every(0);
+    }
+}

@@ -1,0 +1,142 @@
+//! The per-call latency model.
+
+use crate::DetRng;
+
+/// Latency parameters of one web-service operation, in model seconds.
+///
+/// A call's model latency is
+///
+/// ```text
+/// setup + (request_bytes + response_bytes) / 1024 * per_kib
+///       + server_mean * jitter * congestion
+/// ```
+///
+/// where `jitter` is uniform in `[1 - jitter_frac, 1 + jitter_frac]` and
+/// `congestion = max(1, in_flight / capacity)` is supplied by the provider
+/// (processor sharing beyond capacity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed per-call message set-up cost (connection, SOAP envelope, HTTP).
+    pub setup: f64,
+    /// Transfer cost per KiB of request plus response payload.
+    pub per_kib: f64,
+    /// Mean server processing time at or below capacity.
+    pub server_mean: f64,
+    /// Uniform jitter fraction applied to the server time, in `[0, 1)`.
+    pub jitter_frac: f64,
+}
+
+impl LatencyModel {
+    /// A model with only a fixed cost — handy in tests.
+    pub fn fixed(setup: f64) -> Self {
+        LatencyModel {
+            setup,
+            per_kib: 0.0,
+            server_mean: 0.0,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// Computes the model latency of one call.
+    ///
+    /// `congestion` must be ≥ 1 (the provider clamps it); `rng` supplies the
+    /// deterministic per-call jitter.
+    pub fn latency(
+        &self,
+        request_bytes: usize,
+        response_bytes: usize,
+        congestion: f64,
+        rng: &mut DetRng,
+    ) -> f64 {
+        debug_assert!(congestion >= 1.0, "congestion {congestion} < 1");
+        let transfer = (request_bytes + response_bytes) as f64 / 1024.0 * self.per_kib;
+        let jitter = if self.jitter_frac > 0.0 {
+            rng.uniform(1.0 - self.jitter_frac, 1.0 + self.jitter_frac)
+        } else {
+            1.0
+        };
+        self.setup + transfer + self.server_mean * jitter * congestion
+    }
+
+    /// The expected (jitter-free) latency at a given congestion level.
+    pub fn expected_latency(
+        &self,
+        request_bytes: usize,
+        response_bytes: usize,
+        congestion: f64,
+    ) -> f64 {
+        let transfer = (request_bytes + response_bytes) as f64 / 1024.0 * self.per_kib;
+        self.setup + transfer + self.server_mean * congestion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_model_ignores_everything_else() {
+        let m = LatencyModel::fixed(0.5);
+        let mut rng = DetRng::new(1);
+        assert_eq!(m.latency(10_000, 10_000, 8.0, &mut rng), 0.5);
+    }
+
+    #[test]
+    fn transfer_cost_scales_with_bytes() {
+        let m = LatencyModel {
+            setup: 0.0,
+            per_kib: 0.1,
+            server_mean: 0.0,
+            jitter_frac: 0.0,
+        };
+        let mut rng = DetRng::new(1);
+        let l1 = m.latency(512, 512, 1.0, &mut rng); // 1 KiB total
+        let l2 = m.latency(1024, 1024, 1.0, &mut rng); // 2 KiB total
+        assert!((l1 - 0.1).abs() < 1e-12);
+        assert!((l2 - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn congestion_multiplies_server_time_only() {
+        let m = LatencyModel {
+            setup: 0.2,
+            per_kib: 0.0,
+            server_mean: 0.5,
+            jitter_frac: 0.0,
+        };
+        let mut rng = DetRng::new(1);
+        let base = m.latency(0, 0, 1.0, &mut rng);
+        let loaded = m.latency(0, 0, 3.0, &mut rng);
+        assert!((base - 0.7).abs() < 1e-12);
+        assert!((loaded - (0.2 + 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let m = LatencyModel {
+            setup: 0.0,
+            per_kib: 0.0,
+            server_mean: 1.0,
+            jitter_frac: 0.2,
+        };
+        let mut rng = DetRng::new(99);
+        for _ in 0..10_000 {
+            let l = m.latency(0, 0, 1.0, &mut rng);
+            assert!((0.8..1.2).contains(&l), "latency {l} outside jitter band");
+        }
+    }
+
+    #[test]
+    fn expected_latency_matches_zero_jitter() {
+        let m = LatencyModel {
+            setup: 0.1,
+            per_kib: 0.05,
+            server_mean: 0.4,
+            jitter_frac: 0.0,
+        };
+        let mut rng = DetRng::new(3);
+        let got = m.latency(2048, 0, 2.0, &mut rng);
+        let want = m.expected_latency(2048, 0, 2.0);
+        assert!((got - want).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,179 @@
+//! Lock-free call metrics, recorded per provider and aggregated per network.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Statistics about one completed call, returned alongside its response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CallStats {
+    /// Model latency this call experienced, in model seconds.
+    pub model_latency: f64,
+    /// Number of calls in flight at this provider when the call started
+    /// (including this one).
+    pub in_flight_at_start: usize,
+    /// Request payload size in bytes.
+    pub request_bytes: usize,
+    /// Response payload size in bytes.
+    pub response_bytes: usize,
+}
+
+/// Accumulated metrics for one provider. All counters are monotonic.
+#[derive(Debug, Default)]
+pub struct ProviderMetrics {
+    calls: AtomicU64,
+    faults: AtomicU64,
+    request_bytes: AtomicU64,
+    response_bytes: AtomicU64,
+    /// Sum of model latencies in microseconds (fixed-point to stay atomic).
+    latency_micros: AtomicU64,
+    max_in_flight: AtomicUsize,
+}
+
+impl ProviderMetrics {
+    pub(crate) fn record_call(&self, stats: &CallStats) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.request_bytes
+            .fetch_add(stats.request_bytes as u64, Ordering::Relaxed);
+        self.response_bytes
+            .fetch_add(stats.response_bytes as u64, Ordering::Relaxed);
+        self.latency_micros
+            .fetch_add((stats.model_latency * 1e6) as u64, Ordering::Relaxed);
+        self.max_in_flight
+            .fetch_max(stats.in_flight_at_start, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_fault(&self) {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            calls: self.calls.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+            request_bytes: self.request_bytes.load(Ordering::Relaxed),
+            response_bytes: self.response_bytes.load(Ordering::Relaxed),
+            total_model_latency: self.latency_micros.load(Ordering::Relaxed) as f64 / 1e6,
+            max_in_flight: self.max_in_flight.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data snapshot of [`ProviderMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Successful calls completed.
+    pub calls: u64,
+    /// Calls that failed due to injected faults.
+    pub faults: u64,
+    /// Total request payload bytes.
+    pub request_bytes: u64,
+    /// Total response payload bytes.
+    pub response_bytes: u64,
+    /// Sum of model latencies over all successful calls, in model seconds.
+    pub total_model_latency: f64,
+    /// Highest concurrent in-flight count observed.
+    pub max_in_flight: usize,
+}
+
+impl MetricsSnapshot {
+    /// Mean model latency per successful call, or 0 if none completed.
+    pub fn mean_latency(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_model_latency / self.calls as f64
+        }
+    }
+
+    /// Combines two snapshots (used to aggregate across providers).
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            calls: self.calls + other.calls,
+            faults: self.faults + other.faults,
+            request_bytes: self.request_bytes + other.request_bytes,
+            response_bytes: self.response_bytes + other.response_bytes,
+            total_model_latency: self.total_model_latency + other.total_model_latency,
+            max_in_flight: self.max_in_flight.max(other.max_in_flight),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(latency: f64, in_flight: usize) -> CallStats {
+        CallStats {
+            model_latency: latency,
+            in_flight_at_start: in_flight,
+            request_bytes: 100,
+            response_bytes: 400,
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let m = ProviderMetrics::default();
+        m.record_call(&stats(0.5, 2));
+        m.record_call(&stats(1.5, 5));
+        m.record_fault();
+        let s = m.snapshot();
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.faults, 1);
+        assert_eq!(s.request_bytes, 200);
+        assert_eq!(s.response_bytes, 800);
+        assert_eq!(s.max_in_flight, 5);
+        assert!((s.total_model_latency - 2.0).abs() < 1e-3);
+        assert!((s.mean_latency() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mean_latency_empty_is_zero() {
+        assert_eq!(MetricsSnapshot::default().mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_in_flight() {
+        let a = MetricsSnapshot {
+            calls: 1,
+            faults: 0,
+            request_bytes: 10,
+            response_bytes: 20,
+            total_model_latency: 0.5,
+            max_in_flight: 3,
+        };
+        let b = MetricsSnapshot {
+            calls: 2,
+            faults: 1,
+            request_bytes: 5,
+            response_bytes: 5,
+            total_model_latency: 1.0,
+            max_in_flight: 7,
+        };
+        let c = a.merge(&b);
+        assert_eq!(c.calls, 3);
+        assert_eq!(c.faults, 1);
+        assert_eq!(c.request_bytes, 15);
+        assert_eq!(c.max_in_flight, 7);
+        assert!((c.total_model_latency - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        use std::sync::Arc;
+        let m = Arc::new(ProviderMetrics::default());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    m.record_call(&stats(0.001, 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.snapshot().calls, 8000);
+    }
+}

@@ -1,0 +1,199 @@
+//! The simulated network: a registry of providers plus global config.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::{MetricsSnapshot, Provider, ProviderSpec, SimConfig};
+
+/// Result alias for network operations.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// Errors surfaced by the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No provider registered under the given name.
+    UnknownProvider(String),
+    /// The provider knows no such operation (raised by the services layer).
+    UnknownOperation {
+        /// Provider that rejected the call.
+        provider: String,
+        /// The unknown operation name.
+        operation: String,
+    },
+    /// An injected fault made this call fail.
+    ServiceFault {
+        /// Provider that failed.
+        provider: String,
+        /// Operation being invoked.
+        operation: String,
+        /// 1-based call sequence number at the provider.
+        call_seq: u64,
+    },
+    /// The request payload was malformed (services layer).
+    BadRequest {
+        /// Provider reporting the problem.
+        provider: String,
+        /// Description of what was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownProvider(name) => write!(f, "unknown provider {name:?}"),
+            NetError::UnknownOperation {
+                provider,
+                operation,
+            } => {
+                write!(f, "provider {provider:?} has no operation {operation:?}")
+            }
+            NetError::ServiceFault {
+                provider,
+                operation,
+                call_seq,
+            } => write!(
+                f,
+                "service fault at {provider:?}/{operation:?} (call #{call_seq})"
+            ),
+            NetError::BadRequest { provider, message } => {
+                write!(f, "bad request to {provider:?}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// The simulated network. Cheap to share: wrap in [`Arc`] and clone handles.
+#[derive(Debug)]
+pub struct Network {
+    config: SimConfig,
+    providers: RwLock<HashMap<String, Arc<Provider>>>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new(config: SimConfig) -> Arc<Self> {
+        Arc::new(Network {
+            config,
+            providers: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The simulation config shared by all providers.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Registers a provider, replacing any previous one with the same name.
+    pub fn register(&self, spec: ProviderSpec) -> Arc<Provider> {
+        let provider = Arc::new(Provider::new(spec));
+        self.providers
+            .write()
+            .insert(provider.name().to_owned(), Arc::clone(&provider));
+        provider
+    }
+
+    /// Looks up a provider by name.
+    pub fn provider(&self, name: &str) -> NetResult<Arc<Provider>> {
+        self.providers
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| NetError::UnknownProvider(name.to_owned()))
+    }
+
+    /// Names of all registered providers, sorted.
+    pub fn provider_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.providers.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Aggregated metrics across all providers.
+    pub fn total_metrics(&self) -> MetricsSnapshot {
+        self.providers
+            .read()
+            .values()
+            .map(|p| p.metrics())
+            .fold(MetricsSnapshot::default(), |acc, m| acc.merge(&m))
+    }
+
+    /// Per-provider metrics, sorted by provider name.
+    pub fn metrics_by_provider(&self) -> Vec<(String, MetricsSnapshot)> {
+        let mut rows: Vec<(String, MetricsSnapshot)> = self
+            .providers
+            .read()
+            .iter()
+            .map(|(name, p)| (name.clone(), p.metrics()))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Sleeps for `model_seconds` of simulated client-side work.
+    pub fn pay_client_cost(&self, model_seconds: f64) {
+        self.config.sleep_model(model_seconds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LatencyModel;
+
+    #[test]
+    fn register_and_lookup() {
+        let net = Network::new(SimConfig::default());
+        net.register(ProviderSpec::new("a.example", 2, LatencyModel::fixed(0.1)));
+        net.register(ProviderSpec::new("b.example", 2, LatencyModel::fixed(0.1)));
+        assert!(net.provider("a.example").is_ok());
+        assert_eq!(
+            net.provider("missing").unwrap_err(),
+            NetError::UnknownProvider("missing".into())
+        );
+        assert_eq!(net.provider_names(), vec!["a.example", "b.example"]);
+    }
+
+    #[test]
+    fn reregistering_replaces() {
+        let net = Network::new(SimConfig::default());
+        net.register(ProviderSpec::new("p", 1, LatencyModel::fixed(1.0)));
+        net.register(ProviderSpec::new("p", 9, LatencyModel::fixed(1.0)));
+        assert_eq!(net.provider("p").unwrap().capacity(), 9);
+    }
+
+    #[test]
+    fn total_metrics_aggregates() {
+        let net = Network::new(SimConfig::default());
+        let a = net.register(ProviderSpec::new("a", 2, LatencyModel::fixed(0.5)));
+        let b = net.register(ProviderSpec::new("b", 2, LatencyModel::fixed(0.25)));
+        let cfg = net.config().clone();
+        a.call(&cfg, "X", 10, || ((), 20)).unwrap();
+        a.call(&cfg, "X", 10, || ((), 20)).unwrap();
+        b.call(&cfg, "Y", 5, || ((), 5)).unwrap();
+        let total = net.total_metrics();
+        assert_eq!(total.calls, 3);
+        assert_eq!(total.request_bytes, 25);
+        assert!((total.total_model_latency - 1.25).abs() < 1e-3);
+        let per = net.metrics_by_provider();
+        assert_eq!(per[0].0, "a");
+        assert_eq!(per[0].1.calls, 2);
+        assert_eq!(per[1].1.calls, 1);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = NetError::ServiceFault {
+            provider: "p".into(),
+            operation: "Op".into(),
+            call_seq: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("p") && s.contains("Op") && s.contains('3'));
+    }
+}

@@ -1,0 +1,339 @@
+//! A simulated web-service provider: capacity, latency, faults, metrics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::{CallStats, DetRng, FaultSpec, LatencyModel, NetError, NetResult, SimConfig};
+
+/// Static description of a provider, used to register it on a network.
+#[derive(Debug, Clone)]
+pub struct ProviderSpec {
+    /// Provider name, e.g. `"codebump.com"` — the host part of the paper's
+    /// service URIs.
+    pub name: String,
+    /// Number of concurrent calls served at full speed. Beyond this the
+    /// server degrades by processor sharing.
+    pub capacity: usize,
+    /// Latency model used for operations without a specific override.
+    pub default_latency: LatencyModel,
+    /// Per-operation latency overrides, keyed by operation name.
+    pub op_latency: HashMap<String, LatencyModel>,
+    /// Exponent applied to the overload ratio: congestion is
+    /// `max(1, in_flight/capacity) ^ congestion_exponent`. `1.0` is pure
+    /// processor sharing; values above 1 model queueing/thrashing, which is
+    /// what makes very wide fan-outs *lose* (paper §V, Fig. 16/17 corners).
+    pub congestion_exponent: f64,
+}
+
+impl ProviderSpec {
+    /// Creates a spec with a uniform latency model for all operations.
+    pub fn new(name: impl Into<String>, capacity: usize, latency: LatencyModel) -> Self {
+        assert!(capacity > 0, "provider capacity must be positive");
+        ProviderSpec {
+            name: name.into(),
+            capacity,
+            default_latency: latency,
+            op_latency: HashMap::new(),
+            congestion_exponent: 1.0,
+        }
+    }
+
+    /// Builder-style: sets a latency override for one operation.
+    #[must_use]
+    pub fn with_op_latency(mut self, op: impl Into<String>, latency: LatencyModel) -> Self {
+        self.op_latency.insert(op.into(), latency);
+        self
+    }
+
+    /// Builder-style: sets the congestion exponent (must be ≥ 1).
+    #[must_use]
+    pub fn with_congestion_exponent(mut self, exponent: f64) -> Self {
+        assert!(exponent >= 1.0, "congestion exponent must be >= 1");
+        self.congestion_exponent = exponent;
+        self
+    }
+}
+
+/// A live provider on a [`crate::Network`].
+#[derive(Debug)]
+pub struct Provider {
+    spec: ProviderSpec,
+    in_flight: AtomicUsize,
+    seq: AtomicU64,
+    fault: RwLock<FaultSpec>,
+    metrics: crate::ProviderMetrics,
+    trace: RwLock<Option<std::sync::Arc<crate::CallTrace>>>,
+}
+
+impl Provider {
+    pub(crate) fn new(spec: ProviderSpec) -> Self {
+        Provider {
+            spec,
+            in_flight: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
+            fault: RwLock::new(FaultSpec::none()),
+            metrics: crate::ProviderMetrics::default(),
+            trace: RwLock::new(None),
+        }
+    }
+
+    /// The provider's name.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// The provider's full-speed concurrency capacity.
+    pub fn capacity(&self) -> usize {
+        self.spec.capacity
+    }
+
+    /// The latency model that applies to `op`.
+    pub fn latency_model(&self, op: &str) -> &LatencyModel {
+        self.spec
+            .op_latency
+            .get(op)
+            .unwrap_or(&self.spec.default_latency)
+    }
+
+    /// Installs (or clears) a fault-injection spec.
+    pub fn set_fault(&self, fault: FaultSpec) {
+        *self.fault.write() = fault;
+    }
+
+    /// Starts tracing calls into a fresh buffer of the given capacity,
+    /// returning a handle to read it. Replaces any previous trace.
+    pub fn start_trace(&self, capacity: usize) -> std::sync::Arc<crate::CallTrace> {
+        let trace = std::sync::Arc::new(crate::CallTrace::new(capacity));
+        *self.trace.write() = Some(std::sync::Arc::clone(&trace));
+        trace
+    }
+
+    /// Stops tracing (the returned handle stays readable).
+    pub fn stop_trace(&self) {
+        *self.trace.write() = None;
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> crate::MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Calls currently in flight (for tests and live introspection).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Performs one call to operation `op`.
+    ///
+    /// `serve` produces the response and its payload size in bytes; it runs
+    /// *inside* the simulated service so its wall-clock cost should be
+    /// negligible — all meaningful time comes from the latency model.
+    ///
+    /// Returns the response together with [`CallStats`] describing the model
+    /// latency the call experienced.
+    pub fn call<R>(
+        &self,
+        config: &SimConfig,
+        op: &str,
+        request_bytes: usize,
+        serve: impl FnOnce() -> (R, usize),
+    ) -> NetResult<(R, CallStats)> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut rng = DetRng::keyed(config.seed, &format!("{}/{op}", self.spec.name), seq);
+        let fault_roll = rng.next_f64();
+        let model = self.latency_model(op);
+
+        if self.fault.read().should_fail(seq, fault_roll) {
+            self.metrics.record_fault();
+            // A failed call still pays its set-up cost before erroring out.
+            config.sleep_model(model.setup);
+            return Err(NetError::ServiceFault {
+                provider: self.spec.name.clone(),
+                operation: op.to_owned(),
+                call_seq: seq,
+            });
+        }
+
+        let in_flight = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        let overload = (in_flight as f64 / self.spec.capacity as f64).max(1.0);
+        let congestion = overload.powf(self.spec.congestion_exponent);
+
+        let (response, response_bytes) = serve();
+        let latency = model.latency(request_bytes, response_bytes, congestion, &mut rng);
+        config.sleep_model(latency);
+
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+
+        let stats = CallStats {
+            model_latency: latency,
+            in_flight_at_start: in_flight,
+            request_bytes,
+            response_bytes,
+        };
+        self.metrics.record_call(&stats);
+        if let Some(trace) = self.trace.read().as_ref() {
+            trace.record(seq, op, in_flight, latency);
+        }
+        Ok((response, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn test_provider(capacity: usize) -> Provider {
+        Provider::new(ProviderSpec::new(
+            "test.example",
+            capacity,
+            LatencyModel {
+                setup: 0.1,
+                per_kib: 0.01,
+                server_mean: 0.4,
+                jitter_frac: 0.0,
+            },
+        ))
+    }
+
+    #[test]
+    fn single_call_latency_matches_model() {
+        let p = test_provider(4);
+        let cfg = SimConfig::default();
+        let ((), stats) = p.call(&cfg, "Op", 512, || ((), 512)).unwrap();
+        // 0.1 setup + 1 KiB * 0.01 + 0.4 server at congestion 1
+        assert!((stats.model_latency - 0.51).abs() < 1e-9, "{stats:?}");
+        assert_eq!(stats.in_flight_at_start, 1);
+    }
+
+    #[test]
+    fn op_override_is_used() {
+        let spec = ProviderSpec::new("p", 1, LatencyModel::fixed(1.0))
+            .with_op_latency("Fast", LatencyModel::fixed(0.25));
+        let p = Provider::new(spec);
+        let cfg = SimConfig::default();
+        let (_, slow) = p.call(&cfg, "Slow", 0, || ((), 0)).unwrap();
+        let (_, fast) = p.call(&cfg, "Fast", 0, || ((), 0)).unwrap();
+        assert!((slow.model_latency - 1.0).abs() < 1e-9);
+        assert!((fast.model_latency - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congestion_inflates_concurrent_calls() {
+        // With capacity 1 and several truly concurrent calls, at least one
+        // call must observe in_flight > 1 and hence a larger latency.
+        let p = Arc::new(test_provider(1));
+        let cfg = SimConfig::new(0.001, 7); // real (tiny) sleeps to force overlap
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let p = Arc::clone(&p);
+            let cfg = cfg.clone();
+            handles.push(std::thread::spawn(move || {
+                p.call(&cfg, "Op", 0, || ((), 0)).unwrap().1
+            }));
+        }
+        let stats: Vec<CallStats> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let max_in_flight = stats.iter().map(|s| s.in_flight_at_start).max().unwrap();
+        assert!(max_in_flight > 1, "calls never overlapped");
+        let base = 0.1 + 0.4; // congestion-1 latency
+        let worst = stats.iter().map(|s| s.model_latency).fold(0.0, f64::max);
+        assert!(worst > base + 1e-9, "no call saw congestion: {stats:?}");
+    }
+
+    #[test]
+    fn fault_every_second_call() {
+        let p = test_provider(2);
+        p.set_fault(FaultSpec::every(2));
+        let cfg = SimConfig::default();
+        assert!(p.call(&cfg, "Op", 0, || ((), 0)).is_ok());
+        let err = p.call(&cfg, "Op", 0, || ((), 0)).unwrap_err();
+        match err {
+            NetError::ServiceFault {
+                provider,
+                operation,
+                call_seq,
+            } => {
+                assert_eq!(provider, "test.example");
+                assert_eq!(operation, "Op");
+                assert_eq!(call_seq, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(p.call(&cfg, "Op", 0, || ((), 0)).is_ok());
+        let m = p.metrics();
+        assert_eq!(m.calls, 2);
+        assert_eq!(m.faults, 1);
+    }
+
+    #[test]
+    fn in_flight_returns_to_zero() {
+        let p = test_provider(2);
+        let cfg = SimConfig::default();
+        for _ in 0..10 {
+            p.call(&cfg, "Op", 0, || ((), 0)).unwrap();
+        }
+        assert_eq!(p.in_flight(), 0);
+    }
+
+    #[test]
+    fn latencies_are_deterministic_for_same_seed() {
+        let make = || {
+            let p = Provider::new(ProviderSpec::new(
+                "d",
+                2,
+                LatencyModel {
+                    setup: 0.1,
+                    per_kib: 0.0,
+                    server_mean: 0.5,
+                    jitter_frac: 0.3,
+                },
+            ));
+            let cfg = SimConfig::new(0.0, 1234);
+            (0..20)
+                .map(|_| p.call(&cfg, "Op", 0, || ((), 0)).unwrap().1.model_latency)
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn tracing_records_calls() {
+        let p = test_provider(2);
+        let cfg = SimConfig::default();
+        p.call(&cfg, "Before", 0, || ((), 0)).unwrap();
+        let trace = p.start_trace(100);
+        p.call(&cfg, "Op", 0, || ((), 0)).unwrap();
+        p.call(&cfg, "Op", 0, || ((), 0)).unwrap();
+        p.stop_trace();
+        p.call(&cfg, "After", 0, || ((), 0)).unwrap();
+        let records = trace.records();
+        assert_eq!(records.len(), 2, "only calls during tracing recorded");
+        assert!(records.iter().all(|r| r.operation == "Op"));
+        assert!(records[0].model_latency > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ProviderSpec::new("bad", 0, LatencyModel::fixed(1.0));
+    }
+
+    #[test]
+    fn congestion_exponent_superlinear() {
+        // Serial calls never overlap, so the exponent alone can't be seen
+        // from call(); verify the spec math directly instead.
+        let spec =
+            ProviderSpec::new("p", 2, LatencyModel::fixed(1.0)).with_congestion_exponent(1.5);
+        assert_eq!(spec.congestion_exponent, 1.5);
+        let overload: f64 = 4.0; // 8 in flight at capacity 2
+        assert!((overload.powf(spec.congestion_exponent) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "congestion exponent must be >= 1")]
+    fn sublinear_exponent_rejected() {
+        let _ = ProviderSpec::new("p", 2, LatencyModel::fixed(1.0)).with_congestion_exponent(0.5);
+    }
+}

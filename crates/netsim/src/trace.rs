@@ -1,0 +1,136 @@
+//! Per-call latency traces: the time-series view of provider saturation.
+//!
+//! When enabled on a provider, every successful call appends a
+//! [`TraceRecord`] — when it started (relative to trace enablement), how
+//! many calls were in flight, and the model latency it experienced. The
+//! congestion story behind Fig. 16/17 (latency climbing with in-flight
+//! count, then flattening at the saturation plateau) becomes directly
+//! plottable; `wsmed-bench`'s `congestion_trace` binary exports CSV.
+
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// One traced call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Call sequence number at the provider (1-based).
+    pub seq: u64,
+    /// Operation name.
+    pub operation: String,
+    /// Wall seconds since the trace was enabled when the call started.
+    pub offset_secs: f64,
+    /// Calls in flight at the provider when this call started (incl. it).
+    pub in_flight: usize,
+    /// Model latency the call experienced.
+    pub model_latency: f64,
+}
+
+/// A bounded in-memory trace buffer.
+#[derive(Debug)]
+pub struct CallTrace {
+    inner: Mutex<TraceInner>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct TraceInner {
+    started: Instant,
+    records: Vec<TraceRecord>,
+    dropped: u64,
+}
+
+impl CallTrace {
+    /// Creates a trace buffer holding up to `capacity` records; further
+    /// records are counted but dropped.
+    pub fn new(capacity: usize) -> Self {
+        CallTrace {
+            inner: Mutex::new(TraceInner {
+                started: Instant::now(),
+                records: Vec::new(),
+                dropped: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Appends a record (called by the provider).
+    pub(crate) fn record(&self, seq: u64, operation: &str, in_flight: usize, latency: f64) {
+        let mut inner = self.inner.lock();
+        if inner.records.len() >= self.capacity {
+            inner.dropped += 1;
+            return;
+        }
+        let offset_secs = inner.started.elapsed().as_secs_f64();
+        inner.records.push(TraceRecord {
+            seq,
+            operation: operation.to_owned(),
+            offset_secs,
+            in_flight,
+            model_latency: latency,
+        });
+    }
+
+    /// All records so far, in arrival order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.inner.lock().records.clone()
+    }
+
+    /// Records dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Renders the trace as CSV (`seq,operation,offset_secs,in_flight,latency`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("seq,operation,offset_secs,in_flight,model_latency\n");
+        for r in self.inner.lock().records.iter() {
+            out.push_str(&format!(
+                "{},{},{:.6},{},{:.4}\n",
+                r.seq, r.operation, r.offset_secs, r.in_flight, r.model_latency
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_offsets() {
+        let trace = CallTrace::new(10);
+        trace.record(1, "Op", 1, 0.5);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        trace.record(2, "Op", 2, 0.9);
+        let records = trace.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].seq, 1);
+        assert!(records[1].offset_secs > records[0].offset_secs);
+        assert_eq!(records[1].in_flight, 2);
+        assert_eq!(trace.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_bounds_the_buffer() {
+        let trace = CallTrace::new(3);
+        for i in 0..5 {
+            trace.record(i, "Op", 1, 0.1);
+        }
+        assert_eq!(trace.records().len(), 3);
+        assert_eq!(trace.dropped(), 2);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let trace = CallTrace::new(4);
+        trace.record(1, "GetPlacesInside", 3, 1.25);
+        let csv = trace.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("seq,"));
+        assert!(lines[1].starts_with("1,GetPlacesInside,"));
+        assert!(lines[1].ends_with("3,1.2500"));
+    }
+}

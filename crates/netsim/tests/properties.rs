@@ -1,0 +1,64 @@
+//! Property tests for the latency/fault models.
+
+use proptest::prelude::*;
+use wsmed_netsim::{DetRng, FaultSpec, LatencyModel};
+
+proptest! {
+    #[test]
+    fn prop_latency_monotone_in_congestion(
+        setup in 0.0f64..1.0,
+        per_kib in 0.0f64..0.2,
+        server in 0.0f64..2.0,
+        bytes in 0usize..100_000,
+        c1 in 1.0f64..50.0,
+        c2 in 1.0f64..50.0,
+    ) {
+        let model = LatencyModel { setup, per_kib, server_mean: server, jitter_frac: 0.0 };
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        let l_lo = model.expected_latency(bytes, bytes, lo);
+        let l_hi = model.expected_latency(bytes, bytes, hi);
+        prop_assert!(l_lo <= l_hi + 1e-12, "latency decreased with congestion");
+    }
+
+    #[test]
+    fn prop_latency_nonnegative_and_bounded_by_jitter(
+        server in 0.0f64..5.0,
+        jitter in 0.0f64..0.99,
+        congestion in 1.0f64..20.0,
+        seed in any::<u64>(),
+    ) {
+        let model = LatencyModel {
+            setup: 0.1,
+            per_kib: 0.01,
+            server_mean: server,
+            jitter_frac: jitter,
+        };
+        let mut rng = DetRng::new(seed);
+        let latency = model.latency(100, 100, congestion, &mut rng);
+        let floor = 0.1 + 200.0 / 1024.0 * 0.01 + server * (1.0 - jitter) * congestion;
+        let ceil = 0.1 + 200.0 / 1024.0 * 0.01 + server * (1.0 + jitter) * congestion;
+        prop_assert!(latency >= floor - 1e-9, "{latency} < {floor}");
+        prop_assert!(latency <= ceil + 1e-9, "{latency} > {ceil}");
+    }
+
+    #[test]
+    fn prop_fault_spec_first_n_always_fail(first in 0u64..100, seq in 1u64..200) {
+        let spec = FaultSpec { fail_first: first, ..Default::default() };
+        prop_assert_eq!(spec.should_fail(seq, 0.5), seq <= first);
+    }
+
+    #[test]
+    fn prop_fault_probability_extremes(seq in 1u64..1000, roll in 0.0f64..1.0) {
+        let never = FaultSpec { fail_probability: 0.0, ..Default::default() };
+        prop_assert!(!never.should_fail(seq, roll));
+        let always = FaultSpec { fail_probability: 1.0 + 1e-9, ..Default::default() };
+        prop_assert!(always.should_fail(seq, roll));
+    }
+
+    #[test]
+    fn prop_keyed_rng_is_pure(seed in any::<u64>(), label in "[a-z]{1,8}", seq in any::<u64>()) {
+        let a = DetRng::keyed(seed, &label, seq).next_u64();
+        let b = DetRng::keyed(seed, &label, seq).next_u64();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,321 @@
+//! The service registry: WSDL discovery plus the simulated SOAP transport.
+//!
+//! This is the layer the mediator's `cwo` built-in talks to: given a WSDL
+//! URI, a service name, an operation and rendered arguments, it builds the
+//! request body, pays the network/provider latency through
+//! [`wsmed_netsim`], runs the service implementation, and returns the
+//! response body.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use wsmed_netsim::{NetError, NetResult, Network, Provider, ProviderSpec};
+use wsmed_wsdl::WsdlDocument;
+use wsmed_xml::Element;
+
+use crate::dataset::Dataset;
+use crate::soap::SoapService;
+use crate::{
+    calibration, AviationService, GeoPlacesService, TerraService, UsZipService, ZipCodesService,
+};
+
+/// A service bound to its provider.
+#[derive(Clone)]
+pub struct ServiceEndpoint {
+    /// The service implementation.
+    pub service: Arc<dyn SoapService>,
+    /// The netsim provider hosting it.
+    pub provider: Arc<Provider>,
+    /// The service contract (cached from [`SoapService::wsdl`]).
+    pub wsdl: WsdlDocument,
+}
+
+/// All services reachable on a network, addressed by WSDL URI.
+#[derive(Clone)]
+pub struct ServiceRegistry {
+    network: Arc<Network>,
+    endpoints: HashMap<String, ServiceEndpoint>,
+}
+
+impl ServiceRegistry {
+    /// Creates an empty registry over a network.
+    pub fn new(network: Arc<Network>) -> Self {
+        ServiceRegistry {
+            network,
+            endpoints: HashMap::new(),
+        }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Arc<Network> {
+        &self.network
+    }
+
+    /// Installs a service: registers its provider (if new) and indexes it
+    /// under its WSDL URI.
+    pub fn install(&mut self, service: Arc<dyn SoapService>, provider_spec: ProviderSpec) {
+        assert_eq!(
+            provider_spec.name,
+            service.provider_name(),
+            "provider spec does not match the service's provider"
+        );
+        let provider = match self.network.provider(&provider_spec.name) {
+            Ok(existing) => existing,
+            Err(_) => self.network.register(provider_spec),
+        };
+        let wsdl = service.wsdl();
+        self.endpoints.insert(
+            service.wsdl_uri().to_owned(),
+            ServiceEndpoint {
+                service,
+                provider,
+                wsdl,
+            },
+        );
+    }
+
+    /// Returns the endpoint registered under a WSDL URI.
+    pub fn endpoint(&self, wsdl_uri: &str) -> NetResult<&ServiceEndpoint> {
+        self.endpoints
+            .get(wsdl_uri)
+            .ok_or_else(|| NetError::UnknownProvider(wsdl_uri.to_owned()))
+    }
+
+    /// All registered WSDL URIs, sorted.
+    pub fn wsdl_uris(&self) -> Vec<&str> {
+        let mut uris: Vec<&str> = self.endpoints.keys().map(String::as_str).collect();
+        uris.sort();
+        uris
+    }
+
+    /// Fetches a service's WSDL document text — what the mediator imports.
+    /// Metadata import happens once before query execution, so it is not
+    /// charged against the latency model.
+    pub fn wsdl_xml(&self, wsdl_uri: &str) -> NetResult<String> {
+        Ok(self.endpoint(wsdl_uri)?.wsdl.to_xml_string())
+    }
+
+    /// The `cwo` transport (paper Fig. 2 line 14): calls `operation` of the
+    /// service at `wsdl_uri` with rendered arguments, paying the simulated
+    /// latency, and returns the response body element.
+    ///
+    /// `service_name` is checked against the registered service, mirroring
+    /// `cwo`'s signature `cwo(wsdl_uri, service, operation, args)`.
+    pub fn call(
+        &self,
+        wsdl_uri: &str,
+        service_name: &str,
+        operation: &str,
+        args: &[(String, String)],
+    ) -> NetResult<Element> {
+        let endpoint = self.endpoint(wsdl_uri)?;
+        if endpoint.service.service_name() != service_name {
+            return Err(NetError::BadRequest {
+                provider: endpoint.service.provider_name().to_owned(),
+                message: format!(
+                    "service {service_name:?} not found at {wsdl_uri:?} (hosts {:?})",
+                    endpoint.service.service_name()
+                ),
+            });
+        }
+        if endpoint.wsdl.operation(operation).is_none() {
+            return Err(NetError::UnknownOperation {
+                provider: endpoint.service.provider_name().to_owned(),
+                operation: operation.to_owned(),
+            });
+        }
+
+        let mut request = Element::new(operation);
+        for (name, value) in args {
+            request
+                .children
+                .push(Element::text_leaf(name.clone(), value.clone()));
+        }
+        let request_bytes = request.to_xml().len();
+
+        let service = Arc::clone(&endpoint.service);
+        let op = operation.to_owned();
+        let config = self.network.config().clone();
+        let (response, _stats) =
+            endpoint
+                .provider
+                .call(&config, operation, request_bytes, move || {
+                    match service.invoke(&op, &request) {
+                        Ok(resp) => {
+                            let bytes = resp.to_xml().len();
+                            (Ok(resp), bytes)
+                        }
+                        Err(msg) => (Err(msg), 128),
+                    }
+                })?;
+        response.map_err(|message| NetError::BadRequest {
+            provider: endpoint.service.provider_name().to_owned(),
+            message,
+        })
+    }
+}
+
+/// Installs the paper's four services plus the repository's AviationData
+/// service (the three-level Query3 chain) on a network, with calibrated
+/// provider specs, over a shared dataset. Returns the registry the
+/// mediator uses as its `cwo` transport.
+pub fn install_paper_services(network: Arc<Network>, dataset: Arc<Dataset>) -> ServiceRegistry {
+    let mut registry = ServiceRegistry::new(network);
+    registry.install(
+        Arc::new(GeoPlacesService::new(Arc::clone(&dataset))),
+        calibration::geoplaces_spec(),
+    );
+    registry.install(
+        Arc::new(TerraService::new(Arc::clone(&dataset))),
+        calibration::terraservice_spec(),
+    );
+    registry.install(
+        Arc::new(UsZipService::new(Arc::clone(&dataset))),
+        calibration::uszip_spec(),
+    );
+    registry.install(
+        Arc::new(ZipCodesService::new(Arc::clone(&dataset))),
+        calibration::zipcodes_spec(),
+    );
+    registry.install(
+        Arc::new(AviationService::new(dataset)),
+        calibration::aviation_spec(),
+    );
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+    use wsmed_netsim::SimConfig;
+
+    fn setup() -> ServiceRegistry {
+        let network = Network::new(SimConfig::default());
+        let dataset = Arc::new(Dataset::generate(DatasetConfig::tiny()));
+        install_paper_services(network, dataset)
+    }
+
+    #[test]
+    fn installs_five_endpoints() {
+        let reg = setup();
+        assert_eq!(reg.wsdl_uris().len(), 5);
+        assert!(reg.endpoint(GeoPlacesService::WSDL_URI).is_ok());
+        assert!(reg.endpoint("http://nope.example/x.wsdl").is_err());
+    }
+
+    #[test]
+    fn wsdl_xml_is_importable() {
+        let reg = setup();
+        for uri in reg.wsdl_uris() {
+            let xml = reg.wsdl_xml(uri).unwrap();
+            let doc = wsmed_wsdl::parse_wsdl(&xml).unwrap();
+            assert!(!doc.operations.is_empty(), "{uri} has no operations");
+        }
+    }
+
+    #[test]
+    fn call_get_all_states() {
+        let reg = setup();
+        let resp = reg
+            .call(GeoPlacesService::WSDL_URI, "GeoPlaces", "GetAllStates", &[])
+            .unwrap();
+        assert_eq!(resp.local_name(), "GetAllStatesResponse");
+        assert_eq!(resp.child("GetAllStatesResult").unwrap().children.len(), 51);
+        // Metrics recorded at the provider.
+        let m = reg
+            .endpoint(GeoPlacesService::WSDL_URI)
+            .unwrap()
+            .provider
+            .metrics();
+        assert_eq!(m.calls, 1);
+        assert!(m.response_bytes > 1_000);
+        assert!(m.total_model_latency > 0.0);
+    }
+
+    #[test]
+    fn call_with_args() {
+        let reg = setup();
+        let resp = reg
+            .call(
+                UsZipService::WSDL_URI,
+                "USZip",
+                "GetInfoByState",
+                &[("USState".to_owned(), "CO".to_owned())],
+            )
+            .unwrap();
+        assert!(resp
+            .child("GetInfoByStateResult")
+            .unwrap()
+            .text()
+            .contains("80840"));
+    }
+
+    #[test]
+    fn wrong_service_name_is_bad_request() {
+        let reg = setup();
+        let err = reg
+            .call(GeoPlacesService::WSDL_URI, "WrongName", "GetAllStates", &[])
+            .unwrap_err();
+        assert!(matches!(err, NetError::BadRequest { .. }));
+    }
+
+    #[test]
+    fn unknown_operation_is_error() {
+        let reg = setup();
+        let err = reg
+            .call(GeoPlacesService::WSDL_URI, "GeoPlaces", "Nope", &[])
+            .unwrap_err();
+        assert!(matches!(err, NetError::UnknownOperation { .. }));
+    }
+
+    #[test]
+    fn service_level_error_is_bad_request() {
+        let reg = setup();
+        // GetPlacesWithin without its arguments fails inside the service.
+        let err = reg
+            .call(
+                GeoPlacesService::WSDL_URI,
+                "GeoPlaces",
+                "GetPlacesWithin",
+                &[],
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetError::BadRequest { .. }));
+        // The provider still recorded the (failed-at-service-level) call.
+        let m = reg
+            .endpoint(GeoPlacesService::WSDL_URI)
+            .unwrap()
+            .provider
+            .metrics();
+        assert_eq!(m.calls, 1);
+    }
+
+    #[test]
+    fn injected_fault_surfaces() {
+        let reg = setup();
+        let endpoint = reg.endpoint(ZipCodesService::WSDL_URI).unwrap();
+        endpoint.provider.set_fault(wsmed_netsim::FaultSpec {
+            fail_first: 1,
+            ..Default::default()
+        });
+        let err = reg
+            .call(
+                ZipCodesService::WSDL_URI,
+                "ZipCodes",
+                "GetPlacesInside",
+                &[("zip".to_owned(), "80840".to_owned())],
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetError::ServiceFault { .. }));
+        // Next call succeeds.
+        assert!(reg
+            .call(
+                ZipCodesService::WSDL_URI,
+                "ZipCodes",
+                "GetPlacesInside",
+                &[("zip".to_owned(), "80840".to_owned())],
+            )
+            .is_ok());
+    }
+}

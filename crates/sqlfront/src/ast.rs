@@ -1,0 +1,353 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+use std::fmt;
+
+use wsmed_store::Value;
+
+/// A `FROM`-list item: a view (OWF or helping function) with its alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// View name, e.g. `GetPlacesWithin`.
+    pub view: String,
+    /// Alias, e.g. `gp`. Defaults to the view name when omitted.
+    pub alias: String,
+}
+
+/// An aggregate function usable in the `SELECT` list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` — group cardinality (takes no argument).
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+    /// `AVG(col)`.
+    Avg,
+}
+
+impl AggFunc {
+    /// SQL spelling, lower-case.
+    pub fn sql(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+
+    /// Parses an aggregate function name (case-insensitive).
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "avg" => Some(AggFunc::Avg),
+            _ => None,
+        }
+    }
+}
+
+/// A scalar expression: a qualified column, a literal, a
+/// `+`-concatenation chain, or (in `SELECT` lists only) an aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `alias.column`.
+    Column {
+        /// Table alias.
+        alias: String,
+        /// Column name.
+        column: String,
+    },
+    /// A literal value (`'Atlanta'`, `15.0`, `100`).
+    Literal(Value),
+    /// `a + b + c` — string concatenation, as in
+    /// `gl.placeName = gp.ToPlace + ', ' + gp.ToState`.
+    Concat(Vec<Expr>),
+    /// `count(*)` / `sum(a.x)` / … — only valid in the `SELECT` list.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The argument column (`None` only for `COUNT(*)`).
+        arg: Option<Box<Expr>>,
+    },
+}
+
+impl fmt::Display for Expr {
+    /// Renders as parseable SQL: string literals single-quoted with `''`
+    /// escapes, reals always with a decimal point.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { alias, column } => write!(f, "{alias}.{column}"),
+            Expr::Literal(v) => write!(f, "{}", sql_literal(v)),
+            Expr::Concat(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+            Expr::Aggregate { func, arg } => match arg {
+                Some(arg) => write!(f, "{}({arg})", func.sql()),
+                None => write!(f, "{}(*)", func.sql()),
+            },
+        }
+    }
+}
+
+/// Renders a literal value as SQL source text.
+pub fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Real(r) => {
+            let text = format!("{r}");
+            if text.contains('.') || text.contains('e') {
+                text
+            } else {
+                format!("{text}.0")
+            }
+        }
+        other => other.render(),
+    }
+}
+
+/// A comparison operator in a `WHERE` predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=` — the only operator that can *bind* web service inputs.
+    Eq,
+    /// `<>` — a post-filter.
+    Ne,
+    /// `<` — a post-filter.
+    Lt,
+    /// `<=` — a post-filter.
+    Le,
+    /// `>` — a post-filter.
+    Gt,
+    /// `>=` — a post-filter.
+    Ge,
+}
+
+impl CompareOp {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "<>",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        }
+    }
+
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CompareOp {
+        match self {
+            CompareOp::Lt => CompareOp::Gt,
+            CompareOp::Le => CompareOp::Ge,
+            CompareOp::Gt => CompareOp::Lt,
+            CompareOp::Ge => CompareOp::Le,
+            other => other,
+        }
+    }
+
+    /// Name of the helping function implementing this as a filter
+    /// (`Eq` binds instead of filtering, so it has none).
+    pub fn filter_function(self) -> Option<&'static str> {
+        match self {
+            CompareOp::Eq => None,
+            CompareOp::Ne => Some("ne"),
+            CompareOp::Lt => Some("lt"),
+            CompareOp::Le => Some("le"),
+            CompareOp::Gt => Some("gt"),
+            CompareOp::Ge => Some("ge"),
+        }
+    }
+}
+
+/// A predicate in the `WHERE` conjunction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Left-hand side.
+    pub left: Expr,
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// Right-hand side.
+    pub right: Expr,
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op.sql(), self.right)
+    }
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// The ordered expression (must appear in the `SELECT` list).
+    pub expr: Expr,
+    /// Descending order.
+    pub desc: bool,
+}
+
+/// What the `SELECT` clause projects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// An explicit expression list.
+    Exprs(Vec<Expr>),
+    /// `SELECT *` — every column of every `FROM` view, in declaration order.
+    Star,
+    /// `SELECT COUNT(*)` — the number of result rows.
+    CountStar,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// The projection clause.
+    pub projection: Projection,
+    /// The `FROM` list.
+    pub from: Vec<TableRef>,
+    /// Conjunctive `WHERE` predicates (empty when absent).
+    pub predicates: Vec<Predicate>,
+    /// `GROUP BY` columns (empty when absent).
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicates over the grouped output (empty when absent).
+    pub having: Vec<Predicate>,
+    /// `ORDER BY` items (empty when absent).
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT`, when present.
+    pub limit: Option<u64>,
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        match &self.projection {
+            Projection::Star => write!(f, "*")?,
+            Projection::CountStar => write!(f, "count(*)")?,
+            Projection::Exprs(exprs) => {
+                for (i, p) in exprs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+            }
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", t.view, t.alias)?;
+        }
+        if !self.predicates.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, p) in self.predicates.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if !self.having.is_empty() {
+            write!(f, " HAVING ")?;
+            for (i, p) in self.having.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, item) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}{}", item.expr, if item.desc { " DESC" } else { "" })?;
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_shape() {
+        let stmt = SelectStmt {
+            projection: Projection::Exprs(vec![Expr::Column {
+                alias: "gl".into(),
+                column: "placename".into(),
+            }]),
+            from: vec![TableRef {
+                view: "GetPlaceList".into(),
+                alias: "gl".into(),
+            }],
+            predicates: vec![Predicate {
+                left: Expr::Column {
+                    alias: "gl".into(),
+                    column: "MaxItems".into(),
+                },
+                op: CompareOp::Eq,
+                right: Expr::Literal(Value::Int(100)),
+            }],
+            distinct: false,
+            group_by: vec![],
+            having: vec![],
+            order_by: vec![],
+            limit: None,
+        };
+        let s = stmt.to_string();
+        assert_eq!(
+            s,
+            "SELECT gl.placename FROM GetPlaceList gl WHERE gl.MaxItems = 100"
+        );
+    }
+
+    #[test]
+    fn concat_display() {
+        let e = Expr::Concat(vec![
+            Expr::Column {
+                alias: "gp".into(),
+                column: "ToPlace".into(),
+            },
+            Expr::Literal(Value::str(", ")),
+            Expr::Column {
+                alias: "gp".into(),
+                column: "ToState".into(),
+            },
+        ]);
+        assert_eq!(e.to_string(), "gp.ToPlace + ', ' + gp.ToState");
+    }
+}

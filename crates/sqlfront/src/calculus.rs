@@ -1,0 +1,285 @@
+//! The Datalog-dialect calculus representation (paper §IV).
+//!
+//! A query becomes a conjunction of *atoms*, each a call to an OWF or a
+//! helping function with adorned arguments: input terms must be bound when
+//! the atom executes (`-`), output variables become bound by executing it
+//! (`+`). The calculus is ordered: every atom's inputs are constants or
+//! variables produced by an earlier atom, which is exactly the dependency
+//! chain the parallelizer later splits into plan functions.
+
+use std::fmt;
+
+use wsmed_store::Value;
+
+use crate::ast::AggFunc;
+use crate::catalog::ViewKind;
+
+/// A calculus variable, identified by index.
+pub type VarId = usize;
+
+/// An argument term: a variable or a constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// A variable.
+    Var(VarId),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// The variable id, if this is a variable.
+    pub fn var(&self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+/// One conjunct: a function call with input terms and output variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// OWF or helping-function name (`GetPlacesWithin`, `concat3`, `equal`).
+    pub function: String,
+    /// Whether this atom calls a web service (OWF) or is a local function.
+    pub kind: ViewKind,
+    /// Input terms, in the function's parameter order.
+    pub inputs: Vec<Term>,
+    /// Output variables, in the function's result-column order.
+    pub outputs: Vec<VarId>,
+}
+
+impl Atom {
+    /// True if this atom invokes a web service operation.
+    pub fn is_owf(&self) -> bool {
+        self.kind == ViewKind::Owf
+    }
+
+    /// Variables appearing in input position.
+    pub fn input_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.inputs.iter().filter_map(Term::var)
+    }
+}
+
+/// A complete ordered calculus expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalculusExpr {
+    /// Head (projection) terms, in `SELECT` order.
+    pub head: Vec<Term>,
+    /// Conjuncts in execution order (inputs always bound by predecessors).
+    pub atoms: Vec<Atom>,
+    /// Total number of variables allocated.
+    pub var_count: usize,
+    /// Display names per variable (derived from column names).
+    pub var_names: Vec<String>,
+    /// `SELECT DISTINCT`: deduplicate the head tuples.
+    pub distinct: bool,
+    /// `ORDER BY`: `(head position, descending)` keys, applied in order.
+    pub order_by: Vec<(usize, bool)>,
+    /// `LIMIT`: cap on the number of head tuples returned.
+    pub limit: Option<usize>,
+    /// `SELECT COUNT(*)`: collapse the head tuples into a single count.
+    pub count: bool,
+    /// `GROUP BY` / aggregate plan, when the query aggregates.
+    pub group: Option<GroupPlan>,
+}
+
+/// How an aggregating query groups and what it computes.
+///
+/// The head of the calculus is laid out as *group keys* followed by the
+/// *aggregate argument columns*; the grouping operator emits keys followed
+/// by aggregate values, and [`GroupPlan::output`] maps that back to the
+/// original `SELECT` order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupPlan {
+    /// Number of leading head terms that are group keys.
+    pub key_count: usize,
+    /// Aggregates: function plus the head position of its argument
+    /// (`None` for `COUNT(*)`).
+    pub aggs: Vec<(AggFunc, Option<usize>)>,
+    /// The `SELECT`-order output: keys and aggregates interleaved.
+    pub output: Vec<OutputRef>,
+    /// `HAVING` filters over the SELECT-order output:
+    /// `(output position, filter function name, literal)`.
+    pub having: Vec<(usize, String, Value)>,
+    /// Output column names, in `SELECT` order.
+    pub output_names: Vec<String>,
+}
+
+/// One output column of a grouped query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputRef {
+    /// The i-th group key.
+    Key(usize),
+    /// The j-th aggregate.
+    Agg(usize),
+}
+
+impl CalculusExpr {
+    /// The variables each atom's execution makes available, cumulatively.
+    /// Entry `i` is the bound set *after* atom `i` runs.
+    pub fn bound_after(&self) -> Vec<Vec<VarId>> {
+        let mut bound: Vec<VarId> = Vec::new();
+        let mut result = Vec::with_capacity(self.atoms.len());
+        for atom in &self.atoms {
+            for &v in &atom.outputs {
+                if !bound.contains(&v) {
+                    bound.push(v);
+                }
+            }
+            result.push(bound.clone());
+        }
+        result
+    }
+
+    /// Checks the ordering invariant: every atom's input variables are
+    /// produced by an earlier atom. Returns the index of the first
+    /// violating atom, if any.
+    pub fn first_ordering_violation(&self) -> Option<usize> {
+        let mut bound: Vec<VarId> = Vec::new();
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if atom.input_vars().any(|v| !bound.contains(&v)) {
+                return Some(i);
+            }
+            bound.extend(&atom.outputs);
+        }
+        None
+    }
+
+    fn term_name(&self, term: &Term) -> String {
+        match term {
+            Term::Var(v) => self
+                .var_names
+                .get(*v)
+                .cloned()
+                .unwrap_or_else(|| format!("v{v}")),
+            Term::Const(c) => c.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for CalculusExpr {
+    /// Renders in the paper's notation, e.g.
+    /// `Query(pl, st) :- GetAllStates(-> _, _, st1, ...) AND ...`
+    /// with `->` separating inputs from outputs and `_` for variables that
+    /// are never consumed.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // A variable is anonymous if it is neither consumed by any atom's
+        // inputs nor projected.
+        let mut used = vec![false; self.var_count];
+        for atom in &self.atoms {
+            for v in atom.input_vars() {
+                used[v] = true;
+            }
+        }
+        for t in &self.head {
+            if let Term::Var(v) = t {
+                used[*v] = true;
+            }
+        }
+
+        write!(f, "Query(")?;
+        for (i, t) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.term_name(t))?;
+        }
+        write!(f, ") :- ")?;
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(f, "{}(", atom.function)?;
+            for (j, t) in atom.inputs.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.term_name(t))?;
+            }
+            if !atom.outputs.is_empty() {
+                write!(f, " -> ")?;
+                for (j, v) in atom.outputs.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, ", ")?;
+                    }
+                    if used[*v] {
+                        write!(f, "{}", self.var_names[*v])?;
+                    } else {
+                        write!(f, "_")?;
+                    }
+                }
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr() -> CalculusExpr {
+        CalculusExpr {
+            distinct: false,
+            order_by: vec![],
+            limit: None,
+            count: false,
+            group: None,
+            head: vec![Term::Var(1)],
+            atoms: vec![
+                Atom {
+                    function: "GetAllStates".into(),
+                    kind: ViewKind::Owf,
+                    inputs: vec![],
+                    outputs: vec![0],
+                },
+                Atom {
+                    function: "GetInfoByState".into(),
+                    kind: ViewKind::Owf,
+                    inputs: vec![Term::Var(0)],
+                    outputs: vec![1],
+                },
+            ],
+            var_count: 2,
+            var_names: vec!["st".into(), "zipstr".into()],
+        }
+    }
+
+    #[test]
+    fn ordering_invariant_holds() {
+        assert_eq!(expr().first_ordering_violation(), None);
+    }
+
+    #[test]
+    fn ordering_violation_detected() {
+        let mut e = expr();
+        e.atoms.swap(0, 1);
+        assert_eq!(e.first_ordering_violation(), Some(0));
+    }
+
+    #[test]
+    fn bound_after_accumulates() {
+        let b = expr().bound_after();
+        assert_eq!(b, vec![vec![0], vec![0, 1]]);
+    }
+
+    #[test]
+    fn display_uses_names_and_anonymous() {
+        let e = expr();
+        let s = e.to_string();
+        assert_eq!(
+            s,
+            "Query(zipstr) :- GetAllStates( -> st) AND GetInfoByState(st -> zipstr)"
+        );
+    }
+
+    #[test]
+    fn display_anonymous_for_unused_output() {
+        let mut e = expr();
+        e.head = vec![Term::Var(0)];
+        let s = e.to_string();
+        assert!(s.contains("-> _"), "{s}");
+    }
+}

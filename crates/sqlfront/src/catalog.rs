@@ -1,0 +1,189 @@
+//! The view catalog the resolver consults.
+//!
+//! Views come in two kinds: OWF views of web service operations (columns =
+//! input parameters ⊕ flattened output columns) and *helping functions*
+//! (`getzipcode` in Query2), which also appear in the `FROM` list with
+//! their parameters and results as columns.
+
+use std::collections::HashMap;
+
+use wsmed_store::SqlType;
+
+/// What kind of view a name refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewKind {
+    /// An operation wrapper function over a web service operation.
+    Owf,
+    /// A local helping function (pure, no web service call).
+    HelpingFunction,
+}
+
+/// A view definition: the unit of resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewDef {
+    /// View name as used in `FROM`.
+    pub name: String,
+    /// OWF or helping function.
+    pub kind: ViewKind,
+    /// Input columns (must be bound by constants or other views' outputs).
+    pub inputs: Vec<(String, SqlType)>,
+    /// Output columns (produced by the function).
+    pub outputs: Vec<(String, SqlType)>,
+}
+
+impl ViewDef {
+    /// Finds a column, returning whether it is an input and its position.
+    ///
+    /// Lookup prefers an exact-case match (inputs, then outputs) and only
+    /// then falls back to case-insensitive matching: SQL identifiers are
+    /// traditionally case-insensitive (the paper writes `gp.state` for the
+    /// input parameter `state`), but real services declare near-collisions
+    /// like `GetPlacesWithin`'s input `distance` vs output `Distance`,
+    /// which exact-case matching keeps distinguishable.
+    pub fn column(&self, name: &str) -> Option<(bool, usize, SqlType)> {
+        let find = |cols: &[(String, SqlType)], exact: bool| {
+            cols.iter().position(|(n, _)| {
+                if exact {
+                    n == name
+                } else {
+                    n.eq_ignore_ascii_case(name)
+                }
+            })
+        };
+        if let Some(i) = find(&self.inputs, true) {
+            return Some((true, i, self.inputs[i].1));
+        }
+        if let Some(i) = find(&self.outputs, true) {
+            return Some((false, i, self.outputs[i].1));
+        }
+        if let Some(i) = find(&self.inputs, false) {
+            return Some((true, i, self.inputs[i].1));
+        }
+        find(&self.outputs, false).map(|i| (false, i, self.outputs[i].1))
+    }
+}
+
+/// Source of view definitions.
+pub trait Catalog {
+    /// Looks up a view by name (case-insensitive).
+    fn view(&self, name: &str) -> Option<&ViewDef>;
+}
+
+/// A simple in-memory catalog.
+#[derive(Debug, Clone, Default)]
+pub struct MapCatalog {
+    views: HashMap<String, ViewDef>,
+}
+
+impl MapCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        MapCatalog::default()
+    }
+
+    /// A catalog preloaded with the built-in helping functions that may
+    /// appear in `FROM` lists (`getzipcode`).
+    pub fn with_helping_functions() -> Self {
+        let mut cat = MapCatalog::new();
+        cat.add(ViewDef {
+            name: "getzipcode".into(),
+            kind: ViewKind::HelpingFunction,
+            inputs: vec![("zipstr".into(), SqlType::Charstring)],
+            outputs: vec![("zipcode".into(), SqlType::Charstring)],
+        });
+        cat
+    }
+
+    /// Adds (or replaces) a view.
+    pub fn add(&mut self, view: ViewDef) {
+        self.views.insert(view.name.to_ascii_lowercase(), view);
+    }
+
+    /// Number of registered views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True if the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// View names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.views.values().map(|v| v.name.as_str()).collect();
+        names.sort();
+        names
+    }
+}
+
+impl Catalog for MapCatalog {
+    fn view(&self, name: &str) -> Option<&ViewDef> {
+        self.views.get(&name.to_ascii_lowercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ViewDef {
+        ViewDef {
+            name: "GetPlacesWithin".into(),
+            kind: ViewKind::Owf,
+            inputs: vec![
+                ("place".into(), SqlType::Charstring),
+                ("state".into(), SqlType::Charstring),
+            ],
+            outputs: vec![
+                ("ToPlace".into(), SqlType::Charstring),
+                ("Distance".into(), SqlType::Real),
+            ],
+        }
+    }
+
+    #[test]
+    fn column_lookup_and_kind() {
+        let v = sample();
+        assert_eq!(v.column("place"), Some((true, 0, SqlType::Charstring)));
+        assert_eq!(v.column("Distance"), Some((false, 1, SqlType::Real)));
+        assert_eq!(v.column("STATE"), Some((true, 1, SqlType::Charstring)));
+        assert_eq!(v.column("nope"), None);
+    }
+
+    #[test]
+    fn exact_case_wins_over_case_insensitive() {
+        // A view with an input/output near-collision, as GetPlacesWithin
+        // really has (input `distance`, output `Distance`).
+        let v = ViewDef {
+            name: "V".into(),
+            kind: ViewKind::Owf,
+            inputs: vec![("distance".into(), SqlType::Real)],
+            outputs: vec![("Distance".into(), SqlType::Real)],
+        };
+        assert_eq!(v.column("distance"), Some((true, 0, SqlType::Real)));
+        assert_eq!(v.column("Distance"), Some((false, 0, SqlType::Real)));
+        // No exact match: falls back to the first case-insensitive hit.
+        assert_eq!(v.column("DISTANCE"), Some((true, 0, SqlType::Real)));
+    }
+
+    #[test]
+    fn catalog_case_insensitive() {
+        let mut cat = MapCatalog::new();
+        cat.add(sample());
+        assert!(cat.view("getplaceswithin").is_some());
+        assert!(cat.view("GETPLACESWITHIN").is_some());
+        assert!(cat.view("other").is_none());
+        assert_eq!(cat.len(), 1);
+        assert!(!cat.is_empty());
+    }
+
+    #[test]
+    fn helping_functions_preloaded() {
+        let cat = MapCatalog::with_helping_functions();
+        let v = cat.view("getzipcode").unwrap();
+        assert_eq!(v.kind, ViewKind::HelpingFunction);
+        assert_eq!(v.column("zipstr"), Some((true, 0, SqlType::Charstring)));
+        assert_eq!(v.column("zipcode"), Some((false, 0, SqlType::Charstring)));
+    }
+}

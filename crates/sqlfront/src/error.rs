@@ -1,0 +1,88 @@
+//! SQL frontend errors.
+
+use std::fmt;
+
+/// Result alias for SQL operations.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+/// Errors from lexing, parsing, resolution or calculus generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lexical error at a byte position.
+    Lex {
+        /// Byte offset into the query text.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parse error.
+    Parse {
+        /// What the parser expected / found.
+        message: String,
+    },
+    /// An unknown view or alias.
+    UnknownName(String),
+    /// A column that no view in scope provides.
+    UnknownColumn {
+        /// Alias it was qualified with.
+        alias: String,
+        /// Column name.
+        column: String,
+    },
+    /// Duplicate alias in the FROM list.
+    DuplicateAlias(String),
+    /// The query cannot be ordered: some view's inputs can never be bound.
+    UnboundInputs {
+        /// Views whose inputs remained unbound.
+        views: Vec<String>,
+    },
+    /// Something about the query shape is outside the supported subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { position, message } => {
+                write!(f, "lexical error at byte {position}: {message}")
+            }
+            SqlError::Parse { message } => write!(f, "parse error: {message}"),
+            SqlError::UnknownName(name) => write!(f, "unknown view or alias {name:?}"),
+            SqlError::UnknownColumn { alias, column } => {
+                write!(f, "view {alias:?} has no column {column:?}")
+            }
+            SqlError::DuplicateAlias(alias) => write!(f, "duplicate alias {alias:?}"),
+            SqlError::UnboundInputs { views } => write!(
+                f,
+                "query is not executable: inputs of {views:?} can never be bound \
+                 (every web service input must be a constant or another view's output)"
+            ),
+            SqlError::Unsupported(msg) => write!(f, "unsupported SQL: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SqlError::UnknownName("gp".into())
+            .to_string()
+            .contains("gp"));
+        assert!(SqlError::UnboundInputs {
+            views: vec!["GetPlaceList".into()]
+        }
+        .to_string()
+        .contains("GetPlaceList"));
+        assert!(SqlError::Lex {
+            position: 3,
+            message: "bad char".into()
+        }
+        .to_string()
+        .contains("byte 3"));
+    }
+}

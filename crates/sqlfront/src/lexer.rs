@@ -1,0 +1,328 @@
+//! SQL lexer for the supported subset.
+
+use crate::{SqlError, SqlResult};
+
+/// A lexical token. Keywords are case-insensitive and normalized upper-case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `SELECT`, `FROM`, `WHERE`, `AND`, `AS`.
+    Keyword(&'static str),
+    /// An identifier, case-preserved.
+    Ident(String),
+    /// A single-quoted string literal with `''` escapes resolved.
+    StringLit(String),
+    /// A numeric literal containing a decimal point.
+    RealLit(f64),
+    /// An integer literal.
+    IntLit(i64),
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<>`
+    Ne,
+    /// `+`
+    Plus,
+    /// `-` (unary minus on numeric literals)
+    Minus,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "AS", "ORDER", "BY", "LIMIT", "ASC", "DESC", "DISTINCT",
+    "GROUP", "HAVING",
+];
+
+/// Tokenizes a query string.
+pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            b'>' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            },
+            b'+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            b'\'' => {
+                let mut value = String::new();
+                let start = i;
+                i += 1;
+                let mut segment_start = i;
+                loop {
+                    match bytes.get(i) {
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            value.push_str(&input[segment_start..i]);
+                            value.push('\'');
+                            i += 2;
+                            segment_start = i;
+                        }
+                        Some(b'\'') => {
+                            value.push_str(&input[segment_start..i]);
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => i += 1,
+                        None => {
+                            return Err(SqlError::Lex {
+                                position: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token::StringLit(value));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut saw_dot = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !saw_dot))
+                {
+                    // A dot only continues the number if a digit follows
+                    // (so `gp.state` after a number still lexes).
+                    if bytes[i] == b'.' {
+                        if !bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                            break;
+                        }
+                        saw_dot = true;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if saw_dot {
+                    let v = text.parse::<f64>().map_err(|_| SqlError::Lex {
+                        position: start,
+                        message: format!("bad real literal {text:?}"),
+                    })?;
+                    tokens.push(Token::RealLit(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|_| SqlError::Lex {
+                        position: start,
+                        message: format!("bad integer literal {text:?}"),
+                    })?;
+                    tokens.push(Token::IntLit(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                if let Some(kw) = KEYWORDS.iter().find(|&&k| k == upper) {
+                    tokens.push(Token::Keyword(kw));
+                } else {
+                    tokens.push(Token::Ident(word.to_owned()));
+                }
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    position: i,
+                    message: format!("unexpected character {:?}", other as char),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = tokenize("Select froM wHere AND").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword("SELECT"),
+                Token::Keyword("FROM"),
+                Token::Keyword("WHERE"),
+                Token::Keyword("AND"),
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_column_and_literals() {
+        let toks = tokenize("gp.distance=15.0 and gl.MaxItems=100").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("gp".into()),
+                Token::Dot,
+                Token::Ident("distance".into()),
+                Token::Eq,
+                Token::RealLit(15.0),
+                Token::Keyword("AND"),
+                Token::Ident("gl".into()),
+                Token::Dot,
+                Token::Ident("MaxItems".into()),
+                Token::Eq,
+                Token::IntLit(100),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literal_with_escape() {
+        let toks = tokenize("'Atlanta' ', ' 'O''Hare'").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::StringLit("Atlanta".into()),
+                Token::StringLit(", ".into()),
+                Token::StringLit("O'Hare".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(matches!(
+            tokenize("'oops").unwrap_err(),
+            SqlError::Lex { .. }
+        ));
+    }
+
+    #[test]
+    fn number_dot_ident_disambiguation() {
+        // `15.x` must lex as IntLit(15), Dot, Ident(x) — not a real literal.
+        let toks = tokenize("15.x").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::IntLit(15), Token::Dot, Token::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn plus_and_commas() {
+        let toks = tokenize("a + b, c").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Plus,
+                Token::Ident("b".into()),
+                Token::Comma,
+                Token::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_char_is_error() {
+        let err = tokenize("a ; b").unwrap_err();
+        assert!(matches!(err, SqlError::Lex { position: 2, .. }));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("a.x < 1 and a.y >= 2 and a.z <> 'q'").unwrap();
+        assert!(toks.contains(&Token::Lt));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Ne));
+        assert_eq!(tokenize("<=").unwrap(), vec![Token::Le]);
+        assert_eq!(tokenize(">").unwrap(), vec![Token::Gt]);
+    }
+
+    #[test]
+    fn order_limit_keywords() {
+        let toks = tokenize("order by limit asc desc distinct").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword("ORDER"),
+                Token::Keyword("BY"),
+                Token::Keyword("LIMIT"),
+                Token::Keyword("ASC"),
+                Token::Keyword("DESC"),
+                Token::Keyword("DISTINCT"),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        let toks = tokenize("GetAllStates gs").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("GetAllStates".into()),
+                Token::Ident("gs".into())
+            ]
+        );
+    }
+}

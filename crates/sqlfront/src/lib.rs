@@ -1,0 +1,44 @@
+#![deny(missing_docs)]
+
+//! # wsmed-sql
+//!
+//! The SQL frontend of WSMED (paper §IV, Fig. 5): queries are written in
+//! SQL over the automatically generated OWF views, and the *calculus
+//! generator* turns them into an internal calculus expression in a Datalog
+//! dialect with binding-pattern adornments:
+//!
+//! ```text
+//! Query1(pl,st) :- GetAllStates() AND
+//!                  GetPlacesWithin('Atlanta', st1, 15.0, 'City') AND
+//!                  GetPlaceList(_, 100, 'true')
+//! ```
+//!
+//! The supported subset is exactly what the paper's queries need —
+//! `SELECT` qualified columns `FROM` view list (with aliases) `WHERE` a
+//! conjunction of equality predicates whose sides are columns, literals, or
+//! `+`-concatenations of both.
+//!
+//! The important piece is [`generate_calculus`]: it resolves columns to
+//! view *input* (`-`) or *output* (`+`) positions, unifies join variables,
+//! introduces helping-function atoms (`concat`, `equal`) for expressions
+//! and output filters, and orders the atoms so every atom's inputs are
+//! bound before it runs — the classic *limited access pattern* ordering of
+//! dependent joins (paper §II, reference \[7\]).
+
+mod ast;
+mod calculus;
+mod catalog;
+mod error;
+mod lexer;
+mod parser;
+mod resolver;
+
+pub use ast::{
+    sql_literal, AggFunc, CompareOp, Expr, OrderItem, Predicate, Projection, SelectStmt, TableRef,
+};
+pub use calculus::{Atom, CalculusExpr, GroupPlan, OutputRef, Term, VarId};
+pub use catalog::{Catalog, MapCatalog, ViewDef, ViewKind};
+pub use error::{SqlError, SqlResult};
+pub use lexer::{tokenize, Token};
+pub use parser::parse_select;
+pub use resolver::generate_calculus;

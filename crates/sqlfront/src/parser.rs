@@ -1,0 +1,581 @@
+//! Recursive-descent parser over the token stream.
+
+use wsmed_store::Value;
+
+use crate::ast::{
+    AggFunc, CompareOp, Expr, OrderItem, Predicate, Projection, SelectStmt, TableRef,
+};
+use crate::lexer::{tokenize, Token};
+use crate::{SqlError, SqlResult};
+
+/// Parses a `SELECT` statement in the supported subset.
+pub fn parse_select(sql: &str) -> SqlResult<SelectStmt> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select()?;
+    if p.pos != p.tokens.len() {
+        return Err(SqlError::Parse {
+            message: format!("unexpected trailing tokens starting at {:?}", p.peek()),
+        });
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &'static str) -> SqlResult<()> {
+        match self.next() {
+            Some(Token::Keyword(k)) if k == kw => Ok(()),
+            other => Err(SqlError::Parse {
+                message: format!("expected {kw}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self) -> SqlResult<String> {
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(name),
+            other => Err(SqlError::Parse {
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    fn select(&mut self) -> SqlResult<SelectStmt> {
+        self.expect_keyword("SELECT")?;
+        let distinct = if matches!(self.peek(), Some(Token::Keyword("DISTINCT"))) {
+            self.next();
+            true
+        } else {
+            false
+        };
+        let projection = if self.peek() == Some(&Token::Star) {
+            self.next();
+            Projection::Star
+        } else {
+            let mut projections = vec![self.projection_item()?];
+            while self.peek() == Some(&Token::Comma) {
+                self.next();
+                projections.push(self.projection_item()?);
+            }
+            // A lone `count(*)` without GROUP BY keeps its dedicated fast
+            // path (the paper-era Count operator).
+            if projections.len() == 1
+                && matches!(
+                    projections[0],
+                    Expr::Aggregate {
+                        func: AggFunc::Count,
+                        arg: None
+                    }
+                )
+            {
+                Projection::CountStar
+            } else {
+                Projection::Exprs(projections)
+            }
+        };
+
+        self.expect_keyword("FROM")?;
+        let mut from = vec![self.table_ref()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.next();
+            from.push(self.table_ref()?);
+        }
+
+        let mut predicates = Vec::new();
+        if matches!(self.peek(), Some(Token::Keyword("WHERE"))) {
+            self.next();
+            predicates.push(self.predicate()?);
+            while matches!(self.peek(), Some(Token::Keyword("AND"))) {
+                self.next();
+                predicates.push(self.predicate()?);
+            }
+        }
+
+        let mut group_by = Vec::new();
+        if matches!(self.peek(), Some(Token::Keyword("GROUP"))) {
+            self.next();
+            self.expect_keyword("BY")?;
+            group_by.push(self.expr()?);
+            while self.peek() == Some(&Token::Comma) {
+                self.next();
+                group_by.push(self.expr()?);
+            }
+        }
+
+        let mut having = Vec::new();
+        if matches!(self.peek(), Some(Token::Keyword("HAVING"))) {
+            self.next();
+            having.push(self.having_predicate()?);
+            while matches!(self.peek(), Some(Token::Keyword("AND"))) {
+                self.next();
+                having.push(self.having_predicate()?);
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if matches!(self.peek(), Some(Token::Keyword("ORDER"))) {
+            self.next();
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = match self.peek() {
+                    Some(Token::Keyword("DESC")) => {
+                        self.next();
+                        true
+                    }
+                    Some(Token::Keyword("ASC")) => {
+                        self.next();
+                        false
+                    }
+                    _ => false,
+                };
+                order_by.push(OrderItem { expr, desc });
+                if self.peek() == Some(&Token::Comma) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let mut limit = None;
+        if matches!(self.peek(), Some(Token::Keyword("LIMIT"))) {
+            self.next();
+            match self.next() {
+                Some(Token::IntLit(n)) if n >= 0 => limit = Some(n as u64),
+                other => {
+                    return Err(SqlError::Parse {
+                        message: format!("LIMIT needs a non-negative integer, found {other:?}"),
+                    })
+                }
+            }
+        }
+
+        Ok(SelectStmt {
+            distinct,
+            projection,
+            from,
+            predicates,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    /// Parses a `HAVING` predicate; the left side may be an aggregate call.
+    fn having_predicate(&mut self) -> SqlResult<Predicate> {
+        let left = self.projection_item()?;
+        let op = match self.next() {
+            Some(Token::Eq) => CompareOp::Eq,
+            Some(Token::Ne) => CompareOp::Ne,
+            Some(Token::Lt) => CompareOp::Lt,
+            Some(Token::Le) => CompareOp::Le,
+            Some(Token::Gt) => CompareOp::Gt,
+            Some(Token::Ge) => CompareOp::Ge,
+            other => {
+                return Err(SqlError::Parse {
+                    message: format!("expected a comparison operator, found {other:?}"),
+                })
+            }
+        };
+        let right = self.projection_item()?;
+        Ok(Predicate { left, op, right })
+    }
+
+    /// Parses one `SELECT`-list item: an aggregate call or an expression.
+    fn projection_item(&mut self) -> SqlResult<Expr> {
+        if let (Some(Token::Ident(name)), Some(Token::LParen)) =
+            (self.tokens.get(self.pos), self.tokens.get(self.pos + 1))
+        {
+            if let Some(func) = AggFunc::parse(name) {
+                self.next(); // name
+                self.next(); // (
+                let arg = if self.peek() == Some(&Token::Star) {
+                    self.next();
+                    if func != AggFunc::Count {
+                        return Err(SqlError::Unsupported(format!(
+                            "{}(*) — only COUNT takes '*'",
+                            func.sql()
+                        )));
+                    }
+                    None
+                } else {
+                    Some(Box::new(self.expr()?))
+                };
+                match self.next() {
+                    Some(Token::RParen) => {}
+                    other => {
+                        return Err(SqlError::Parse {
+                            message: format!("expected ')', found {other:?}"),
+                        })
+                    }
+                }
+                return Ok(Expr::Aggregate { func, arg });
+            }
+        }
+        self.expr()
+    }
+
+    fn table_ref(&mut self) -> SqlResult<TableRef> {
+        let view = self.expect_ident()?;
+        // Optional `AS`, optional alias.
+        if matches!(self.peek(), Some(Token::Keyword("AS"))) {
+            self.next();
+            let alias = self.expect_ident()?;
+            return Ok(TableRef { view, alias });
+        }
+        if let Some(Token::Ident(_)) = self.peek() {
+            let alias = self.expect_ident()?;
+            return Ok(TableRef { view, alias });
+        }
+        let alias = view.clone();
+        Ok(TableRef { view, alias })
+    }
+
+    fn predicate(&mut self) -> SqlResult<Predicate> {
+        let left = self.expr()?;
+        let op = match self.next() {
+            Some(Token::Eq) => CompareOp::Eq,
+            Some(Token::Ne) => CompareOp::Ne,
+            Some(Token::Lt) => CompareOp::Lt,
+            Some(Token::Le) => CompareOp::Le,
+            Some(Token::Gt) => CompareOp::Gt,
+            Some(Token::Ge) => CompareOp::Ge,
+            other => {
+                return Err(SqlError::Parse {
+                    message: format!("expected a comparison operator, found {other:?}"),
+                })
+            }
+        };
+        let right = self.expr()?;
+        Ok(Predicate { left, op, right })
+    }
+
+    /// Parses a `+`-chain of atoms.
+    fn expr(&mut self) -> SqlResult<Expr> {
+        let first = self.atom()?;
+        if self.peek() != Some(&Token::Plus) {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
+        while self.peek() == Some(&Token::Plus) {
+            self.next();
+            parts.push(self.atom()?);
+        }
+        Ok(Expr::Concat(parts))
+    }
+
+    fn atom(&mut self) -> SqlResult<Expr> {
+        // Unary minus: negate the following numeric literal.
+        if self.peek() == Some(&Token::Minus) {
+            self.next();
+            return match self.next() {
+                Some(Token::RealLit(v)) => Ok(Expr::Literal(Value::Real(-v))),
+                Some(Token::IntLit(v)) => Ok(Expr::Literal(Value::Int(-v))),
+                other => Err(SqlError::Parse {
+                    message: format!("expected a number after '-', found {other:?}"),
+                }),
+            };
+        }
+        match self.next() {
+            Some(Token::Ident(first)) => {
+                if self.peek() == Some(&Token::Dot) {
+                    self.next();
+                    let column = self.expect_ident()?;
+                    Ok(Expr::Column {
+                        alias: first,
+                        column,
+                    })
+                } else {
+                    // A bare identifier is a column on an implicit alias —
+                    // outside the supported subset (all of the paper's
+                    // queries qualify columns).
+                    Err(SqlError::Unsupported(format!(
+                        "bare column {first:?}; qualify it as alias.{first}"
+                    )))
+                }
+            }
+            Some(Token::StringLit(s)) => Ok(Expr::Literal(Value::from(s))),
+            Some(Token::RealLit(v)) => Ok(Expr::Literal(Value::Real(v))),
+            Some(Token::IntLit(v)) => Ok(Expr::Literal(Value::Int(v))),
+            other => Err(SqlError::Parse {
+                message: format!("expected expression, found {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Query1 (Fig. 1), verbatim modulo whitespace.
+    pub const QUERY1: &str = "\
+        Select gl.placename, gl.state \
+        From GetAllStates gs, GetPlacesWithin gp, GetPlaceList gl \
+        Where gs.State=gp.state and gp.distance=15.0 \
+          and gp.placeTypeToFind='City' and gp.place='Atlanta' \
+          and gl.placeName=gp.ToPlace+', '+gp.ToState \
+          and gl.MaxItems=100 and gl.imagePresence='true'";
+
+    /// The paper's Query2 (Fig. 3).
+    pub const QUERY2: &str = "\
+        select gp.ToState, gp.zip \
+        From GetAllStates gs, GetInfoByState gi, getzipcode gc, GetPlacesInside gp \
+        Where gs.State=gi.USState and gi.GetInfoByStateResult=gc.zipstr \
+          and gc.zipcode=gp.zip and gp.ToPlace='USAF Academy'";
+
+    #[test]
+    fn parses_query1() {
+        let stmt = parse_select(QUERY1).unwrap();
+        match &stmt.projection {
+            Projection::Exprs(exprs) => assert_eq!(exprs.len(), 2),
+            other => panic!("unexpected projection {other:?}"),
+        }
+        assert_eq!(stmt.from.len(), 3);
+        assert_eq!(
+            stmt.from[1],
+            TableRef {
+                view: "GetPlacesWithin".into(),
+                alias: "gp".into()
+            }
+        );
+        assert_eq!(stmt.predicates.len(), 7);
+        // The concat predicate parsed as a 3-part chain.
+        let concat_pred = &stmt.predicates[4];
+        match &concat_pred.right {
+            Expr::Concat(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected concat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_query2() {
+        let stmt = parse_select(QUERY2).unwrap();
+        assert_eq!(stmt.from.len(), 4);
+        assert_eq!(stmt.predicates.len(), 4);
+        assert_eq!(
+            stmt.predicates[3].right,
+            Expr::Literal(Value::str("USAF Academy"))
+        );
+    }
+
+    #[test]
+    fn alias_defaults_to_view_name() {
+        let stmt = parse_select("select GetAllStates.State from GetAllStates").unwrap();
+        assert_eq!(stmt.from[0].alias, "GetAllStates");
+        assert!(stmt.predicates.is_empty());
+    }
+
+    #[test]
+    fn as_keyword_alias() {
+        let stmt = parse_select("select g.State from GetAllStates as g").unwrap();
+        assert_eq!(stmt.from[0].alias, "g");
+    }
+
+    #[test]
+    fn real_and_int_literals_distinct() {
+        let stmt = parse_select("select a.x from V a where a.d=15.0 and a.m=100").unwrap();
+        assert_eq!(stmt.predicates[0].right, Expr::Literal(Value::Real(15.0)));
+        assert_eq!(stmt.predicates[1].right, Expr::Literal(Value::Int(100)));
+    }
+
+    #[test]
+    fn trailing_tokens_error() {
+        assert!(parse_select("select a.x from V a garbage extra").is_err());
+    }
+
+    #[test]
+    fn missing_from_is_error() {
+        let err = parse_select("select a.x").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }));
+    }
+
+    #[test]
+    fn bare_column_is_unsupported() {
+        let err = parse_select("select x from V").unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported(_)));
+    }
+
+    #[test]
+    fn non_equality_predicate_is_error() {
+        let err = parse_select("select a.x from V a where a.x + a.y").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }));
+    }
+
+    #[test]
+    fn comparison_predicates_parse() {
+        let stmt =
+            parse_select("select a.x from V a where a.p > 1000 and a.d <= 15.0 and a.n <> 'x'")
+                .unwrap();
+        assert_eq!(stmt.predicates[0].op, CompareOp::Gt);
+        assert_eq!(stmt.predicates[1].op, CompareOp::Le);
+        assert_eq!(stmt.predicates[2].op, CompareOp::Ne);
+    }
+
+    #[test]
+    fn distinct_order_by_limit_parse() {
+        let stmt =
+            parse_select("select distinct a.x, a.y from V a order by a.y desc, a.x limit 10")
+                .unwrap();
+        assert!(stmt.distinct);
+        assert_eq!(stmt.order_by.len(), 2);
+        assert!(stmt.order_by[0].desc);
+        assert!(!stmt.order_by[1].desc);
+        assert_eq!(stmt.limit, Some(10));
+    }
+
+    #[test]
+    fn order_by_asc_explicit() {
+        let stmt = parse_select("select a.x from V a order by a.x asc").unwrap();
+        assert!(!stmt.order_by[0].desc);
+    }
+
+    #[test]
+    fn bad_limit_is_error() {
+        assert!(parse_select("select a.x from V a limit ten").is_err());
+        assert!(parse_select("select a.x from V a limit").is_err());
+    }
+
+    #[test]
+    fn negative_literals_parse() {
+        let stmt = parse_select("select a.x from V a where a.lat > -10.5 and a.n = -3").unwrap();
+        assert_eq!(stmt.predicates[0].right, Expr::Literal(Value::Real(-10.5)));
+        assert_eq!(stmt.predicates[1].right, Expr::Literal(Value::Int(-3)));
+        assert!(parse_select("select a.x from V a where a.y = -").is_err());
+        assert!(parse_select("select a.x from V a where a.y = -'s'").is_err());
+    }
+
+    #[test]
+    fn literal_on_left_side_parses() {
+        let stmt = parse_select("select a.x from V a where 'USAF Academy'=a.pl").unwrap();
+        assert_eq!(
+            stmt.predicates[0].left,
+            Expr::Literal(Value::str("USAF Academy"))
+        );
+    }
+}
+
+#[cfg(test)]
+mod roundtrip_tests {
+    //! Property test: `SelectStmt::Display` emits SQL that parses back to
+    //! the identical AST — the parser and printer agree on the grammar.
+
+    use proptest::prelude::*;
+
+    use super::parse_select;
+    use crate::ast::{CompareOp, Expr, OrderItem, Predicate, Projection, SelectStmt, TableRef};
+    use wsmed_store::Value;
+
+    fn ident() -> impl Strategy<Value = String> {
+        // Avoid keywords: prefix with a letter run that no keyword matches.
+        "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+            !matches!(
+                s.to_ascii_uppercase().as_str(),
+                "SELECT"
+                    | "FROM"
+                    | "WHERE"
+                    | "AND"
+                    | "AS"
+                    | "ORDER"
+                    | "BY"
+                    | "LIMIT"
+                    | "ASC"
+                    | "DESC"
+                    | "DISTINCT"
+            )
+        })
+    }
+
+    fn column() -> impl Strategy<Value = Expr> {
+        (ident(), ident()).prop_map(|(alias, column)| Expr::Column { alias, column })
+    }
+
+    fn literal() -> impl Strategy<Value = Expr> {
+        prop_oneof![
+            "[ -&(-~]{0,12}".prop_map(|s| Expr::Literal(Value::from(s))), // printable minus '\''
+            any::<i32>().prop_map(|i| Expr::Literal(Value::Int(i64::from(i)))),
+            (-1000i32..1000, 1u32..100)
+                .prop_map(|(a, b)| Expr::Literal(Value::Real(f64::from(a) + f64::from(b) / 100.0))),
+        ]
+    }
+
+    fn expr() -> impl Strategy<Value = Expr> {
+        prop_oneof![
+            column(),
+            literal(),
+            (column(), literal(), column()).prop_map(|(a, b, c)| Expr::Concat(vec![a, b, c])),
+        ]
+    }
+
+    fn compare_op() -> impl Strategy<Value = CompareOp> {
+        prop_oneof![
+            Just(CompareOp::Eq),
+            Just(CompareOp::Ne),
+            Just(CompareOp::Lt),
+            Just(CompareOp::Le),
+            Just(CompareOp::Gt),
+            Just(CompareOp::Ge),
+        ]
+    }
+
+    fn stmt() -> impl Strategy<Value = SelectStmt> {
+        (
+            any::<bool>(),
+            proptest::collection::vec(column(), 1..4),
+            proptest::collection::vec((ident(), ident()), 1..4),
+            proptest::collection::vec((expr(), compare_op(), expr()), 0..4),
+            proptest::collection::vec((column(), any::<bool>()), 0..3),
+            proptest::option::of(0u64..10_000),
+        )
+            .prop_map(
+                |(distinct, projections, tables, preds, order, limit)| SelectStmt {
+                    distinct,
+                    group_by: vec![],
+                    having: vec![],
+                    projection: Projection::Exprs(projections),
+                    from: tables
+                        .into_iter()
+                        .map(|(view, alias)| TableRef { view, alias })
+                        .collect(),
+                    predicates: preds
+                        .into_iter()
+                        .map(|(left, op, right)| Predicate { left, op, right })
+                        .collect(),
+                    order_by: order
+                        .into_iter()
+                        .map(|(expr, desc)| OrderItem { expr, desc })
+                        .collect(),
+                    limit,
+                },
+            )
+    }
+
+    proptest! {
+        #[test]
+        fn prop_display_parse_roundtrip(stmt in stmt()) {
+            let sql = stmt.to_string();
+            let parsed = parse_select(&sql)
+                .unwrap_or_else(|e| panic!("{sql:?} failed to parse: {e}"));
+            prop_assert_eq!(parsed, stmt, "{}", sql);
+        }
+    }
+}

@@ -1,0 +1,772 @@
+//! Resolution + calculus generation: SQL AST → ordered calculus.
+//!
+//! This is the paper's *calculus generator* (Fig. 5). The interesting work
+//! is handling *limited access patterns* [7]: every OWF input column must
+//! end up bound — by a constant predicate (`gp.place='Atlanta'`) or by
+//! another view's output (`gs.State=gp.state`) — and the atoms must be
+//! ordered so producers precede consumers. Equalities that cannot bind an
+//! input (output=constant, output=output) become `equal` filter atoms, and
+//! `+`-expressions become `concat` atoms, exactly as in the paper's central
+//! plans (Fig. 6 and Fig. 10).
+
+use std::collections::HashMap;
+
+use wsmed_store::Value;
+
+use crate::ast::{Expr, Projection, SelectStmt};
+use crate::calculus::{Atom, CalculusExpr, GroupPlan, OutputRef, Term, VarId};
+use crate::catalog::{Catalog, ViewKind};
+use crate::{SqlError, SqlResult};
+
+/// Generates the ordered calculus expression for a parsed query.
+pub fn generate_calculus(stmt: &SelectStmt, catalog: &dyn Catalog) -> SqlResult<CalculusExpr> {
+    let mut gen = Generator::new(catalog);
+    gen.add_from_items(stmt)?;
+    for pred in &stmt.predicates {
+        let left = gen.term_of_expr(&pred.left)?;
+        let right = gen.term_of_expr(&pred.right)?;
+        match pred.op.filter_function() {
+            // `=` binds: unify the two sides.
+            None => gen.unify(left, right),
+            // Inequalities filter: a helping-function atom with no outputs.
+            Some(function) => gen.atoms.push(Atom {
+                function: function.to_owned(),
+                kind: ViewKind::HelpingFunction,
+                inputs: vec![left, right],
+                outputs: vec![],
+            }),
+        }
+    }
+    gen.finish(stmt)
+}
+
+/// Union-find node state.
+#[derive(Debug, Clone)]
+struct VarInfo {
+    parent: VarId,
+    /// Constant bound to this class (only meaningful on roots).
+    constant: Option<Value>,
+    /// Preferred display name.
+    name: Option<String>,
+}
+
+struct Generator<'a> {
+    catalog: &'a dyn Catalog,
+    vars: Vec<VarInfo>,
+    /// Atom skeletons before substitution, in creation order.
+    atoms: Vec<Atom>,
+    /// alias → (atom index, view name).
+    aliases: HashMap<String, usize>,
+    /// Pairs of classes that were unified onto conflicting constants: the
+    /// query is unsatisfiable; an always-false filter is emitted.
+    contradiction: bool,
+}
+
+impl<'a> Generator<'a> {
+    fn new(catalog: &'a dyn Catalog) -> Self {
+        Generator {
+            catalog,
+            vars: Vec::new(),
+            atoms: Vec::new(),
+            aliases: HashMap::new(),
+            contradiction: false,
+        }
+    }
+
+    fn fresh_var(&mut self, name: Option<String>) -> VarId {
+        let id = self.vars.len();
+        self.vars.push(VarInfo {
+            parent: id,
+            constant: None,
+            name,
+        });
+        id
+    }
+
+    fn find(&mut self, v: VarId) -> VarId {
+        if self.vars[v].parent != v {
+            let root = self.find(self.vars[v].parent);
+            self.vars[v].parent = root;
+        }
+        self.vars[v].parent
+    }
+
+    fn union(&mut self, a: VarId, b: VarId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        // Merge rb into ra; keep the better name and check constants.
+        let b_const = self.vars[rb].constant.take();
+        let b_name = self.vars[rb].name.take();
+        self.vars[rb].parent = ra;
+        match (&self.vars[ra].constant, b_const) {
+            (Some(ca), Some(cb)) if *ca != cb => self.contradiction = true,
+            (None, Some(cb)) => self.vars[ra].constant = Some(cb),
+            _ => {}
+        }
+        if self.vars[ra].name.is_none() {
+            self.vars[ra].name = b_name;
+        }
+    }
+
+    fn bind_const(&mut self, v: VarId, value: Value) {
+        let root = self.find(v);
+        match &self.vars[root].constant {
+            Some(existing) if *existing != value => self.contradiction = true,
+            Some(_) => {}
+            None => self.vars[root].constant = Some(value),
+        }
+    }
+
+    fn add_from_items(&mut self, stmt: &SelectStmt) -> SqlResult<()> {
+        for table in &stmt.from {
+            if self.aliases.contains_key(&table.alias) {
+                return Err(SqlError::DuplicateAlias(table.alias.clone()));
+            }
+            let view = self
+                .catalog
+                .view(&table.view)
+                .ok_or_else(|| SqlError::UnknownName(table.view.clone()))?
+                .clone();
+            let inputs: Vec<Term> = view
+                .inputs
+                .iter()
+                .map(|(n, _)| Term::Var(self.fresh_var(Some(n.to_ascii_lowercase()))))
+                .collect();
+            let outputs: Vec<VarId> = view
+                .outputs
+                .iter()
+                .map(|(n, _)| self.fresh_var(Some(n.to_ascii_lowercase())))
+                .collect();
+            let idx = self.atoms.len();
+            self.atoms.push(Atom {
+                function: view.name.clone(),
+                kind: view.kind,
+                inputs,
+                outputs,
+            });
+            self.aliases.insert(table.alias.clone(), idx);
+        }
+        Ok(())
+    }
+
+    /// Resolves `alias.column` to the variable sitting in that slot.
+    fn column_var(&mut self, alias: &str, column: &str) -> SqlResult<VarId> {
+        let &atom_idx = self
+            .aliases
+            .get(alias)
+            .ok_or_else(|| SqlError::UnknownName(alias.to_owned()))?;
+        let view = self
+            .catalog
+            .view(&self.atoms[atom_idx].function)
+            .expect("view existed at FROM time");
+        let (is_input, pos, _ty) = view.column(column).ok_or_else(|| SqlError::UnknownColumn {
+            alias: alias.to_owned(),
+            column: column.to_owned(),
+        })?;
+        let var = if is_input {
+            self.atoms[atom_idx].inputs[pos]
+                .var()
+                .expect("input slots start as variables")
+        } else {
+            self.atoms[atom_idx].outputs[pos]
+        };
+        Ok(var)
+    }
+
+    /// Turns an expression into a term, creating `concat` atoms as needed.
+    fn term_of_expr(&mut self, expr: &Expr) -> SqlResult<Term> {
+        match expr {
+            Expr::Column { alias, column } => Ok(Term::Var(self.column_var(alias, column)?)),
+            Expr::Literal(v) => Ok(Term::Const(v.clone())),
+            Expr::Concat(parts) => {
+                let mut terms = Vec::with_capacity(parts.len());
+                for part in parts {
+                    match part {
+                        Expr::Concat(_) => {
+                            return Err(SqlError::Unsupported("nested concatenation".into()))
+                        }
+                        other => terms.push(self.term_of_expr(other)?),
+                    }
+                }
+                let out = self.fresh_var(Some("str".into()));
+                let function = match terms.len() {
+                    2 => "concat".to_owned(),
+                    3 => "concat3".to_owned(),
+                    n => {
+                        return Err(SqlError::Unsupported(format!(
+                            "{n}-way concatenation (2 or 3 parts supported)"
+                        )))
+                    }
+                };
+                self.atoms.push(Atom {
+                    function,
+                    kind: ViewKind::HelpingFunction,
+                    inputs: terms,
+                    outputs: vec![out],
+                });
+                Ok(Term::Var(out))
+            }
+            Expr::Aggregate { func, .. } => Err(SqlError::Unsupported(format!(
+                "aggregate {}() outside the SELECT list",
+                func.sql()
+            ))),
+        }
+    }
+
+    fn unify(&mut self, left: Term, right: Term) {
+        match (left, right) {
+            (Term::Var(a), Term::Var(b)) => self.union(a, b),
+            (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => {
+                self.bind_const(v, c)
+            }
+            (Term::Const(a), Term::Const(b)) => {
+                if a != b {
+                    self.contradiction = true;
+                }
+            }
+        }
+    }
+
+    /// Applies the substitution, plans filters, orders atoms, builds head.
+    fn finish(mut self, stmt: &SelectStmt) -> SqlResult<CalculusExpr> {
+        // ---- head (resolved before atoms are drained below) ---------------
+        // A lone COUNT(*) that *does* group routes through the grouped path.
+        let projection = match (&stmt.projection, stmt.group_by.is_empty()) {
+            (Projection::CountStar, false) => Projection::Exprs(vec![Expr::Aggregate {
+                func: crate::ast::AggFunc::Count,
+                arg: None,
+            }]),
+            (other, _) => other.clone(),
+        };
+        let is_grouped = !stmt.group_by.is_empty()
+            || matches!(&projection, Projection::Exprs(exprs)
+                if exprs.iter().any(|e| matches!(e, Expr::Aggregate { .. })));
+
+        let projections: Vec<Expr> = match &projection {
+            Projection::Exprs(exprs) => exprs.clone(),
+            // `SELECT *` / `COUNT(*)`: every column of every FROM view, in
+            // declaration order (for COUNT the head is collapsed below).
+            Projection::Star | Projection::CountStar => {
+                if matches!(projection, Projection::Star) && is_grouped {
+                    return Err(SqlError::Unsupported(
+                        "SELECT * with GROUP BY (list the grouped columns)".into(),
+                    ));
+                }
+                let mut exprs = Vec::new();
+                for table in &stmt.from {
+                    let view = self
+                        .catalog
+                        .view(&table.view)
+                        .expect("resolved during add_from_items");
+                    for (column, _) in view.inputs.iter().chain(view.outputs.iter()) {
+                        exprs.push(Expr::Column {
+                            alias: table.alias.clone(),
+                            column: column.clone(),
+                        });
+                    }
+                }
+                exprs
+            }
+        };
+
+        let resolve_column_term = |gen: &mut Self, alias: &str, column: &str| -> SqlResult<Term> {
+            let v = gen.column_var(alias, column)?;
+            let root = gen.find(v);
+            Ok(match gen.vars[root].constant.clone() {
+                Some(c) => Term::Const(c),
+                None => Term::Var(root),
+            })
+        };
+
+        let mut head = Vec::new();
+        let mut group = None;
+        if is_grouped {
+            // Keys first (GROUP BY order), then aggregate argument columns.
+            let mut key_names = Vec::with_capacity(stmt.group_by.len());
+            for key in &stmt.group_by {
+                let Expr::Column { alias, column } = key else {
+                    return Err(SqlError::Unsupported(format!(
+                        "GROUP BY {key} (only columns can be grouped)"
+                    )));
+                };
+                head.push(resolve_column_term(&mut self, alias, column)?);
+                key_names.push(column.to_ascii_lowercase());
+            }
+            let key_count = head.len();
+            let mut aggs = Vec::new();
+            let mut output = Vec::with_capacity(projections.len());
+            let mut output_names = Vec::with_capacity(projections.len());
+            for proj in &projections {
+                match proj {
+                    Expr::Aggregate { func, arg } => {
+                        let arg_pos = match arg.as_deref() {
+                            None => None,
+                            Some(Expr::Column { alias, column }) => {
+                                head.push(resolve_column_term(&mut self, alias, column)?);
+                                Some(head.len() - 1)
+                            }
+                            Some(other) => {
+                                return Err(SqlError::Unsupported(format!(
+                                    "aggregate over {other} (only columns)"
+                                )))
+                            }
+                        };
+                        output.push(OutputRef::Agg(aggs.len()));
+                        output_names.push(func.sql().to_owned());
+                        aggs.push((*func, arg_pos));
+                    }
+                    other => {
+                        let position =
+                            stmt.group_by
+                                .iter()
+                                .position(|g| g == other)
+                                .ok_or_else(|| {
+                                    SqlError::Unsupported(format!(
+                                        "{other} must appear in GROUP BY or inside an aggregate"
+                                    ))
+                                })?;
+                        output.push(OutputRef::Key(position));
+                        output_names.push(key_names[position].clone());
+                    }
+                }
+            }
+            // ---- HAVING: each side must be a selected item or a literal ----
+            let mut having = Vec::with_capacity(stmt.having.len());
+            for pred in &stmt.having {
+                let (item, op, literal) = match (&pred.left, &pred.right) {
+                    (l, Expr::Literal(v)) => (l, pred.op, v.clone()),
+                    (Expr::Literal(v), r) => (r, pred.op.flip(), v.clone()),
+                    _ => {
+                        return Err(SqlError::Unsupported(
+                            "HAVING must compare a selected item with a literal".into(),
+                        ))
+                    }
+                };
+                let position = projections.iter().position(|p| p == item).ok_or_else(|| {
+                    SqlError::Unsupported(format!("HAVING {item} must reference a selected item"))
+                })?;
+                let function = match op.filter_function() {
+                    Some(f) => f.to_owned(),
+                    None => "equal".to_owned(),
+                };
+                having.push((position, function, literal));
+            }
+            group = Some(GroupPlan {
+                key_count,
+                aggs,
+                output,
+                output_names,
+                having,
+            });
+        } else {
+            if !stmt.having.is_empty() {
+                return Err(SqlError::Unsupported(
+                    "HAVING without GROUP BY or aggregates".into(),
+                ));
+            }
+            for proj in &projections {
+                match proj {
+                    Expr::Column { alias, column } => {
+                        head.push(resolve_column_term(&mut self, alias, column)?);
+                    }
+                    Expr::Literal(v) => head.push(Term::Const(v.clone())),
+                    Expr::Concat(_) => {
+                        return Err(SqlError::Unsupported(
+                            "expressions in SELECT list (project a column instead)".into(),
+                        ))
+                    }
+                    Expr::Aggregate { .. } => {
+                        unreachable!("aggregates imply is_grouped")
+                    }
+                }
+            }
+        }
+
+        // Substitute roots/constants into atom inputs. Outputs stay
+        // variables (root representatives); output slots whose class holds
+        // a constant or that collide with an already-produced variable are
+        // handled during ordering below.
+        let mut atoms = std::mem::take(&mut self.atoms);
+        for atom in &mut atoms {
+            for term in &mut atom.inputs {
+                if let Term::Var(v) = term {
+                    let root = self.find(*v);
+                    *term = match self.vars[root].constant.clone() {
+                        Some(c) => Term::Const(c),
+                        None => Term::Var(root),
+                    };
+                }
+            }
+            for v in &mut atom.outputs {
+                *v = self.find(*v);
+            }
+        }
+
+        if self.contradiction {
+            // An unsatisfiable conjunction: prepend an always-false filter.
+            atoms.insert(
+                0,
+                Atom {
+                    function: "equal".into(),
+                    kind: ViewKind::HelpingFunction,
+                    inputs: vec![Term::Const(Value::Int(0)), Term::Const(Value::Int(1))],
+                    outputs: vec![],
+                },
+            );
+        }
+
+        // ---- order greedily by bound inputs -------------------------------
+        let mut ordered: Vec<Atom> = Vec::with_capacity(atoms.len());
+        let mut bound: Vec<VarId> = Vec::new();
+        let mut remaining: Vec<Atom> = atoms;
+        while !remaining.is_empty() {
+            // The paper's "simple heuristic web service cost model": web
+            // service operations are expensive, so among the placeable
+            // atoms prefer local helping functions (filters, concat) and
+            // break ties by original query order.
+            let pos = remaining
+                .iter()
+                .enumerate()
+                .filter(|(_, atom)| atom.input_vars().all(|v| bound.contains(&v)))
+                .min_by_key(|(i, atom)| (atom.is_owf(), *i))
+                .map(|(i, _)| i);
+            let Some(pos) = pos else {
+                let views: Vec<String> = remaining.iter().map(|a| a.function.clone()).collect();
+                return Err(SqlError::UnboundInputs { views });
+            };
+            let mut atom = remaining.remove(pos);
+
+            // Output slots that collide with an already-bound variable or a
+            // constant become fresh variables plus equal-filters.
+            let mut filters = Vec::new();
+            for out in &mut atom.outputs {
+                let root = *out;
+                let const_binding = self.vars[root].constant.clone();
+                if let Some(c) = const_binding {
+                    let fresh = self.fresh_var(self.vars[root].name.clone());
+                    filters.push(Atom {
+                        function: "equal".into(),
+                        kind: ViewKind::HelpingFunction,
+                        inputs: vec![Term::Const(c), Term::Var(fresh)],
+                        outputs: vec![],
+                    });
+                    // Later consumers of this class read the constant, so
+                    // rebinding the slot to a fresh var is safe.
+                    *out = fresh;
+                    bound.push(fresh);
+                } else if bound.contains(&root) {
+                    let fresh = self.vars[root].name.clone();
+                    let fresh = self.fresh_var(fresh);
+                    filters.push(Atom {
+                        function: "equal".into(),
+                        kind: ViewKind::HelpingFunction,
+                        inputs: vec![Term::Var(root), Term::Var(fresh)],
+                        outputs: vec![],
+                    });
+                    *out = fresh;
+                    bound.push(fresh);
+                } else {
+                    bound.push(root);
+                }
+            }
+            ordered.push(atom);
+            ordered.extend(filters);
+        }
+
+        let var_names = self
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v.name.clone().unwrap_or_else(|| format!("v{i}")))
+            .collect();
+
+        // ---- ORDER BY: each key must be a selected expression -------------
+        if matches!(projection, Projection::CountStar) && !stmt.order_by.is_empty() {
+            return Err(SqlError::Unsupported(
+                "ORDER BY with COUNT(*) (the result is a single row)".into(),
+            ));
+        }
+        let mut order_by = Vec::with_capacity(stmt.order_by.len());
+        for item in &stmt.order_by {
+            let position = projections
+                .iter()
+                .position(|p| p == &item.expr)
+                .ok_or_else(|| {
+                    SqlError::Unsupported(format!(
+                        "ORDER BY {} must reference a selected column",
+                        item.expr
+                    ))
+                })?;
+            order_by.push((position, item.desc));
+        }
+
+        Ok(CalculusExpr {
+            head,
+            atoms: ordered,
+            var_count: self.vars.len(),
+            var_names,
+            distinct: stmt.distinct,
+            order_by,
+            limit: stmt.limit.map(|n| n as usize),
+            count: matches!(projection, Projection::CountStar),
+            group,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{MapCatalog, ViewDef};
+    use crate::parser::parse_select;
+    use wsmed_store::SqlType;
+
+    /// Builds a catalog with the paper's four OWF views plus helpers.
+    pub fn paper_catalog() -> MapCatalog {
+        let mut cat = MapCatalog::with_helping_functions();
+        cat.add(ViewDef {
+            name: "GetAllStates".into(),
+            kind: ViewKind::Owf,
+            inputs: vec![],
+            outputs: vec![
+                ("Name".into(), SqlType::Charstring),
+                ("Type".into(), SqlType::Charstring),
+                ("State".into(), SqlType::Charstring),
+                ("LatDegrees".into(), SqlType::Real),
+                ("LonDegrees".into(), SqlType::Real),
+                ("LatRadians".into(), SqlType::Real),
+                ("LonRadians".into(), SqlType::Real),
+            ],
+        });
+        cat.add(ViewDef {
+            name: "GetPlacesWithin".into(),
+            kind: ViewKind::Owf,
+            inputs: vec![
+                ("place".into(), SqlType::Charstring),
+                ("state".into(), SqlType::Charstring),
+                ("distance".into(), SqlType::Real),
+                ("placeTypeToFind".into(), SqlType::Charstring),
+            ],
+            outputs: vec![
+                ("ToPlace".into(), SqlType::Charstring),
+                ("ToState".into(), SqlType::Charstring),
+                ("Distance".into(), SqlType::Real),
+            ],
+        });
+        cat.add(ViewDef {
+            name: "GetPlaceList".into(),
+            kind: ViewKind::Owf,
+            inputs: vec![
+                ("placeName".into(), SqlType::Charstring),
+                ("MaxItems".into(), SqlType::Integer),
+                ("imagePresence".into(), SqlType::Boolean),
+            ],
+            outputs: vec![
+                ("placename".into(), SqlType::Charstring),
+                ("state".into(), SqlType::Charstring),
+                ("country".into(), SqlType::Charstring),
+                ("placeLat".into(), SqlType::Real),
+                ("placeLon".into(), SqlType::Real),
+                ("availableThemeMask".into(), SqlType::Integer),
+                ("placeTypeId".into(), SqlType::Integer),
+                ("population".into(), SqlType::Integer),
+            ],
+        });
+        cat.add(ViewDef {
+            name: "GetInfoByState".into(),
+            kind: ViewKind::Owf,
+            inputs: vec![("USState".into(), SqlType::Charstring)],
+            outputs: vec![("GetInfoByStateResult".into(), SqlType::Charstring)],
+        });
+        cat.add(ViewDef {
+            name: "GetPlacesInside".into(),
+            kind: ViewKind::Owf,
+            inputs: vec![("zip".into(), SqlType::Charstring)],
+            outputs: vec![
+                ("ToPlace".into(), SqlType::Charstring),
+                ("ToState".into(), SqlType::Charstring),
+                ("Distance".into(), SqlType::Real),
+            ],
+        });
+        cat
+    }
+
+    const QUERY1: &str = "\
+        Select gl.placename, gl.state \
+        From GetAllStates gs, GetPlacesWithin gp, GetPlaceList gl \
+        Where gs.State=gp.state and gp.distance=15.0 \
+          and gp.placeTypeToFind='City' and gp.place='Atlanta' \
+          and gl.placeName=gp.ToPlace+', '+gp.ToState \
+          and gl.MaxItems=100 and gl.imagePresence='true'";
+
+    const QUERY2: &str = "\
+        select gp.ToState, gp.zip \
+        From GetAllStates gs, GetInfoByState gi, getzipcode gc, GetPlacesInside gp \
+        Where gs.State=gi.USState and gi.GetInfoByStateResult=gc.zipstr \
+          and gc.zipcode=gp.zip and gp.ToPlace='USAF Academy'";
+
+    #[test]
+    fn query1_calculus_matches_paper_shape() {
+        let stmt = parse_select(QUERY1).unwrap();
+        let calc = generate_calculus(&stmt, &paper_catalog()).unwrap();
+        let functions: Vec<&str> = calc.atoms.iter().map(|a| a.function.as_str()).collect();
+        assert_eq!(
+            functions,
+            vec!["GetAllStates", "GetPlacesWithin", "concat3", "GetPlaceList"]
+        );
+        assert_eq!(calc.first_ordering_violation(), None);
+        // GetPlacesWithin's inputs: 'Atlanta', st, 15.0, 'City' — exactly
+        // the paper's calculus (§IV).
+        let gpw = &calc.atoms[1];
+        assert_eq!(gpw.inputs[0], Term::Const(Value::str("Atlanta")));
+        assert!(matches!(gpw.inputs[1], Term::Var(_)));
+        assert_eq!(gpw.inputs[2], Term::Const(Value::Real(15.0)));
+        assert_eq!(gpw.inputs[3], Term::Const(Value::str("City")));
+        // GetPlaceList's first input is the concat result variable.
+        let gpl = &calc.atoms[3];
+        assert_eq!(gpl.inputs[1], Term::Const(Value::Int(100)));
+        assert_eq!(gpl.inputs[2], Term::Const(Value::str("true")));
+        assert_eq!(gpl.inputs[0].var(), calc.atoms[2].outputs.first().copied());
+        // Head projects GetPlaceList outputs.
+        assert_eq!(calc.head.len(), 2);
+        assert!(calc.head.iter().all(|t| matches!(t, Term::Var(_))));
+    }
+
+    #[test]
+    fn query2_calculus_matches_paper_shape() {
+        let stmt = parse_select(QUERY2).unwrap();
+        let calc = generate_calculus(&stmt, &paper_catalog()).unwrap();
+        let functions: Vec<&str> = calc.atoms.iter().map(|a| a.function.as_str()).collect();
+        // equal('USAF Academy', ToPlace) is a post-filter after
+        // GetPlacesInside, exactly as in Fig. 10.
+        assert_eq!(
+            functions,
+            vec![
+                "GetAllStates",
+                "GetInfoByState",
+                "getzipcode",
+                "GetPlacesInside",
+                "equal"
+            ]
+        );
+        assert_eq!(calc.first_ordering_violation(), None);
+        let filter = &calc.atoms[4];
+        assert!(filter
+            .inputs
+            .contains(&Term::Const(Value::str("USAF Academy"))));
+        assert!(filter.outputs.is_empty());
+    }
+
+    #[test]
+    fn display_resembles_paper_notation() {
+        let stmt = parse_select(QUERY2).unwrap();
+        let calc = generate_calculus(&stmt, &paper_catalog()).unwrap();
+        let s = calc.to_string();
+        assert!(
+            s.starts_with("Query(tostate, zipcode) :- GetAllStates("),
+            "{s}"
+        );
+        assert!(s.contains("GetPlacesInside(zipcode ->"), "{s}");
+        assert!(s.contains("equal("), "{s}");
+    }
+
+    #[test]
+    fn unknown_view_is_error() {
+        let stmt = parse_select("select a.x from Mystery a").unwrap();
+        assert!(matches!(
+            generate_calculus(&stmt, &paper_catalog()).unwrap_err(),
+            SqlError::UnknownName(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let stmt = parse_select("select gs.Bogus from GetAllStates gs").unwrap();
+        assert!(matches!(
+            generate_calculus(&stmt, &paper_catalog()).unwrap_err(),
+            SqlError::UnknownColumn { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_alias_is_error() {
+        let stmt = parse_select("select g.State from GetAllStates g, GetAllStates g").unwrap();
+        assert!(matches!(
+            generate_calculus(&stmt, &paper_catalog()).unwrap_err(),
+            SqlError::DuplicateAlias(_)
+        ));
+    }
+
+    #[test]
+    fn unbindable_inputs_is_error() {
+        // GetPlacesInside's zip input is never bound.
+        let stmt = parse_select("select gp.ToPlace from GetPlacesInside gp").unwrap();
+        match generate_calculus(&stmt, &paper_catalog()).unwrap_err() {
+            SqlError::UnboundInputs { views } => {
+                assert_eq!(views, vec!["GetPlacesInside".to_owned()])
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_constants_become_false_filter() {
+        let stmt = parse_select(
+            "select gp.ToPlace from GetPlacesInside gp where gp.zip='1' and gp.zip='2'",
+        )
+        .unwrap();
+        let calc = generate_calculus(&stmt, &paper_catalog()).unwrap();
+        assert_eq!(calc.atoms[0].function, "equal");
+        assert_eq!(
+            calc.atoms[0].inputs,
+            vec![Term::Const(Value::Int(0)), Term::Const(Value::Int(1))]
+        );
+    }
+
+    #[test]
+    fn output_output_join_becomes_filter() {
+        // Joining two output columns cannot bind anything; it checks.
+        let stmt = parse_select(
+            "select gp.ToPlace from GetPlacesInside gp, GetAllStates gs \
+             where gp.zip='80840' and gp.ToState=gs.State",
+        )
+        .unwrap();
+        let calc = generate_calculus(&stmt, &paper_catalog()).unwrap();
+        assert!(calc
+            .atoms
+            .iter()
+            .any(|a| a.function == "equal" && a.inputs.iter().all(|t| matches!(t, Term::Var(_)))));
+        assert_eq!(calc.first_ordering_violation(), None);
+    }
+
+    #[test]
+    fn constant_on_join_propagates_to_both_sides() {
+        // gs.State = gi.USState and gi.USState = 'CO' binds both slots.
+        let stmt = parse_select(
+            "select gi.GetInfoByStateResult from GetInfoByState gi where gi.USState='CO'",
+        )
+        .unwrap();
+        let calc = generate_calculus(&stmt, &paper_catalog()).unwrap();
+        assert_eq!(calc.atoms[0].inputs[0], Term::Const(Value::str("CO")));
+    }
+
+    #[test]
+    fn projecting_an_input_column_works() {
+        // Query2 projects gp.zip — an *input* of GetPlacesInside.
+        let stmt = parse_select(QUERY2).unwrap();
+        let calc = generate_calculus(&stmt, &paper_catalog()).unwrap();
+        // zip's variable is getzipcode's output, which is bound before
+        // GetPlacesInside runs.
+        let zip_term = &calc.head[1];
+        let zip_var = zip_term.var().expect("zip is a variable");
+        let producer = calc
+            .atoms
+            .iter()
+            .position(|a| a.outputs.contains(&zip_var))
+            .expect("zip var is produced");
+        assert_eq!(calc.atoms[producer].function, "getzipcode");
+    }
+}

@@ -1,0 +1,95 @@
+//! Errors raised by the store and by helping-function evaluation.
+
+use std::fmt;
+
+/// Result alias for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// Errors from value access, coercion and function application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A record had no attribute with the given name.
+    NoSuchAttribute {
+        /// Attribute that was requested.
+        attribute: String,
+        /// Attributes the record actually has.
+        available: Vec<String>,
+    },
+    /// A value had the wrong kind for the requested operation.
+    TypeMismatch {
+        /// What the caller expected, e.g. `"Charstring"`.
+        expected: String,
+        /// Short description of the actual value.
+        actual: String,
+    },
+    /// A function was called with the wrong number of arguments.
+    ArityMismatch {
+        /// Function name.
+        function: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Actual argument count.
+        actual: usize,
+    },
+    /// No function registered under this name.
+    UnknownFunction(String),
+    /// A function failed while evaluating.
+    EvalError {
+        /// Function name.
+        function: String,
+        /// Description of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NoSuchAttribute {
+                attribute,
+                available,
+            } => {
+                write!(f, "no attribute {attribute:?} (record has {available:?})")
+            }
+            StoreError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            StoreError::ArityMismatch {
+                function,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "function {function:?} expects {expected} argument(s), got {actual}"
+            ),
+            StoreError::UnknownFunction(name) => write!(f, "unknown function {name:?}"),
+            StoreError::EvalError { function, message } => {
+                write!(f, "error evaluating {function:?}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = StoreError::NoSuchAttribute {
+            attribute: "State".into(),
+            available: vec!["Name".into()],
+        };
+        assert!(e.to_string().contains("State"));
+        let e = StoreError::ArityMismatch {
+            function: "concat".into(),
+            expected: 2,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("concat"));
+        let e = StoreError::UnknownFunction("nope".into());
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,395 @@
+//! The helping-function registry.
+//!
+//! In WSMED, the γ (apply) operator applies a *function* to an argument
+//! tuple and emits a bag of result tuples (Fig. 6/10 in the paper). Besides
+//! OWFs — which the mediator registers at WSDL-import time — queries use
+//! *helping functions* such as `getzipcode` (split a comma-separated zip
+//! string), `concat` (string concatenation) and `equal` (a predicate that
+//! emits one empty tuple when its arguments match and nothing otherwise).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{SqlType, StoreError, StoreResult, Tuple, Value};
+
+/// The native implementation of a function: argument values in, bag of
+/// result tuples out.
+pub type NativeFn = Arc<dyn Fn(&[Value]) -> StoreResult<Vec<Tuple>> + Send + Sync>;
+
+/// A function signature: typed input parameters and output columns.
+///
+/// Mirrors the paper's notation, e.g.
+/// `PF3(Charstring st1) -> Stream of Charstring zc`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Input parameter names and types (inputs are the `-` adornments).
+    pub inputs: Vec<(String, SqlType)>,
+    /// Output column names and types (outputs are the `+` adornments).
+    pub outputs: Vec<(String, SqlType)>,
+}
+
+impl Signature {
+    /// Creates a signature from slices of `(name, type)` pairs.
+    pub fn of(inputs: &[(&str, SqlType)], outputs: &[(&str, SqlType)]) -> Self {
+        Signature {
+            inputs: inputs.iter().map(|(n, t)| ((*n).to_owned(), *t)).collect(),
+            outputs: outputs.iter().map(|(n, t)| ((*n).to_owned(), *t)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, (n, t)) in self.inputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t} {n}")?;
+        }
+        write!(f, ") -> Stream of <")?;
+        for (i, (n, t)) in self.outputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t} {n}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// A registry of named functions with signatures.
+#[derive(Clone, Default)]
+pub struct FunctionRegistry {
+    functions: HashMap<String, (Signature, NativeFn)>,
+}
+
+impl FunctionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        FunctionRegistry::default()
+    }
+
+    /// Creates a registry preloaded with the built-in helping functions.
+    pub fn with_builtins() -> Self {
+        let mut reg = FunctionRegistry::new();
+        install_builtins(&mut reg);
+        reg
+    }
+
+    /// Registers a function, replacing any previous definition.
+    pub fn register(&mut self, name: impl Into<String>, signature: Signature, body: NativeFn) {
+        self.functions.insert(name.into(), (signature, body));
+    }
+
+    /// Looks up a function's signature.
+    pub fn signature(&self, name: &str) -> StoreResult<&Signature> {
+        self.functions
+            .get(name)
+            .map(|(sig, _)| sig)
+            .ok_or_else(|| StoreError::UnknownFunction(name.to_owned()))
+    }
+
+    /// True if a function with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.functions.contains_key(name)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.functions.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Applies a function to argument values, checking arity.
+    pub fn apply(&self, name: &str, args: &[Value]) -> StoreResult<Vec<Tuple>> {
+        let (sig, body) = self
+            .functions
+            .get(name)
+            .ok_or_else(|| StoreError::UnknownFunction(name.to_owned()))?;
+        if args.len() != sig.inputs.len() {
+            return Err(StoreError::ArityMismatch {
+                function: name.to_owned(),
+                expected: sig.inputs.len(),
+                actual: args.len(),
+            });
+        }
+        body(args)
+    }
+}
+
+impl fmt::Debug for FunctionRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FunctionRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+/// Installs the built-in helping functions used by the paper's queries:
+///
+/// * `concat(Charstring…) -> Charstring` — string concatenation (the query
+///   compiler turns SQL `+` on strings into `concat`);
+/// * `getzipcode(Charstring zipstr) -> Stream of Charstring zipcode` —
+///   splits USZip's comma-separated zip string (§II.B);
+/// * `equal(a, b)` — predicate: emits one empty tuple iff `a = b` (used to
+///   post-filter `gp.ToPlace='USAF Academy'` in Fig. 10).
+pub fn install_builtins(reg: &mut FunctionRegistry) {
+    reg.register(
+        "concat",
+        Signature::of(
+            &[("a", SqlType::Charstring), ("b", SqlType::Charstring)],
+            &[("result", SqlType::Charstring)],
+        ),
+        Arc::new(|args| {
+            let mut out = String::new();
+            for a in args {
+                out.push_str(a.as_str()?);
+            }
+            Ok(vec![Tuple::new(vec![Value::from(out)])])
+        }),
+    );
+    // concat3 joins three strings — Query1 builds `ToPlace + ', ' + ToState`.
+    reg.register(
+        "concat3",
+        Signature::of(
+            &[
+                ("a", SqlType::Charstring),
+                ("b", SqlType::Charstring),
+                ("c", SqlType::Charstring),
+            ],
+            &[("result", SqlType::Charstring)],
+        ),
+        Arc::new(|args| {
+            let mut out = String::new();
+            for a in args {
+                out.push_str(a.as_str()?);
+            }
+            Ok(vec![Tuple::new(vec![Value::from(out)])])
+        }),
+    );
+    reg.register(
+        "getzipcode",
+        Signature::of(
+            &[("zipstr", SqlType::Charstring)],
+            &[("zipcode", SqlType::Charstring)],
+        ),
+        Arc::new(|args| {
+            let zipstr = args[0].as_str()?;
+            Ok(zipstr
+                .split(',')
+                .map(str::trim)
+                .filter(|z| !z.is_empty())
+                .map(|z| Tuple::new(vec![Value::str(z)]))
+                .collect())
+        }),
+    );
+    reg.register(
+        "equal",
+        Signature::of(
+            &[("a", SqlType::Charstring), ("b", SqlType::Charstring)],
+            &[],
+        ),
+        Arc::new(|args| {
+            if args[0] == args[1] {
+                Ok(vec![Tuple::empty()])
+            } else {
+                Ok(Vec::new())
+            }
+        }),
+    );
+    // Comparison predicates backing SQL's <, <=, >, >=, <> filters. Numeric
+    // arguments compare numerically (Int/Real mix allowed), strings compare
+    // lexicographically; anything else is a type mismatch.
+    for (name, keep) in [
+        ("lt", [std::cmp::Ordering::Less].as_slice()),
+        ("le", &[std::cmp::Ordering::Less, std::cmp::Ordering::Equal]),
+        ("gt", &[std::cmp::Ordering::Greater]),
+        (
+            "ge",
+            &[std::cmp::Ordering::Greater, std::cmp::Ordering::Equal],
+        ),
+        (
+            "ne",
+            &[std::cmp::Ordering::Less, std::cmp::Ordering::Greater],
+        ),
+    ] {
+        let keep = keep.to_vec();
+        reg.register(
+            name,
+            Signature::of(
+                &[("a", SqlType::Charstring), ("b", SqlType::Charstring)],
+                &[],
+            ),
+            Arc::new(move |args| {
+                let ord = compare_values(&args[0], &args[1])?;
+                if keep.contains(&ord) {
+                    Ok(vec![Tuple::empty()])
+                } else {
+                    Ok(Vec::new())
+                }
+            }),
+        );
+    }
+}
+
+/// SQL comparison semantics for the filter builtins.
+fn compare_values(a: &Value, b: &Value) -> StoreResult<std::cmp::Ordering> {
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => Ok(x.cmp(y)),
+        (Value::Int(x), Value::Int(y)) => Ok(x.cmp(y)),
+        (Value::Real(_) | Value::Int(_), Value::Real(_) | Value::Int(_)) => {
+            Ok(a.as_real()?.total_cmp(&b.as_real()?))
+        }
+        (Value::Bool(x), Value::Bool(y)) => Ok(x.cmp(y)),
+        _ => Err(crate::StoreError::TypeMismatch {
+            expected: format!("comparable to {}", a.kind()),
+            actual: b.kind().into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_present() {
+        let reg = FunctionRegistry::with_builtins();
+        for name in [
+            "concat",
+            "concat3",
+            "getzipcode",
+            "equal",
+            "lt",
+            "le",
+            "gt",
+            "ge",
+            "ne",
+        ] {
+            assert!(reg.contains(name), "missing builtin {name}");
+        }
+    }
+
+    #[test]
+    fn comparison_filters() {
+        let reg = FunctionRegistry::with_builtins();
+        let hit = |f: &str, a: Value, b: Value| !reg.apply(f, &[a, b]).unwrap().is_empty();
+        assert!(hit("lt", Value::Int(1), Value::Int(2)));
+        assert!(!hit("lt", Value::Int(2), Value::Int(2)));
+        assert!(hit("le", Value::Int(2), Value::Int(2)));
+        assert!(hit("gt", Value::Real(2.5), Value::Int(2)));
+        assert!(hit("ge", Value::Int(3), Value::Real(2.5)));
+        assert!(hit("ne", Value::str("a"), Value::str("b")));
+        assert!(!hit("ne", Value::str("a"), Value::str("a")));
+        // Lexicographic string comparison.
+        assert!(hit("lt", Value::str("Alabama"), Value::str("Wyoming")));
+        // Mixed incomparable types error.
+        assert!(reg.apply("lt", &[Value::str("a"), Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn concat_joins() {
+        let reg = FunctionRegistry::with_builtins();
+        let rows = reg
+            .apply("concat", &[Value::str("Atlanta"), Value::str(", GA")])
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0).as_str().unwrap(), "Atlanta, GA");
+    }
+
+    #[test]
+    fn concat3_joins_three() {
+        let reg = FunctionRegistry::with_builtins();
+        let rows = reg
+            .apply(
+                "concat3",
+                &[Value::str("Atlanta"), Value::str(", "), Value::str("GA")],
+            )
+            .unwrap();
+        assert_eq!(rows[0].get(0).as_str().unwrap(), "Atlanta, GA");
+    }
+
+    #[test]
+    fn getzipcode_splits_and_trims() {
+        let reg = FunctionRegistry::with_builtins();
+        let rows = reg
+            .apply("getzipcode", &[Value::str("80840, 80841 ,80901,")])
+            .unwrap();
+        let zips: Vec<&str> = rows.iter().map(|t| t.get(0).as_str().unwrap()).collect();
+        assert_eq!(zips, vec!["80840", "80841", "80901"]);
+    }
+
+    #[test]
+    fn getzipcode_empty_string_yields_nothing() {
+        let reg = FunctionRegistry::with_builtins();
+        assert!(reg
+            .apply("getzipcode", &[Value::str("")])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn equal_acts_as_filter() {
+        let reg = FunctionRegistry::with_builtins();
+        let hit = reg
+            .apply("equal", &[Value::str("x"), Value::str("x")])
+            .unwrap();
+        assert_eq!(hit, vec![Tuple::empty()]);
+        let miss = reg
+            .apply("equal", &[Value::str("x"), Value::str("y")])
+            .unwrap();
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let reg = FunctionRegistry::with_builtins();
+        let err = reg.apply("equal", &[Value::str("x")]).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::ArityMismatch {
+                expected: 2,
+                actual: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let reg = FunctionRegistry::with_builtins();
+        assert!(matches!(
+            reg.apply("nope", &[]).unwrap_err(),
+            StoreError::UnknownFunction(_)
+        ));
+        assert!(reg.signature("nope").is_err());
+    }
+
+    #[test]
+    fn custom_registration_and_signature_display() {
+        let mut reg = FunctionRegistry::new();
+        let sig = Signature::of(
+            &[("st", SqlType::Charstring)],
+            &[("zip", SqlType::Charstring), ("dist", SqlType::Real)],
+        );
+        assert_eq!(
+            sig.to_string(),
+            "(Charstring st) -> Stream of <Charstring zip, Real dist>"
+        );
+        reg.register("f", sig.clone(), Arc::new(|_| Ok(Vec::new())));
+        assert_eq!(reg.signature("f").unwrap(), &sig);
+        assert!(reg.apply("f", &[Value::Null]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn concat_rejects_non_strings() {
+        let reg = FunctionRegistry::with_builtins();
+        let err = reg
+            .apply("concat", &[Value::Int(1), Value::str("a")])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::TypeMismatch { .. }));
+    }
+}

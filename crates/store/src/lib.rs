@@ -1,0 +1,34 @@
+#![deny(missing_docs)]
+
+//! # wsmed-store
+//!
+//! The functional main-memory data model underneath WSMED, modeled on the
+//! Amos II functional DBMS the paper builds on (reference \[14\] in the paper).
+//!
+//! WSMED's operation wrapper functions (OWFs, Fig. 2 in the paper) convert
+//! the XML output of a web service operation into *records* and *sequences*,
+//! then flatten them into streams of typed tuples. This crate provides:
+//!
+//! * [`Value`] — the dynamic value universe: strings, reals, integers,
+//!   booleans, records, sequences and bags;
+//! * [`Tuple`] and [`Schema`] — flat rows with named, typed columns;
+//! * [`xml_to_value`] — the XML → record/sequence conversion performed by
+//!   the `cwo` built-in when a web service response is materialized in the
+//!   local store;
+//! * [`FunctionRegistry`] — the helping functions a query may apply
+//!   (`getzipcode`, `concat`, `equal`, …) plus an extension point for the
+//!   mediator to register OWFs.
+
+mod error;
+mod functions;
+mod tuple;
+mod types;
+mod value;
+mod xmlval;
+
+pub use error::{StoreError, StoreResult};
+pub use functions::{install_builtins, FunctionRegistry, NativeFn, Signature};
+pub use tuple::{canonicalize, Schema, Tuple};
+pub use types::SqlType;
+pub use value::{Record, Value};
+pub use xmlval::{value_to_xml, xml_to_value};

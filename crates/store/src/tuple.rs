@@ -1,0 +1,264 @@
+//! Flat tuples and schemas — the rows flowing through execution plans.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{SqlType, Value};
+
+/// A flat row of values. Cloning is cheap-ish (values are mostly `Arc`s).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// The empty tuple (used by predicates that act as filters).
+    pub fn empty() -> Self {
+        Tuple::default()
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column access by position.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consumes the tuple, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Concatenates two tuples (parent columns ⊕ function result columns,
+    /// as the γ apply operator does).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple::new(values)
+    }
+
+    /// Projects the tuple onto the given column positions.
+    pub fn project(&self, columns: &[usize]) -> Tuple {
+        Tuple::new(columns.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Deterministic ordering for result comparison in tests.
+    pub fn total_cmp(&self, other: &Tuple) -> std::cmp::Ordering {
+        for (a, b) in self.values.iter().zip(other.values.iter()) {
+            match a.total_cmp(b) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        self.values.len().cmp(&other.values.len())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+/// Sorts a bag of tuples into a canonical order (testing helper: parallel
+/// plans produce results in nondeterministic order but the *bag* must match
+/// the central plan's).
+pub fn canonicalize(mut tuples: Vec<Tuple>) -> Vec<Tuple> {
+    tuples.sort_by(|a, b| a.total_cmp(b));
+    tuples
+}
+
+/// Column names and types of a tuple stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<(Arc<str>, SqlType)>,
+}
+
+impl Schema {
+    /// Creates a schema from `(name, type)` pairs.
+    pub fn new(columns: Vec<(Arc<str>, SqlType)>) -> Self {
+        Schema { columns }
+    }
+
+    /// Convenience constructor from `&str` names.
+    pub fn of(columns: &[(&str, SqlType)]) -> Self {
+        Schema {
+            columns: columns.iter().map(|(n, t)| (Arc::from(*n), *t)).collect(),
+        }
+    }
+
+    /// The empty schema.
+    pub fn empty() -> Self {
+        Schema::default()
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column name at position `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.columns[i].0
+    }
+
+    /// Column type at position `i`.
+    pub fn sql_type(&self, i: usize) -> SqlType {
+        self.columns[i].1
+    }
+
+    /// Position of the column with the given name.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|(n, _)| &**n == name)
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[(Arc<str>, SqlType)] {
+        &self.columns
+    }
+
+    /// Concatenates two schemas (mirrors [`Tuple::concat`]).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Projects onto the given positions (mirrors [`Tuple::project`]).
+    pub fn project(&self, positions: &[usize]) -> Schema {
+        Schema {
+            columns: positions.iter().map(|&i| self.columns[i].clone()).collect(),
+        }
+    }
+
+    /// Checks that a tuple inhabits this schema.
+    pub fn admits(&self, tuple: &Tuple) -> bool {
+        tuple.arity() == self.arity()
+            && tuple
+                .values()
+                .iter()
+                .zip(self.columns.iter())
+                .all(|(v, (_, t))| t.admits(v))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, (n, t)) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n} {t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = t(&[1, 2]);
+        let b = t(&[3]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.project(&[2, 0]), t(&[3, 1]));
+    }
+
+    #[test]
+    fn display_tuple() {
+        let tup = Tuple::new(vec![Value::str("CO"), Value::Real(1.5)]);
+        assert_eq!(tup.to_string(), "<\"CO\", 1.5>");
+        assert_eq!(Tuple::empty().to_string(), "<>");
+    }
+
+    #[test]
+    fn canonicalize_sorts() {
+        let bag = vec![t(&[3]), t(&[1]), t(&[2])];
+        let sorted = canonicalize(bag);
+        assert_eq!(sorted, vec![t(&[1]), t(&[2]), t(&[3])]);
+    }
+
+    #[test]
+    fn canonicalize_is_order_insensitive() {
+        let a = canonicalize(vec![t(&[1, 2]), t(&[3, 4]), t(&[1, 1])]);
+        let b = canonicalize(vec![t(&[3, 4]), t(&[1, 1]), t(&[1, 2])]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn schema_lookup_and_concat() {
+        let s1 = Schema::of(&[("state", SqlType::Charstring)]);
+        let s2 = Schema::of(&[("lat", SqlType::Real), ("lon", SqlType::Real)]);
+        let s = s1.concat(&s2);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.position("lat"), Some(1));
+        assert_eq!(s.position("nope"), None);
+        assert_eq!(s.name(0), "state");
+        assert_eq!(s.sql_type(2), SqlType::Real);
+    }
+
+    #[test]
+    fn schema_admits() {
+        let s = Schema::of(&[("a", SqlType::Charstring), ("b", SqlType::Real)]);
+        assert!(s.admits(&Tuple::new(vec![Value::str("x"), Value::Real(1.0)])));
+        assert!(s.admits(&Tuple::new(vec![Value::Null, Value::Int(1)])));
+        assert!(!s.admits(&Tuple::new(vec![Value::str("x")])));
+        assert!(!s.admits(&Tuple::new(vec![Value::Real(1.0), Value::Real(1.0)])));
+    }
+
+    #[test]
+    fn schema_project() {
+        let s = Schema::of(&[("a", SqlType::Charstring), ("b", SqlType::Real)]);
+        let p = s.project(&[1]);
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.name(0), "b");
+    }
+
+    #[test]
+    fn tuple_total_cmp_handles_prefixes() {
+        use std::cmp::Ordering;
+        assert_eq!(t(&[1]).total_cmp(&t(&[1, 2])), Ordering::Less);
+        assert_eq!(t(&[2]).total_cmp(&t(&[1, 2])), Ordering::Greater);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests for the value model's ordering invariants — the bag
+//! comparison every cross-strategy equivalence test relies on.
+
+use proptest::prelude::*;
+use wsmed_store::{canonicalize, Record, Tuple, Value};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Real),
+        "[ -~]{0,12}".prop_map(Value::from),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Value::Sequence),
+            proptest::collection::vec(("[a-z]{1,4}", inner), 0..3).prop_map(|fields| {
+                let mut r = Record::new();
+                for (k, v) in fields {
+                    r.set(k, v);
+                }
+                Value::Record(r)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn prop_total_cmp_antisymmetric(a in value_strategy(), b in value_strategy()) {
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+    }
+
+    #[test]
+    fn prop_total_cmp_sort_is_consistent(
+        a in value_strategy(),
+        b in value_strategy(),
+        c in value_strategy(),
+    ) {
+        use std::cmp::Ordering::Greater;
+        let mut values = [a, b, c];
+        values.sort_by(|x, y| x.total_cmp(y));
+        for pair in values.windows(2) {
+            prop_assert_ne!(pair[0].total_cmp(&pair[1]), Greater);
+        }
+    }
+
+    #[test]
+    fn prop_canonicalize_is_permutation_invariant(
+        tuples in proptest::collection::vec(
+            proptest::collection::vec(value_strategy(), 0..3).prop_map(Tuple::new),
+            0..6,
+        ),
+        seed in any::<u64>(),
+    ) {
+        // Shuffle deterministically with a tiny LCG.
+        let mut shuffled = tuples.clone();
+        let mut state = seed;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(canonicalize(tuples), canonicalize(shuffled));
+    }
+}

@@ -1,0 +1,94 @@
+//! WSDL import errors.
+
+use std::fmt;
+
+/// Result alias for WSDL operations.
+pub type WsdlResult<T> = Result<T, WsdlError>;
+
+/// Errors raised while parsing a WSDL document or deriving OWFs from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WsdlError {
+    /// Underlying XML was malformed.
+    Xml(String),
+    /// The document is missing a required WSDL construct.
+    MissingConstruct(String),
+    /// An element referenced a message/element/type that does not exist.
+    DanglingReference {
+        /// What kind of thing was referenced (message, element, …).
+        kind: &'static str,
+        /// The missing name.
+        name: String,
+    },
+    /// A schema type was not representable in the supported subset.
+    UnsupportedType {
+        /// Where the unsupported construct appeared.
+        context: String,
+        /// Description of what was unsupported.
+        detail: String,
+    },
+    /// The operation's result shape cannot be flattened into tuples.
+    NotFlattenable {
+        /// The operation whose result resisted flattening.
+        operation: String,
+        /// Why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WsdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WsdlError::Xml(msg) => write!(f, "WSDL is not well-formed XML: {msg}"),
+            WsdlError::MissingConstruct(what) => write!(f, "WSDL is missing {what}"),
+            WsdlError::DanglingReference { kind, name } => {
+                write!(f, "WSDL references unknown {kind} {name:?}")
+            }
+            WsdlError::UnsupportedType { context, detail } => {
+                write!(f, "unsupported schema construct in {context}: {detail}")
+            }
+            WsdlError::NotFlattenable { operation, reason } => {
+                write!(
+                    f,
+                    "cannot flatten result of operation {operation:?}: {reason}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WsdlError {}
+
+impl From<wsmed_xml::XmlError> for WsdlError {
+    fn from(e: wsmed_xml::XmlError) -> Self {
+        WsdlError::Xml(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(WsdlError::MissingConstruct("portType".into())
+            .to_string()
+            .contains("portType"));
+        let e = WsdlError::DanglingReference {
+            kind: "message",
+            name: "M".into(),
+        };
+        assert!(e.to_string().contains("message"));
+        let e = WsdlError::NotFlattenable {
+            operation: "Op".into(),
+            reason: "empty".into(),
+        };
+        assert!(e.to_string().contains("Op"));
+    }
+
+    #[test]
+    fn from_xml_error() {
+        let xml_err = wsmed_xml::parse("<a>").unwrap_err();
+        let e: WsdlError = xml_err.into();
+        assert!(matches!(e, WsdlError::Xml(_)));
+    }
+}

@@ -1,0 +1,200 @@
+//! In-memory model of an imported WSDL document.
+
+use std::fmt;
+
+use wsmed_store::SqlType;
+
+/// The result-type tree of an operation, as declared in the WSDL schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeNode {
+    /// A scalar element, e.g. `<element name="State" type="xsd:string"/>`.
+    Scalar {
+        /// Element name.
+        name: String,
+        /// Scalar type.
+        ty: SqlType,
+    },
+    /// A complex element containing a fixed sequence of child elements.
+    Record {
+        /// Element name.
+        name: String,
+        /// Child elements in declaration order.
+        fields: Vec<TypeNode>,
+    },
+    /// A repeated element (`maxOccurs="unbounded"`) of a given shape.
+    Repeated {
+        /// The repeated element's shape.
+        element: Box<TypeNode>,
+    },
+}
+
+impl TypeNode {
+    /// Name of the element this node declares.
+    pub fn name(&self) -> &str {
+        match self {
+            TypeNode::Scalar { name, .. } | TypeNode::Record { name, .. } => name,
+            TypeNode::Repeated { element } => element.name(),
+        }
+    }
+
+    /// True if this node (after unwrapping repetition) is a record whose
+    /// fields are all scalars — the "row shape" OWF flattening looks for.
+    pub fn is_scalar_record(&self) -> bool {
+        match self {
+            TypeNode::Record { fields, .. } => {
+                !fields.is_empty() && fields.iter().all(|f| matches!(f, TypeNode::Scalar { .. }))
+            }
+            TypeNode::Repeated { element } => element.is_scalar_record(),
+            TypeNode::Scalar { .. } => false,
+        }
+    }
+
+    /// Depth of the type tree (a scalar has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            TypeNode::Scalar { .. } => 1,
+            TypeNode::Record { fields, .. } => {
+                1 + fields.iter().map(TypeNode::depth).max().unwrap_or(0)
+            }
+            TypeNode::Repeated { element } => element.depth(),
+        }
+    }
+}
+
+impl fmt::Display for TypeNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeNode::Scalar { name, ty } => write!(f, "{name}: {ty}"),
+            TypeNode::Record { name, fields } => {
+                write!(f, "{name} {{")?;
+                for (i, field) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{field}")?;
+                }
+                write!(f, "}}")
+            }
+            TypeNode::Repeated { element } => write!(f, "{element}*"),
+        }
+    }
+}
+
+/// One web service operation: its input scalars and nested output tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperationDef {
+    /// Operation name, e.g. `GetPlacesWithin`.
+    pub name: String,
+    /// Input parameters in declaration order.
+    pub inputs: Vec<(String, SqlType)>,
+    /// The response element's type tree (root is `<Op>Response`).
+    pub output: TypeNode,
+    /// Optional human documentation from `<documentation>`.
+    pub doc: Option<String>,
+}
+
+/// A parsed WSDL document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WsdlDocument {
+    /// Service name from `<service name=…>` (falls back to `<definitions name=…>`).
+    pub service_name: String,
+    /// Target namespace URI.
+    pub target_namespace: String,
+    /// Operations declared by the port type.
+    pub operations: Vec<OperationDef>,
+}
+
+impl WsdlDocument {
+    /// Finds an operation by name.
+    pub fn operation(&self, name: &str) -> Option<&OperationDef> {
+        self.operations.iter().find(|op| op.name == name)
+    }
+
+    /// Operation names in declaration order.
+    pub fn operation_names(&self) -> Vec<&str> {
+        self.operations.iter().map(|op| op.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(name: &str) -> TypeNode {
+        TypeNode::Scalar {
+            name: name.into(),
+            ty: SqlType::Charstring,
+        }
+    }
+
+    #[test]
+    fn scalar_record_detection() {
+        let row = TypeNode::Record {
+            name: "GeoPlaceDetails".into(),
+            fields: vec![scalar("Name"), scalar("State")],
+        };
+        assert!(row.is_scalar_record());
+        let repeated = TypeNode::Repeated {
+            element: Box::new(row.clone()),
+        };
+        assert!(repeated.is_scalar_record());
+        assert!(!scalar("x").is_scalar_record());
+        let nested = TypeNode::Record {
+            name: "R".into(),
+            fields: vec![repeated],
+        };
+        assert!(!nested.is_scalar_record());
+        let empty = TypeNode::Record {
+            name: "E".into(),
+            fields: vec![],
+        };
+        assert!(!empty.is_scalar_record());
+    }
+
+    #[test]
+    fn depth_counts_nesting() {
+        let row = TypeNode::Record {
+            name: "Row".into(),
+            fields: vec![scalar("a")],
+        };
+        assert_eq!(row.depth(), 2);
+        let outer = TypeNode::Record {
+            name: "Out".into(),
+            fields: vec![TypeNode::Repeated {
+                element: Box::new(row),
+            }],
+        };
+        assert_eq!(outer.depth(), 3);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = TypeNode::Record {
+            name: "R".into(),
+            fields: vec![
+                scalar("a"),
+                TypeNode::Repeated {
+                    element: Box::new(scalar("b")),
+                },
+            ],
+        };
+        assert_eq!(t.to_string(), "R {a: Charstring, b: Charstring*}");
+    }
+
+    #[test]
+    fn document_lookup() {
+        let doc = WsdlDocument {
+            service_name: "GeoPlaces".into(),
+            target_namespace: "urn:geo".into(),
+            operations: vec![OperationDef {
+                name: "GetAllStates".into(),
+                inputs: vec![],
+                output: scalar("GetAllStatesResponse"),
+                doc: None,
+            }],
+        };
+        assert!(doc.operation("GetAllStates").is_some());
+        assert!(doc.operation("Nope").is_none());
+        assert_eq!(doc.operation_names(), vec!["GetAllStates"]);
+    }
+}

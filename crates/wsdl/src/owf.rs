@@ -1,0 +1,414 @@
+//! Operation wrapper function (OWF) generation and result flattening.
+//!
+//! For each imported web service operation, WSMED automatically generates an
+//! OWF (Fig. 2 in the paper): a function that calls the operation via the
+//! `cwo` built-in and flattens the nested XML result into a stream of typed
+//! tuples. The OWF also defines an SQL **view** of the operation whose
+//! columns are the input parameters followed by the flattened output columns
+//! — queries constrain the input columns with equality predicates
+//! (`gp.place='Atlanta'`) and read the output columns.
+
+use wsmed_store::{Schema, SqlType, StoreResult, Tuple, Value};
+
+use crate::{OperationDef, TypeNode, WsdlError, WsdlResult};
+
+/// How to flatten a converted response value into tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlattenSpec {
+    /// Record fields to descend through from the response root; sequences
+    /// encountered along the way are iterated (nested-loop flattening).
+    pub path: Vec<String>,
+    /// What the values at the end of the path look like.
+    pub leaf: LeafKind,
+}
+
+/// The shape of the values reached by [`FlattenSpec::path`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeafKind {
+    /// A record whose scalar fields become the output columns.
+    Row(Vec<(String, SqlType)>),
+    /// A single scalar value (one output column).
+    Scalar(String, SqlType),
+}
+
+/// An operation wrapper function: the unit the parallelizer wraps in plan
+/// functions and ships to query processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwfDef {
+    /// View/function name (same as the operation name, as in the paper).
+    pub name: String,
+    /// Service name from the WSDL (`GeoPlaces`, `USZip`, …).
+    pub service: String,
+    /// URI of the WSDL document (identifies the provider on the network).
+    pub wsdl_uri: String,
+    /// Operation name invoked through `cwo`.
+    pub operation: String,
+    /// Input parameters (bound in queries via equality predicates or join
+    /// dependencies — the `-` adornments).
+    pub inputs: Vec<(String, SqlType)>,
+    /// Flattened output columns (the `+` adornments).
+    pub columns: Vec<(String, SqlType)>,
+    /// How to flatten the converted response value.
+    pub flatten: FlattenSpec,
+}
+
+impl OwfDef {
+    /// Derives the OWF for an operation, or explains why its result shape
+    /// cannot be flattened.
+    pub fn derive(op: &OperationDef, service: &str, wsdl_uri: &str) -> WsdlResult<OwfDef> {
+        let mut path = Vec::new();
+        let mut cur: &TypeNode = &op.output;
+        let leaf = loop {
+            // Repetition is handled by iteration at runtime; unwrap it here.
+            while let TypeNode::Repeated { element } = cur {
+                cur = element;
+            }
+            match cur {
+                TypeNode::Scalar { name, ty } => break LeafKind::Scalar(name.clone(), *ty),
+                TypeNode::Record { fields, .. } if cur.is_scalar_record() => {
+                    let columns = fields
+                        .iter()
+                        .map(|f| match f {
+                            TypeNode::Scalar { name, ty } => (name.clone(), *ty),
+                            _ => unreachable!("is_scalar_record guarantees scalar fields"),
+                        })
+                        .collect();
+                    break LeafKind::Row(columns);
+                }
+                TypeNode::Record { name, fields } => match fields.as_slice() {
+                    [] => {
+                        return Err(WsdlError::NotFlattenable {
+                            operation: op.name.clone(),
+                            reason: format!("record {name:?} has no fields"),
+                        })
+                    }
+                    [only] => {
+                        path.push(only.name().to_owned());
+                        cur = only;
+                    }
+                    _ => {
+                        return Err(WsdlError::NotFlattenable {
+                            operation: op.name.clone(),
+                            reason: format!(
+                                "record {name:?} branches into {} non-scalar fields",
+                                fields.len()
+                            ),
+                        })
+                    }
+                },
+                TypeNode::Repeated { .. } => unreachable!("repetition unwrapped above"),
+            }
+        };
+        let columns = match &leaf {
+            LeafKind::Row(cols) => cols.clone(),
+            LeafKind::Scalar(name, ty) => vec![(name.clone(), *ty)],
+        };
+        Ok(OwfDef {
+            name: op.name.clone(),
+            service: service.to_owned(),
+            wsdl_uri: wsdl_uri.to_owned(),
+            operation: op.name.clone(),
+            inputs: op.inputs.clone(),
+            columns,
+            flatten: FlattenSpec { path, leaf },
+        })
+    }
+
+    /// Schema of the flattened output stream.
+    pub fn output_schema(&self) -> Schema {
+        Schema::new(
+            self.columns
+                .iter()
+                .map(|(n, t)| (std::sync::Arc::from(n.as_str()), *t))
+                .collect(),
+        )
+    }
+
+    /// Schema of the SQL view: input columns first, then output columns.
+    pub fn view_schema(&self) -> Schema {
+        Schema::new(
+            self.inputs
+                .iter()
+                .chain(self.columns.iter())
+                .map(|(n, t)| (std::sync::Arc::from(n.as_str()), *t))
+                .collect(),
+        )
+    }
+
+    /// Flattens a converted response value (from
+    /// [`wsmed_store::xml_to_value`] applied to the `<Op>Response` element)
+    /// into output tuples.
+    ///
+    /// Missing fields or empty leaves yield zero rows rather than errors:
+    /// a web service reporting "no matches" returns an empty result element,
+    /// which the XML→value conversion renders as an empty string.
+    pub fn flatten(&self, response: &Value) -> StoreResult<Vec<Tuple>> {
+        let mut frontier: Vec<&Value> = vec![response];
+        for step in &self.flatten.path {
+            let mut next = Vec::new();
+            for value in frontier {
+                for item in iterate(value) {
+                    if let Value::Record(record) = item {
+                        if let Some(v) = record.get_opt(step) {
+                            next.push(v);
+                        }
+                    }
+                    // Non-records (e.g. the empty string of an empty result
+                    // element) contribute no rows.
+                }
+            }
+            frontier = next;
+        }
+
+        let mut rows = Vec::new();
+        for value in frontier {
+            for item in iterate(value) {
+                match &self.flatten.leaf {
+                    LeafKind::Scalar(_, ty) => {
+                        if let Some(tuple) = scalar_row(item, *ty) {
+                            rows.push(tuple);
+                        }
+                    }
+                    LeafKind::Row(cols) => {
+                        if let Value::Record(record) = item {
+                            let mut values = Vec::with_capacity(cols.len());
+                            for (name, ty) in cols {
+                                values.push(match record.get_opt(name) {
+                                    Some(v) => coerce(v, *ty),
+                                    None => Value::Null,
+                                });
+                            }
+                            rows.push(Tuple::new(values));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(rows)
+    }
+}
+
+/// Iterates a value: sequences/bags yield their elements, everything else
+/// yields itself once.
+fn iterate(value: &Value) -> Box<dyn Iterator<Item = &Value> + '_> {
+    match value {
+        Value::Sequence(items) | Value::Bag(items) => Box::new(items.iter()),
+        other => Box::new(std::iter::once(other)),
+    }
+}
+
+/// Converts a leaf scalar into a one-column row; empty strings (an empty
+/// result element) yield no row.
+fn scalar_row(value: &Value, ty: SqlType) -> Option<Tuple> {
+    match value {
+        Value::Str(s) if s.is_empty() => None,
+        Value::Record(_) => None,
+        other => Some(Tuple::new(vec![coerce(other, ty)])),
+    }
+}
+
+/// Coerces an XML-sourced value (usually a string) to its declared type.
+fn coerce(value: &Value, ty: SqlType) -> Value {
+    match value {
+        Value::Str(s) => match ty {
+            SqlType::Charstring => value.clone(),
+            _ => ty.value_from_text(s),
+        },
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsmed_store::xml_to_value;
+    use wsmed_xml::parse;
+
+    fn states_op() -> OperationDef {
+        OperationDef {
+            name: "GetAllStates".into(),
+            inputs: vec![],
+            output: TypeNode::Record {
+                name: "GetAllStatesResponse".into(),
+                fields: vec![TypeNode::Record {
+                    name: "GetAllStatesResult".into(),
+                    fields: vec![TypeNode::Repeated {
+                        element: Box::new(TypeNode::Record {
+                            name: "GeoPlaceDetails".into(),
+                            fields: vec![
+                                TypeNode::Scalar {
+                                    name: "Name".into(),
+                                    ty: SqlType::Charstring,
+                                },
+                                TypeNode::Scalar {
+                                    name: "State".into(),
+                                    ty: SqlType::Charstring,
+                                },
+                                TypeNode::Scalar {
+                                    name: "LatDegrees".into(),
+                                    ty: SqlType::Real,
+                                },
+                            ],
+                        }),
+                    }],
+                }],
+            },
+            doc: None,
+        }
+    }
+
+    fn zip_op() -> OperationDef {
+        OperationDef {
+            name: "GetInfoByState".into(),
+            inputs: vec![("USState".into(), SqlType::Charstring)],
+            output: TypeNode::Record {
+                name: "GetInfoByStateResponse".into(),
+                fields: vec![TypeNode::Scalar {
+                    name: "GetInfoByStateResult".into(),
+                    ty: SqlType::Charstring,
+                }],
+            },
+            doc: None,
+        }
+    }
+
+    #[test]
+    fn derive_nested_record_path() {
+        let owf = OwfDef::derive(&states_op(), "GeoPlaces", "urn:geo").unwrap();
+        assert_eq!(
+            owf.flatten.path,
+            vec!["GetAllStatesResult", "GeoPlaceDetails"]
+        );
+        assert_eq!(
+            owf.columns,
+            vec![
+                ("Name".to_owned(), SqlType::Charstring),
+                ("State".to_owned(), SqlType::Charstring),
+                ("LatDegrees".to_owned(), SqlType::Real),
+            ]
+        );
+        assert!(matches!(owf.flatten.leaf, LeafKind::Row(_)));
+    }
+
+    #[test]
+    fn derive_scalar_result() {
+        let owf = OwfDef::derive(&zip_op(), "USZip", "urn:zip").unwrap();
+        // The response record has a single scalar field, so it is itself the
+        // row shape: no descent, one column.
+        assert_eq!(owf.flatten.path, Vec::<String>::new());
+        assert!(
+            matches!(&owf.flatten.leaf, LeafKind::Row(cols) if cols.len() == 1 && cols[0].0 == "GetInfoByStateResult")
+        );
+        assert_eq!(owf.columns.len(), 1);
+    }
+
+    #[test]
+    fn view_schema_is_inputs_then_outputs() {
+        let owf = OwfDef::derive(&zip_op(), "USZip", "urn:zip").unwrap();
+        let schema = owf.view_schema();
+        assert_eq!(schema.arity(), 2);
+        assert_eq!(schema.name(0), "USState");
+        assert_eq!(schema.name(1), "GetInfoByStateResult");
+    }
+
+    #[test]
+    fn flatten_nested_rows() {
+        let owf = OwfDef::derive(&states_op(), "GeoPlaces", "urn:geo").unwrap();
+        let xml = "<GetAllStatesResponse><GetAllStatesResult>\
+            <GeoPlaceDetails><Name>Colorado</Name><State>CO</State><LatDegrees>39.0</LatDegrees></GeoPlaceDetails>\
+            <GeoPlaceDetails><Name>Georgia</Name><State>GA</State><LatDegrees>33.0</LatDegrees></GeoPlaceDetails>\
+            </GetAllStatesResult></GetAllStatesResponse>";
+        let value = xml_to_value(&parse(xml).unwrap());
+        let rows = owf.flatten(&value).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(1), &Value::str("CO"));
+        assert_eq!(rows[1].get(2), &Value::Real(33.0));
+    }
+
+    #[test]
+    fn flatten_single_row_when_sequence_has_one_element() {
+        let owf = OwfDef::derive(&states_op(), "GeoPlaces", "urn:geo").unwrap();
+        let xml = "<GetAllStatesResponse><GetAllStatesResult>\
+            <GeoPlaceDetails><Name>X</Name><State>XX</State><LatDegrees>1.0</LatDegrees></GeoPlaceDetails>\
+            </GetAllStatesResult></GetAllStatesResponse>";
+        let value = xml_to_value(&parse(xml).unwrap());
+        let rows = owf.flatten(&value).unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn flatten_empty_result_yields_no_rows() {
+        let owf = OwfDef::derive(&states_op(), "GeoPlaces", "urn:geo").unwrap();
+        let value = xml_to_value(
+            &parse("<GetAllStatesResponse><GetAllStatesResult/></GetAllStatesResponse>").unwrap(),
+        );
+        assert!(owf.flatten(&value).unwrap().is_empty());
+        let value = xml_to_value(&parse("<GetAllStatesResponse/>").unwrap());
+        assert!(owf.flatten(&value).unwrap().is_empty());
+    }
+
+    #[test]
+    fn flatten_scalar_result() {
+        let owf = OwfDef::derive(&zip_op(), "USZip", "urn:zip").unwrap();
+        let value = xml_to_value(
+            &parse("<GetInfoByStateResponse><GetInfoByStateResult>80840,80901</GetInfoByStateResult></GetInfoByStateResponse>").unwrap(),
+        );
+        let rows = owf.flatten(&value).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), &Value::str("80840,80901"));
+    }
+
+    #[test]
+    fn flatten_missing_field_yields_null_column() {
+        let owf = OwfDef::derive(&states_op(), "GeoPlaces", "urn:geo").unwrap();
+        let xml = "<GetAllStatesResponse><GetAllStatesResult>\
+            <GeoPlaceDetails><Name>X</Name></GeoPlaceDetails>\
+            </GetAllStatesResult></GetAllStatesResponse>";
+        let value = xml_to_value(&parse(xml).unwrap());
+        let rows = owf.flatten(&value).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(1), &Value::Null);
+        assert_eq!(rows[0].get(2), &Value::Null);
+    }
+
+    #[test]
+    fn branching_record_is_not_flattenable() {
+        let op = OperationDef {
+            name: "Branchy".into(),
+            inputs: vec![],
+            output: TypeNode::Record {
+                name: "BranchyResponse".into(),
+                fields: vec![
+                    TypeNode::Record {
+                        name: "A".into(),
+                        fields: vec![],
+                    },
+                    TypeNode::Record {
+                        name: "B".into(),
+                        fields: vec![],
+                    },
+                ],
+            },
+            doc: None,
+        };
+        let err = OwfDef::derive(&op, "S", "u").unwrap_err();
+        assert!(matches!(err, WsdlError::NotFlattenable { .. }));
+    }
+
+    #[test]
+    fn empty_record_is_not_flattenable() {
+        let op = OperationDef {
+            name: "Empty".into(),
+            inputs: vec![],
+            output: TypeNode::Record {
+                name: "EmptyResponse".into(),
+                fields: vec![],
+            },
+            doc: None,
+        };
+        assert!(matches!(
+            OwfDef::derive(&op, "S", "u").unwrap_err(),
+            WsdlError::NotFlattenable { .. }
+        ));
+    }
+}

@@ -1,0 +1,330 @@
+//! Parses WSDL XML into a [`WsdlDocument`].
+
+use std::collections::HashMap;
+
+use wsmed_store::SqlType;
+use wsmed_xml::Element;
+
+use crate::{OperationDef, TypeNode, WsdlDocument, WsdlError, WsdlResult};
+
+/// Parses a WSDL document from its XML text.
+pub fn parse_wsdl(xml: &str) -> WsdlResult<WsdlDocument> {
+    let root = wsmed_xml::parse(xml)?;
+    if root.local_name() != "definitions" {
+        return Err(WsdlError::MissingConstruct(format!(
+            "<definitions> root (found <{}>)",
+            root.name
+        )));
+    }
+    let target_namespace = root
+        .attr_local("targetNamespace")
+        .unwrap_or_default()
+        .to_owned();
+
+    // ---- schema elements, by name ---------------------------------------
+    let schema = root
+        .child("types")
+        .and_then(|t| t.child("schema"))
+        .ok_or_else(|| WsdlError::MissingConstruct("<types>/<schema>".into()))?;
+    let schema_elements: HashMap<&str, &Element> = schema
+        .children_named("element")
+        .filter_map(|el| el.attr_local("name").map(|n| (n, el)))
+        .collect();
+
+    // ---- messages: name -> referenced element ----------------------------
+    let mut messages: HashMap<&str, &str> = HashMap::new();
+    for msg in root.children_named("message") {
+        let name = msg
+            .attr_local("name")
+            .ok_or_else(|| WsdlError::MissingConstruct("message name".into()))?;
+        let part = msg
+            .child("part")
+            .ok_or_else(|| WsdlError::MissingConstruct(format!("part in message {name:?}")))?;
+        let element = part.attr_local("element").ok_or_else(|| {
+            WsdlError::MissingConstruct(format!("element ref in message {name:?}"))
+        })?;
+        messages.insert(name, element);
+    }
+
+    // ---- port type --------------------------------------------------------
+    let port_type = root
+        .child("portType")
+        .ok_or_else(|| WsdlError::MissingConstruct("<portType>".into()))?;
+    let mut operations = Vec::new();
+    for op_el in port_type.children_named("operation") {
+        let name = op_el
+            .attr_local("name")
+            .ok_or_else(|| WsdlError::MissingConstruct("operation name".into()))?
+            .to_owned();
+        let doc = op_el.child("documentation").map(|d| d.text().to_owned());
+        let input_msg = op_el
+            .child("input")
+            .and_then(|i| i.attr_local("message"))
+            .ok_or_else(|| WsdlError::MissingConstruct(format!("input of operation {name:?}")))?;
+        let output_msg = op_el
+            .child("output")
+            .and_then(|o| o.attr_local("message"))
+            .ok_or_else(|| WsdlError::MissingConstruct(format!("output of operation {name:?}")))?;
+
+        let input_element_name = resolve_message(&messages, input_msg)?;
+        let output_element_name = resolve_message(&messages, output_msg)?;
+        let input_el = resolve_element(&schema_elements, input_element_name)?;
+        let output_el = resolve_element(&schema_elements, output_element_name)?;
+
+        let inputs = parse_input_params(input_el)?;
+        let output = parse_type_node(output_el)?;
+        operations.push(OperationDef {
+            name,
+            inputs,
+            output,
+            doc,
+        });
+    }
+
+    // ---- service name ------------------------------------------------------
+    let service_name = root
+        .child("service")
+        .and_then(|s| s.attr_local("name"))
+        .or_else(|| root.attr_local("name"))
+        .ok_or_else(|| WsdlError::MissingConstruct("service or definitions name".into()))?
+        .to_owned();
+
+    Ok(WsdlDocument {
+        service_name,
+        target_namespace,
+        operations,
+    })
+}
+
+fn resolve_message<'a>(messages: &HashMap<&str, &'a str>, reference: &str) -> WsdlResult<&'a str> {
+    // References may be qualified ("tns:GetAllStatesSoapIn").
+    let local = reference.rsplit(':').next().unwrap_or(reference);
+    messages
+        .get(local)
+        .copied()
+        .ok_or_else(|| WsdlError::DanglingReference {
+            kind: "message",
+            name: local.to_owned(),
+        })
+}
+
+fn resolve_element<'a>(
+    elements: &HashMap<&str, &'a Element>,
+    reference: &str,
+) -> WsdlResult<&'a Element> {
+    let local = reference.rsplit(':').next().unwrap_or(reference);
+    elements
+        .get(local)
+        .copied()
+        .ok_or_else(|| WsdlError::DanglingReference {
+            kind: "element",
+            name: local.to_owned(),
+        })
+}
+
+/// Parses an operation's input element: a complexType sequence of scalars.
+fn parse_input_params(el: &Element) -> WsdlResult<Vec<(String, SqlType)>> {
+    let name = el.attr_local("name").unwrap_or("?");
+    let Some(seq) = el.child("complexType").and_then(|ct| ct.child("sequence")) else {
+        // `<element name="Op"><complexType/></element>` means no inputs.
+        return Ok(Vec::new());
+    };
+    let mut params = Vec::new();
+    for field in seq.children_named("element") {
+        let field_name = field
+            .attr_local("name")
+            .ok_or_else(|| WsdlError::MissingConstruct(format!("input field name in {name}")))?;
+        let ty_name = field
+            .attr_local("type")
+            .ok_or_else(|| WsdlError::UnsupportedType {
+                context: format!("input {name}.{field_name}"),
+                detail: "input parameters must be scalar".into(),
+            })?;
+        let ty = SqlType::parse(ty_name).ok_or_else(|| WsdlError::UnsupportedType {
+            context: format!("input {name}.{field_name}"),
+            detail: format!("unknown scalar type {ty_name:?}"),
+        })?;
+        params.push((field_name.to_owned(), ty));
+    }
+    Ok(params)
+}
+
+/// Parses a schema element declaration into a [`TypeNode`].
+fn parse_type_node(el: &Element) -> WsdlResult<TypeNode> {
+    let name = el
+        .attr_local("name")
+        .ok_or_else(|| WsdlError::MissingConstruct("element name".into()))?
+        .to_owned();
+    let repeated = el.attr_local("maxOccurs") == Some("unbounded");
+
+    let node = if let Some(ty_name) = el.attr_local("type") {
+        let ty = SqlType::parse(ty_name).ok_or_else(|| WsdlError::UnsupportedType {
+            context: name.clone(),
+            detail: format!("unknown scalar type {ty_name:?}"),
+        })?;
+        TypeNode::Scalar { name, ty }
+    } else {
+        let seq = el
+            .child("complexType")
+            .and_then(|ct| ct.child("sequence"))
+            .ok_or_else(|| WsdlError::UnsupportedType {
+                context: name.clone(),
+                detail: "expected scalar type attribute or complexType/sequence".into(),
+            })?;
+        let mut fields = Vec::new();
+        for child in seq.children_named("element") {
+            fields.push(parse_type_node(child)?);
+        }
+        TypeNode::Record { name, fields }
+    };
+
+    Ok(if repeated {
+        TypeNode::Repeated {
+            element: Box::new(node),
+        }
+    } else {
+        node
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI_WSDL: &str = r#"
+<wsdl:definitions name="USZip" targetNamespace="http://webservicex.net/uszip"
+    xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/" xmlns:s="http://www.w3.org/2001/XMLSchema">
+  <wsdl:types>
+    <s:schema targetNamespace="http://webservicex.net/uszip">
+      <s:element name="GetInfoByState">
+        <s:complexType><s:sequence>
+          <s:element name="USState" type="s:string"/>
+        </s:sequence></s:complexType>
+      </s:element>
+      <s:element name="GetInfoByStateResponse">
+        <s:complexType><s:sequence>
+          <s:element name="GetInfoByStateResult" type="s:string"/>
+        </s:sequence></s:complexType>
+      </s:element>
+    </s:schema>
+  </wsdl:types>
+  <wsdl:message name="GetInfoByStateSoapIn">
+    <wsdl:part name="parameters" element="tns:GetInfoByState"/>
+  </wsdl:message>
+  <wsdl:message name="GetInfoByStateSoapOut">
+    <wsdl:part name="parameters" element="tns:GetInfoByStateResponse"/>
+  </wsdl:message>
+  <wsdl:portType name="USZipSoap">
+    <wsdl:operation name="GetInfoByState">
+      <wsdl:documentation>All zip codes in a state</wsdl:documentation>
+      <wsdl:input message="tns:GetInfoByStateSoapIn"/>
+      <wsdl:output message="tns:GetInfoByStateSoapOut"/>
+    </wsdl:operation>
+  </wsdl:portType>
+  <wsdl:service name="USZip"/>
+</wsdl:definitions>"#;
+
+    #[test]
+    fn parses_minimal_document() {
+        let doc = parse_wsdl(MINI_WSDL).unwrap();
+        assert_eq!(doc.service_name, "USZip");
+        assert_eq!(doc.target_namespace, "http://webservicex.net/uszip");
+        assert_eq!(doc.operations.len(), 1);
+        let op = &doc.operations[0];
+        assert_eq!(op.name, "GetInfoByState");
+        assert_eq!(op.inputs, vec![("USState".to_owned(), SqlType::Charstring)]);
+        assert_eq!(op.doc.as_deref(), Some("All zip codes in a state"));
+        match &op.output {
+            TypeNode::Record { name, fields } => {
+                assert_eq!(name, "GetInfoByStateResponse");
+                assert_eq!(fields.len(), 1);
+                assert_eq!(
+                    fields[0],
+                    TypeNode::Scalar {
+                        name: "GetInfoByStateResult".into(),
+                        ty: SqlType::Charstring
+                    }
+                );
+            }
+            other => panic!("unexpected output shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_porttype_is_error() {
+        let xml =
+            r#"<definitions name="X"><types><schema/></types><service name="X"/></definitions>"#;
+        let err = parse_wsdl(xml).unwrap_err();
+        assert!(matches!(err, WsdlError::MissingConstruct(ref m) if m.contains("portType")));
+    }
+
+    #[test]
+    fn dangling_message_reference_is_error() {
+        let xml = r#"<definitions name="X">
+          <types><schema/></types>
+          <portType name="P"><operation name="Op">
+            <input message="Nope"/><output message="Nope"/>
+          </operation></portType>
+          <service name="X"/>
+        </definitions>"#;
+        let err = parse_wsdl(xml).unwrap_err();
+        assert!(matches!(
+            err,
+            WsdlError::DanglingReference {
+                kind: "message",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn non_definitions_root_is_error() {
+        let err = parse_wsdl("<html/>").unwrap_err();
+        assert!(matches!(err, WsdlError::MissingConstruct(_)));
+    }
+
+    #[test]
+    fn malformed_xml_is_error() {
+        assert!(matches!(
+            parse_wsdl("<definitions>").unwrap_err(),
+            WsdlError::Xml(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_input_type_is_error() {
+        let xml = MINI_WSDL.replace("type=\"s:string\"", "type=\"s:dateTime\"");
+        let err = parse_wsdl(&xml).unwrap_err();
+        assert!(matches!(err, WsdlError::UnsupportedType { .. }));
+    }
+
+    #[test]
+    fn empty_complex_type_means_no_inputs() {
+        let xml = r#"
+<definitions name="Geo" targetNamespace="urn:geo">
+  <types><schema>
+    <element name="GetAllStates"><complexType/></element>
+    <element name="GetAllStatesResponse">
+      <complexType><sequence>
+        <element name="State" type="string" maxOccurs="unbounded"/>
+      </sequence></complexType>
+    </element>
+  </schema></types>
+  <message name="In"><part element="GetAllStates"/></message>
+  <message name="Out"><part element="GetAllStatesResponse"/></message>
+  <portType name="P"><operation name="GetAllStates">
+    <input message="In"/><output message="Out"/>
+  </operation></portType>
+  <service name="Geo"/>
+</definitions>"#;
+        let doc = parse_wsdl(xml).unwrap();
+        let op = &doc.operations[0];
+        assert!(op.inputs.is_empty());
+        match &op.output {
+            TypeNode::Record { fields, .. } => {
+                assert!(matches!(fields[0], TypeNode::Repeated { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Renders a [`WsdlDocument`] back to WSDL XML.
+//!
+//! The simulated providers in `wsmed-services` build their contracts as
+//! [`WsdlDocument`] values and publish them through this writer; the
+//! mediator then imports them through [`crate::parse_wsdl`], exactly as
+//! WSMED read real providers' WSDL in the paper. Keeping writer and parser
+//! in one crate lets tests assert full round-trips.
+
+use wsmed_xml::Element;
+
+use crate::{OperationDef, TypeNode, WsdlDocument};
+
+impl WsdlDocument {
+    /// Serializes this document as WSDL XML (pretty-printed).
+    pub fn to_xml_string(&self) -> String {
+        self.to_element().to_pretty_xml()
+    }
+
+    /// Builds the `<definitions>` element tree.
+    pub fn to_element(&self) -> Element {
+        let mut schema =
+            Element::new("s:schema").with_attr("targetNamespace", &self.target_namespace);
+        for op in &self.operations {
+            schema.children.push(input_element(op));
+            schema.children.push(type_node_element(&op.output));
+        }
+
+        let mut definitions = Element::new("wsdl:definitions")
+            .with_attr("name", &self.service_name)
+            .with_attr("targetNamespace", &self.target_namespace)
+            .with_attr("xmlns:wsdl", "http://schemas.xmlsoap.org/wsdl/")
+            .with_attr("xmlns:s", "http://www.w3.org/2001/XMLSchema")
+            .with_child(Element::new("wsdl:types").with_child(schema));
+
+        for op in &self.operations {
+            definitions.children.push(
+                Element::new("wsdl:message")
+                    .with_attr("name", format!("{}SoapIn", op.name))
+                    .with_child(
+                        Element::new("wsdl:part")
+                            .with_attr("name", "parameters")
+                            .with_attr("element", &op.name),
+                    ),
+            );
+            definitions.children.push(
+                Element::new("wsdl:message")
+                    .with_attr("name", format!("{}SoapOut", op.name))
+                    .with_child(
+                        Element::new("wsdl:part")
+                            .with_attr("name", "parameters")
+                            .with_attr("element", format!("{}Response", op.name)),
+                    ),
+            );
+        }
+
+        let mut port_type =
+            Element::new("wsdl:portType").with_attr("name", format!("{}Soap", self.service_name));
+        for op in &self.operations {
+            let mut op_el = Element::new("wsdl:operation").with_attr("name", &op.name);
+            if let Some(doc) = &op.doc {
+                op_el
+                    .children
+                    .push(Element::text_leaf("wsdl:documentation", doc.clone()));
+            }
+            op_el.children.push(
+                Element::new("wsdl:input").with_attr("message", format!("{}SoapIn", op.name)),
+            );
+            op_el.children.push(
+                Element::new("wsdl:output").with_attr("message", format!("{}SoapOut", op.name)),
+            );
+            port_type.children.push(op_el);
+        }
+        definitions.children.push(port_type);
+
+        definitions
+            .children
+            .push(Element::new("wsdl:service").with_attr("name", &self.service_name));
+        definitions
+    }
+}
+
+/// Builds the schema element declaring an operation's input parameters.
+fn input_element(op: &OperationDef) -> Element {
+    let mut seq = Element::new("s:sequence");
+    for (name, ty) in &op.inputs {
+        seq.children.push(
+            Element::new("s:element")
+                .with_attr("name", name.clone())
+                .with_attr("type", format!("s:{}", xsd_name(*ty))),
+        );
+    }
+    Element::new("s:element")
+        .with_attr("name", &op.name)
+        .with_child(Element::new("s:complexType").with_child(seq))
+}
+
+/// Builds the schema element for a result-type tree.
+fn type_node_element(node: &TypeNode) -> Element {
+    match node {
+        TypeNode::Scalar { name, ty } => Element::new("s:element")
+            .with_attr("name", name.clone())
+            .with_attr("type", format!("s:{}", xsd_name(*ty))),
+        TypeNode::Record { name, fields } => {
+            let mut seq = Element::new("s:sequence");
+            for field in fields {
+                seq.children.push(type_node_element(field));
+            }
+            Element::new("s:element")
+                .with_attr("name", name.clone())
+                .with_child(Element::new("s:complexType").with_child(seq))
+        }
+        TypeNode::Repeated { element } => {
+            let mut el = type_node_element(element);
+            el.attributes.push(("maxOccurs".into(), "unbounded".into()));
+            el
+        }
+    }
+}
+
+fn xsd_name(ty: wsmed_store::SqlType) -> &'static str {
+    match ty {
+        wsmed_store::SqlType::Charstring => "string",
+        wsmed_store::SqlType::Real => "double",
+        wsmed_store::SqlType::Integer => "int",
+        wsmed_store::SqlType::Boolean => "boolean",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsmed_store::SqlType;
+
+    fn sample_doc() -> WsdlDocument {
+        WsdlDocument {
+            service_name: "GeoPlaces".into(),
+            target_namespace: "http://codebump.com/services".into(),
+            operations: vec![OperationDef {
+                name: "GetPlacesWithin".into(),
+                inputs: vec![
+                    ("place".into(), SqlType::Charstring),
+                    ("state".into(), SqlType::Charstring),
+                    ("distance".into(), SqlType::Real),
+                    ("placeTypeToFind".into(), SqlType::Charstring),
+                ],
+                output: TypeNode::Record {
+                    name: "GetPlacesWithinResponse".into(),
+                    fields: vec![TypeNode::Record {
+                        name: "GetPlacesWithinResult".into(),
+                        fields: vec![TypeNode::Repeated {
+                            element: Box::new(TypeNode::Record {
+                                name: "GeoPlaceDistance".into(),
+                                fields: vec![
+                                    TypeNode::Scalar {
+                                        name: "ToPlace".into(),
+                                        ty: SqlType::Charstring,
+                                    },
+                                    TypeNode::Scalar {
+                                        name: "ToState".into(),
+                                        ty: SqlType::Charstring,
+                                    },
+                                    TypeNode::Scalar {
+                                        name: "Distance".into(),
+                                        ty: SqlType::Real,
+                                    },
+                                ],
+                            }),
+                        }],
+                    }],
+                },
+                doc: Some("Places within a distance of a place".into()),
+            }],
+        }
+    }
+
+    #[test]
+    fn writes_wellformed_xml() {
+        let xml = sample_doc().to_xml_string();
+        let el = wsmed_xml::parse(&xml).unwrap();
+        assert_eq!(el.local_name(), "definitions");
+        assert!(xml.contains("GetPlacesWithinSoapIn"));
+        assert!(xml.contains("maxOccurs"));
+    }
+
+    #[test]
+    fn roundtrips_through_parser() {
+        let doc = sample_doc();
+        let xml = doc.to_xml_string();
+        let back = crate::parse_wsdl(&xml).unwrap();
+        assert_eq!(back, doc);
+    }
+}

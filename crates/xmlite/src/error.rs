@@ -1,0 +1,49 @@
+//! Error type for XML parsing with byte-precise positions.
+
+use std::fmt;
+
+/// Result alias for XML operations.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// A parse error with the byte offset where it occurred and a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset into the input where the problem was detected.
+    pub position: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl XmlError {
+    pub(crate) fn new(position: usize, message: impl Into<String>) -> Self {
+        XmlError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = XmlError::new(42, "unexpected end of input");
+        let s = e.to_string();
+        assert!(s.contains("42"));
+        assert!(s.contains("unexpected end of input"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Deterministic serialization of [`Element`] trees.
+
+use crate::{escape_attr, escape_text, Element};
+
+/// Serializes an element compactly, with no insignificant whitespace.
+pub fn write_compact(el: &Element) -> String {
+    let mut out = String::with_capacity(el.subtree_size() * 16);
+    write_el(el, &mut out);
+    out
+}
+
+fn write_el(el: &Element, out: &mut String) {
+    out.push('<');
+    out.push_str(&el.name);
+    for (k, v) in &el.attributes {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+    if el.children.is_empty() && el.content.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    out.push_str(&escape_text(&el.content));
+    for child in &el.children {
+        write_el(child, out);
+    }
+    out.push_str("</");
+    out.push_str(&el.name);
+    out.push('>');
+}
+
+/// Serializes an element with two-space indentation.
+pub fn write_pretty(el: &Element) -> String {
+    let mut out = String::with_capacity(el.subtree_size() * 24);
+    write_el_pretty(el, 0, &mut out);
+    out
+}
+
+fn write_el_pretty(el: &Element, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push('<');
+    out.push_str(&el.name);
+    for (k, v) in &el.attributes {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+    if el.children.is_empty() && el.content.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    if el.children.is_empty() {
+        // Text-only leaf stays on one line so trimming on re-parse is exact.
+        out.push('>');
+        out.push_str(&escape_text(&el.content));
+        out.push_str("</");
+        out.push_str(&el.name);
+        out.push_str(">\n");
+        return;
+    }
+    out.push_str(">\n");
+    if !el.content.is_empty() {
+        for _ in 0..=depth {
+            out.push_str("  ");
+        }
+        out.push_str(&escape_text(&el.content));
+        out.push('\n');
+    }
+    for child in &el.children {
+        write_el_pretty(child, depth + 1, out);
+    }
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str("</");
+    out.push_str(&el.name);
+    out.push_str(">\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_empty_element() {
+        assert_eq!(write_compact(&Element::new("a")), "<a/>");
+    }
+
+    #[test]
+    fn compact_with_attrs_and_text() {
+        let el = Element::text_leaf("a", "x<y").with_attr("k", "v\"w");
+        assert_eq!(write_compact(&el), "<a k=\"v&quot;w\">x&lt;y</a>");
+    }
+
+    #[test]
+    fn pretty_indents_children() {
+        let el = Element::new("a").with_child(Element::new("b").with_child(Element::new("c")));
+        let s = write_pretty(&el);
+        assert_eq!(s, "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n");
+    }
+
+    #[test]
+    fn pretty_text_leaf_single_line() {
+        let el = Element::text_leaf("a", "hello");
+        assert_eq!(write_pretty(&el), "<a>hello</a>\n");
+    }
+
+    #[test]
+    fn mixed_content_survives_roundtrip() {
+        let el = Element::new("a")
+            .with_text("note")
+            .with_child(Element::text_leaf("b", "x"));
+        let back = parse(&write_compact(&el)).unwrap();
+        assert_eq!(back, el);
+        let back2 = parse(&write_pretty(&el)).unwrap();
+        assert_eq!(back2, el);
+    }
+}

@@ -1,0 +1,61 @@
+//! The paper's Query1 end to end: central plan vs manual process trees vs
+//! the adaptive operator, with the compiled plans printed.
+//!
+//! ```text
+//! cargo run --release --example atlanta_places
+//! ```
+
+use wsmed::core::{paper, AdaptiveConfig};
+use wsmed::services::DatasetConfig;
+
+fn main() {
+    let scale = 0.002;
+    let setup = paper::setup(scale, DatasetConfig::paper());
+    let w = &setup.wsmed;
+    let sql = paper::QUERY1_SQL;
+
+    println!("{}", w.explain(sql, Some(&vec![5, 4])).expect("explain"));
+
+    // Central: every web service call in sequence (Fig. 6).
+    let t0 = std::time::Instant::now();
+    let central = w.run_central(sql).expect("central");
+    let central_secs = t0.elapsed().as_secs_f64() / scale;
+    println!(
+        "central:        {central_secs:>7.1} model-s  {} rows, {} calls",
+        central.row_count(),
+        central.ws_calls
+    );
+
+    // Manual trees (Fig. 16): the flat tree, a small tree, the paper's best.
+    for fanouts in [vec![4, 0], vec![2, 2], vec![5, 4]] {
+        let t0 = std::time::Instant::now();
+        let r = w.run_parallel(sql, &fanouts).expect("parallel");
+        let secs = t0.elapsed().as_secs_f64() / scale;
+        println!(
+            "FF_APPLYP {:>6}: {secs:>7.1} model-s  speedup {:>4.1}  tree {}",
+            format!("{fanouts:?}"),
+            central_secs / secs,
+            r.tree.describe()
+        );
+    }
+
+    // Adaptive (Fig. 21): starts binary, converges near the manual optimum.
+    let t0 = std::time::Instant::now();
+    let r = w
+        .run_adaptive(sql, &AdaptiveConfig::default())
+        .expect("adaptive");
+    let secs = t0.elapsed().as_secs_f64() / scale;
+    println!(
+        "AFF_APPLYP p=2 : {secs:>7.1} model-s  speedup {:>4.1}  tree {} (adds {})",
+        central_secs / secs,
+        r.tree.describe(),
+        r.tree.adds
+    );
+
+    // Sanity: every strategy returns the same bag of places.
+    assert_eq!(r.row_count(), central.row_count());
+    println!("\nfirst rows:");
+    for row in central.rows.iter().take(5) {
+        println!("  {row}");
+    }
+}

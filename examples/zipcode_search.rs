@@ -1,0 +1,75 @@
+//! The paper's Query2 with per-provider metrics and fault injection: what
+//! saturates, what it costs, and what happens when a provider misbehaves.
+//!
+//! ```text
+//! cargo run --release --example zipcode_search
+//! ```
+
+use wsmed::core::paper;
+use wsmed::netsim::FaultSpec;
+use wsmed::services::{DatasetConfig, ZipCodesService};
+
+fn main() {
+    let scale = 0.002;
+    let setup = paper::setup(scale, DatasetConfig::small());
+    let w = &setup.wsmed;
+    let sql = paper::QUERY2_SQL;
+
+    // Run with the paper's best manual tree for Query2.
+    let report = w.run_parallel(sql, &vec![4, 3]).expect("Query2");
+    println!(
+        "Query2 answer: {:?}",
+        report
+            .rows
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "tree: {}   calls: {}\n",
+        report.tree.describe(),
+        report.ws_calls
+    );
+
+    // Which provider did the work, and how congested did it get?
+    println!(
+        "{:<22} {:>7} {:>9} {:>12} {:>13}",
+        "provider", "calls", "faults", "mean lat (s)", "max in-flight"
+    );
+    for (name, m) in setup.network.metrics_by_provider() {
+        println!(
+            "{name:<22} {:>7} {:>9} {:>12.2} {:>13}",
+            m.calls,
+            m.faults,
+            m.mean_latency(),
+            m.max_in_flight
+        );
+    }
+
+    // The bottom-level provider (codebump ZipCodes) is the bottleneck: its
+    // max in-flight should sit at the level-2 process count.
+    let zip_provider = setup
+        .network
+        .provider(ZipCodesService::PROVIDER)
+        .expect("zipcodes provider");
+    assert!(zip_provider.metrics().max_in_flight >= 4);
+
+    // Now make the zip service fail every 40th call and watch the query
+    // error out cleanly (the mediator surfaces the fault, the process tree
+    // shuts down, and the next query still works).
+    println!("\ninjecting a fault: ZipCodes fails every 40th call …");
+    zip_provider.set_fault(FaultSpec::every(40));
+    match w.run_parallel(sql, &vec![4, 3]) {
+        Err(e) => println!("query failed as expected: {e}"),
+        Ok(_) => println!("query survived (all faulted calls were off the needed path)"),
+    }
+
+    zip_provider.set_fault(FaultSpec::none());
+    let retry = w
+        .run_parallel(sql, &vec![4, 3])
+        .expect("retry after clearing fault");
+    println!(
+        "after clearing the fault: {} row(s) again",
+        retry.row_count()
+    );
+}

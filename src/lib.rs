@@ -1,0 +1,17 @@
+#![deny(missing_docs)]
+
+//! # wsmed
+//!
+//! Umbrella crate for the WSMED reproduction (Sabesan & Risch, ICDE 2009):
+//! adaptive parallelization of SQL queries over dependent web service calls.
+//!
+//! Re-exports the subcrates under stable module names; see the README for a
+//! quickstart and `DESIGN.md` for the system inventory.
+
+pub use wsmed_core as core;
+pub use wsmed_netsim as netsim;
+pub use wsmed_services as services;
+pub use wsmed_sql as sql;
+pub use wsmed_store as store;
+pub use wsmed_wsdl as wsdl;
+pub use wsmed_xml as xml;

@@ -1,0 +1,462 @@
+//! `wsmed` — an interactive shell for the WSMED mediator.
+//!
+//! ```text
+//! cargo run --release -- [--scale 0.002] [--dataset paper|small|tiny]
+//! ```
+//!
+//! ```text
+//! wsmed> views
+//! wsmed> mode adaptive p=2
+//! wsmed> select gp.ToState, gp.zip From GetAllStates gs, ...
+//! wsmed> tree
+//! wsmed> metrics
+//! ```
+
+use std::io::{BufRead, Write};
+
+use wsmed::core::{paper, AdaptiveConfig, ExecutionReport, FanoutVector};
+use wsmed::netsim::FaultSpec;
+use wsmed::services::DatasetConfig;
+
+/// How queries are executed.
+#[derive(Debug, Clone, PartialEq)]
+enum Mode {
+    Central,
+    Parallel(FanoutVector),
+    Adaptive(AdaptiveConfig),
+}
+
+struct Shell {
+    setup: paper::PaperSetup,
+    scale: f64,
+    dataset_name: String,
+    mode: Mode,
+    last_tree: Option<wsmed::core::TreeSnapshot>,
+}
+
+fn main() {
+    let mut scale = 0.002;
+    let mut dataset_name = "small".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a float")
+            }
+            "--dataset" => dataset_name = args.next().expect("--dataset needs a name"),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut shell = Shell::new(scale, dataset_name);
+    println!("WSMED interactive shell — type `help` for commands, `quit` to exit.");
+    println!(
+        "simulated web at scale {} ({} dataset); views: {:?}\n",
+        shell.scale,
+        shell.dataset_name,
+        shell.setup.wsmed.owf_names()
+    );
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("wsmed> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        if !shell.dispatch(line.trim()) {
+            break;
+        }
+    }
+}
+
+impl Shell {
+    fn new(scale: f64, dataset_name: String) -> Self {
+        let setup = paper::setup(scale, dataset_by_name(&dataset_name));
+        Shell {
+            setup,
+            scale,
+            dataset_name,
+            mode: Mode::Adaptive(AdaptiveConfig::default()),
+            last_tree: None,
+        }
+    }
+
+    /// Executes one command; returns `false` to exit the shell.
+    fn dispatch(&mut self, line: &str) -> bool {
+        let lower = line.to_ascii_lowercase();
+        match () {
+            _ if line.is_empty() => {}
+            _ if lower == "quit" || lower == "exit" => return false,
+            _ if lower == "help" => print_help(),
+            _ if lower == "views" => self.cmd_views(),
+            _ if lower == "metrics" => self.cmd_metrics(),
+            _ if lower == "tree" => self.cmd_tree(),
+            _ if lower == "query1" => self.run_sql(paper::QUERY1_SQL),
+            _ if lower == "query2" => self.run_sql(paper::QUERY2_SQL),
+            _ if lower == "query3" => self.run_sql(paper::QUERY3_SQL),
+            _ if lower.starts_with("mode") => self.cmd_mode(line),
+            _ if lower.starts_with("explain") => self.cmd_explain(line),
+            _ if lower.starts_with("scale") => self.cmd_scale(line),
+            _ if lower.starts_with("dataset") => self.cmd_dataset(line),
+            _ if lower.starts_with("fault") => self.cmd_fault(line),
+            _ if lower.starts_with("cache") => self.cmd_cache(line),
+            _ if lower.starts_with("retry") => self.cmd_retry(line),
+            _ if lower.starts_with("select") => self.run_sql(line),
+            _ => println!("unknown command; try `help`"),
+        }
+        true
+    }
+
+    fn cmd_views(&self) {
+        for name in self.setup.wsmed.owf_names() {
+            let owf = self
+                .setup
+                .wsmed
+                .owfs()
+                .get(name)
+                .expect("listed view exists");
+            println!("{name}{}", owf.view_schema());
+        }
+    }
+
+    fn cmd_metrics(&self) {
+        println!(
+            "{:<22} {:>8} {:>8} {:>13} {:>14}",
+            "provider", "calls", "faults", "mean lat (s)", "max in-flight"
+        );
+        for (name, m) in self.setup.network.metrics_by_provider() {
+            println!(
+                "{name:<22} {:>8} {:>8} {:>13.2} {:>14}",
+                m.calls,
+                m.faults,
+                m.mean_latency(),
+                m.max_in_flight
+            );
+        }
+    }
+
+    fn cmd_tree(&self) {
+        match &self.last_tree {
+            Some(tree) => {
+                println!("{}", tree.describe());
+                if tree.nodes.len() <= 40 {
+                    print!("{}", tree.render_ascii());
+                }
+                for level in &tree.levels {
+                    println!(
+                        "  level {}: {} alive / {} ever ({}), avg fanout {:.1}",
+                        level.level, level.alive, level.ever, level.pf_name, level.avg_fanout
+                    );
+                }
+                println!(
+                    "  adds {}, drops {}, peak {}",
+                    tree.adds, tree.drops, tree.peak_alive
+                );
+                if !tree.adapt_events.is_empty() {
+                    println!("  adaptation decisions (last 8):");
+                    let skip = tree.adapt_events.len().saturating_sub(8);
+                    for e in &tree.adapt_events[skip..] {
+                        println!(
+                            "    q{} L{}: {} ({:.4}s/tuple, {} children)",
+                            e.process, e.level, e.decision, e.per_tuple_secs, e.alive
+                        );
+                    }
+                }
+            }
+            None => println!("no query executed yet"),
+        }
+    }
+
+    fn cmd_mode(&mut self, line: &str) {
+        match parse_mode(line) {
+            Ok(mode) => {
+                println!("mode set: {mode:?}");
+                self.mode = mode;
+            }
+            Err(msg) => println!("{msg}"),
+        }
+    }
+
+    fn cmd_explain(&self, line: &str) {
+        let sql = line["explain".len()..].trim();
+        let sql = match sql {
+            "query1" => paper::QUERY1_SQL,
+            "query2" => paper::QUERY2_SQL,
+            "query3" => paper::QUERY3_SQL,
+            other => other,
+        };
+        let fanouts = match &self.mode {
+            Mode::Parallel(f) => Some(f.clone()),
+            _ => Some(vec![2, 2]),
+        };
+        match self.setup.wsmed.explain(sql, fanouts.as_ref()) {
+            Ok(text) => println!("{text}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    fn cmd_scale(&mut self, line: &str) {
+        match line["scale".len()..].trim().parse::<f64>() {
+            Ok(scale) if scale >= 0.0 => {
+                self.scale = scale;
+                self.setup = paper::setup(scale, dataset_by_name(&self.dataset_name));
+                println!("rebuilt world at scale {scale}");
+            }
+            _ => println!("usage: scale <wall-seconds-per-model-second>"),
+        }
+    }
+
+    fn cmd_dataset(&mut self, line: &str) {
+        let name = line["dataset".len()..].trim();
+        if matches!(name, "paper" | "small" | "tiny") {
+            self.dataset_name = name.to_owned();
+            self.setup = paper::setup(self.scale, dataset_by_name(name));
+            println!("rebuilt world with {name} dataset");
+        } else {
+            println!("usage: dataset paper|small|tiny");
+        }
+    }
+
+    fn cmd_fault(&mut self, line: &str) {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            ["fault", provider, "every", n] => {
+                match (self.setup.network.provider(provider), n.parse::<u64>()) {
+                    (Ok(p), Ok(n)) if n > 0 => {
+                        p.set_fault(FaultSpec::every(n));
+                        println!("{provider} now fails every {n}th call");
+                    }
+                    _ => println!("usage: fault <provider> every <n>   (see `metrics` for names)"),
+                }
+            }
+            ["fault", provider, "clear"] => match self.setup.network.provider(provider) {
+                Ok(p) => {
+                    p.set_fault(FaultSpec::none());
+                    println!("{provider} faults cleared");
+                }
+                Err(e) => println!("{e}"),
+            },
+            _ => println!("usage: fault <provider> every <n> | fault <provider> clear"),
+        }
+    }
+
+    fn cmd_cache(&mut self, line: &str) {
+        match line["cache".len()..].trim() {
+            "on" => {
+                self.setup.wsmed.enable_call_cache(true);
+                println!("per-run call memoization enabled");
+            }
+            "off" => {
+                self.setup.wsmed.enable_call_cache(false);
+                println!("per-run call memoization disabled");
+            }
+            _ => println!("usage: cache on|off"),
+        }
+    }
+
+    fn cmd_retry(&mut self, line: &str) {
+        match line["retry".len()..].trim().parse::<usize>() {
+            Ok(attempts) if attempts >= 1 => {
+                self.setup
+                    .wsmed
+                    .set_retry_policy(wsmed::core::RetryPolicy::attempts(attempts));
+                println!("transient faults now retried: {attempts} attempt(s) per call");
+            }
+            _ => println!("usage: retry <attempts ≥ 1>"),
+        }
+    }
+
+    fn run_sql(&mut self, sql: &str) {
+        let t0 = std::time::Instant::now();
+        let result = match &self.mode {
+            Mode::Central => self.setup.wsmed.run_central(sql),
+            Mode::Parallel(fanouts) => self.setup.wsmed.run_parallel(sql, fanouts),
+            Mode::Adaptive(config) => self.setup.wsmed.run_adaptive(sql, config),
+        };
+        match result {
+            Ok(report) => {
+                print_rows(&report);
+                let model = report
+                    .model_seconds
+                    .map(|m| format!(" ≈ {m:.1} model-s"))
+                    .unwrap_or_default();
+                println!(
+                    "{} row(s) in {:?}{model} — {} web service calls, tree {}",
+                    report.row_count(),
+                    t0.elapsed(),
+                    report.ws_calls,
+                    report.tree.describe()
+                );
+                self.last_tree = Some(report.tree);
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+fn dataset_by_name(name: &str) -> DatasetConfig {
+    match name {
+        "paper" => DatasetConfig::paper(),
+        "tiny" => DatasetConfig::tiny(),
+        _ => DatasetConfig::small(),
+    }
+}
+
+/// Parses `mode central`, `mode parallel 5,4`, or
+/// `mode adaptive [p=N] [drop] [threshold=F]`.
+fn parse_mode(line: &str) -> Result<Mode, String> {
+    let rest = line["mode".len()..].trim();
+    let mut words = rest.split_whitespace();
+    match words.next() {
+        Some("central") => Ok(Mode::Central),
+        Some("parallel") => {
+            let spec = words
+                .next()
+                .ok_or("usage: mode parallel <fo1,fo2,...>")?;
+            let fanouts: Result<Vec<usize>, _> =
+                spec.split(',').map(|s| s.trim().parse::<usize>()).collect();
+            match fanouts {
+                Ok(f) if !f.is_empty() => Ok(Mode::Parallel(f)),
+                _ => Err("usage: mode parallel <fo1,fo2,...>".into()),
+            }
+        }
+        Some("adaptive") => {
+            let mut config = AdaptiveConfig::default();
+            for word in words {
+                if let Some(p) = word.strip_prefix("p=") {
+                    config.add_step =
+                        p.parse().map_err(|_| format!("bad add step {p:?}"))?;
+                } else if word == "drop" {
+                    config.drop_enabled = true;
+                } else if let Some(t) = word.strip_prefix("threshold=") {
+                    config.threshold =
+                        t.parse().map_err(|_| format!("bad threshold {t:?}"))?;
+                } else {
+                    return Err(format!("unknown adaptive option {word:?}"));
+                }
+            }
+            Ok(Mode::Adaptive(config))
+        }
+        _ => Err("usage: mode central | mode parallel <fo1,fo2> | mode adaptive [p=N] [drop] [threshold=F]".into()),
+    }
+}
+
+fn print_rows(report: &ExecutionReport) {
+    println!("{}", report.column_names.join(" | "));
+    let show = report.rows.len().min(20);
+    for row in &report.rows[..show] {
+        let cells: Vec<String> = row.values().iter().map(|v| v.render()).collect();
+        println!("{}", cells.join(" | "));
+    }
+    if report.rows.len() > show {
+        println!("… {} more rows", report.rows.len() - show);
+    }
+}
+
+fn print_help() {
+    println!(
+        "\
+commands:
+  select …                         run an SQL query in the current mode
+  query1 | query2                  run the paper's benchmark queries
+  query3                           three-level aviation chain (extension)
+  explain [query1|query2|<sql>]    show calculus, central and parallel plans
+  mode central                     naive sequential execution
+  mode parallel <fo1,fo2,…>        FF_APPLYP with a manual fanout vector
+  mode adaptive [p=N] [drop] [threshold=F]
+                                   AFF_APPLYP (default: p=2, no drop, 25%)
+  views                            imported OWF views and their schemas
+  metrics                          per-provider web service call metrics
+  tree                             process tree of the last query
+  scale <f>                        wall seconds per model second (rebuilds)
+  dataset paper|small|tiny         dataset size (rebuilds)
+  fault <provider> every <n>       inject faults; `fault <provider> clear`
+  cache on|off                     per-run web service call memoization
+  retry <n>                        attempts per call on transient faults
+  quit"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_mode_variants() {
+        assert_eq!(parse_mode("mode central").unwrap(), Mode::Central);
+        assert_eq!(
+            parse_mode("mode parallel 5,4").unwrap(),
+            Mode::Parallel(vec![5, 4])
+        );
+        match parse_mode("mode adaptive p=3 drop threshold=0.1").unwrap() {
+            Mode::Adaptive(c) => {
+                assert_eq!(c.add_step, 3);
+                assert!(c.drop_enabled);
+                assert!((c.threshold - 0.1).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_mode("mode parallel").is_err());
+        assert!(parse_mode("mode parallel x,y").is_err());
+        assert!(parse_mode("mode warp").is_err());
+        assert!(parse_mode("mode adaptive q=1").is_err());
+    }
+
+    #[test]
+    fn dataset_names() {
+        assert_eq!(dataset_by_name("paper").zips_per_state, 100);
+        assert!(dataset_by_name("small").zips_per_state < 100);
+        assert!(dataset_by_name("tiny").zips_per_state < 10);
+    }
+
+    #[test]
+    fn shell_runs_query_and_tracks_tree() {
+        let mut shell = Shell::new(0.0, "tiny".into());
+        shell.mode = Mode::Parallel(vec![2, 2]);
+        assert!(shell.dispatch("query2"));
+        let tree = shell.last_tree.as_ref().expect("tree recorded");
+        assert_eq!(tree.levels[1].alive, 2);
+        // Mode changes and explain don't crash.
+        assert!(shell.dispatch("mode adaptive p=1"));
+        assert!(shell.dispatch("explain query1"));
+        assert!(shell.dispatch("views"));
+        assert!(shell.dispatch("metrics"));
+        assert!(shell.dispatch("tree"));
+        assert!(shell.dispatch("nonsense"));
+        assert!(!shell.dispatch("quit"));
+    }
+
+    #[test]
+    fn shell_cache_and_retry_commands() {
+        let mut shell = Shell::new(0.0, "tiny".into());
+        assert!(shell.dispatch("cache on"));
+        assert!(shell.dispatch("retry 3"));
+        assert!(shell.dispatch("cache bogus"));
+        assert!(shell.dispatch("retry zero"));
+        shell.mode = Mode::Central;
+        assert!(shell.dispatch("query2"));
+        assert_eq!(shell.last_tree.as_ref().unwrap().total_alive(), 1);
+    }
+
+    #[test]
+    fn shell_fault_commands() {
+        let mut shell = Shell::new(0.0, "tiny".into());
+        assert!(shell.dispatch("fault codebump.com/zip every 1"));
+        shell.mode = Mode::Central;
+        // Query now fails but the shell keeps running.
+        assert!(shell.dispatch("query2"));
+        assert!(shell.dispatch("fault codebump.com/zip clear"));
+        assert!(shell.dispatch("query2"));
+        assert_eq!(shell.last_tree.as_ref().unwrap().total_alive(), 1);
+    }
+}

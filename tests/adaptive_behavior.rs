@@ -1,0 +1,201 @@
+//! Behavioural tests of `AFF_APPLYP`'s adaptation (paper §V.A): binary
+//! init, add stages under load, drop stages, convergence, and caps.
+
+use wsmed::core::{paper, AdaptiveConfig};
+use wsmed::services::DatasetConfig;
+
+/// A scale that makes the latency model felt without slowing tests much:
+/// Query2-small is ~330 model-seconds ⇒ ~0.20s wall at 0.0006.
+const SCALE: f64 = 0.0006;
+
+#[test]
+fn starts_with_binary_tree_then_grows_under_load() {
+    let setup = paper::setup(SCALE, DatasetConfig::small());
+    let r = setup
+        .wsmed
+        .run_adaptive(paper::QUERY2_SQL, &AdaptiveConfig::default())
+        .unwrap();
+    // The init stage creates 2 children per level; under real latency the
+    // first monitoring cycle must have triggered at least one add stage.
+    assert!(
+        r.tree.levels[1].ever >= 4 || r.tree.levels[2].ever >= 6,
+        "no add stage ran: {:?}",
+        r.tree
+    );
+    assert!(
+        r.tree.adds > 2 * 2,
+        "adds counter too small: {}",
+        r.tree.adds
+    );
+}
+
+#[test]
+fn zero_latency_means_little_growth() {
+    // With no modeled latency, adding processes cannot reduce the per-tuple
+    // time much, so adaptation should converge quickly to small trees.
+    let setup = paper::setup(0.0, DatasetConfig::small());
+    let r = setup
+        .wsmed
+        .run_adaptive(paper::QUERY2_SQL, &AdaptiveConfig::default())
+        .unwrap();
+    let leaves = r.tree.levels.last().unwrap();
+    assert!(
+        leaves.ever <= 40,
+        "tree exploded without latency to hide: {:?}",
+        r.tree
+    );
+}
+
+#[test]
+fn max_fanout_caps_growth() {
+    let setup = paper::setup(SCALE, DatasetConfig::small());
+    let config = AdaptiveConfig {
+        add_step: 4,
+        max_fanout: 3,
+        ..Default::default()
+    };
+    let r = setup
+        .wsmed
+        .run_adaptive(paper::QUERY2_SQL, &config)
+        .unwrap();
+    assert!(r.tree.fanout_at(0).unwrap() <= 3.0, "{:?}", r.tree);
+    assert!(r.tree.fanout_at(1).unwrap() <= 3.0, "{:?}", r.tree);
+}
+
+#[test]
+fn drop_stage_reduces_processes() {
+    // With an aggressive add step and the drop stage enabled, some subtree
+    // should be dropped once the per-tuple time worsens.
+    let setup = paper::setup(SCALE, DatasetConfig::small());
+    let config = AdaptiveConfig {
+        add_step: 4,
+        drop_enabled: true,
+        threshold: 0.05,
+        ..Default::default()
+    };
+    let r = setup
+        .wsmed
+        .run_adaptive(paper::QUERY2_SQL, &config)
+        .unwrap();
+    assert_eq!(r.row_count(), 1);
+    // Dropping isn't guaranteed at every scale, but processes that were
+    // ever created and are no longer alive indicate drops took effect.
+    let ever: usize = r.tree.levels.iter().map(|l| l.ever).sum();
+    let alive = r.tree.total_alive();
+    assert!(
+        r.tree.drops > 0 || ever == alive,
+        "inconsistent accounting: ever {ever}, alive {alive}, drops {}",
+        r.tree.drops
+    );
+}
+
+#[test]
+fn init_fanout_is_respected() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let config = AdaptiveConfig {
+        init_fanout: 3,
+        add_step: 0, // never add
+        ..Default::default()
+    };
+    let r = setup
+        .wsmed
+        .run_adaptive(paper::QUERY1_SQL, &config)
+        .unwrap();
+    assert_eq!(r.tree.levels[1].ever, 3, "{:?}", r.tree);
+}
+
+#[test]
+fn adaptive_beats_binary_tree_under_load() {
+    // The whole point of AFF_APPLYP: starting from the same binary tree it
+    // must end up meaningfully faster than a *frozen* binary tree.
+    let setup = paper::setup(0.002, DatasetConfig::small());
+    let w = &setup.wsmed;
+
+    let t0 = std::time::Instant::now();
+    w.run_parallel(paper::QUERY1_SQL, &vec![2, 2]).unwrap();
+    let frozen = t0.elapsed();
+
+    let t0 = std::time::Instant::now();
+    w.run_adaptive(paper::QUERY1_SQL, &AdaptiveConfig::default())
+        .unwrap();
+    let adaptive = t0.elapsed();
+
+    assert!(
+        adaptive.as_secs_f64() < frozen.as_secs_f64() * 0.9,
+        "adaptive {adaptive:?} should beat frozen binary {frozen:?}"
+    );
+}
+
+#[test]
+fn adaptation_times_are_included_in_reported_tree() {
+    let setup = paper::setup(SCALE, DatasetConfig::small());
+    let r = setup
+        .wsmed
+        .run_adaptive(
+            paper::QUERY1_SQL,
+            &AdaptiveConfig {
+                add_step: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    // Average fanouts are fractional once levels adapt unevenly — this is
+    // what the paper reports in Fig. 21 ("average fanouts").
+    let fo1 = r.tree.fanout_at(0).unwrap();
+    assert!(fo1 >= 2.0, "coordinator fanout shrank below init: {fo1}");
+}
+
+#[test]
+fn adaptation_events_record_the_lifecycle() {
+    let setup = paper::setup(SCALE, DatasetConfig::small());
+    let r = setup
+        .wsmed
+        .run_adaptive(paper::QUERY2_SQL, &AdaptiveConfig::default())
+        .unwrap();
+    let events = &r.tree.adapt_events;
+    assert!(!events.is_empty(), "adaptive runs must log decisions");
+    // The first decision of any adapting node is the paper's rule: after
+    // the first monitoring cycle, run an add stage (or hit the cap).
+    let mut seen_processes = std::collections::HashSet::new();
+    for event in events {
+        if seen_processes.insert(event.process) {
+            assert!(
+                event.decision.starts_with("add:") || event.decision == "stop",
+                "first decision of q{} was {:?}",
+                event.process,
+                event.decision
+            );
+        }
+        assert!(event.per_tuple_secs >= 0.0);
+        assert!(event.alive >= 1);
+    }
+    // Both parallel levels adapted.
+    let levels: std::collections::HashSet<usize> = events.iter().map(|e| e.level).collect();
+    assert!(levels.contains(&0), "coordinator adapted");
+    assert!(levels.contains(&1), "level-1 processes adapted");
+    // Once a node converges/stops, it never decides again... meaning a
+    // `stop`/`converged` is the last event of that process.
+    for process in seen_processes {
+        let of_process: Vec<_> = events.iter().filter(|e| e.process == process).collect();
+        for (i, e) in of_process.iter().enumerate() {
+            if e.decision == "stop" || e.decision == "converged" {
+                assert!(
+                    of_process[i..]
+                        .iter()
+                        .all(|later| later.decision == "stop" || later.decision == "converged"),
+                    "q{process} acted again after stopping"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fixed_fanout_runs_log_no_adaptation() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let r = setup
+        .wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![2, 2])
+        .unwrap();
+    assert!(r.tree.adapt_events.is_empty());
+}

@@ -1,0 +1,77 @@
+//! Per-run call memoization: redundant web service calls in cartesian
+//! dependent joins collapse to one real call, without changing results.
+
+use wsmed::core::paper;
+use wsmed::services::{DatasetConfig, UsZipService};
+use wsmed::store::canonicalize;
+
+/// A cartesian query: every GetAllStates row triggers the *same*
+/// GetInfoByState('CO') call — 51 identical calls without the cache.
+const CARTESIAN_SQL: &str = "select gs.State, gi.GetInfoByStateResult \
+     from GetAllStates gs, GetInfoByState gi where gi.USState='CO'";
+
+#[test]
+fn cache_collapses_identical_calls() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let uncached = setup.wsmed.run_central(CARTESIAN_SQL).unwrap();
+    assert_eq!(uncached.row_count(), 51);
+    let uszip_calls = |setup: &paper::PaperSetup| {
+        setup
+            .network
+            .provider(UsZipService::PROVIDER)
+            .unwrap()
+            .metrics()
+            .calls
+    };
+    assert_eq!(uszip_calls(&setup), 51, "uncached: one call per state row");
+
+    let mut setup = paper::setup(0.0, DatasetConfig::tiny());
+    setup.wsmed.enable_call_cache(true);
+    let cached = setup.wsmed.run_central(CARTESIAN_SQL).unwrap();
+    assert_eq!(canonicalize(cached.rows), canonicalize(uncached.rows));
+    assert_eq!(uszip_calls(&setup), 1, "cached: one real call total");
+}
+
+#[test]
+fn cache_does_not_change_paper_queries() {
+    let mut setup = paper::setup(0.0, DatasetConfig::small());
+    let plain = setup.wsmed.run_central(paper::QUERY2_SQL).unwrap();
+    setup.wsmed.enable_call_cache(true);
+    let cached = setup.wsmed.run_central(paper::QUERY2_SQL).unwrap();
+    assert_eq!(canonicalize(cached.rows), canonicalize(plain.rows));
+    // Query2's arguments are all distinct (each zip called once), so the
+    // cache saves nothing — and must not add calls either.
+    assert_eq!(cached.ws_calls, plain.ws_calls);
+}
+
+#[test]
+fn cache_is_per_run() {
+    // The same query twice with the cache on still calls the services in
+    // the second run (the cache does not leak across executions).
+    let mut setup = paper::setup(0.0, DatasetConfig::tiny());
+    setup.wsmed.enable_call_cache(true);
+    setup.wsmed.run_central(CARTESIAN_SQL).unwrap();
+    setup.wsmed.run_central(CARTESIAN_SQL).unwrap();
+    let calls = setup
+        .network
+        .provider(UsZipService::PROVIDER)
+        .unwrap()
+        .metrics()
+        .calls;
+    assert_eq!(calls, 2, "one real call per run");
+}
+
+#[test]
+fn cache_works_in_parallel_plans() {
+    let mut setup = paper::setup(0.0, DatasetConfig::tiny());
+    setup.wsmed.enable_call_cache(true);
+    let r = setup
+        .wsmed
+        .run_parallel(paper::QUERY1_SQL, &vec![2, 2])
+        .unwrap();
+    let plain = paper::setup(0.0, DatasetConfig::tiny())
+        .wsmed
+        .run_central(paper::QUERY1_SQL)
+        .unwrap();
+    assert_eq!(canonicalize(r.rows), canonicalize(plain.rows));
+}

@@ -1,0 +1,88 @@
+//! Property tests: parallel execution is *semantically invisible*.
+//!
+//! For arbitrary fanout vectors, adaptive configurations and dataset
+//! seeds, the parallel plans must return exactly the central plan's bag of
+//! tuples — the paper's operators change performance, never results.
+
+use proptest::prelude::*;
+
+use wsmed::core::{paper, AdaptiveConfig};
+use wsmed::services::DatasetConfig;
+use wsmed::store::canonicalize;
+
+fn dataset(seed: u64) -> DatasetConfig {
+    DatasetConfig {
+        seed,
+        atlanta_state_count: 8,
+        min_neighbors: 1,
+        max_neighbors: 4,
+        zips_per_state: 3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_ff_apply_equivalent_to_central(
+        seed in 0u64..1000,
+        fo1 in 1usize..6,
+        fo2 in 0usize..6,
+    ) {
+        let setup = paper::setup(0.0, dataset(seed));
+        let central = setup.wsmed.run_central(paper::QUERY1_SQL).unwrap();
+        let parallel = setup
+            .wsmed
+            .run_parallel(paper::QUERY1_SQL, &vec![fo1, fo2])
+            .unwrap();
+        prop_assert_eq!(
+            canonicalize(parallel.rows),
+            canonicalize(central.rows),
+            "fanouts {{{},{}}} seed {}", fo1, fo2, seed
+        );
+    }
+
+    #[test]
+    fn prop_aff_apply_equivalent_to_central(
+        seed in 0u64..1000,
+        add_step in 1usize..5,
+        drop_enabled in any::<bool>(),
+        threshold in 0.05f64..0.9,
+    ) {
+        let setup = paper::setup(0.0, dataset(seed));
+        let config = AdaptiveConfig {
+            add_step,
+            drop_enabled,
+            threshold,
+            ..Default::default()
+        };
+        let central = setup.wsmed.run_central(paper::QUERY2_SQL).unwrap();
+        let adaptive = setup.wsmed.run_adaptive(paper::QUERY2_SQL, &config).unwrap();
+        prop_assert_eq!(
+            canonicalize(adaptive.rows),
+            canonicalize(central.rows),
+            "p={} drop={} θ={} seed {}", add_step, drop_enabled, threshold, seed
+        );
+    }
+
+    #[test]
+    fn prop_flat_tree_equivalent(seed in 0u64..1000, fo1 in 1usize..8) {
+        let setup = paper::setup(0.0, dataset(seed));
+        let central = setup.wsmed.run_central(paper::QUERY1_SQL).unwrap();
+        let flat = setup.wsmed.run_parallel(paper::QUERY1_SQL, &vec![fo1, 0]).unwrap();
+        prop_assert_eq!(canonicalize(flat.rows), canonicalize(central.rows));
+    }
+
+    #[test]
+    fn prop_call_counts_are_plan_invariant(seed in 0u64..1000, fo1 in 1usize..5) {
+        // Parallelization reorders calls but never changes how many are
+        // needed: the dependency structure fixes the call count.
+        let setup = paper::setup(0.0, dataset(seed));
+        let central = setup.wsmed.run_central(paper::QUERY2_SQL).unwrap();
+        let parallel = setup
+            .wsmed
+            .run_parallel(paper::QUERY2_SQL, &vec![fo1, 2])
+            .unwrap();
+        prop_assert_eq!(central.ws_calls, parallel.ws_calls);
+    }
+}

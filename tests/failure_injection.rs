@@ -1,0 +1,182 @@
+//! Failure injection: provider faults must surface as clean errors, tear
+//! the process tree down without leaks, and leave the mediator usable.
+
+use wsmed::core::{paper, AdaptiveConfig, CoreError};
+use wsmed::netsim::FaultSpec;
+use wsmed::services::{DatasetConfig, GeoPlacesService, UsZipService, ZipCodesService};
+
+#[test]
+fn fault_in_coordinator_section_fails_fast() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    // GetAllStates runs in the coordinator; failing its first call kills
+    // the query before any children do work.
+    let geo = setup.network.provider(GeoPlacesService::PROVIDER).unwrap();
+    geo.set_fault(FaultSpec {
+        fail_first: 1,
+        ..Default::default()
+    });
+    let err = setup
+        .wsmed
+        .run_parallel(paper::QUERY1_SQL, &vec![2, 2])
+        .unwrap_err();
+    assert!(matches!(err, CoreError::Net(_)), "unexpected error {err:?}");
+    assert_eq!(setup.network.total_metrics().faults, 1);
+}
+
+#[test]
+fn fault_in_level_one_provider_propagates() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let uszip = setup.network.provider(UsZipService::PROVIDER).unwrap();
+    uszip.set_fault(FaultSpec::every(5));
+    let err = setup
+        .wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![3, 2])
+        .unwrap_err();
+    match err {
+        CoreError::ProcessFailure(msg) => {
+            assert!(
+                msg.contains("GetInfoByState"),
+                "error should name the operation: {msg}"
+            )
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn fault_in_leaf_provider_propagates_through_two_levels() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let zip = setup.network.provider(ZipCodesService::PROVIDER).unwrap();
+    zip.set_fault(FaultSpec::every(10));
+    let err = setup
+        .wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![2, 2])
+        .unwrap_err();
+    match err {
+        CoreError::ProcessFailure(msg) => {
+            assert!(
+                msg.contains("GetPlacesInside"),
+                "error should name the operation: {msg}"
+            )
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn mediator_recovers_after_fault_cleared() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let zip = setup.network.provider(ZipCodesService::PROVIDER).unwrap();
+
+    zip.set_fault(FaultSpec::every(3));
+    assert!(setup
+        .wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![2, 2])
+        .is_err());
+
+    zip.set_fault(FaultSpec::none());
+    let ok = setup
+        .wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![2, 2])
+        .unwrap();
+    assert_eq!(ok.row_count(), 1);
+}
+
+#[test]
+fn adaptive_plan_also_fails_cleanly() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let zip = setup.network.provider(ZipCodesService::PROVIDER).unwrap();
+    zip.set_fault(FaultSpec {
+        fail_probability: 0.2,
+        ..Default::default()
+    });
+    let result = setup
+        .wsmed
+        .run_adaptive(paper::QUERY2_SQL, &AdaptiveConfig::default());
+    assert!(result.is_err(), "20% faults must kill the query");
+}
+
+#[test]
+fn no_thread_leak_after_repeated_failures() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let zip = setup.network.provider(ZipCodesService::PROVIDER).unwrap();
+    zip.set_fault(FaultSpec::every(2));
+    for _ in 0..5 {
+        let _ = setup.wsmed.run_parallel(paper::QUERY2_SQL, &vec![3, 3]);
+    }
+    zip.set_fault(FaultSpec::none());
+    // If child threads leaked, the runtime would accumulate processes; a
+    // fresh run must still report exactly the requested tree and succeed.
+    let ok = setup
+        .wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![3, 3])
+        .unwrap();
+    assert_eq!(ok.tree.levels[1].alive, 3);
+    assert_eq!(ok.tree.levels[2].alive, 9);
+    assert_eq!(ok.row_count(), 1);
+}
+
+#[test]
+fn partial_results_are_not_returned_on_failure() {
+    // A query that fails midway must error, not silently return a subset.
+    let setup = paper::setup(0.0, DatasetConfig::small());
+    let zip = setup.network.provider(ZipCodesService::PROVIDER).unwrap();
+    // Fail late: plenty of tuples already produced when the fault hits.
+    zip.set_fault(FaultSpec::every(200));
+    let result = setup.wsmed.run_parallel(paper::QUERY2_SQL, &vec![3, 2]);
+    assert!(result.is_err());
+}
+
+#[test]
+fn retry_policy_recovers_from_transient_faults() {
+    use wsmed::core::RetryPolicy;
+    // Every 3rd call faults; with 3 attempts per call every parameter
+    // eventually succeeds (retries draw fresh call sequence numbers).
+    let mut setup = paper::setup(0.0, DatasetConfig::tiny());
+    let zip = setup.network.provider(ZipCodesService::PROVIDER).unwrap();
+    zip.set_fault(FaultSpec::every(3));
+
+    // Without retries the query dies on the first faulting call.
+    assert!(setup
+        .wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![2, 2])
+        .is_err());
+
+    setup.wsmed.set_retry_policy(RetryPolicy::attempts(3));
+    let ok = setup
+        .wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![2, 2])
+        .expect("retries should absorb every-3rd faults");
+    assert_eq!(ok.row_count(), 1);
+    // Faults really happened and were retried through.
+    assert!(zip.metrics().faults > 0);
+}
+
+#[test]
+fn retry_policy_does_not_mask_permanent_faults() {
+    use wsmed::core::RetryPolicy;
+    let mut setup = paper::setup(0.0, DatasetConfig::tiny());
+    let zip = setup.network.provider(ZipCodesService::PROVIDER).unwrap();
+    // Everything fails, forever.
+    zip.set_fault(FaultSpec {
+        fail_probability: 1.0,
+        ..Default::default()
+    });
+    setup.wsmed.set_retry_policy(RetryPolicy::attempts(3));
+    assert!(setup
+        .wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![2, 2])
+        .is_err());
+}
+
+#[test]
+fn retry_policy_ignores_non_transient_errors() {
+    use wsmed::core::RetryPolicy;
+    // A bad query fails identically with or without retries.
+    let mut setup = paper::setup(0.0, DatasetConfig::tiny());
+    setup.wsmed.set_retry_policy(RetryPolicy::attempts(5));
+    assert!(setup
+        .wsmed
+        .run_central("select gs.Bogus from GetAllStates gs")
+        .is_err());
+}

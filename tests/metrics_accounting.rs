@@ -1,0 +1,146 @@
+//! Metrics accounting across the whole stack: call counts, bytes,
+//! congestion observations, and per-provider attribution.
+
+use wsmed::core::paper;
+use wsmed::services::{
+    DatasetConfig, GeoPlacesService, TerraService, UsZipService, ZipCodesService,
+};
+
+#[test]
+fn per_provider_attribution_query1() {
+    let setup = paper::setup(0.0, DatasetConfig::small());
+    setup.wsmed.run_central(paper::QUERY1_SQL).unwrap();
+
+    let geo = setup
+        .network
+        .provider(GeoPlacesService::PROVIDER)
+        .unwrap()
+        .metrics();
+    let terra = setup
+        .network
+        .provider(TerraService::PROVIDER)
+        .unwrap()
+        .metrics();
+    let uszip = setup
+        .network
+        .provider(UsZipService::PROVIDER)
+        .unwrap()
+        .metrics();
+    let zips = setup
+        .network
+        .provider(ZipCodesService::PROVIDER)
+        .unwrap()
+        .metrics();
+
+    // Query1 never touches USZip or ZipCodes.
+    assert_eq!(uszip.calls, 0);
+    assert_eq!(zips.calls, 0);
+    // GetAllStates (1) + GetPlacesWithin (51).
+    assert_eq!(geo.calls, 52);
+    // One GetPlaceList call per matching neighbor.
+    assert_eq!(terra.calls, setup.dataset.query1_place_list_calls() as u64);
+    assert!(geo.response_bytes > geo.request_bytes, "responses dominate");
+}
+
+#[test]
+fn per_provider_attribution_query2() {
+    let setup = paper::setup(0.0, DatasetConfig::small());
+    setup.wsmed.run_central(paper::QUERY2_SQL).unwrap();
+
+    let geo = setup
+        .network
+        .provider(GeoPlacesService::PROVIDER)
+        .unwrap()
+        .metrics();
+    let uszip = setup
+        .network
+        .provider(UsZipService::PROVIDER)
+        .unwrap()
+        .metrics();
+    let zips = setup
+        .network
+        .provider(ZipCodesService::PROVIDER)
+        .unwrap()
+        .metrics();
+
+    assert_eq!(geo.calls, 1); // GetAllStates only
+    assert_eq!(uszip.calls, 51); // one per state
+    assert_eq!(zips.calls, setup.dataset.total_zip_count() as u64);
+}
+
+#[test]
+fn parallel_execution_reaches_higher_concurrency() {
+    // The whole mechanism: with a process tree, the leaf provider sees
+    // many calls in flight at once; centrally it never exceeds 1.
+    let setup = paper::setup(0.0005, DatasetConfig::small());
+    setup.wsmed.run_central(paper::QUERY2_SQL).unwrap();
+    let central_peak = setup
+        .network
+        .provider(ZipCodesService::PROVIDER)
+        .unwrap()
+        .metrics()
+        .max_in_flight;
+    assert_eq!(central_peak, 1, "central plan must be strictly sequential");
+
+    setup
+        .wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![3, 4])
+        .unwrap();
+    let parallel_peak = setup
+        .network
+        .provider(ZipCodesService::PROVIDER)
+        .unwrap()
+        .metrics()
+        .max_in_flight;
+    assert!(
+        parallel_peak >= 6,
+        "12 leaves should overlap heavily, peak was {parallel_peak}"
+    );
+    assert!(parallel_peak <= 12, "cannot exceed the leaf count");
+}
+
+#[test]
+fn report_bytes_and_calls_are_deltas_per_run() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let first = setup.wsmed.run_central(paper::QUERY1_SQL).unwrap();
+    let second = setup.wsmed.run_central(paper::QUERY1_SQL).unwrap();
+    // Each report covers its own run, not cumulative totals.
+    assert_eq!(first.ws_calls, second.ws_calls);
+    assert!(second.ws_bytes > 0);
+    // Network totals do accumulate.
+    assert_eq!(setup.network.total_metrics().calls, first.ws_calls * 2);
+}
+
+#[test]
+fn model_seconds_reported_only_when_scaled() {
+    let unscaled = paper::setup(0.0, DatasetConfig::tiny());
+    let r = unscaled.wsmed.run_central(paper::QUERY1_SQL).unwrap();
+    assert!(r.model_seconds.is_none());
+
+    let scaled = paper::setup(0.001, DatasetConfig::tiny());
+    let r = scaled.wsmed.run_central(paper::QUERY1_SQL).unwrap();
+    let model = r.model_seconds.expect("scaled run estimates model time");
+    assert!(model > 0.0);
+}
+
+#[test]
+fn mean_latency_reflects_congestion() {
+    // Under heavy parallelism the leaf provider's mean latency per call
+    // must exceed its uncongested latency (processor sharing).
+    let setup = paper::setup(0.0005, DatasetConfig::small());
+    setup
+        .wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![4, 4])
+        .unwrap();
+    let m = setup
+        .network
+        .provider(ZipCodesService::PROVIDER)
+        .unwrap()
+        .metrics();
+    let uncongested = 0.15 + 0.30; // setup + server_mean at congestion 1
+    assert!(
+        m.mean_latency() > uncongested,
+        "mean {:.3} should show congestion above {uncongested}",
+        m.mean_latency()
+    );
+}

@@ -1,0 +1,83 @@
+//! The parameter-projection optimization: shipped plan functions carry
+//! only the columns downstream sections consume (the paper's
+//! `PF1(Charstring st1)` signatures), cutting inter-process message volume
+//! without changing results.
+
+use wsmed::core::paper;
+use wsmed::services::DatasetConfig;
+use wsmed::store::canonicalize;
+
+#[test]
+fn projected_and_unprojected_agree_on_results() {
+    let setup = paper::setup(0.0, DatasetConfig::small());
+    let w = &setup.wsmed;
+    for sql in [paper::QUERY1_SQL, paper::QUERY2_SQL] {
+        let projected = w.compile_parallel(sql, &vec![3, 2]).unwrap();
+        let unprojected = w.compile_parallel_unprojected(sql, &vec![3, 2]).unwrap();
+        let a = w.execute(&projected).unwrap();
+        let b = w.execute(&unprojected).unwrap();
+        assert_eq!(canonicalize(a.rows), canonicalize(b.rows));
+        assert_eq!(a.ws_calls, b.ws_calls);
+    }
+}
+
+#[test]
+fn projection_reduces_shipped_bytes() {
+    let setup = paper::setup(0.0, DatasetConfig::small());
+    let w = &setup.wsmed;
+    for (sql, name) in [(paper::QUERY1_SQL, "Query1"), (paper::QUERY2_SQL, "Query2")] {
+        let projected = w
+            .execute(&w.compile_parallel(sql, &vec![3, 2]).unwrap())
+            .unwrap();
+        let unprojected = w
+            .execute(&w.compile_parallel_unprojected(sql, &vec![3, 2]).unwrap())
+            .unwrap();
+        assert!(
+            (projected.shipped_bytes as f64) < 0.75 * unprojected.shipped_bytes as f64,
+            "{name}: projection saved too little: {} vs {} bytes",
+            projected.shipped_bytes,
+            unprojected.shipped_bytes
+        );
+    }
+}
+
+#[test]
+fn projected_plan_functions_have_scalar_params() {
+    // The paper's signatures: PF1(st1), PF2(str), PF3(st1), PF4(zc) — all
+    // single-column parameters for these two queries.
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    for sql in [paper::QUERY1_SQL, paper::QUERY2_SQL] {
+        let plan = setup.wsmed.compile_parallel(sql, &vec![2, 2]).unwrap();
+        let mut op = &plan.root;
+        let mut seen = 0;
+        loop {
+            if let wsmed::core::PlanOp::FfApply { pf, .. } = op {
+                assert_eq!(
+                    pf.param_arity, 1,
+                    "{}: {} ships more than one column",
+                    sql, pf.name
+                );
+                seen += 1;
+                op = &pf.body;
+                continue;
+            }
+            match op.input() {
+                Some(input) => op = input,
+                None => break,
+            }
+        }
+        assert_eq!(seen, 2, "expected two nested plan functions");
+    }
+}
+
+#[test]
+fn shipped_bytes_zero_for_central_plans() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let r = setup.wsmed.run_central(paper::QUERY1_SQL).unwrap();
+    assert_eq!(r.shipped_bytes, 0, "central plans ship nothing");
+    let p = setup
+        .wsmed
+        .run_parallel(paper::QUERY1_SQL, &vec![2, 2])
+        .unwrap();
+    assert!(p.shipped_bytes > 0, "parallel plans ship plans and tuples");
+}

@@ -1,0 +1,118 @@
+//! Query3: a three-level dependent chain over real simulated services
+//! (AviationData), beyond the paper's two-level workloads.
+
+use wsmed::core::{paper, AdaptiveConfig};
+use wsmed::services::{AviationService, DatasetConfig};
+use wsmed::store::canonicalize;
+
+#[test]
+fn query3_compiles_to_three_parallel_levels() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    assert_eq!(setup.wsmed.parallel_levels(paper::QUERY3_SQL).unwrap(), 3);
+    let plan = setup
+        .wsmed
+        .compile_parallel(paper::QUERY3_SQL, &vec![3, 2, 2])
+        .unwrap();
+    assert_eq!(plan.root.parallel_depth(), 3);
+}
+
+#[test]
+fn query3_central_and_parallel_agree() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let central = setup.wsmed.run_central(paper::QUERY3_SQL).unwrap();
+    assert!(central.row_count() > 20, "expected many delayed flights");
+    // Calls: 1 GetAllStates + 51 GetAirports + airports GetDepartures +
+    // flights GetFlightStatus.
+    let expected_calls = 1
+        + 51
+        + setup.dataset.total_airport_count() as u64
+        + setup.dataset.total_flight_count() as u64;
+    assert_eq!(central.ws_calls, expected_calls);
+
+    let parallel = setup
+        .wsmed
+        .run_parallel(paper::QUERY3_SQL, &vec![3, 2, 2])
+        .unwrap();
+    assert_eq!(
+        parallel.rows, central.rows,
+        "ORDER BY makes output deterministic"
+    );
+    // Tree: 1 + 3 + 6 + 12 processes.
+    assert_eq!(parallel.tree.levels[1].alive, 3);
+    assert_eq!(parallel.tree.levels[2].alive, 6);
+    assert_eq!(parallel.tree.levels[3].alive, 12);
+
+    let adaptive = setup
+        .wsmed
+        .run_adaptive(paper::QUERY3_SQL, &AdaptiveConfig::default())
+        .unwrap();
+    assert_eq!(adaptive.rows, central.rows);
+}
+
+#[test]
+fn query3_results_are_really_delayed_flights() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let r = setup.wsmed.run_central(paper::QUERY3_SQL).unwrap();
+    assert_eq!(r.column_names, vec!["flightno", "code", "delayminutes"]);
+    for row in &r.rows {
+        let delay = row.get(2).as_int().unwrap();
+        assert!((10..=120).contains(&delay), "delay {delay}");
+        let code = row.get(1).as_str().unwrap();
+        assert!(
+            setup
+                .dataset
+                .departures(code)
+                .iter()
+                .any(|(f, _)| { f == row.get(0).as_str().unwrap() }),
+            "flight departs from its airport"
+        );
+    }
+}
+
+#[test]
+fn query3_parallel_is_faster_under_latency() {
+    let scale = 0.001;
+    let setup = paper::setup(scale, DatasetConfig::tiny());
+    let t0 = std::time::Instant::now();
+    let central = setup.wsmed.run_central(paper::QUERY3_SQL).unwrap();
+    let central_wall = t0.elapsed();
+
+    let t0 = std::time::Instant::now();
+    let parallel = setup
+        .wsmed
+        .run_parallel(paper::QUERY3_SQL, &vec![3, 2, 2])
+        .unwrap();
+    let parallel_wall = t0.elapsed();
+
+    assert_eq!(canonicalize(parallel.rows), canonicalize(central.rows));
+    assert!(
+        parallel_wall.as_secs_f64() < central_wall.as_secs_f64() / 2.0,
+        "three-level tree should be far faster: {parallel_wall:?} vs {central_wall:?}"
+    );
+    // The aviation provider saw real concurrency.
+    let m = setup
+        .network
+        .provider(AviationService::PROVIDER)
+        .unwrap()
+        .metrics();
+    assert!(m.max_in_flight > 3, "peak in-flight {}", m.max_in_flight);
+}
+
+#[test]
+fn query3_group_by_airport() {
+    // Aggregates compose with the deep chain: delayed flights per airport.
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let sql = "select a.Code, count(*) \
+               From GetAllStates gs, GetAirports a, GetDepartures d, GetFlightStatus fs \
+               Where gs.State = a.stateAbbr and a.Code = d.airportCode \
+                 and d.FlightNo = fs.flightNo and fs.Status = 'Delayed' \
+               group by a.Code order by a.Code";
+    let grouped = setup.wsmed.run_central(sql).unwrap();
+    let flat = setup.wsmed.run_central(paper::QUERY3_SQL).unwrap();
+    let total: i64 = grouped
+        .rows
+        .iter()
+        .map(|r| r.get(1).as_int().unwrap())
+        .sum();
+    assert_eq!(total as usize, flat.row_count());
+}

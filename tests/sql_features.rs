@@ -1,0 +1,527 @@
+//! The extended SQL surface: comparison predicates, DISTINCT, ORDER BY and
+//! LIMIT — end to end over the simulated services, in central and parallel
+//! execution.
+
+use wsmed::core::paper;
+use wsmed::services::DatasetConfig;
+use wsmed::store::{canonicalize, Value};
+
+#[test]
+fn comparison_predicates_filter_rows() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let all = setup
+        .wsmed
+        .run_central("select gs.State, gs.LatDegrees from GetAllStates gs")
+        .unwrap();
+    let north = setup
+        .wsmed
+        .run_central(
+            "select gs.State, gs.LatDegrees from GetAllStates gs where gs.LatDegrees > 45.0",
+        )
+        .unwrap();
+    assert!(north.row_count() > 0);
+    assert!(north.row_count() < all.row_count());
+    for row in &north.rows {
+        assert!(row.get(1).as_real().unwrap() > 45.0);
+    }
+
+    let not_co = setup
+        .wsmed
+        .run_central("select gs.State from GetAllStates gs where gs.State <> 'CO'")
+        .unwrap();
+    assert_eq!(not_co.row_count(), 50);
+    assert!(!not_co.rows.iter().any(|r| r.get(0) == &Value::str("CO")));
+}
+
+#[test]
+fn range_predicates_combine() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let band = setup
+        .wsmed
+        .run_central(
+            "select gs.State, gs.LatDegrees from GetAllStates gs \
+             where gs.LatDegrees >= 40.0 and gs.LatDegrees <= 45.0",
+        )
+        .unwrap();
+    assert!(band.row_count() > 0);
+    for row in &band.rows {
+        let lat = row.get(1).as_real().unwrap();
+        assert!((40.0..=45.0).contains(&lat), "{lat}");
+    }
+}
+
+#[test]
+fn order_by_sorts_ascending_and_descending() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let asc = setup
+        .wsmed
+        .run_central("select gs.State from GetAllStates gs order by gs.State")
+        .unwrap();
+    let names: Vec<&str> = asc
+        .rows
+        .iter()
+        .map(|r| r.get(0).as_str().unwrap())
+        .collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted);
+
+    let desc = setup
+        .wsmed
+        .run_central("select gs.State from GetAllStates gs order by gs.State desc")
+        .unwrap();
+    let rev: Vec<&str> = desc
+        .rows
+        .iter()
+        .map(|r| r.get(0).as_str().unwrap())
+        .collect();
+    sorted.reverse();
+    assert_eq!(rev, sorted);
+}
+
+#[test]
+fn order_by_multiple_keys() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let r = setup
+        .wsmed
+        .run_central(
+            "select gs.Type, gs.State from GetAllStates gs \
+             order by gs.Type, gs.State desc",
+        )
+        .unwrap();
+    // Type is constant ("State"), so the second key governs: descending.
+    let names: Vec<&str> = r.rows.iter().map(|t| t.get(1).as_str().unwrap()).collect();
+    let mut expect = names.clone();
+    expect.sort_unstable();
+    expect.reverse();
+    assert_eq!(names, expect);
+}
+
+#[test]
+fn limit_truncates() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let r = setup
+        .wsmed
+        .run_central("select gs.State from GetAllStates gs order by gs.State limit 5")
+        .unwrap();
+    assert_eq!(r.row_count(), 5);
+    assert_eq!(r.rows[0].get(0).as_str().unwrap(), "AK");
+    // LIMIT 0 and LIMIT beyond the result size behave sanely.
+    let zero = setup
+        .wsmed
+        .run_central("select gs.State from GetAllStates gs limit 0")
+        .unwrap();
+    assert_eq!(zero.row_count(), 0);
+    let big = setup
+        .wsmed
+        .run_central("select gs.State from GetAllStates gs limit 1000")
+        .unwrap();
+    assert_eq!(big.row_count(), 51);
+}
+
+#[test]
+fn distinct_deduplicates() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let dup = setup
+        .wsmed
+        .run_central("select gs.Type from GetAllStates gs")
+        .unwrap();
+    assert_eq!(dup.row_count(), 51);
+    let distinct = setup
+        .wsmed
+        .run_central("select distinct gs.Type from GetAllStates gs")
+        .unwrap();
+    assert_eq!(distinct.row_count(), 1);
+    assert_eq!(distinct.rows[0].get(0).as_str().unwrap(), "State");
+}
+
+#[test]
+fn postprocessing_works_with_parallel_plans() {
+    // ORDER BY + LIMIT over the full Query1 pipeline, in parallel: the
+    // coordinator tail applies after the FF results are merged.
+    let setup = paper::setup(0.0, DatasetConfig::small());
+    let sql = "\
+        Select gl.placename, gl.state \
+        From GetAllStates gs, GetPlacesWithin gp, GetPlaceList gl \
+        Where gs.State=gp.state and gp.distance=15.0 \
+          and gp.placeTypeToFind='City' and gp.place='Atlanta' \
+          and gl.placeName=gp.ToPlace+', '+gp.ToState \
+          and gl.MaxItems=100 and gl.imagePresence='true' \
+        order by gl.state, gl.placename limit 10";
+    let central = setup.wsmed.run_central(sql).unwrap();
+    let parallel = setup.wsmed.run_parallel(sql, &vec![3, 2]).unwrap();
+    assert_eq!(central.row_count(), 10);
+    // Sorted output is deterministic, so compare ordered (not canonical).
+    assert_eq!(central.rows, parallel.rows);
+    // Rows really are sorted by state, then placename.
+    for pair in central.rows.windows(2) {
+        let a = (
+            pair[0].get(1).as_str().unwrap(),
+            pair[0].get(0).as_str().unwrap(),
+        );
+        let b = (
+            pair[1].get(1).as_str().unwrap(),
+            pair[1].get(0).as_str().unwrap(),
+        );
+        assert!(a <= b, "{a:?} > {b:?}");
+    }
+}
+
+#[test]
+fn comparison_filter_in_dependent_join() {
+    // Filter Query1's distance column (an OWF output) with an inequality —
+    // the filter runs inside the shipped plan function.
+    let setup = paper::setup(0.0, DatasetConfig::small());
+    let near_sql = "\
+        Select gp.ToPlace, gp.Distance \
+        From GetAllStates gs, GetPlacesWithin gp \
+        Where gs.State=gp.state and gp.distance=15.0 \
+          and gp.placeTypeToFind='City' and gp.place='Atlanta' \
+          and gp.Distance < 5.0";
+    let central = setup.wsmed.run_central(near_sql).unwrap();
+    for row in &central.rows {
+        assert!(row.get(1).as_real().unwrap() < 5.0);
+    }
+    let parallel = setup.wsmed.run_parallel(near_sql, &vec![3]).unwrap();
+    assert_eq!(
+        canonicalize(parallel.rows),
+        canonicalize(central.rows.clone())
+    );
+    assert!(!central.rows.is_empty());
+}
+
+#[test]
+fn distinct_order_limit_adaptive() {
+    let setup = paper::setup(0.0, DatasetConfig::small());
+    let sql = "select distinct gp.ToState \
+               From GetAllStates gs, GetPlacesWithin gp \
+               Where gs.State=gp.state and gp.distance=15.0 \
+                 and gp.placeTypeToFind='City' and gp.place='Atlanta' \
+               order by gp.ToState limit 7";
+    let r = setup.wsmed.run_adaptive(sql, &Default::default()).unwrap();
+    assert!(r.row_count() <= 7);
+    let states: Vec<&str> = r.rows.iter().map(|t| t.get(0).as_str().unwrap()).collect();
+    let mut expect = states.clone();
+    expect.sort_unstable();
+    expect.dedup();
+    assert_eq!(states, expect, "distinct + sorted");
+}
+
+#[test]
+fn order_by_unselected_column_is_rejected() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let err = setup
+        .wsmed
+        .run_central("select gs.State from GetAllStates gs order by gs.Name")
+        .unwrap_err();
+    assert!(err.to_string().contains("ORDER BY"), "{err}");
+}
+
+#[test]
+fn select_star_expands_all_view_columns() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let r = setup
+        .wsmed
+        .run_central("select * from GetAllStates gs")
+        .unwrap();
+    assert_eq!(r.row_count(), 51);
+    // GetAllStates has 7 output columns (and no inputs).
+    assert_eq!(r.rows[0].arity(), 7);
+    assert_eq!(r.column_names.len(), 7);
+}
+
+#[test]
+fn select_star_across_joined_views() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let r = setup
+        .wsmed
+        .run_central("select * from GetAllStates gs, GetInfoByState gi where gs.State=gi.USState")
+        .unwrap();
+    assert_eq!(r.row_count(), 51);
+    // 7 GetAllStates columns + USState input + result output.
+    assert_eq!(r.rows[0].arity(), 9);
+}
+
+#[test]
+fn count_star_counts_rows() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let r = setup
+        .wsmed
+        .run_central("select count(*) from GetAllStates gs")
+        .unwrap();
+    assert_eq!(r.row_count(), 1);
+    assert_eq!(r.rows[0].get(0), &Value::Int(51));
+    assert_eq!(r.column_names, vec!["count"]);
+}
+
+#[test]
+fn count_star_with_filters_and_parallel_plans() {
+    let setup = paper::setup(0.0, DatasetConfig::small());
+    let sql = "select count(*) \
+               From GetAllStates gs, GetPlacesWithin gp \
+               Where gs.State=gp.state and gp.distance=15.0 \
+                 and gp.placeTypeToFind='City' and gp.place='Atlanta'";
+    let central = setup.wsmed.run_central(sql).unwrap();
+    let n = central.rows[0].get(0).as_int().unwrap();
+    assert!(n > 50, "expected a few hundred matches, got {n}");
+    let parallel = setup.wsmed.run_parallel(sql, &vec![3]).unwrap();
+    assert_eq!(parallel.rows, central.rows);
+}
+
+#[test]
+fn count_distinct_composition() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    // DISTINCT applies before COUNT: one distinct Type value.
+    let r = setup
+        .wsmed
+        .run_central("select distinct count(*) from GetAllStates gs")
+        .unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int(51));
+}
+
+#[test]
+fn count_star_with_order_by_is_rejected() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    assert!(setup
+        .wsmed
+        .run_central("select count(*) from GetAllStates gs order by gs.State")
+        .is_err());
+}
+
+#[test]
+fn group_by_with_count() {
+    // How many Atlanta neighbors per state — the natural aggregate over
+    // the paper's Query1 middle level.
+    let setup = paper::setup(0.0, DatasetConfig::small());
+    let sql = "select gp.ToState, count(*) \
+               From GetAllStates gs, GetPlacesWithin gp \
+               Where gs.State=gp.state and gp.distance=15.0 \
+                 and gp.placeTypeToFind='City' and gp.place='Atlanta' \
+               group by gp.ToState order by gp.ToState";
+    let r = setup.wsmed.run_central(sql).unwrap();
+    assert_eq!(r.column_names, vec!["tostate", "count"]);
+    assert_eq!(r.row_count(), setup.dataset.atlanta_state_count());
+    let total: i64 = r.rows.iter().map(|t| t.get(1).as_int().unwrap()).sum();
+    assert_eq!(total as usize, setup.dataset.query1_place_list_calls());
+    // Keys sorted ascending, counts all positive.
+    for pair in r.rows.windows(2) {
+        assert!(pair[0].get(0).as_str().unwrap() < pair[1].get(0).as_str().unwrap());
+    }
+    assert!(r.rows.iter().all(|t| t.get(1).as_int().unwrap() > 0));
+}
+
+#[test]
+fn group_by_min_max_avg_sum() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let sql = "select gs.Type, min(gs.LatDegrees), max(gs.LatDegrees), \
+                      avg(gs.LatDegrees), sum(gs.LonDegrees), count(*) \
+               from GetAllStates gs group by gs.Type";
+    let r = setup.wsmed.run_central(sql).unwrap();
+    assert_eq!(r.row_count(), 1); // all rows share Type = "State"
+    let row = &r.rows[0];
+    assert_eq!(row.get(0).as_str().unwrap(), "State");
+    let min = row.get(1).as_real().unwrap();
+    let max = row.get(2).as_real().unwrap();
+    let avg = row.get(3).as_real().unwrap();
+    assert!(min < avg && avg < max, "{min} < {avg} < {max}");
+    assert!(min < 25.0, "Hawaii pulls the minimum down: {min}");
+    assert!(max > 60.0, "Alaska pushes the maximum up: {max}");
+    assert!(
+        row.get(4).as_real().unwrap() < 0.0,
+        "US longitudes are negative"
+    );
+    assert_eq!(row.get(5).as_int().unwrap(), 51);
+    assert_eq!(
+        r.column_names,
+        vec!["type", "min", "max", "avg", "sum", "count"]
+    );
+}
+
+#[test]
+fn global_aggregate_without_group_by() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let r = setup
+        .wsmed
+        .run_central("select max(gs.LatDegrees), min(gs.LatDegrees) from GetAllStates gs")
+        .unwrap();
+    assert_eq!(r.row_count(), 1);
+    assert!(r.rows[0].get(0).as_real().unwrap() > r.rows[0].get(1).as_real().unwrap());
+}
+
+#[test]
+fn aggregate_interleaved_with_keys_keeps_select_order() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let r = setup
+        .wsmed
+        .run_central("select count(*), gs.Type from GetAllStates gs group by gs.Type")
+        .unwrap();
+    assert_eq!(r.column_names, vec!["count", "type"]);
+    assert_eq!(r.rows[0].get(0).as_int().unwrap(), 51);
+    assert_eq!(r.rows[0].get(1).as_str().unwrap(), "State");
+}
+
+#[test]
+fn group_by_works_with_parallel_plans() {
+    let setup = paper::setup(0.0, DatasetConfig::small());
+    let sql = "select gp.ToState, count(*) \
+               From GetAllStates gs, GetPlacesWithin gp \
+               Where gs.State=gp.state and gp.distance=15.0 \
+                 and gp.placeTypeToFind='City' and gp.place='Atlanta' \
+               group by gp.ToState order by gp.ToState";
+    let central = setup.wsmed.run_central(sql).unwrap();
+    let parallel = setup.wsmed.run_parallel(sql, &vec![3]).unwrap();
+    assert_eq!(parallel.rows, central.rows);
+    let adaptive = setup.wsmed.run_adaptive(sql, &Default::default()).unwrap();
+    assert_eq!(adaptive.rows, central.rows);
+}
+
+#[test]
+fn ungrouped_column_outside_aggregate_is_rejected() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let err = setup
+        .wsmed
+        .run_central("select gs.State, count(*) from GetAllStates gs group by gs.Type")
+        .unwrap_err();
+    assert!(err.to_string().contains("GROUP BY"), "{err}");
+}
+
+#[test]
+fn aggregates_in_where_are_rejected() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    assert!(setup
+        .wsmed
+        .run_central("select gs.State from GetAllStates gs where count(*) = 1")
+        .is_err());
+}
+
+#[test]
+fn having_filters_groups() {
+    let setup = paper::setup(0.0, DatasetConfig::small());
+    let all = setup
+        .wsmed
+        .run_central(
+            "select gp.ToState, count(*) \
+             From GetAllStates gs, GetPlacesWithin gp \
+             Where gs.State=gp.state and gp.distance=15.0 \
+               and gp.placeTypeToFind='City' and gp.place='Atlanta' \
+             group by gp.ToState",
+        )
+        .unwrap();
+    let busy = setup
+        .wsmed
+        .run_central(
+            "select gp.ToState, count(*) \
+             From GetAllStates gs, GetPlacesWithin gp \
+             Where gs.State=gp.state and gp.distance=15.0 \
+               and gp.placeTypeToFind='City' and gp.place='Atlanta' \
+             group by gp.ToState having count(*) >= 7",
+        )
+        .unwrap();
+    assert!(busy.row_count() > 0);
+    assert!(busy.row_count() < all.row_count());
+    for row in &busy.rows {
+        assert!(row.get(1).as_int().unwrap() >= 7);
+    }
+    // Literal-first form flips the operator.
+    let flipped = setup
+        .wsmed
+        .run_central(
+            "select gp.ToState, count(*) \
+             From GetAllStates gs, GetPlacesWithin gp \
+             Where gs.State=gp.state and gp.distance=15.0 \
+               and gp.placeTypeToFind='City' and gp.place='Atlanta' \
+             group by gp.ToState having 7 <= count(*)",
+        )
+        .unwrap();
+    assert_eq!(
+        wsmed::store::canonicalize(flipped.rows),
+        wsmed::store::canonicalize(busy.rows)
+    );
+}
+
+#[test]
+fn having_on_group_key() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let r = setup
+        .wsmed
+        .run_central(
+            "select gs.Type, count(*) from GetAllStates gs \
+             group by gs.Type having gs.Type = 'State'",
+        )
+        .unwrap();
+    assert_eq!(r.row_count(), 1);
+    let none = setup
+        .wsmed
+        .run_central(
+            "select gs.Type, count(*) from GetAllStates gs \
+             group by gs.Type having gs.Type = 'Province'",
+        )
+        .unwrap();
+    assert_eq!(none.row_count(), 0);
+}
+
+#[test]
+fn having_without_group_by_is_rejected() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    assert!(setup
+        .wsmed
+        .run_central("select gs.State from GetAllStates gs having gs.State = 'CO'")
+        .is_err());
+}
+
+#[test]
+fn having_on_unselected_item_is_rejected() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    assert!(setup
+        .wsmed
+        .run_central(
+            "select gs.Type, count(*) from GetAllStates gs \
+             group by gs.Type having max(gs.LatDegrees) > 50.0",
+        )
+        .is_err());
+}
+
+#[test]
+fn having_and_group_by_stay_in_the_coordinator_when_parallel() {
+    // Regression: HAVING filters sit above GROUP BY in the plan; the
+    // parallelizer must keep that whole suffix in the coordinator instead
+    // of shipping it into the last plan function (which would aggregate
+    // per-call instead of globally).
+    let setup = paper::setup(0.0, DatasetConfig::small());
+    let sql = "select gp.ToState, count(*) \
+               From GetAllStates gs, GetPlacesWithin gp \
+               Where gs.State=gp.state and gp.distance=15.0 \
+                 and gp.placeTypeToFind='City' and gp.place='Atlanta' \
+               group by gp.ToState having count(*) >= 7 order by gp.ToState";
+    let central = setup.wsmed.run_central(sql).unwrap();
+    assert!(central.row_count() > 0);
+    let parallel = setup.wsmed.run_parallel(sql, &vec![3]).unwrap();
+    assert_eq!(parallel.rows, central.rows);
+    let adaptive = setup.wsmed.run_adaptive(sql, &Default::default()).unwrap();
+    assert_eq!(adaptive.rows, central.rows);
+}
+
+#[test]
+fn full_sql_surface_on_the_deep_chain() {
+    // Everything at once, across three parallel levels.
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let sql = "select distinct a.Code, count(*), avg(fs.DelayMinutes) \
+               From GetAllStates gs, GetAirports a, GetDepartures d, GetFlightStatus fs \
+               Where gs.State = a.stateAbbr and a.Code = d.airportCode \
+                 and d.FlightNo = fs.flightNo and fs.Status = 'Delayed' \
+                 and fs.DelayMinutes > 20 \
+               group by a.Code having count(*) >= 2 \
+               order by a.Code desc limit 5";
+    let central = setup.wsmed.run_central(sql).unwrap();
+    let parallel = setup.wsmed.run_parallel(sql, &vec![2, 2, 2]).unwrap();
+    assert_eq!(parallel.rows, central.rows);
+    assert!(central.row_count() <= 5);
+    for row in &central.rows {
+        assert!(row.get(1).as_int().unwrap() >= 2);
+        assert!(row.get(2).as_real().unwrap() > 20.0);
+    }
+    // Descending airport codes.
+    for pair in central.rows.windows(2) {
+        assert!(pair[0].get(0).as_str().unwrap() > pair[1].get(0).as_str().unwrap());
+    }
+}
