@@ -4,7 +4,7 @@
 //! call; these benches quantify both costs and justify the paper's design
 //! of shipping code once and streaming parameters (§III.A).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 use wsmed_core::{paper, wire, PlanOp, QueryPlan};
 use wsmed_services::DatasetConfig;
@@ -61,6 +61,40 @@ fn bench_wire(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+
+    // Batched frames: the vectorized-shipping fast path. Sizes span the
+    // BatchPolicy sweep of the batch_ablation harness.
+    let mut group = c.benchmark_group("wire/batch");
+    for size in [1usize, 8, 64, 512] {
+        let tuples: Vec<Tuple> = (0..size)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::str("Atlanta Heights"),
+                    Value::str("GA"),
+                    Value::Real(i as f64 + 0.25),
+                    Value::str("Atlanta Heights, GA"),
+                ])
+            })
+            .collect();
+        let frame = wire::encode_tuple_batch(&tuples);
+        let encoded: Vec<bytes::Bytes> = tuples.iter().map(wire::encode_tuple).collect();
+        group.bench_with_input(BenchmarkId::new("encode", size), &tuples, |b, tuples| {
+            b.iter(|| wire::encode_tuple_batch(std::hint::black_box(tuples)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("frame_encoded", size),
+            &encoded,
+            |b, encoded| b.iter(|| wire::frame_encoded_batch(std::hint::black_box(encoded))),
+        );
+        group.bench_with_input(BenchmarkId::new("decode", size), &frame, |b, frame| {
+            b.iter_batched(
+                || frame.clone(),
+                |frame| wire::decode_tuple_batch(frame).expect("decode"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
 }
 
 criterion_group! {

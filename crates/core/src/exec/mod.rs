@@ -17,7 +17,7 @@ use wsmed_wsdl::OwfDef;
 use crate::catalog::OwfCatalog;
 use crate::plan::{ArgExpr, PlanOp, QueryPlan};
 use crate::stats::{ExecutionReport, TreeRegistry};
-use crate::transport::{DispatchPolicy, RetryPolicy, WsTransport};
+use crate::transport::{BatchPolicy, DispatchPolicy, RetryPolicy, WsTransport};
 use crate::{CoreError, CoreResult};
 
 pub(crate) use parallel_op::ParallelApply;
@@ -56,6 +56,8 @@ pub struct ExecContext {
     retry: RwLock<RetryPolicy>,
     /// Parameter dispatch policy for fixed-fanout FF_APPLYP operators.
     dispatch: RwLock<DispatchPolicy>,
+    /// Tuple batching policy for parent↔child message frames.
+    batch: RwLock<BatchPolicy>,
     /// Per-run memoization of web service calls (None = disabled).
     call_cache: RwLock<Option<std::collections::HashMap<CacheKey, Value>>>,
     /// Cache hits during the current run.
@@ -83,6 +85,7 @@ impl ExecContext {
             first_result_nanos: AtomicU64::new(0),
             retry: RwLock::new(RetryPolicy::default()),
             dispatch: RwLock::new(DispatchPolicy::default()),
+            batch: RwLock::new(BatchPolicy::default()),
             call_cache: RwLock::new(None),
             cache_hits: AtomicU64::new(0),
             run_started: parking_lot::Mutex::new(None),
@@ -135,6 +138,17 @@ impl ExecContext {
         *self.dispatch.read()
     }
 
+    /// Sets the tuple batching policy for parent↔child message frames.
+    /// The default ships one tuple per message, the paper's semantics.
+    pub fn set_batch_policy(&self, policy: BatchPolicy) {
+        *self.batch.write() = policy;
+    }
+
+    /// The current batching policy.
+    pub fn batch_policy(&self) -> BatchPolicy {
+        *self.batch.read()
+    }
+
     /// Enables or disables per-run memoization of web service calls.
     ///
     /// Data-providing web services are side-effect-free (the paper's §I
@@ -164,7 +178,7 @@ impl ExecContext {
         let cache_key = if self.call_cache.read().is_some() {
             let key = CacheKey {
                 owf: owf.name.clone(),
-                args: crate::wire::encode_tuple(&Tuple::new(args.to_vec())),
+                args: crate::wire::encode_value_slice(args),
             };
             if let Some(cache) = self.call_cache.read().as_ref() {
                 if let Some(hit) = cache.get(&key) {
@@ -275,6 +289,7 @@ impl ExecContext {
             ws_bytes: (calls_after.request_bytes + calls_after.response_bytes)
                 - (calls_before.request_bytes + calls_before.response_bytes),
             shipped_bytes: self.shipped_bytes.load(Ordering::Relaxed) - shipped_before,
+            messages: snapshot.total_messages(),
             first_row_wall: match self.first_result_nanos.load(Ordering::Relaxed) {
                 0 => None,
                 nanos => Some(std::time::Duration::from_nanos(nanos)),
@@ -427,14 +442,14 @@ pub(crate) fn compile(ctx: &Arc<ExecContext>, env: &ProcEnv, op: &PlanOp) -> Cor
                     pf.name
                 )));
             }
-            let op = ParallelApply::fixed(ctx, env, pf.clone(), *fanout)?;
+            let op = ParallelApply::fixed(ctx, env, pf, *fanout)?;
             ExecNode::Parallel {
                 op,
                 input: Box::new(compile(ctx, env, input)?),
             }
         }
         PlanOp::AffApply { pf, config, input } => {
-            let op = ParallelApply::adaptive(ctx, env, pf.clone(), config.clone())?;
+            let op = ParallelApply::adaptive(ctx, env, pf, config.clone())?;
             ExecNode::Parallel {
                 op,
                 input: Box::new(compile(ctx, env, input)?),

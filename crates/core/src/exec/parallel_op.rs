@@ -84,7 +84,7 @@ impl ParallelApply {
     pub fn fixed(
         ctx: &Arc<ExecContext>,
         env: &ProcEnv,
-        pf: PlanFunction,
+        pf: &PlanFunction,
         fanout: usize,
     ) -> CoreResult<Self> {
         Self::new(ctx, env, pf, fanout, None)
@@ -94,7 +94,7 @@ impl ParallelApply {
     pub fn adaptive(
         ctx: &Arc<ExecContext>,
         env: &ProcEnv,
-        pf: PlanFunction,
+        pf: &PlanFunction,
         config: AdaptiveConfig,
     ) -> CoreResult<Self> {
         let init = config.init_fanout.max(1);
@@ -113,14 +113,16 @@ impl ParallelApply {
     fn new(
         ctx: &Arc<ExecContext>,
         env: &ProcEnv,
-        pf: PlanFunction,
+        pf: &PlanFunction,
         fanout: usize,
         adapt: Option<AdaptState>,
     ) -> CoreResult<Self> {
         let (results_tx, results_rx) = unbounded();
         let mut this = ParallelApply {
             pf_name: pf.name.clone(),
-            pf_bytes: wire::encode_plan_function(&pf),
+            // Encoded once from a reference; children get refcounted
+            // clones of these bytes, never a deep copy of the plan.
+            pf_bytes: wire::encode_plan_function(pf),
             env: *env,
             slots: Vec::new(),
             idle: VecDeque::new(),
@@ -230,25 +232,30 @@ impl ParallelApply {
                         pending.clear();
                     }
                 }
-                FromChild::Result {
+                FromChild::ResultBatch {
                     slot,
                     call_id,
-                    tuple,
+                    tuples,
                 } => {
                     if self.slots[slot].current_call != Some(call_id) {
                         return Err(CoreError::ProcessFailure(format!(
-                            "{}: result for call {call_id} from slot {slot} which is \
+                            "{}: result batch for call {call_id} from slot {slot} which is \
                              processing {:?}",
                             self.pf_name, self.slots[slot].current_call
                         )));
                     }
-                    out.push(wire::decode_tuple(tuple)?);
-                    if self.env.level == 0 {
+                    let batch = wire::decode_tuple_batch(tuples)?;
+                    // The marginal per-tuple cost of unpacking the frame
+                    // (the per-frame share was paid above on receipt).
+                    ctx.sim()
+                        .sleep_model(ctx.sim().client.tuple_dispatch * batch.len() as f64);
+                    if !batch.is_empty() && self.env.level == 0 {
                         ctx.record_first_result();
                     }
                     if let Some(adapt) = &mut self.adapt {
-                        adapt.tuples_in_cycle += 1;
+                        adapt.tuples_in_cycle += batch.len() as u64;
                     }
+                    out.extend(batch);
                 }
                 FromChild::EndOfCall {
                     slot,
@@ -298,6 +305,7 @@ impl ParallelApply {
     }
 
     fn dispatch_pending(&mut self, ctx: &Arc<ExecContext>, pending: &mut PendingParams) {
+        let max_params = ctx.batch_policy().max_params.max(1);
         while !pending.is_empty() {
             let Some(slot) = self.idle.pop_front() else {
                 break;
@@ -305,7 +313,17 @@ impl ParallelApply {
             if self.slots[slot].status != SlotStatus::Idle {
                 continue; // stale queue entry (slot was drained/killed)
             }
-            let Some(param) = pending.take_for(slot) else {
+            // Guided self-scheduling: cap each batch at the slot's fair
+            // share of the remaining queue so one child cannot swallow the
+            // whole parameter stream and serialize the pool — handing out
+            // equal upfront partitions would disable the first-finished
+            // rebalancing the paper's dispatch exists for. The chunk floor
+            // trims the geometric tail (…, 2, 1, 1, 1) that would otherwise
+            // spend a frame per tuple at the end of every queue drain.
+            let share = pending.len().div_ceil(self.alive_count().max(1));
+            let floor = max_params.div_ceil(16);
+            let batch = pending.take_batch_for(slot, max_params.min(share.max(floor)));
+            if batch.is_empty() {
                 // Round-robin: this slot's static share is exhausted; it
                 // stays idle even though other slots still have work — the
                 // straggler cost FF dispatch avoids.
@@ -315,15 +333,16 @@ impl ParallelApply {
                     break;
                 }
                 continue;
-            };
+            }
             let call_id = self.next_call_id;
             self.next_call_id += 1;
             let proc = self.slots[slot]
                 .proc
                 .as_ref()
                 .expect("idle slot has a process");
-            ctx.tree().note_call(proc.id);
-            proc.send_call(ctx, call_id, param);
+            ctx.tree().note_calls(proc.id, batch.len() as u64);
+            let frame = wire::frame_encoded_batch(&batch);
+            proc.send_call(ctx, call_id, frame, batch.len());
             self.slots[slot].status = SlotStatus::Busy;
             self.slots[slot].current_call = Some(call_id);
         }
@@ -465,12 +484,18 @@ impl PendingParams {
         }
     }
 
-    /// Takes the next parameter for `slot`, honoring the policy.
-    fn take_for(&mut self, slot: usize) -> Option<Bytes> {
-        match self {
-            PendingParams::Shared(q) => q.pop_front(),
-            PendingParams::PerSlot(queues) => queues.get_mut(slot)?.pop_front(),
-        }
+    /// Takes up to `max` next parameters for `slot`, honoring the policy.
+    /// An empty result means the slot has no work available.
+    fn take_batch_for(&mut self, slot: usize, max: usize) -> Vec<Bytes> {
+        let queue = match self {
+            PendingParams::Shared(q) => q,
+            PendingParams::PerSlot(queues) => match queues.get_mut(slot) {
+                Some(q) => q,
+                None => return Vec::new(),
+            },
+        };
+        let n = queue.len().min(max);
+        queue.drain(..n).collect()
     }
 
     /// Whether `slot` has any parameter available, without taking it.

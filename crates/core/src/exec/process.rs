@@ -2,20 +2,28 @@
 //!
 //! A query process receives its plan function **once**, installed before
 //! execution (paper §III), then a stream of `Call` messages carrying
-//! parameter tuples. For each call it evaluates the installed body and
-//! streams `Result` messages back, terminated by an `EndOfCall` — the
-//! message `FF_APPLYP` uses to know a child is idle again.
+//! batches of parameter tuples. For each call it evaluates the installed
+//! body per parameter and ships `ResultBatch` frames back, terminated by
+//! an `EndOfCall` — the message `FF_APPLYP` uses to know a child is idle
+//! again. The configured [`crate::transport::BatchPolicy`] bounds how many
+//! result tuples a child buffers before flushing a frame, and a model-time
+//! threshold flushes a partially filled buffer so first-row latency stays
+//! honest; the default policy is one tuple per frame, the paper's exact
+//! semantics.
 //!
 //! Plan functions and tuples cross the boundary as serialized bytes
 //! ([`crate::wire`]); the parent pays the modeled client-side costs
-//! (process startup, plan shipping, message dispatch) so the economics of
-//! the paper's single-core coordinator are preserved.
+//! (process startup, plan shipping, per-frame and per-tuple dispatch) so
+//! the economics of the paper's single-core coordinator are preserved.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use wsmed_store::Tuple;
 
 use crate::exec::{compile, eval, ExecContext, ProcEnv};
 use crate::wire;
@@ -25,12 +33,14 @@ use crate::wire;
 pub(crate) enum ToChild {
     /// Install the (serialized) plan function. Sent exactly once, first.
     Install(Bytes),
-    /// Evaluate the installed plan function for a parameter tuple.
+    /// Evaluate the installed plan function once per parameter tuple in
+    /// the batch frame.
     Call {
         /// Correlation id, unique per parent.
         call_id: u64,
-        /// Serialized parameter tuple.
-        param: Bytes,
+        /// Batch frame of serialized parameter tuples
+        /// ([`wire::encode_tuple_batch`] layout).
+        params: Bytes,
     },
     /// Terminate: tear down the subtree and exit.
     Shutdown,
@@ -46,14 +56,14 @@ pub(crate) enum FromChild {
         /// Install error, if any.
         error: Option<String>,
     },
-    /// One result tuple of the current call.
-    Result {
+    /// A batch of result tuples of the current call.
+    ResultBatch {
         /// The child's slot at the parent.
         slot: usize,
         /// Correlation id of the call.
         call_id: u64,
-        /// Serialized result tuple.
-        tuple: Bytes,
+        /// Batch frame of serialized result tuples.
+        tuples: Bytes,
     },
     /// The current call finished (successfully or not).
     EndOfCall {
@@ -102,6 +112,7 @@ impl ChildProc {
         ctx.sim()
             .sleep_model(client.plan_ship_per_kib * pf_bytes.len() as f64 / 1024.0);
         ctx.record_shipped(pf_bytes.len());
+        tree.note_msg_down(id);
 
         let (tx, rx) = unbounded::<ToChild>();
         let ctx_child = Arc::clone(ctx);
@@ -120,11 +131,15 @@ impl ChildProc {
         }
     }
 
-    /// Sends a parameter tuple; the parent pays the dispatch cost.
-    pub fn send_call(&self, ctx: &ExecContext, call_id: u64, param: Bytes) {
-        ctx.sim().sleep_model(ctx.sim().client.message_dispatch);
-        ctx.record_shipped(param.len());
-        self.tx.send(ToChild::Call { call_id, param }).ok();
+    /// Sends a batch of `n_params` parameter tuples as one frame; the
+    /// parent pays the per-frame plus per-tuple dispatch cost.
+    pub fn send_call(&self, ctx: &ExecContext, call_id: u64, params: Bytes, n_params: usize) {
+        let client = &ctx.sim().client;
+        ctx.sim()
+            .sleep_model(client.message_dispatch + client.tuple_dispatch * n_params as f64);
+        ctx.record_shipped(params.len());
+        self.tree.note_msg_down(self.id);
+        self.tx.send(ToChild::Call { call_id, params }).ok();
     }
 
     /// Shuts the child down and waits for its subtree to terminate.
@@ -166,6 +181,7 @@ fn child_main(
         Ok(ToChild::Install(bytes)) => match wire::decode_plan_function(bytes) {
             Ok(pf) => pf,
             Err(e) => {
+                ctx.tree().note_msg_up(env.id);
                 results
                     .send(FromChild::Installed {
                         slot,
@@ -177,6 +193,7 @@ fn child_main(
         },
         Ok(ToChild::Shutdown) | Err(_) => return,
         Ok(ToChild::Call { call_id, .. }) => {
+            ctx.tree().note_msg_up(env.id);
             results
                 .send(FromChild::EndOfCall {
                     slot,
@@ -194,6 +211,7 @@ fn child_main(
     let mut body = match compile(&ctx, &env, &pf.body) {
         Ok(node) => node,
         Err(e) => {
+            ctx.tree().note_msg_up(env.id);
             results
                 .send(FromChild::Installed {
                     slot,
@@ -203,6 +221,7 @@ fn child_main(
             return;
         }
     };
+    ctx.tree().note_msg_up(env.id);
     if results
         .send(FromChild::Installed { slot, error: None })
         .is_err()
@@ -213,51 +232,9 @@ fn child_main(
     // ---- call loop ---------------------------------------------------------
     while let Ok(msg) = rx.recv() {
         match msg {
-            ToChild::Call { call_id, param } => {
-                let outcome =
-                    wire::decode_tuple(param).and_then(|param| eval(&mut body, &ctx, &param));
-                match outcome {
-                    Ok(tuples) => {
-                        for tuple in &tuples {
-                            // The child pays its own send cost; results are
-                            // streamed one message per tuple, as in §III.A.
-                            ctx.sim().sleep_model(ctx.sim().client.message_dispatch);
-                            let encoded = wire::encode_tuple(tuple);
-                            ctx.record_shipped(encoded.len());
-                            if results
-                                .send(FromChild::Result {
-                                    slot,
-                                    call_id,
-                                    tuple: encoded,
-                                })
-                                .is_err()
-                            {
-                                return;
-                            }
-                        }
-                        if results
-                            .send(FromChild::EndOfCall {
-                                slot,
-                                call_id,
-                                error: None,
-                            })
-                            .is_err()
-                        {
-                            return;
-                        }
-                    }
-                    Err(e) => {
-                        if results
-                            .send(FromChild::EndOfCall {
-                                slot,
-                                call_id,
-                                error: Some(e.to_string()),
-                            })
-                            .is_err()
-                        {
-                            return;
-                        }
-                    }
+            ToChild::Call { call_id, params } => {
+                if !handle_call(&ctx, &env, slot, &mut body, call_id, params, &results) {
+                    return; // parent hung up
                 }
             }
             ToChild::Shutdown => break,
@@ -267,4 +244,155 @@ fn child_main(
         }
     }
     // `body` drops here, recursively shutting down this process's children.
+}
+
+/// Evaluates one parameter batch, streaming result frames through a
+/// bounded flush buffer. Returns `false` if the parent hung up.
+fn handle_call(
+    ctx: &Arc<ExecContext>,
+    env: &ProcEnv,
+    slot: usize,
+    body: &mut crate::exec::ExecNode,
+    call_id: u64,
+    params: Bytes,
+    results: &Sender<FromChild>,
+) -> bool {
+    let mut flush = FlushBuffer::new(ctx, env, slot, call_id, results);
+    let outcome = (|| -> crate::CoreResult<()> {
+        for param in wire::decode_tuple_batch(params)? {
+            for tuple in eval(body, ctx, &param)? {
+                if !flush.push(&tuple) {
+                    return Err(crate::CoreError::ProcessFailure("parent gone".into()));
+                }
+            }
+            // A cheap parameter between expensive ones must not strand
+            // buffered results past the latency bound.
+            if !flush.flush_if_stale() {
+                return Err(crate::CoreError::ProcessFailure("parent gone".into()));
+            }
+        }
+        Ok(())
+    })();
+    let error = match outcome {
+        Ok(()) => {
+            if !flush.finish() {
+                return false;
+            }
+            None
+        }
+        Err(e) => Some(e.to_string()),
+    };
+    if error.is_some() && flush.parent_gone {
+        return false;
+    }
+    ctx.tree().note_msg_up(env.id);
+    results
+        .send(FromChild::EndOfCall {
+            slot,
+            call_id,
+            error,
+        })
+        .is_ok()
+}
+
+/// Child-side result buffer: accumulates encoded tuples and flushes a
+/// [`FromChild::ResultBatch`] frame when `max_result_tuples` is reached,
+/// when `flush_model_secs` of model time passed since the buffer's first
+/// tuple, or at end of call. At the default policy (1 tuple per frame)
+/// every tuple flushes immediately — the paper's streaming behaviour.
+struct FlushBuffer<'a> {
+    ctx: &'a Arc<ExecContext>,
+    env: &'a ProcEnv,
+    slot: usize,
+    call_id: u64,
+    results: &'a Sender<FromChild>,
+    max_tuples: usize,
+    flush_model_secs: f64,
+    buf: Vec<Bytes>,
+    buffered_since: Option<Instant>,
+    parent_gone: bool,
+}
+
+impl<'a> FlushBuffer<'a> {
+    fn new(
+        ctx: &'a Arc<ExecContext>,
+        env: &'a ProcEnv,
+        slot: usize,
+        call_id: u64,
+        results: &'a Sender<FromChild>,
+    ) -> Self {
+        let policy = ctx.batch_policy();
+        FlushBuffer {
+            ctx,
+            env,
+            slot,
+            call_id,
+            results,
+            max_tuples: policy.max_result_tuples.max(1),
+            flush_model_secs: policy.flush_model_secs,
+            buf: Vec::new(),
+            buffered_since: None,
+            parent_gone: false,
+        }
+    }
+
+    /// Buffers one result tuple, flushing if the buffer filled or went
+    /// stale. Returns `false` if the parent hung up.
+    fn push(&mut self, tuple: &Tuple) -> bool {
+        self.buf.push(wire::encode_tuple(tuple));
+        self.buffered_since.get_or_insert_with(Instant::now);
+        if self.buf.len() >= self.max_tuples {
+            return self.flush();
+        }
+        self.flush_if_stale()
+    }
+
+    /// Flushes when the oldest buffered tuple has waited longer than the
+    /// model-time bound (only measurable when the sim is time-scaled).
+    fn flush_if_stale(&mut self) -> bool {
+        let Some(since) = self.buffered_since else {
+            return true;
+        };
+        let scale = self.ctx.sim().time_scale;
+        if scale > 0.0 && since.elapsed().as_secs_f64() / scale >= self.flush_model_secs {
+            return self.flush();
+        }
+        true
+    }
+
+    /// Flushes any remaining tuples at end of call.
+    fn finish(&mut self) -> bool {
+        if self.buf.is_empty() {
+            true
+        } else {
+            self.flush()
+        }
+    }
+
+    fn flush(&mut self) -> bool {
+        if self.buf.is_empty() {
+            return true;
+        }
+        let frame = wire::frame_encoded_batch(&self.buf);
+        let n = self.buf.len();
+        self.buf.clear();
+        self.buffered_since = None;
+        // The child pays its own send cost: one frame plus its tuples.
+        let client = &self.ctx.sim().client;
+        self.ctx
+            .sim()
+            .sleep_model(client.message_dispatch + client.tuple_dispatch * n as f64);
+        self.ctx.record_shipped(frame.len());
+        self.ctx.tree().note_msg_up(self.env.id);
+        let ok = self
+            .results
+            .send(FromChild::ResultBatch {
+                slot: self.slot,
+                call_id: self.call_id,
+                tuples: frame,
+            })
+            .is_ok();
+        self.parent_gone = !ok;
+        ok
+    }
 }

@@ -52,5 +52,7 @@ pub use parallel::{
 };
 pub use plan::{AdaptDecision, AdaptiveConfig, ArgExpr, PlanFunction, PlanOp, QueryPlan};
 pub use stats::{AdaptEvent, ExecutionReport, LevelStats, TreeNode, TreeRegistry, TreeSnapshot};
-pub use transport::{DispatchPolicy, MockTransport, RetryPolicy, SimTransport, WsTransport};
+pub use transport::{
+    BatchPolicy, DispatchPolicy, MockTransport, RetryPolicy, SimTransport, WsTransport,
+};
 pub use wsmed::{paper, Wsmed};

@@ -47,6 +47,8 @@ struct NodeInfo {
     pf_name: String,
     alive: bool,
     calls: u64,
+    msgs_down: u64,
+    msgs_up: u64,
 }
 
 impl TreeRegistry {
@@ -67,6 +69,8 @@ impl TreeRegistry {
                 pf_name: pf_name.to_owned(),
                 alive: true,
                 calls: 0,
+                msgs_down: 0,
+                msgs_up: 0,
             },
         );
         if parent.is_some() {
@@ -76,12 +80,29 @@ impl TreeRegistry {
         inner.peak_alive = inner.peak_alive.max(alive);
     }
 
-    /// Counts one plan-function call dispatched to a process (for the
+    /// Counts `n` plan-function calls dispatched to a process (for the
     /// load-balance view: first-finished dispatch shifts work toward fast
-    /// children, static partitioning spreads it evenly).
-    pub fn note_call(&self, id: u64) {
+    /// children, static partitioning spreads it evenly). With batching one
+    /// message frame can carry several calls.
+    pub fn note_calls(&self, id: u64, n: u64) {
         if let Some(node) = self.inner.lock().nodes.get_mut(&id) {
-            node.calls += 1;
+            node.calls += n;
+        }
+    }
+
+    /// Counts one message frame sent from a parent down to process `id`
+    /// (plan installation or a parameter batch).
+    pub fn note_msg_down(&self, id: u64) {
+        if let Some(node) = self.inner.lock().nodes.get_mut(&id) {
+            node.msgs_down += 1;
+        }
+    }
+
+    /// Counts one message frame sent from process `id` up to its parent
+    /// (installation ack, result batch, or end-of-call).
+    pub fn note_msg_up(&self, id: u64) {
+        if let Some(node) = self.inner.lock().nodes.get_mut(&id) {
+            node.msgs_up += 1;
         }
     }
 
@@ -166,6 +187,8 @@ impl TreeRegistry {
                 pf_name: n.pf_name.clone(),
                 alive: n.alive,
                 calls: n.calls,
+                msgs_down: n.msgs_down,
+                msgs_up: n.msgs_up,
             })
             .collect();
         nodes.sort_by_key(|n| (n.level, n.id));
@@ -195,6 +218,12 @@ pub struct TreeNode {
     pub alive: bool,
     /// Plan-function calls dispatched to this process.
     pub calls: u64,
+    /// Message frames this process received from its parent (plan
+    /// installation and parameter batches).
+    pub msgs_down: u64,
+    /// Message frames this process sent to its parent (installation ack,
+    /// result batches, end-of-call notices).
+    pub msgs_up: u64,
 }
 
 /// Statistics for one level of the process tree.
@@ -234,6 +263,12 @@ impl TreeSnapshot {
     /// Total processes alive.
     pub fn total_alive(&self) -> usize {
         self.levels.iter().map(|l| l.alive).sum()
+    }
+
+    /// Total parent↔child message frames exchanged, in both directions.
+    /// Each frame counts once, attributed to the child endpoint.
+    pub fn total_messages(&self) -> u64 {
+        self.nodes.iter().map(|n| n.msgs_down + n.msgs_up).sum()
     }
 
     /// Average fanout at a level, if the level exists.
@@ -309,6 +344,10 @@ pub struct ExecutionReport {
     /// tuples and result tuples (the client-side messaging volume the
     /// parameter-projection optimization reduces).
     pub shipped_bytes: u64,
+    /// Parent↔child message frames exchanged between query processes
+    /// during execution (plan installs, parameter batches, result batches,
+    /// end-of-call notices). Batching exists to shrink this number.
+    pub messages: u64,
     /// Time from run start until the coordinator received its first result
     /// tuple from a child process — the streaming latency of the parallel
     /// plan. `None` for central plans (no child processes).
@@ -386,6 +425,23 @@ mod tests {
         let text = reg.snapshot().render_ascii();
         let expect = "q0 coordinator\n  q1 PF1\n    q3 PF2\n  q2 PF1 (dropped)\n";
         assert_eq!(text, expect);
+    }
+
+    #[test]
+    fn message_counters_accumulate_per_node() {
+        let reg = TreeRegistry::new();
+        reg.register(0, None, 0, "coordinator");
+        reg.register(1, Some(0), 1, "PF1");
+        reg.register(2, Some(0), 1, "PF1");
+        reg.note_msg_down(1);
+        reg.note_msg_down(1);
+        reg.note_msg_up(1);
+        reg.note_msg_up(2);
+        reg.note_calls(1, 3);
+        let snap = reg.snapshot();
+        let q1 = snap.nodes.iter().find(|n| n.id == 1).unwrap();
+        assert_eq!((q1.msgs_down, q1.msgs_up, q1.calls), (2, 1, 3));
+        assert_eq!(snap.total_messages(), 4);
     }
 
     #[test]

@@ -40,11 +40,12 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// A policy retrying up to `attempts` total tries with a 0.5 model-s
-    /// backoff.
+    /// backoff. Zero attempts would mean "never call at all", which no
+    /// caller can mean; it is clamped to a single attempt instead of
+    /// panicking.
     pub fn attempts(attempts: usize) -> Self {
-        assert!(attempts >= 1, "at least one attempt is required");
         RetryPolicy {
-            max_attempts: attempts,
+            max_attempts: attempts.max(1),
             ..Default::default()
         }
     }
@@ -66,6 +67,49 @@ pub enum DispatchPolicy {
     FirstFinished,
     /// Static pre-partitioning: parameter i goes to child i mod fanout.
     RoundRobin,
+}
+
+/// How parameter and result tuples are grouped into message frames
+/// between a parallel operator and its child query processes.
+///
+/// The paper ships one tuple per message; that is the `Default` here
+/// (`max_params = max_result_tuples = 1`), and it reproduces the paper's
+/// behaviour exactly. Larger values amortize the per-message dispatch
+/// overhead ([`wsmed_netsim::ClientCostModel::message_dispatch`]) over
+/// many tuples at the price of latency: a child holds results back until
+/// its flush buffer fills, the call ends, or `flush_model_secs` of model
+/// time has accumulated since the buffer's first tuple — the time bound
+/// keeps first-row latency honest under large `max_result_tuples`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPolicy {
+    /// Maximum parameter tuples handed to an idle child in one frame.
+    pub max_params: usize,
+    /// Maximum result tuples a child buffers before flushing a frame.
+    pub max_result_tuples: usize,
+    /// Model seconds a child may hold a non-empty result buffer.
+    pub flush_model_secs: f64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        // Paper semantics: every tuple is its own message.
+        BatchPolicy {
+            max_params: 1,
+            max_result_tuples: 1,
+            flush_model_secs: 0.05,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// A symmetric policy batching up to `n` tuples in both directions.
+    pub fn uniform(n: usize) -> Self {
+        BatchPolicy {
+            max_params: n.max(1),
+            max_result_tuples: n.max(1),
+            ..Default::default()
+        }
+    }
 }
 
 /// Something that can invoke a data-providing web service operation.
@@ -246,6 +290,23 @@ mod tests {
             )
             .unwrap();
         assert!(owf.flatten(&value).unwrap().is_empty());
+    }
+
+    #[test]
+    fn retry_attempts_zero_clamps_to_one() {
+        assert_eq!(RetryPolicy::attempts(0).max_attempts, 1);
+        assert_eq!(RetryPolicy::attempts(1).max_attempts, 1);
+        assert_eq!(RetryPolicy::attempts(5).max_attempts, 5);
+    }
+
+    #[test]
+    fn batch_policy_defaults_to_paper_semantics() {
+        let p = BatchPolicy::default();
+        assert_eq!((p.max_params, p.max_result_tuples), (1, 1));
+        let u = BatchPolicy::uniform(0);
+        assert_eq!((u.max_params, u.max_result_tuples), (1, 1));
+        let u = BatchPolicy::uniform(64);
+        assert_eq!((u.max_params, u.max_result_tuples), (64, 64));
     }
 
     #[test]

@@ -34,6 +34,68 @@ pub fn encode_tuple(tuple: &Tuple) -> Bytes {
     buf.freeze()
 }
 
+/// Serializes a value slice with the same layout as [`encode_tuple`] —
+/// lets callers build structural keys without cloning values into a
+/// `Tuple` first.
+pub(crate) fn encode_value_slice(values: &[Value]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_u32_le(values.len() as u32);
+    for v in values {
+        put_value(&mut buf, v);
+    }
+    buf.freeze()
+}
+
+/// Serializes a batch of tuples into one frame.
+///
+/// Frame layout: a varint tuple count, then per tuple a varint byte
+/// length followed by that tuple's [`encode_tuple`] encoding. The
+/// per-tuple length prefix lets a receiver slice tuples out without
+/// re-parsing and lets pre-encoded tuples be framed without re-encoding
+/// (see [`frame_encoded_batch`]).
+pub fn encode_tuple_batch(tuples: &[Tuple]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 * tuples.len() + 8);
+    put_varint(&mut buf, tuples.len() as u64);
+    let mut scratch = BytesMut::with_capacity(64);
+    for t in tuples {
+        put_tuple(&mut scratch, t);
+        put_varint(&mut buf, scratch.len() as u64);
+        buf.put_slice(&scratch);
+        scratch.clear();
+    }
+    buf.freeze()
+}
+
+/// Builds a batch frame from tuples that are already individually
+/// encoded — a memcpy per tuple instead of a re-encoding tree walk.
+pub fn frame_encoded_batch<'a, I>(encoded: I) -> Bytes
+where
+    I: IntoIterator<Item = &'a Bytes>,
+    I::IntoIter: ExactSizeIterator,
+{
+    let iter = encoded.into_iter();
+    let mut buf = BytesMut::with_capacity(8);
+    put_varint(&mut buf, iter.len() as u64);
+    for part in iter {
+        put_varint(&mut buf, part.len() as u64);
+        buf.put_slice(part);
+    }
+    buf.freeze()
+}
+
+/// LEB128 unsigned varint (7 bits per byte, high bit = continuation).
+fn put_varint(buf: &mut BytesMut, mut n: u64) {
+    loop {
+        let byte = (n & 0x7f) as u8;
+        n >>= 7;
+        if n == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
@@ -248,6 +310,36 @@ pub fn decode_tuple(mut bytes: Bytes) -> CoreResult<Tuple> {
     Ok(t)
 }
 
+/// Deserializes a batch frame produced by [`encode_tuple_batch`] or
+/// [`frame_encoded_batch`].
+pub fn decode_tuple_batch(mut bytes: Bytes) -> CoreResult<Vec<Tuple>> {
+    let n = get_varint(&mut bytes)?;
+    if n > u32::MAX as u64 {
+        return Err(CoreError::Wire(format!("absurd batch count {n}")));
+    }
+    let mut tuples = Vec::with_capacity((n as usize).min(4096));
+    for _ in 0..n {
+        let len = get_varint(&mut bytes)? as usize;
+        need(&bytes, len)?;
+        let mut part = bytes.copy_to_bytes(len);
+        let t = get_tuple(&mut part)?;
+        if part.has_remaining() {
+            return Err(CoreError::Wire(format!(
+                "{} trailing bytes inside batch entry",
+                part.remaining()
+            )));
+        }
+        tuples.push(t);
+    }
+    if bytes.has_remaining() {
+        return Err(CoreError::Wire(format!(
+            "{} trailing bytes after batch",
+            bytes.remaining()
+        )));
+    }
+    Ok(tuples)
+}
+
 fn need(buf: &Bytes, n: usize) -> CoreResult<()> {
     if buf.remaining() < n {
         Err(CoreError::Wire(format!(
@@ -262,6 +354,22 @@ fn need(buf: &Bytes, n: usize) -> CoreResult<()> {
 fn get_u8(buf: &mut Bytes) -> CoreResult<u8> {
     need(buf, 1)?;
     Ok(buf.get_u8())
+}
+
+fn get_varint(buf: &mut Bytes) -> CoreResult<u64> {
+    let mut n = 0u64;
+    for shift in (0..64).step_by(7) {
+        let byte = get_u8(buf)?;
+        n |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            // Reject non-canonical padding like 0x80 0x00.
+            if byte == 0 && shift != 0 {
+                return Err(CoreError::Wire("non-canonical varint".into()));
+            }
+            return Ok(n);
+        }
+    }
+    Err(CoreError::Wire("varint longer than 10 bytes".into()))
 }
 
 fn get_u32(buf: &mut Bytes) -> CoreResult<usize> {
@@ -614,6 +722,64 @@ mod tests {
         assert!(decode_tuple(Bytes::from(raw)).is_err());
     }
 
+    fn sample_batch() -> Vec<Tuple> {
+        vec![
+            Tuple::new(vec![Value::Int(1), Value::str("Atlanta")]),
+            Tuple::new(vec![]),
+            Tuple::new(vec![Value::Real(15.0), Value::Null, Value::Bool(true)]),
+        ]
+    }
+
+    #[test]
+    fn tuple_batch_roundtrip() {
+        let tuples = sample_batch();
+        let frame = encode_tuple_batch(&tuples);
+        assert_eq!(decode_tuple_batch(frame).unwrap(), tuples);
+        assert_eq!(decode_tuple_batch(encode_tuple_batch(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn framed_encoded_batch_matches_direct_encoding() {
+        let tuples = sample_batch();
+        let parts: Vec<Bytes> = tuples.iter().map(encode_tuple).collect();
+        assert_eq!(frame_encoded_batch(&parts), encode_tuple_batch(&tuples));
+    }
+
+    #[test]
+    fn batch_truncation_errors() {
+        let frame = encode_tuple_batch(&sample_batch());
+        for cut in 0..frame.len() {
+            assert!(
+                decode_tuple_batch(frame.slice(0..cut)).is_err(),
+                "cut at {cut} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_trailing_and_garbage_errors() {
+        let mut raw = encode_tuple_batch(&sample_batch()).to_vec();
+        raw.push(0);
+        assert!(decode_tuple_batch(Bytes::from(raw.clone())).is_err());
+        raw.pop();
+        raw[0] = 0xFF; // claim a huge continuation-heavy count
+        for _ in 0..10 {
+            raw.insert(1, 0xFF);
+        }
+        assert!(decode_tuple_batch(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn batch_entry_length_mismatch_errors() {
+        // A per-tuple length that overclaims into the next entry must fail
+        // the inner trailing-bytes check, not silently misparse.
+        let tuples = sample_batch();
+        let mut raw = encode_tuple_batch(&tuples).to_vec();
+        raw[1] += 1; // first entry's varint length (count is 1 byte here)
+        raw.push(0); // keep the outer frame long enough
+        assert!(decode_tuple_batch(Bytes::from(raw)).is_err());
+    }
+
     // ---- property tests --------------------------------------------------
 
     fn value_strategy() -> impl Strategy<Value = Value> {
@@ -651,7 +817,26 @@ mod tests {
         #[test]
         fn prop_decoder_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = decode_plan_function(Bytes::from(raw.clone()));
-            let _ = decode_tuple(Bytes::from(raw));
+            let _ = decode_tuple(Bytes::from(raw.clone()));
+            let _ = decode_tuple_batch(Bytes::from(raw));
+        }
+
+        #[test]
+        fn prop_tuple_batch_roundtrip(
+            batch in proptest::collection::vec(
+                proptest::collection::vec(value_strategy(), 0..4),
+                0..12,
+            )
+        ) {
+            let tuples: Vec<Tuple> = batch.into_iter().map(Tuple::new).collect();
+            let back = decode_tuple_batch(encode_tuple_batch(&tuples)).unwrap();
+            prop_assert_eq!(back.len(), tuples.len());
+            for (b, t) in back.iter().zip(&tuples) {
+                prop_assert_eq!(b.total_cmp(t), std::cmp::Ordering::Equal);
+            }
+            // Framing pre-encoded tuples is byte-identical to direct encoding.
+            let parts: Vec<Bytes> = tuples.iter().map(encode_tuple).collect();
+            prop_assert_eq!(frame_encoded_batch(&parts), encode_tuple_batch(&tuples));
         }
     }
 }

@@ -41,6 +41,7 @@ pub struct Wsmed {
     sim: SimConfig,
     retry: crate::transport::RetryPolicy,
     dispatch: crate::transport::DispatchPolicy,
+    batch: crate::transport::BatchPolicy,
     call_cache: bool,
 }
 
@@ -55,6 +56,7 @@ impl Wsmed {
             sim,
             retry: crate::transport::RetryPolicy::default(),
             dispatch: crate::transport::DispatchPolicy::default(),
+            batch: crate::transport::BatchPolicy::default(),
             call_cache: false,
         }
     }
@@ -70,6 +72,13 @@ impl Wsmed {
     /// executions (the ablation knob; defaults to first-finished).
     pub fn set_dispatch_policy(&mut self, policy: crate::transport::DispatchPolicy) {
         self.dispatch = policy;
+    }
+
+    /// Sets the tuple-shipping batch policy for subsequent executions
+    /// (vectorized `Call`/`ResultBatch` frames; the default of one tuple
+    /// per frame reproduces the paper's streaming semantics exactly).
+    pub fn set_batch_policy(&mut self, policy: crate::transport::BatchPolicy) {
+        self.batch = policy;
     }
 
     /// Sets the retry policy used for transient web-service faults on all
@@ -167,6 +176,7 @@ impl Wsmed {
         );
         ctx.set_retry_policy(self.retry);
         ctx.set_dispatch_policy(self.dispatch);
+        ctx.set_batch_policy(self.batch);
         ctx.set_call_cache(self.call_cache);
         ctx.run_plan(plan)
     }

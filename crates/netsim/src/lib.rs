@@ -100,6 +100,11 @@ pub struct ClientCostModel {
     pub process_startup: f64,
     /// Cost for a parent to dispatch one message (parameter tuple or result).
     pub message_dispatch: f64,
+    /// Marginal cost per tuple carried inside a message frame. With
+    /// batching, one frame of `n` tuples costs
+    /// `message_dispatch + n * tuple_dispatch`, so shipping fewer, larger
+    /// frames amortizes the per-frame overhead without making tuples free.
+    pub tuple_dispatch: f64,
     /// Cost per KiB to ship a serialized plan function to a child.
     pub plan_ship_per_kib: f64,
 }
@@ -110,6 +115,7 @@ impl Default for ClientCostModel {
         ClientCostModel {
             process_startup: 0.25,
             message_dispatch: 0.002,
+            tuple_dispatch: 0.0002,
             plan_ship_per_kib: 0.02,
         }
     }

@@ -1,0 +1,61 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! WSMED uses only `crossbeam::channel::{unbounded, Sender, Receiver,
+//! RecvTimeoutError}`, and only in MPSC form (many child threads send to
+//! one parent receiver). `std::sync::mpsc` has been crossbeam-backed since
+//! Rust 1.72 and provides identical semantics for this subset, so the shim
+//! re-exports it under crossbeam's module layout.
+
+/// Multi-producer channels, crossbeam-style namespace over `std::sync::mpsc`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_send_recv() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        let tx2 = tx.clone();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 2);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+        drop((tx, tx2));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)).unwrap_err(),
+            RecvTimeoutError::Disconnected
+        );
+    }
+
+    #[test]
+    fn senders_work_across_threads() {
+        let (tx, rx) = unbounded();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! `any::<T>()` — full-range generation for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+/// A strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Like upstream proptest's default f64 strategy, NaN is excluded:
+        // callers compare generated values with `==`, which NaN breaks.
+        // Random bit patterns (covering infinities, subnormals and both
+        // signs) with a nudge toward named edge cases codecs get wrong.
+        if rng.chance(1, 8) {
+            const SPECIALS: [f64; 7] = [
+                0.0,
+                -0.0,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::MIN,
+                f64::MAX,
+                f64::MIN_POSITIVE,
+            ];
+            SPECIALS[rng.below(SPECIALS.len() as u64) as usize]
+        } else {
+            let f = f64::from_bits(rng.next_u64());
+            if f.is_nan() {
+                // Clear the exponent: same mantissa bits, now subnormal.
+                f64::from_bits(f.to_bits() & !(0x7ff << 52))
+            } else {
+                f
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_bool_and_extremes() {
+        let mut rng = TestRng::from_seed(9);
+        let bools: Vec<bool> = (0..64).map(|_| bool::arbitrary(&mut rng)).collect();
+        assert!(bools.iter().any(|b| *b) && bools.iter().any(|b| !*b));
+        let mut saw_infinite = false;
+        let mut saw_negative = false;
+        for _ in 0..2000 {
+            let f = f64::arbitrary(&mut rng);
+            assert!(!f.is_nan(), "default f64 strategy must not produce NaN");
+            saw_infinite |= f.is_infinite();
+            saw_negative |= f < 0.0;
+            let n = i64::arbitrary(&mut rng);
+            saw_negative |= n < 0;
+        }
+        assert!(saw_infinite && saw_negative);
+    }
+
+    #[test]
+    fn any_is_a_strategy() {
+        let mut rng = TestRng::from_seed(10);
+        let s = any::<u64>();
+        let _: u64 = s.generate(&mut rng);
+    }
+}

@@ -1,0 +1,39 @@
+//! Option strategies (`option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S>(S);
+
+/// Generates `Some` from the inner strategy three times out of four,
+/// `None` otherwise (matching proptest's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.chance(1, 4) {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_produces_both_variants() {
+        let mut rng = TestRng::from_seed(12);
+        let s = of(0u32..100);
+        let vals: Vec<Option<u32>> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.iter().any(|v| v.is_none()));
+        assert!(vals.iter().any(|v| v.is_some()));
+    }
+}

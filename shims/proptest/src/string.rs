@@ -1,0 +1,236 @@
+//! String generation from the regex subset WSMED's tests use.
+//!
+//! Supported patterns are sequences of atoms, where an atom is either a
+//! character class `[...]` or a literal character, optionally followed by
+//! `{n}` or `{m,n}` repetition. Classes support ranges (`a-z`), escapes
+//! (`\\`), and a literal `-` at either edge — enough for patterns like
+//! `[A-Za-z_][A-Za-z0-9_.-]{0,12}` or `[ -~<>&"']{0,128}`. Anything
+//! outside this subset panics with the offending pattern so a new test
+//! pattern fails loudly instead of generating garbage.
+
+use crate::test_runner::TestRng;
+
+/// One parsed atom: the characters it can produce plus its repetition.
+struct Atom {
+    /// Inclusive `(lo, hi)` char ranges; a single char is `(c, c)`.
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+/// Generates a random string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let span = (atom.max - atom.min + 1) as u64;
+        let count = atom.min + rng.below(span) as usize;
+        let total: u64 = atom
+            .ranges
+            .iter()
+            .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+            .sum();
+        for _ in 0..count {
+            let mut pick = rng.below(total);
+            for (lo, hi) in &atom.ranges {
+                let size = *hi as u64 - *lo as u64 + 1;
+                if pick < size {
+                    out.push(char::from_u32(*lo as u32 + pick as u32).expect("range char"));
+                    break;
+                }
+                pick -= size;
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges = match chars[i] {
+            '[' => {
+                let (ranges, next) = parse_class(pattern, &chars, i + 1);
+                i = next;
+                ranges
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                vec![(c, c)]
+            }
+            c @ ('(' | ')' | '{' | '}' | '*' | '+' | '?' | '|' | '^' | '$' | '.') => {
+                panic!("unsupported regex construct {c:?} in pattern {pattern:?}")
+            }
+            c => {
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        let (min, max, next) = parse_repeat(pattern, &chars, i);
+        i = next;
+        atoms.push(Atom { ranges, min, max });
+    }
+    atoms
+}
+
+/// Parses a class body starting just after `[`; returns ranges and the
+/// index just after the closing `]`.
+fn parse_class(pattern: &str, chars: &[char], mut i: usize) -> (Vec<(char, char)>, usize) {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = *chars
+            .get(i)
+            .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                return (ranges, i + 1);
+            }
+            '^' if ranges.is_empty() && pending.is_none() => {
+                panic!("negated classes unsupported in pattern {pattern:?}")
+            }
+            '-' if pending.is_some() && chars.get(i + 1).map(|c| *c != ']').unwrap_or(false) => {
+                let lo = pending.take().expect("pending range start");
+                i += 1;
+                let mut hi = chars[i];
+                if hi == '\\' {
+                    i += 1;
+                    hi = *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                }
+                assert!(
+                    lo <= hi,
+                    "inverted range {lo:?}-{hi:?} in pattern {pattern:?}"
+                );
+                ranges.push((lo, hi));
+                i += 1;
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(chars[i + 1]) {
+                    ranges.push((p, p));
+                }
+                i += 2;
+            }
+            c => {
+                if let Some(p) = pending.replace(c) {
+                    ranges.push((p, p));
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Parses an optional `{n}` / `{m,n}` suffix at `i`; returns `(min, max,
+/// next_index)` — `(1, 1, i)` when there is no repetition.
+fn parse_repeat(pattern: &str, chars: &[char], i: usize) -> (usize, usize, usize) {
+    if chars.get(i) != Some(&'{') {
+        return (1, 1, i);
+    }
+    let close = chars[i..]
+        .iter()
+        .position(|c| *c == '}')
+        .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"))
+        + i;
+    let body: String = chars[i + 1..close].iter().collect();
+    let (min, max) = match body.split_once(',') {
+        Some((m, n)) => (
+            m.trim().parse().expect("repetition lower bound"),
+            n.trim().parse().expect("repetition upper bound"),
+        ),
+        None => {
+            let n = body.trim().parse().expect("repetition count");
+            (n, n)
+        }
+    };
+    assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+    (min, max, close + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> Vec<String> {
+        let mut rng = TestRng::from_seed(seed);
+        (0..200)
+            .map(|_| generate_from_pattern(pattern, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn simple_class_with_repetition() {
+        for s in gen("[a-z]{1,8}", 1) {
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        for s in gen("[A-Za-z_][A-Za-z0-9_.-]{0,12}", 2) {
+            assert!(!s.is_empty() && s.len() <= 13, "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_', "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn printable_ascii_with_gap() {
+        // [ -&(-~] is printable ASCII minus the apostrophe.
+        for s in gen("[ -&(-~]{0,12}", 3) {
+            assert!(s.len() <= 12);
+            assert!(
+                s.chars().all(|c| (' '..='~').contains(&c) && c != '\''),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn class_with_quotes_and_trailing_chars() {
+        let all = gen("[ -~<>&\"']{0,128}", 4);
+        assert!(all.iter().any(|s| !s.is_empty()));
+        for s in &all {
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_characters_pass_through() {
+        for s in gen("ab[0-9]{2}", 5) {
+            assert_eq!(s.len(), 4);
+            assert!(s.starts_with("ab"));
+            assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn exact_repetition() {
+        for s in gen("[a-c]{3}", 6) {
+            assert_eq!(s.len(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn unsupported_construct_panics() {
+        generate_from_pattern("(a|b)", &mut TestRng::from_seed(0));
+    }
+}

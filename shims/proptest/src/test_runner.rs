@@ -1,0 +1,155 @@
+//! Test-runner plumbing: configuration, RNG, and case-failure type.
+
+/// Controls how many cases each property test runs.
+///
+/// Only the fields WSMED's tests touch exist; all are public so
+/// `ProptestConfig { cases: 12, ..ProptestConfig::default() }` works.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Generated cases per test.
+    pub cases: u32,
+    /// Accepted for upstream compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A failed property-test case (produced by the `prop_assert*` macros).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic generator RNG (SplitMix64).
+///
+/// Seeded from the test name so runs are reproducible; set `PROPTEST_SEED`
+/// to override the base seed when chasing a reported failure.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    seed: u64,
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG for a named test.
+    pub fn for_test(name: &str) -> Self {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| {
+                let s = s.trim();
+                s.strip_prefix("0x")
+                    .map(|h| u64::from_str_radix(h, 16).ok())
+                    .unwrap_or_else(|| s.parse().ok())
+            })
+            .unwrap_or(0x5EED_CAFE_F00D_D00D);
+        // FNV-1a over the name, mixed with the base seed.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let seed = h ^ base;
+        TestRng { seed, state: seed }
+    }
+
+    /// Creates an RNG from an explicit seed (used by shim self-tests).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { seed, state: seed }
+    }
+
+    /// The seed this run started from (for failure reports).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64: tiny, full-period, passes BigCrush-level smoke tests.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; returns 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        // Modulo bias is ≤ 2⁻⁴⁰ for the ranges tests use; acceptable here.
+        self.next_u64() % n
+    }
+
+    /// Uniform f64 in `[0, 1)` with 53 random mantissa bits.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// True with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_test("t1");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_test("t1");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = TestRng::for_test("t2").next_u64();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = TestRng::from_seed(42);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn f64_unit_in_unit_interval() {
+        let mut r = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let x = r.f64_unit();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 
-use wsmed::core::{paper, AdaptiveConfig};
+use wsmed::core::{paper, AdaptiveConfig, BatchPolicy};
 use wsmed::services::DatasetConfig;
 use wsmed::store::canonicalize;
 
@@ -84,5 +84,51 @@ proptest! {
             .run_parallel(paper::QUERY2_SQL, &vec![fo1, 2])
             .unwrap();
         prop_assert_eq!(central.ws_calls, parallel.ws_calls);
+    }
+
+    #[test]
+    fn prop_batched_ff_equivalent_to_unbatched(
+        seed in 0u64..1000,
+        fo1 in 1usize..6,
+        fo2 in 0usize..6,
+        batch in 2usize..80,
+    ) {
+        // Vectorized tuple shipping is a transport optimization: any
+        // BatchPolicy must yield the unbatched (paper) result multiset.
+        let setup = paper::setup(0.0, dataset(seed));
+        let baseline = setup
+            .wsmed
+            .run_parallel(paper::QUERY1_SQL, &vec![fo1, fo2])
+            .unwrap();
+        let mut setup = paper::setup(0.0, dataset(seed));
+        setup.wsmed.set_batch_policy(BatchPolicy::uniform(batch));
+        let batched = setup
+            .wsmed
+            .run_parallel(paper::QUERY1_SQL, &vec![fo1, fo2])
+            .unwrap();
+        prop_assert_eq!(
+            canonicalize(batched.rows),
+            canonicalize(baseline.rows),
+            "fanouts {{{},{}}} batch {} seed {}", fo1, fo2, batch, seed
+        );
+    }
+
+    #[test]
+    fn prop_batched_aff_equivalent_to_unbatched(
+        seed in 0u64..1000,
+        add_step in 1usize..5,
+        batch in 2usize..80,
+    ) {
+        let config = AdaptiveConfig { add_step, ..Default::default() };
+        let setup = paper::setup(0.0, dataset(seed));
+        let baseline = setup.wsmed.run_adaptive(paper::QUERY2_SQL, &config).unwrap();
+        let mut setup = paper::setup(0.0, dataset(seed));
+        setup.wsmed.set_batch_policy(BatchPolicy::uniform(batch));
+        let batched = setup.wsmed.run_adaptive(paper::QUERY2_SQL, &config).unwrap();
+        prop_assert_eq!(
+            canonicalize(batched.rows),
+            canonicalize(baseline.rows),
+            "p={} batch {} seed {}", add_step, batch, seed
+        );
     }
 }
