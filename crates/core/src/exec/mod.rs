@@ -14,6 +14,7 @@ use wsmed_netsim::SimConfig;
 use wsmed_store::{FunctionRegistry, Tuple, Value};
 use wsmed_wsdl::OwfDef;
 
+use crate::cache::{CacheKey, CachePolicy, CacheStats, CallCache, CallLookup};
 use crate::catalog::OwfCatalog;
 use crate::plan::{ArgExpr, PlanOp, QueryPlan};
 use crate::stats::{ExecutionReport, TreeRegistry};
@@ -21,13 +22,6 @@ use crate::transport::{BatchPolicy, DispatchPolicy, RetryPolicy, WsTransport};
 use crate::{CoreError, CoreResult};
 
 pub(crate) use parallel_op::ParallelApply;
-
-/// Key of the per-run web service call cache.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct CacheKey {
-    owf: String,
-    args: bytes::Bytes,
-}
 
 /// Identity of the query process executing a plan fragment.
 #[derive(Debug, Clone, Copy)]
@@ -58,10 +52,10 @@ pub struct ExecContext {
     dispatch: RwLock<DispatchPolicy>,
     /// Tuple batching policy for parent↔child message frames.
     batch: RwLock<BatchPolicy>,
-    /// Per-run memoization of web service calls (None = disabled).
-    call_cache: RwLock<Option<std::collections::HashMap<CacheKey, Value>>>,
-    /// Cache hits during the current run.
-    cache_hits: AtomicU64,
+    /// Memoization of web service calls and plan-function invocations
+    /// (`None` = disabled). [`crate::Wsmed`] installs a shared instance
+    /// here when the policy is cross-run.
+    call_cache: RwLock<Option<Arc<CallCache>>>,
     /// Run start marker used for the first-result measurement.
     run_started: parking_lot::Mutex<Option<Instant>>,
 }
@@ -87,7 +81,6 @@ impl ExecContext {
             dispatch: RwLock::new(DispatchPolicy::default()),
             batch: RwLock::new(BatchPolicy::default()),
             call_cache: RwLock::new(None),
-            cache_hits: AtomicU64::new(0),
             run_started: parking_lot::Mutex::new(None),
         })
     }
@@ -149,57 +142,74 @@ impl ExecContext {
         *self.batch.read()
     }
 
-    /// Enables or disables per-run memoization of web service calls.
+    /// Enables or disables memoization of web service calls with the
+    /// default [`CachePolicy`] (per-run, 16 shards, single-flight).
     ///
     /// Data-providing web services are side-effect-free (the paper's §I
     /// premise), so within one query execution a repeated call with
     /// identical arguments must return the same result — the mediator can
     /// answer it from memory. This collapses the redundant calls a
-    /// cartesian dependent join would otherwise re-issue. The cache is
-    /// scoped to a single run and cleared at the start of the next.
+    /// cartesian dependent join would otherwise re-issue.
     pub fn set_call_cache(&self, enabled: bool) {
-        *self.call_cache.write() = if enabled {
-            Some(std::collections::HashMap::new())
-        } else {
-            None
-        };
+        self.install_call_cache(
+            enabled.then(|| Arc::new(CallCache::new(CachePolicy::default(), self.sim.time_scale))),
+        );
+    }
+
+    /// Installs a specific cache instance (or disables caching with
+    /// `None`). A shared instance installed into successive contexts is
+    /// what makes [`CachePolicy::cross_run`] reuse work.
+    pub fn install_call_cache(&self, cache: Option<Arc<CallCache>>) {
+        *self.call_cache.write() = cache;
+    }
+
+    /// The installed call cache, if any (a cheap refcounted handle; one
+    /// lock acquisition).
+    pub fn call_cache(&self) -> Option<Arc<CallCache>> {
+        self.call_cache.read().clone()
     }
 
     /// Web service calls answered from the memoization cache this run.
     pub fn cache_hits(&self) -> u64 {
-        self.cache_hits.load(Ordering::Relaxed)
+        self.call_cache().map_or(0, |c| c.stats().hits)
+    }
+
+    /// Per-run cache counters (all zero when caching is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.call_cache()
+            .map_or_else(CacheStats::default, |c| c.stats())
     }
 
     /// Calls a web service operation, retrying transient faults per the
-    /// configured [`RetryPolicy`] and consulting the memoization cache.
+    /// configured [`RetryPolicy`] and consulting the call cache.
+    ///
+    /// Concurrent identical calls deduplicate through the cache's
+    /// single-flight latch: one query process issues the call, the others
+    /// block until it completes and share its value. A failed call
+    /// releases the waiters (each retries on its own) and caches nothing.
     pub(crate) fn call_with_retry(&self, owf: &OwfDef, args: &[Value]) -> CoreResult<Value> {
+        // One lock acquisition to fetch the handle; lookups then go
+        // through the cache's own shard locks.
+        let Some(cache) = self.call_cache() else {
+            return self.call_uncached(owf, args);
+        };
         // Cache keys serialize the arguments through the wire format so
         // value equality is structural.
-        let cache_key = if self.call_cache.read().is_some() {
-            let key = CacheKey {
-                owf: owf.name.clone(),
-                args: crate::wire::encode_value_slice(args),
-            };
-            if let Some(cache) = self.call_cache.read().as_ref() {
-                if let Some(hit) = cache.get(&key) {
-                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(hit.clone());
+        let key = CacheKey::for_call(&owf.name, args);
+        loop {
+            match cache.lookup_call(&key) {
+                CallLookup::Hit(value) => return Ok(value),
+                CallLookup::Miss(flight) => {
+                    let result = self.call_uncached(owf, args);
+                    if let Ok(value) = &result {
+                        flight.complete(value);
+                    } // dropping the flight on Err releases any waiters
+                    return result;
                 }
-            }
-            Some(key)
-        } else {
-            None
-        };
-        let result = self.call_uncached(owf, args);
-        if let (Some(key), Ok(value)) = (cache_key, &result) {
-            if let Some(cache) = self.call_cache.write().as_mut() {
-                // Bound the cache; dropping inserts is always sound.
-                if cache.len() < 100_000 {
-                    cache.insert(key, value.clone());
-                }
+                // The in-flight leader failed; take the lead ourselves.
+                CallLookup::Retry => continue,
             }
         }
-        result
     }
 
     fn call_uncached(&self, owf: &OwfDef, args: &[Value]) -> CoreResult<Value> {
@@ -253,10 +263,11 @@ impl ExecContext {
         let tree = TreeRegistry::new();
         *self.tree.write() = Arc::clone(&tree);
         tree.register(0, None, 0, "coordinator");
-        // Fresh cache per run: services may change between queries.
-        self.cache_hits.store(0, Ordering::Relaxed);
-        if let Some(cache) = self.call_cache.write().as_mut() {
-            cache.clear();
+        // Counters reset every run (a context can outlive many runs);
+        // entries persist only under a cross-run policy.
+        let cache = self.call_cache();
+        if let Some(cache) = &cache {
+            cache.begin_run();
         }
 
         let calls_before = self.transport.metrics();
@@ -290,6 +301,7 @@ impl ExecContext {
                 - (calls_before.request_bytes + calls_before.response_bytes),
             shipped_bytes: self.shipped_bytes.load(Ordering::Relaxed) - shipped_before,
             messages: snapshot.total_messages(),
+            cache: cache.map_or_else(CacheStats::default, |c| c.stats()),
             first_row_wall: match self.first_result_nanos.load(Ordering::Relaxed) {
                 0 => None,
                 nanos => Some(std::time::Duration::from_nanos(nanos)),

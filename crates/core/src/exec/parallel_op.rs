@@ -17,6 +17,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use wsmed_store::Tuple;
 
+use crate::cache::{self, CacheKey, CallCache};
 use crate::exec::process::{ChildProc, FromChild};
 use crate::exec::{ExecContext, ProcEnv};
 use crate::plan::{AdaptDecision, AdaptiveConfig, PlanFunction};
@@ -70,6 +71,9 @@ struct AdaptState {
 pub(crate) struct ParallelApply {
     pf_name: String,
     pf_bytes: Bytes,
+    /// Content address of `pf_bytes` — the memo namespace for this plan
+    /// function's per-parameter result rows (see [`crate::cache`]).
+    pf_digest: String,
     env: ProcEnv,
     slots: Vec<Slot>,
     idle: VecDeque<usize>,
@@ -118,11 +122,14 @@ impl ParallelApply {
         adapt: Option<AdaptState>,
     ) -> CoreResult<Self> {
         let (results_tx, results_rx) = unbounded();
+        // Encoded once from a reference; children get refcounted
+        // clones of these bytes, never a deep copy of the plan.
+        let pf_bytes = wire::encode_plan_function(pf);
+        let pf_digest = cache::pf_digest(&pf.name, &pf_bytes);
         let mut this = ParallelApply {
             pf_name: pf.name.clone(),
-            // Encoded once from a reference; children get refcounted
-            // clones of these bytes, never a deep copy of the plan.
-            pf_bytes: wire::encode_plan_function(pf),
+            pf_bytes,
+            pf_digest,
             env: *env,
             slots: Vec::new(),
             idle: VecDeque::new(),
@@ -178,12 +185,23 @@ impl ParallelApply {
         } else {
             ctx.dispatch_policy()
         };
-        let mut pending = PendingParams::new(policy, self.slots.len(), &params);
+        let cache = ctx.call_cache();
         let mut out: Vec<Tuple> = Vec::new();
+        // Dedup-aware dispatch: answer parameters whose plan-function rows
+        // are already memoized parent-side, without shipping them to a
+        // child — no frame, no child round-trip, no repeated OWF call.
+        let mut to_ship: Vec<Bytes> = Vec::with_capacity(params.len());
+        for param in &params {
+            let encoded = wire::encode_tuple(param);
+            if !self.screen_param(ctx, &cache, &encoded, &mut out) {
+                to_ship.push(encoded);
+            }
+        }
+        let mut pending = PendingParams::new(policy, self.slots.len(), to_ship);
         let mut first_error: Option<CoreError> = None;
         let mut segment_start = Instant::now();
 
-        self.dispatch_pending(ctx, &mut pending);
+        self.dispatch_pending(ctx, &cache, &mut pending, &mut out);
 
         while self.busy_count() > 0 || !pending.is_empty() {
             if !pending.is_empty() && self.alive_count() == 0 {
@@ -290,7 +308,7 @@ impl ParallelApply {
                     self.monitoring_step(ctx, &mut segment_start);
                 }
             }
-            self.dispatch_pending(ctx, &mut pending);
+            self.dispatch_pending(ctx, &cache, &mut pending, &mut out);
         }
 
         // Account trailing active time to the current monitoring cycle.
@@ -304,7 +322,39 @@ impl ParallelApply {
         }
     }
 
-    fn dispatch_pending(&mut self, ctx: &Arc<ExecContext>, pending: &mut PendingParams) {
+    /// Answers `encoded` from the plan-function row memo if possible,
+    /// appending its memoized result rows to `out`. Returns `true` when the
+    /// parameter was short-circuited and must not be shipped.
+    fn screen_param(
+        &self,
+        ctx: &Arc<ExecContext>,
+        cache: &Option<Arc<CallCache>>,
+        encoded: &Bytes,
+        out: &mut Vec<Tuple>,
+    ) -> bool {
+        let Some(cache) = cache else {
+            return false;
+        };
+        let key = CacheKey::for_rows(&self.pf_digest, encoded);
+        let Some(rows) = cache.peek_rows(&key) else {
+            return false;
+        };
+        if !rows.is_empty() && self.env.level == 0 {
+            ctx.record_first_result();
+        }
+        out.extend(rows.iter().cloned());
+        cache.note_short_circuits(1);
+        ctx.tree().note_short_circuits(self.env.id, 1);
+        true
+    }
+
+    fn dispatch_pending(
+        &mut self,
+        ctx: &Arc<ExecContext>,
+        cache: &Option<Arc<CallCache>>,
+        pending: &mut PendingParams,
+        out: &mut Vec<Tuple>,
+    ) {
         let max_params = ctx.batch_policy().max_params.max(1);
         while !pending.is_empty() {
             let Some(slot) = self.idle.pop_front() else {
@@ -322,8 +372,18 @@ impl ParallelApply {
             // spend a frame per tuple at the end of every queue drain.
             let share = pending.len().div_ceil(self.alive_count().max(1));
             let floor = max_params.div_ceil(16);
-            let batch = pending.take_batch_for(slot, max_params.min(share.max(floor)));
+            let mut batch = pending.take_batch_for(slot, max_params.min(share.max(floor)));
+            let had_work = !batch.is_empty();
+            // Second screening pass: a duplicate of this parameter may have
+            // completed (and been memoized) since the run started.
+            batch.retain(|encoded| !self.screen_param(ctx, cache, encoded, out));
             if batch.is_empty() {
+                if had_work {
+                    // Everything taken was answered from the memo; the slot
+                    // is still idle and the queue may hold more work.
+                    self.idle.push_back(slot);
+                    continue;
+                }
                 // Round-robin: this slot's static share is exhausted; it
                 // stays idle even though other slots still have work — the
                 // straggler cost FF dispatch avoids.
@@ -457,16 +517,14 @@ enum PendingParams {
 }
 
 impl PendingParams {
-    fn new(policy: DispatchPolicy, slot_count: usize, params: &[Tuple]) -> Self {
+    fn new(policy: DispatchPolicy, slot_count: usize, params: Vec<Bytes>) -> Self {
         match policy {
-            DispatchPolicy::FirstFinished => {
-                PendingParams::Shared(params.iter().map(wire::encode_tuple).collect())
-            }
+            DispatchPolicy::FirstFinished => PendingParams::Shared(params.into()),
             DispatchPolicy::RoundRobin => {
                 let n = slot_count.max(1);
                 let mut queues = vec![VecDeque::new(); n];
-                for (i, param) in params.iter().enumerate() {
-                    queues[i % n].push_back(wire::encode_tuple(param));
+                for (i, param) in params.into_iter().enumerate() {
+                    queues[i % n].push_back(param);
                 }
                 PendingParams::PerSlot(queues)
             }

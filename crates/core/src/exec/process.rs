@@ -177,9 +177,14 @@ fn child_main(
     results: Sender<FromChild>,
 ) {
     // ---- install phase ----------------------------------------------------
-    let pf = match rx.recv() {
-        Ok(ToChild::Install(bytes)) => match wire::decode_plan_function(bytes) {
-            Ok(pf) => pf,
+    let (pf, pf_digest) = match rx.recv() {
+        Ok(ToChild::Install(bytes)) => match wire::decode_plan_function(bytes.clone()) {
+            // Digest the shipped bytes (the same bytes the parent hashed)
+            // so parent-side memo lookups hit what this child inserts.
+            Ok(pf) => {
+                let digest = crate::cache::pf_digest(&pf.name, &bytes);
+                (pf, digest)
+            }
             Err(e) => {
                 ctx.tree().note_msg_up(env.id);
                 results
@@ -233,7 +238,9 @@ fn child_main(
     while let Ok(msg) = rx.recv() {
         match msg {
             ToChild::Call { call_id, params } => {
-                if !handle_call(&ctx, &env, slot, &mut body, call_id, params, &results) {
+                if !handle_call(
+                    &ctx, &env, slot, &mut body, &pf_digest, call_id, params, &results,
+                ) {
                     return; // parent hung up
                 }
             }
@@ -248,22 +255,36 @@ fn child_main(
 
 /// Evaluates one parameter batch, streaming result frames through a
 /// bounded flush buffer. Returns `false` if the parent hung up.
+///
+/// Each parameter's complete result set is also memoized in the call
+/// cache's plan-function row memo (keyed by `pf_digest` and the
+/// parameter's wire encoding) so the parent can short-circuit later
+/// duplicates without shipping them to any child.
+#[allow(clippy::too_many_arguments)]
 fn handle_call(
     ctx: &Arc<ExecContext>,
     env: &ProcEnv,
     slot: usize,
     body: &mut crate::exec::ExecNode,
+    pf_digest: &str,
     call_id: u64,
     params: Bytes,
     results: &Sender<FromChild>,
 ) -> bool {
+    let cache = ctx.call_cache();
     let mut flush = FlushBuffer::new(ctx, env, slot, call_id, results);
     let outcome = (|| -> crate::CoreResult<()> {
-        for param in wire::decode_tuple_batch(params)? {
-            for tuple in eval(body, ctx, &param)? {
-                if !flush.push(&tuple) {
+        for encoded in wire::split_tuple_batch(params)? {
+            let param = wire::decode_tuple(encoded.clone())?;
+            let rows = eval(body, ctx, &param)?;
+            for tuple in &rows {
+                if !flush.push(tuple) {
                     return Err(crate::CoreError::ProcessFailure("parent gone".into()));
                 }
+            }
+            if let Some(cache) = &cache {
+                let key = crate::cache::CacheKey::for_rows(pf_digest, &encoded);
+                cache.insert_rows(&key, std::sync::Arc::new(rows));
             }
             // A cheap parameter between expensive ones must not strand
             // buffered results past the latency bound.

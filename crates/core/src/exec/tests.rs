@@ -411,6 +411,85 @@ fn processes_are_torn_down_after_run() {
 }
 
 #[test]
+fn single_flight_issues_one_transport_call_for_concurrent_identical_calls() {
+    // K threads hammer one cold key; single-flight must let exactly one
+    // reach the transport while the rest block on the latch and share the
+    // leader's value.
+    let transport = MockTransport::with_delay(Duration::from_millis(50), echo_responder);
+    let ctx = mock_ctx(Arc::clone(&transport));
+    ctx.set_call_cache(true);
+    let catalog = echo_catalog();
+    let owf = catalog.get("Echo").unwrap();
+    const K: usize = 8;
+    let barrier = std::sync::Barrier::new(K);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..K)
+            .map(|_| {
+                let ctx = Arc::clone(&ctx);
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    ctx.call_with_retry(owf, &[Value::str("p|q")]).unwrap()
+                })
+            })
+            .collect();
+        let values: Vec<Value> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for v in &values {
+            assert_eq!(v, &values[0], "waiters must share the leader's value");
+        }
+    });
+    assert_eq!(transport.call_count(), 1, "one real call for {K} threads");
+    let stats = ctx.cache_stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.dedup_waits as usize, K - 1);
+}
+
+#[test]
+fn cross_run_memo_short_circuits_repeated_params() {
+    use crate::cache::{CachePolicy, CallCache};
+    let transport = MockTransport::new(echo_responder);
+    let ctx = mock_ctx(Arc::clone(&transport));
+    ctx.install_call_cache(Some(Arc::new(CallCache::new(
+        CachePolicy::cross_run(),
+        0.0,
+    ))));
+    let plan = echo_plan("a|a|b", Some((2, false)));
+    let first = ctx.run_plan(&plan).unwrap();
+    assert_eq!(rows_as_strings(&first.rows), vec!["a", "a", "b"]);
+    // One split call plus one per *distinct* value — the duplicate "a"
+    // parameter dedups through the call cache.
+    assert_eq!(transport.call_count(), 3);
+
+    let second = ctx.run_plan(&plan).unwrap();
+    assert_eq!(
+        canonicalize(second.rows.clone()),
+        canonicalize(first.rows.clone())
+    );
+    // Second run: the split call hits the call cache and all three PF
+    // parameters are answered parent-side from the rows memo — nothing
+    // reaches the transport, no parameter is shipped to a child.
+    assert_eq!(transport.call_count(), 3);
+    assert_eq!(second.cache.short_circuits, 3);
+    assert_eq!(second.tree.total_short_circuits(), 3);
+    assert!(second.cache.hits >= 1);
+}
+
+#[test]
+fn per_run_counters_reset_between_runs() {
+    // One ExecContext, two runs: the second report must not accumulate the
+    // first run's hits/misses.
+    let transport = MockTransport::new(echo_responder);
+    let ctx = mock_ctx(Arc::clone(&transport));
+    ctx.set_call_cache(true);
+    let plan = echo_plan("a|a|b", None);
+    let first = ctx.run_plan(&plan).unwrap();
+    assert!(first.cache.misses > 0);
+    let second = ctx.run_plan(&plan).unwrap();
+    assert_eq!(second.cache.misses, first.cache.misses, "counters reset");
+    assert_eq!(second.cache.hits, first.cache.hits);
+}
+
+#[test]
 fn report_counts_ws_calls_via_sim_transport() {
     use wsmed_services::{install_paper_services, Dataset, DatasetConfig};
     let network = wsmed_netsim::Network::new(wsmed_netsim::SimConfig::default());

@@ -30,6 +30,7 @@
 //! * [`Wsmed`] is the mediator facade: import WSDL → SQL → execute
 //!   (central, manually parallel, or adaptive).
 
+pub mod cache;
 pub mod catalog;
 pub mod central;
 pub mod error;
@@ -42,6 +43,7 @@ pub mod transport;
 pub mod wire;
 mod wsmed;
 
+pub use cache::{CacheKey, CachePolicy, CacheStats, CallCache, CallLookup, Flight};
 pub use catalog::OwfCatalog;
 pub use central::create_central_plan;
 pub use error::{CoreError, CoreResult};

@@ -31,6 +31,9 @@ use crate::{CoreError, CoreResult};
 /// calls per level, WSQ/DSQ style. Returns the same rows as
 /// [`ExecContext::run_plan`] on the central plan.
 pub fn run_materialized(ctx: &Arc<ExecContext>, plan: &QueryPlan) -> CoreResult<Vec<Tuple>> {
+    if let Some(cache) = ctx.call_cache() {
+        cache.begin_run();
+    }
     // Decompose the chain bottom-up.
     let mut stages: Vec<&PlanOp> = Vec::new();
     let mut op = &plan.root;

@@ -8,6 +8,8 @@ use parking_lot::Mutex;
 
 use wsmed_store::Tuple;
 
+use crate::cache::CacheStats;
+
 /// Live registry of query processes, maintained by the runtime so the
 /// process tree (paper Fig. 4, 14, 15, 18–20) can be observed at any time.
 #[derive(Debug, Default)]
@@ -49,6 +51,7 @@ struct NodeInfo {
     calls: u64,
     msgs_down: u64,
     msgs_up: u64,
+    cache_short_circuits: u64,
 }
 
 impl TreeRegistry {
@@ -71,6 +74,7 @@ impl TreeRegistry {
                 calls: 0,
                 msgs_down: 0,
                 msgs_up: 0,
+                cache_short_circuits: 0,
             },
         );
         if parent.is_some() {
@@ -103,6 +107,15 @@ impl TreeRegistry {
     pub fn note_msg_up(&self, id: u64) {
         if let Some(node) = self.inner.lock().nodes.get_mut(&id) {
             node.msgs_up += 1;
+        }
+    }
+
+    /// Counts `n` parameter tuples process `id` answered from the call
+    /// cache's plan-function memo instead of shipping them to a child
+    /// (dedup-aware dispatch).
+    pub fn note_short_circuits(&self, id: u64, n: u64) {
+        if let Some(node) = self.inner.lock().nodes.get_mut(&id) {
+            node.cache_short_circuits += n;
         }
     }
 
@@ -189,6 +202,7 @@ impl TreeRegistry {
                 calls: n.calls,
                 msgs_down: n.msgs_down,
                 msgs_up: n.msgs_up,
+                cache_short_circuits: n.cache_short_circuits,
             })
             .collect();
         nodes.sort_by_key(|n| (n.level, n.id));
@@ -224,6 +238,11 @@ pub struct TreeNode {
     /// Message frames this process sent to its parent (installation ack,
     /// result batches, end-of-call notices).
     pub msgs_up: u64,
+    /// Parameter tuples this process answered from the call cache's
+    /// plan-function memo instead of shipping them down to a child
+    /// (dedup-aware dispatch; joins `msgs_down`/`msgs_up` in the
+    /// load-balance view).
+    pub cache_short_circuits: u64,
 }
 
 /// Statistics for one level of the process tree.
@@ -269,6 +288,12 @@ impl TreeSnapshot {
     /// Each frame counts once, attributed to the child endpoint.
     pub fn total_messages(&self) -> u64 {
         self.nodes.iter().map(|n| n.msgs_down + n.msgs_up).sum()
+    }
+
+    /// Total parameter tuples answered parent-side by dedup-aware
+    /// dispatch, across all processes.
+    pub fn total_short_circuits(&self) -> u64 {
+        self.nodes.iter().map(|n| n.cache_short_circuits).sum()
     }
 
     /// Average fanout at a level, if the level exists.
@@ -348,6 +373,11 @@ pub struct ExecutionReport {
     /// during execution (plan installs, parameter batches, result batches,
     /// end-of-call notices). Batching exists to shrink this number.
     pub messages: u64,
+    /// Per-run call-cache counters: hits, misses, single-flight dedup
+    /// waits, evictions and dedup-aware dispatch short-circuits. All zero
+    /// when caching is disabled; `hits + misses + dedup_waits` is the
+    /// call-lookup total, so the hit rate is computable per run.
+    pub cache: CacheStats,
     /// Time from run start until the coordinator received its first result
     /// tuple from a child process — the streaming latency of the parallel
     /// plan. `None` for central plans (no child processes).

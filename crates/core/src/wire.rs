@@ -340,6 +340,31 @@ pub fn decode_tuple_batch(mut bytes: Bytes) -> CoreResult<Vec<Tuple>> {
     Ok(tuples)
 }
 
+/// Splits a batch frame into the per-tuple encodings it carries without
+/// decoding them — zero-copy slices of the original frame. Each returned
+/// `Bytes` equals what [`encode_tuple`] produced for that tuple, so the
+/// slices can key per-parameter memo lookups ([`crate::cache`]) against
+/// parent-side `encode_tuple` output byte-for-byte.
+pub fn split_tuple_batch(mut bytes: Bytes) -> CoreResult<Vec<Bytes>> {
+    let n = get_varint(&mut bytes)?;
+    if n > u32::MAX as u64 {
+        return Err(CoreError::Wire(format!("absurd batch count {n}")));
+    }
+    let mut parts = Vec::with_capacity((n as usize).min(4096));
+    for _ in 0..n {
+        let len = get_varint(&mut bytes)? as usize;
+        need(&bytes, len)?;
+        parts.push(bytes.copy_to_bytes(len));
+    }
+    if bytes.has_remaining() {
+        return Err(CoreError::Wire(format!(
+            "{} trailing bytes after batch",
+            bytes.remaining()
+        )));
+    }
+    Ok(parts)
+}
+
 fn need(buf: &Bytes, n: usize) -> CoreResult<()> {
     if buf.remaining() < n {
         Err(CoreError::Wire(format!(
@@ -743,6 +768,20 @@ mod tests {
         let tuples = sample_batch();
         let parts: Vec<Bytes> = tuples.iter().map(encode_tuple).collect();
         assert_eq!(frame_encoded_batch(&parts), encode_tuple_batch(&tuples));
+    }
+
+    #[test]
+    fn split_batch_yields_per_tuple_encodings() {
+        let tuples = sample_batch();
+        let frame = encode_tuple_batch(&tuples);
+        let parts = split_tuple_batch(frame).unwrap();
+        assert_eq!(parts.len(), tuples.len());
+        for (part, t) in parts.iter().zip(&tuples) {
+            assert_eq!(part, &encode_tuple(t));
+        }
+        assert!(split_tuple_batch(encode_tuple_batch(&[]))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use wsmed_services::ServiceRegistry;
 use wsmed_sql::CalculusExpr;
 use wsmed_store::FunctionRegistry;
 
+use crate::cache::{CachePolicy, CallCache};
 use crate::catalog::OwfCatalog;
 use crate::central::create_central_plan;
 use crate::exec::ExecContext;
@@ -42,7 +43,11 @@ pub struct Wsmed {
     retry: crate::transport::RetryPolicy,
     dispatch: crate::transport::DispatchPolicy,
     batch: crate::transport::BatchPolicy,
-    call_cache: bool,
+    cache_policy: Option<CachePolicy>,
+    /// The live cache instance for the current policy. Re-installed into
+    /// every execution when the policy is cross-run; rebuilt per run
+    /// otherwise.
+    cache: Option<Arc<CallCache>>,
 }
 
 impl Wsmed {
@@ -57,15 +62,49 @@ impl Wsmed {
             retry: crate::transport::RetryPolicy::default(),
             dispatch: crate::transport::DispatchPolicy::default(),
             batch: crate::transport::BatchPolicy::default(),
-            call_cache: false,
+            cache_policy: None,
+            cache: None,
         }
     }
 
-    /// Enables per-run memoization of web service calls: repeated calls
-    /// with identical arguments within one query are answered from memory
-    /// (sound for side-effect-free data providing services).
+    /// Enables memoization of web service calls with the default
+    /// [`CachePolicy`] (per-run scope, 16 shards, single-flight dedup):
+    /// repeated calls with identical arguments are answered from memory
+    /// (sound for side-effect-free data providing services). A thin
+    /// wrapper over [`Wsmed::set_cache_policy`].
     pub fn enable_call_cache(&mut self, enabled: bool) {
-        self.call_cache = enabled;
+        self.set_cache_policy(enabled.then(CachePolicy::default));
+    }
+
+    /// Installs a call-cache policy (`None` disables caching). With
+    /// [`CachePolicy::cross_run`] the cache instance lives on the
+    /// mediator and later queries reuse earlier answers; otherwise a
+    /// fresh instance is built per execution.
+    pub fn set_cache_policy(&mut self, policy: Option<CachePolicy>) {
+        self.cache_policy = policy;
+        self.cache = policy.map(|p| Arc::new(CallCache::new(p, self.sim.time_scale)));
+    }
+
+    /// The installed cache policy, if any.
+    pub fn cache_policy(&self) -> Option<CachePolicy> {
+        self.cache_policy
+    }
+
+    /// The live cache instance, if caching is enabled — for inspecting
+    /// [`CallCache::stats`] and resident entries across runs.
+    pub fn call_cache(&self) -> Option<&Arc<CallCache>> {
+        self.cache.as_ref()
+    }
+
+    /// The cache instance an execution should use: the shared one under a
+    /// cross-run policy, a fresh one per run otherwise.
+    fn cache_for_run(&self) -> Option<Arc<CallCache>> {
+        let policy = self.cache_policy?;
+        if policy.cross_run {
+            self.cache.clone()
+        } else {
+            Some(Arc::new(CallCache::new(policy, self.sim.time_scale)))
+        }
     }
 
     /// Sets the `FF_APPLYP` parameter dispatch policy for subsequent
@@ -177,7 +216,7 @@ impl Wsmed {
         ctx.set_retry_policy(self.retry);
         ctx.set_dispatch_policy(self.dispatch);
         ctx.set_batch_policy(self.batch);
-        ctx.set_call_cache(self.call_cache);
+        ctx.install_call_cache(self.cache_for_run());
         ctx.run_plan(plan)
     }
 
@@ -198,7 +237,7 @@ impl Wsmed {
             self.sim.clone(),
         );
         ctx.set_retry_policy(self.retry);
-        ctx.set_call_cache(self.call_cache);
+        ctx.install_call_cache(self.cache_for_run());
         crate::materialized::run_materialized(&ctx, &plan)
     }
 

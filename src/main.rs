@@ -254,13 +254,19 @@ impl Shell {
         match line["cache".len()..].trim() {
             "on" => {
                 self.setup.wsmed.enable_call_cache(true);
-                println!("per-run call memoization enabled");
+                println!("per-run call cache enabled (sharded, single-flight)");
+            }
+            "cross" => {
+                self.setup
+                    .wsmed
+                    .set_cache_policy(Some(wsmed::core::CachePolicy::cross_run()));
+                println!("cross-run call cache enabled: entries survive between queries");
             }
             "off" => {
                 self.setup.wsmed.enable_call_cache(false);
-                println!("per-run call memoization disabled");
+                println!("call cache disabled");
             }
-            _ => println!("usage: cache on|off"),
+            _ => println!("usage: cache on|off|cross"),
         }
     }
 
@@ -297,6 +303,14 @@ impl Shell {
                     report.ws_calls,
                     report.tree.describe()
                 );
+                let c = &report.cache;
+                if c.hits + c.misses + c.short_circuits > 0 {
+                    println!(
+                        "cache: {} hits / {} misses, {} dedup wait(s), \
+                         {} dispatch short-circuit(s), {} resident",
+                        c.hits, c.misses, c.dedup_waits, c.short_circuits, c.entries
+                    );
+                }
                 self.last_tree = Some(report.tree);
             }
             Err(e) => println!("error: {e}"),
@@ -381,7 +395,8 @@ commands:
   scale <f>                        wall seconds per model second (rebuilds)
   dataset paper|small|tiny         dataset size (rebuilds)
   fault <provider> every <n>       inject faults; `fault <provider> clear`
-  cache on|off                     per-run web service call memoization
+  cache on|off|cross               sharded single-flight call cache
+                                   (`cross` keeps entries across queries)
   retry <n>                        attempts per call on transient faults
   quit"
     );
@@ -446,6 +461,11 @@ mod tests {
         shell.mode = Mode::Central;
         assert!(shell.dispatch("query2"));
         assert_eq!(shell.last_tree.as_ref().unwrap().total_alive(), 1);
+        // Cross-run mode survives between queries.
+        assert!(shell.dispatch("cache cross"));
+        assert!(shell.dispatch("query2"));
+        assert!(shell.dispatch("query2"));
+        assert!(shell.dispatch("cache off"));
     }
 
     #[test]

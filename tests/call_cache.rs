@@ -1,7 +1,9 @@
 //! Per-run call memoization: redundant web service calls in cartesian
 //! dependent joins collapse to one real call, without changing results.
 
-use wsmed::core::paper;
+use proptest::prelude::*;
+
+use wsmed::core::{paper, CachePolicy};
 use wsmed::services::{DatasetConfig, UsZipService};
 use wsmed::store::canonicalize;
 
@@ -74,4 +76,110 @@ fn cache_works_in_parallel_plans() {
         .run_central(paper::QUERY1_SQL)
         .unwrap();
     assert_eq!(canonicalize(r.rows), canonicalize(plain.rows));
+}
+
+#[test]
+fn cross_run_policy_reuses_entries_across_runs() {
+    let mut setup = paper::setup(0.0, DatasetConfig::tiny());
+    setup.wsmed.set_cache_policy(Some(CachePolicy::cross_run()));
+    let first = setup.wsmed.run_central(CARTESIAN_SQL).unwrap();
+    let second = setup.wsmed.run_central(CARTESIAN_SQL).unwrap();
+    assert_eq!(canonicalize(second.rows), canonicalize(first.rows));
+    let calls = setup
+        .network
+        .provider(UsZipService::PROVIDER)
+        .unwrap()
+        .metrics()
+        .calls;
+    assert_eq!(calls, 1, "second run answered entirely from memory");
+    assert!(second.cache.hits > 0, "second run must report cache hits");
+    assert_eq!(second.cache.misses, 0, "no real call in the second run");
+}
+
+#[test]
+fn report_surfaces_cache_stats() {
+    let mut setup = paper::setup(0.0, DatasetConfig::tiny());
+    setup.wsmed.enable_call_cache(true);
+    let report = setup.wsmed.run_central(CARTESIAN_SQL).unwrap();
+    // 51 cartesian rows share one GetInfoByState('CO') call: 1 miss (plus
+    // the GetAllStates call), 50 hits.
+    assert_eq!(report.cache.hits, 50);
+    assert!(report.cache.misses >= 1);
+    assert!(report.cache.hit_rate().unwrap() > 0.9);
+    // Cache off: the report carries all-zero stats, not stale ones.
+    setup.wsmed.enable_call_cache(false);
+    let plain = setup.wsmed.run_central(CARTESIAN_SQL).unwrap();
+    assert_eq!(plain.cache.hits, 0);
+    assert_eq!(plain.cache.misses, 0);
+}
+
+fn small_policy(capacity: usize, shards: usize, cross_run: bool) -> CachePolicy {
+    CachePolicy {
+        capacity,
+        shards,
+        cross_run,
+        ..CachePolicy::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    // Caching (any capacity/sharding/lifetime) is semantically invisible
+    // to FF_APPLYP plans: same multiset of rows as the uncached run.
+    #[test]
+    fn prop_cached_ff_equivalent_to_uncached(
+        seed in 0u64..1000,
+        fo1 in 1usize..5,
+        capacity in 1usize..64,
+        shards in 1usize..9,
+        cross_run in any::<bool>(),
+    ) {
+        let config = DatasetConfig { seed, ..DatasetConfig::tiny() };
+        let baseline = paper::setup(0.0, config.clone())
+            .wsmed
+            .run_parallel(paper::QUERY2_SQL, &vec![fo1, 2])
+            .unwrap();
+        let mut setup = paper::setup(0.0, config);
+        setup.wsmed.set_cache_policy(Some(small_policy(capacity, shards, cross_run)));
+        // Two runs: the second exercises cross-run reuse (or the per-run
+        // clear) plus dedup-aware short-circuiting.
+        let cached1 = setup.wsmed.run_parallel(paper::QUERY2_SQL, &vec![fo1, 2]).unwrap();
+        let cached2 = setup.wsmed.run_parallel(paper::QUERY2_SQL, &vec![fo1, 2]).unwrap();
+        prop_assert_eq!(
+            canonicalize(cached1.rows),
+            canonicalize(baseline.rows.clone()),
+            "first cached run diverged (cap {} shards {} cross {})",
+            capacity, shards, cross_run
+        );
+        prop_assert_eq!(
+            canonicalize(cached2.rows),
+            canonicalize(baseline.rows),
+            "second cached run diverged (cap {} shards {} cross {})",
+            capacity, shards, cross_run
+        );
+    }
+
+    // Same invariant for adaptive plans.
+    #[test]
+    fn prop_cached_aff_equivalent_to_uncached(
+        seed in 0u64..1000,
+        capacity in 1usize..64,
+        cross_run in any::<bool>(),
+    ) {
+        let config = DatasetConfig { seed, ..DatasetConfig::tiny() };
+        let adaptive = wsmed::core::AdaptiveConfig::default();
+        let baseline = paper::setup(0.0, config.clone())
+            .wsmed
+            .run_adaptive(paper::QUERY2_SQL, &adaptive)
+            .unwrap();
+        let mut setup = paper::setup(0.0, config);
+        setup.wsmed.set_cache_policy(Some(small_policy(capacity, 4, cross_run)));
+        let cached = setup.wsmed.run_adaptive(paper::QUERY2_SQL, &adaptive).unwrap();
+        prop_assert_eq!(
+            canonicalize(cached.rows),
+            canonicalize(baseline.rows),
+            "cap {} cross {}", capacity, cross_run
+        );
+    }
 }
