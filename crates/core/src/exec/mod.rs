@@ -2,10 +2,11 @@
 //! runtime for `FF_APPLYP` / `AFF_APPLYP`.
 
 mod parallel_op;
+pub mod pool;
 mod process;
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Instant;
 
 use parking_lot::RwLock;
@@ -16,6 +17,7 @@ use wsmed_wsdl::OwfDef;
 
 use crate::cache::{CacheKey, CachePolicy, CacheStats, CallCache, CallLookup};
 use crate::catalog::OwfCatalog;
+use crate::exec::pool::{PoolStats, ProcessPool};
 use crate::plan::{ArgExpr, PlanOp, QueryPlan};
 use crate::stats::{ExecutionReport, TreeRegistry};
 use crate::transport::{BatchPolicy, DispatchPolicy, RetryPolicy, WsTransport};
@@ -56,6 +58,13 @@ pub struct ExecContext {
     /// (`None` = disabled). [`crate::Wsmed`] installs a shared instance
     /// here when the policy is cross-run.
     call_cache: RwLock<Option<Arc<CallCache>>>,
+    /// Warm process pool, when [`crate::Wsmed`] installed one. Weak: the
+    /// pool owns parked threads whose closures hold this context's `Arc`,
+    /// so a strong reference here would form a leak cycle.
+    pool: RwLock<Weak<ProcessPool>>,
+    /// Failure-injection knob for tests: after this many end-of-call
+    /// messages at the coordinator, one busy child is abruptly killed.
+    fail_child_after_eocs: AtomicU64,
     /// Run start marker used for the first-result measurement.
     run_started: parking_lot::Mutex<Option<Instant>>,
 }
@@ -81,6 +90,8 @@ impl ExecContext {
             dispatch: RwLock::new(DispatchPolicy::default()),
             batch: RwLock::new(BatchPolicy::default()),
             call_cache: RwLock::new(None),
+            pool: RwLock::new(Weak::new()),
+            fail_child_after_eocs: AtomicU64::new(0),
             run_started: parking_lot::Mutex::new(None),
         })
     }
@@ -180,6 +191,44 @@ impl ExecContext {
             .map_or_else(CacheStats::default, |c| c.stats())
     }
 
+    /// Installs (or removes, with `None`) the warm process pool this
+    /// context's parallel operators park into and acquire from. The
+    /// context keeps only a weak reference; [`crate::Wsmed`] owns the pool.
+    pub fn install_process_pool(&self, pool: Option<&Arc<ProcessPool>>) {
+        *self.pool.write() = pool.map_or_else(Weak::new, Arc::downgrade);
+    }
+
+    /// The installed process pool, if it is still alive.
+    pub(crate) fn process_pool(&self) -> Option<Arc<ProcessPool>> {
+        self.pool.read().upgrade()
+    }
+
+    /// Arms the failure-injection knob: after `n` end-of-call messages at
+    /// the coordinator's parallel operator, one busy child is abruptly
+    /// killed and its in-flight parameters requeued. Test-only plumbing
+    /// for the mid-stream child-drop regression tests.
+    pub fn arm_child_failure_after_eocs(&self, n: u64) {
+        self.fail_child_after_eocs.store(n, Ordering::Relaxed);
+    }
+
+    /// Decrements the armed failure counter; returns `true` exactly once,
+    /// when the countdown hits zero.
+    pub(crate) fn take_child_failure_trigger(&self) -> bool {
+        loop {
+            let n = self.fail_child_after_eocs.load(Ordering::Relaxed);
+            if n == 0 {
+                return false;
+            }
+            if self
+                .fail_child_after_eocs
+                .compare_exchange(n, n - 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return n == 1;
+            }
+        }
+    }
+
     /// Calls a web service operation, retrying transient faults per the
     /// configured [`RetryPolicy`] and consulting the call cache.
     ///
@@ -269,6 +318,10 @@ impl ExecContext {
         if let Some(cache) = &cache {
             cache.begin_run();
         }
+        let pool = self.process_pool();
+        if let Some(pool) = &pool {
+            pool.begin_run();
+        }
 
         let calls_before = self.transport.metrics();
         let shipped_before = self.shipped_bytes.load(Ordering::Relaxed);
@@ -280,7 +333,13 @@ impl ExecContext {
         let mut root = compile(self, &env, &plan.root)?;
         let result = eval(&mut root, self, &Tuple::empty());
         let snapshot = tree.snapshot(); // before teardown: the final shape
-        drop(root); // tears the process tree down
+        if result.is_ok() && pool.is_some() {
+            // Park idle children warm instead of joining them; whatever
+            // cannot be parked (busy, failed, over bounds) is torn down by
+            // the drop below.
+            park_tree(&mut root, self);
+        }
+        drop(root); // tears down whatever was not parked
 
         let wall = start.elapsed();
         let rows = result?;
@@ -302,6 +361,7 @@ impl ExecContext {
             shipped_bytes: self.shipped_bytes.load(Ordering::Relaxed) - shipped_before,
             messages: snapshot.total_messages(),
             cache: cache.map_or_else(CacheStats::default, |c| c.stats()),
+            pool: pool.map_or_else(PoolStats::default, |p| p.stats()),
             first_row_wall: match self.first_result_nanos.load(Ordering::Relaxed) {
                 0 => None,
                 nanos => Some(std::time::Duration::from_nanos(nanos)),
@@ -317,6 +377,71 @@ impl std::fmt::Debug for ExecContext {
             .field("owfs", &self.owfs.names())
             .field("time_scale", &self.sim.time_scale)
             .finish()
+    }
+}
+
+/// Walks a compiled tree parking every parallel operator's idle children
+/// into the warm process pool (end of a successful run).
+fn park_tree(node: &mut ExecNode, ctx: &Arc<ExecContext>) {
+    match node {
+        ExecNode::Unit | ExecNode::Param => {}
+        ExecNode::ApplyOwf { input, .. }
+        | ExecNode::ApplyFunction { input, .. }
+        | ExecNode::Extend { input, .. }
+        | ExecNode::Project { input, .. }
+        | ExecNode::Sort { input, .. }
+        | ExecNode::Distinct { input }
+        | ExecNode::Limit { input, .. }
+        | ExecNode::Count { input }
+        | ExecNode::GroupBy { input, .. } => park_tree(input, ctx),
+        ExecNode::Parallel { op, input } => {
+            op.park_children(ctx);
+            park_tree(input, ctx);
+        }
+    }
+}
+
+/// Walks a compiled subtree clearing per-run state (park-time `Reset`
+/// inside a warm child: adaptation counters here, forwarded `Reset`
+/// messages to the subtree's own children).
+pub(crate) fn reset_subtree(node: &mut ExecNode) {
+    match node {
+        ExecNode::Unit | ExecNode::Param => {}
+        ExecNode::ApplyOwf { input, .. }
+        | ExecNode::ApplyFunction { input, .. }
+        | ExecNode::Extend { input, .. }
+        | ExecNode::Project { input, .. }
+        | ExecNode::Sort { input, .. }
+        | ExecNode::Distinct { input }
+        | ExecNode::Limit { input, .. }
+        | ExecNode::Count { input }
+        | ExecNode::GroupBy { input, .. } => reset_subtree(input),
+        ExecNode::Parallel { op, input } => {
+            op.reset_children();
+            reset_subtree(input);
+        }
+    }
+}
+
+/// Walks a compiled subtree re-registering every live process of a warm
+/// tree into the new run's tree registry (attach-time walk inside a warm
+/// child, forwarded recursively).
+pub(crate) fn reattach_subtree(node: &mut ExecNode, ctx: &Arc<ExecContext>) {
+    match node {
+        ExecNode::Unit | ExecNode::Param => {}
+        ExecNode::ApplyOwf { input, .. }
+        | ExecNode::ApplyFunction { input, .. }
+        | ExecNode::Extend { input, .. }
+        | ExecNode::Project { input, .. }
+        | ExecNode::Sort { input, .. }
+        | ExecNode::Distinct { input }
+        | ExecNode::Limit { input, .. }
+        | ExecNode::Count { input }
+        | ExecNode::GroupBy { input, .. } => reattach_subtree(input, ctx),
+        ExecNode::Parallel { op, input } => {
+            op.reattach_children(ctx);
+            reattach_subtree(input, ctx);
+        }
     }
 }
 

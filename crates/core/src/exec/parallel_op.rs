@@ -7,13 +7,23 @@
 //! incoming result tuple over *monitoring cycles* and grows (add stage) or
 //! shrinks (drop stage) its pool of children, each of which adapts its own
 //! subtree the same way — purely local, greedy decisions.
+//!
+//! When a warm process pool ([`crate::exec::pool`]) is installed, child
+//! processes are acquired warm when a parked process with the same plan
+//! function and tree level exists, and idle children are parked back at
+//! end of run (or at an adaptive drop stage) instead of being joined.
+//!
+//! Results of an in-flight call are buffered per slot and committed only
+//! at a successful `EndOfCall`, so a child that dies mid-call can have its
+//! undelivered parameters requeued to surviving siblings without
+//! duplicating the partial results it already shipped.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 
 use wsmed_store::Tuple;
 
@@ -40,7 +50,7 @@ enum SlotStatus {
     Busy,
     /// Processing a call, marked for removal once it finishes.
     Draining,
-    /// Shut down (dropped by adaptation or failed to install).
+    /// Shut down (dropped by adaptation, parked, or failed).
     Dead,
 }
 
@@ -49,6 +59,23 @@ struct Slot {
     status: SlotStatus,
     /// The call id this slot is currently processing, for protocol checks.
     current_call: Option<u64>,
+    /// Encoded parameters of the in-flight call — requeued to surviving
+    /// siblings if this child dies before its `EndOfCall`.
+    in_flight: Vec<Bytes>,
+    /// Result tuples of the in-flight call, committed at `EndOfCall`.
+    call_buf: Vec<Tuple>,
+}
+
+impl Slot {
+    fn new(proc: ChildProc, status: SlotStatus) -> Self {
+        Slot {
+            proc: Some(proc),
+            status,
+            current_call: None,
+            in_flight: Vec::new(),
+            call_buf: Vec::new(),
+        }
+    }
 }
 
 struct AdaptState {
@@ -67,12 +94,26 @@ struct AdaptState {
     last_was_drop: bool,
 }
 
+impl AdaptState {
+    /// Clears the per-run monitoring state (park-time `Reset`), so a warm
+    /// subtree re-adapts from scratch in its next run.
+    fn reset(&mut self) {
+        self.eoc_in_cycle = 0;
+        self.tuples_in_cycle = 0;
+        self.cycle_active = Duration::ZERO;
+        self.prev_t = None;
+        self.stopped = false;
+        self.last_was_drop = false;
+    }
+}
+
 /// A pool of child query processes executing one plan function.
 pub(crate) struct ParallelApply {
     pf_name: String,
     pf_bytes: Bytes,
     /// Content address of `pf_bytes` — the memo namespace for this plan
-    /// function's per-parameter result rows (see [`crate::cache`]).
+    /// function's per-parameter result rows (see [`crate::cache`]) and the
+    /// warm-pool key for its processes.
     pf_digest: String,
     env: ProcEnv,
     slots: Vec<Slot>,
@@ -81,6 +122,9 @@ pub(crate) struct ParallelApply {
     results_rx: Receiver<FromChild>,
     next_call_id: u64,
     adapt: Option<AdaptState>,
+    /// Children shut down without joining (they may be blocked sending
+    /// into `results_rx`); joined at drop, after the receiver is gone.
+    reaping: Vec<ChildProc>,
 }
 
 impl ParallelApply {
@@ -121,7 +165,12 @@ impl ParallelApply {
         fanout: usize,
         adapt: Option<AdaptState>,
     ) -> CoreResult<Self> {
-        let (results_tx, results_rx) = unbounded();
+        // Bounded results channel: capacity scales with the initial fanout
+        // so each child gets a mailbox's worth of frames in flight. An
+        // adaptive add stage does not grow the channel — extra children
+        // just see backpressure sooner (counted in `blocked_send`).
+        let cap = ctx.batch_policy().mailbox_capacity() * fanout.max(1);
+        let (results_tx, results_rx) = bounded(cap);
         // Encoded once from a reference; children get refcounted
         // clones of these bytes, never a deep copy of the plan.
         let pf_bytes = wire::encode_plan_function(pf);
@@ -137,9 +186,10 @@ impl ParallelApply {
             results_rx,
             next_call_id: 0,
             adapt,
+            reaping: Vec::new(),
         };
         for _ in 0..fanout {
-            this.spawn_child(ctx);
+            this.spawn_child(ctx)?;
         }
         Ok(this)
     }
@@ -152,8 +202,32 @@ impl ParallelApply {
             .count()
     }
 
-    fn spawn_child(&mut self, ctx: &Arc<ExecContext>) {
+    /// Adds one child: warm from the process pool when a parked process
+    /// with this plan function and level exists, else a cold spawn.
+    fn spawn_child(&mut self, ctx: &Arc<ExecContext>) -> CoreResult<()> {
         let slot_index = self.slots.len();
+        if let Some(pool) = ctx.process_pool() {
+            while let Some(warm) = pool.acquire(&self.pf_digest, self.env.level + 1) {
+                let mut proc = warm.proc;
+                if proc.attach(
+                    ctx,
+                    &self.env,
+                    slot_index,
+                    &self.pf_name,
+                    self.results_tx.clone(),
+                ) {
+                    pool.note_warm_acquire(warm.saved_model_secs);
+                    // A warm process is installed and idle immediately —
+                    // Attach is processed before any later Call (FIFO), so
+                    // no installation round-trip is needed.
+                    self.slots.push(Slot::new(proc, SlotStatus::Idle));
+                    self.idle.push_back(slot_index);
+                    return Ok(());
+                }
+                // The parked thread died while idle; reap it and retry.
+                pool.note_dead_on_acquire();
+            }
+        }
         let proc = ChildProc::spawn(
             ctx,
             &self.env,
@@ -161,12 +235,9 @@ impl ParallelApply {
             &self.pf_name,
             self.pf_bytes.clone(),
             self.results_tx.clone(),
-        );
-        self.slots.push(Slot {
-            proc: Some(proc),
-            status: SlotStatus::Installing,
-            current_call: None,
-        });
+        )?;
+        self.slots.push(Slot::new(proc, SlotStatus::Installing));
+        Ok(())
     }
 
     fn busy_count(&self) -> usize {
@@ -174,6 +245,13 @@ impl ParallelApply {
             .iter()
             .filter(|s| matches!(s.status, SlotStatus::Busy | SlotStatus::Draining))
             .count()
+    }
+
+    /// The modeled cost a warm acquire of one of this operator's children
+    /// skips: process startup plus shipping this plan function.
+    fn saved_model_secs(&self, ctx: &ExecContext) -> f64 {
+        let client = &ctx.sim().client;
+        client.process_startup + client.plan_ship_per_kib * self.pf_bytes.len() as f64 / 1024.0
     }
 
     /// Streams `params` through the pool and returns the merged results.
@@ -241,13 +319,15 @@ impl ParallelApply {
                     slot,
                     error: Some(e),
                 } => {
-                    self.kill_slot(slot, false);
-                    if first_error.is_none() {
-                        first_error = Some(CoreError::ProcessFailure(format!(
-                            "child of {} failed to install: {e}",
-                            self.pf_name
-                        )));
-                        pending.clear();
+                    if self.slots[slot].status != SlotStatus::Dead {
+                        self.kill_slot(slot, false);
+                        if first_error.is_none() {
+                            first_error = Some(CoreError::ProcessFailure(format!(
+                                "child of {} failed to install: {e}",
+                                self.pf_name
+                            )));
+                            pending.clear();
+                        }
                     }
                 }
                 FromChild::ResultBatch {
@@ -255,6 +335,11 @@ impl ParallelApply {
                     call_id,
                     tuples,
                 } => {
+                    if self.slots[slot].status == SlotStatus::Dead {
+                        // Stale frame from a killed child whose parameters
+                        // were requeued; committing it would duplicate rows.
+                        continue;
+                    }
                     if self.slots[slot].current_call != Some(call_id) {
                         return Err(CoreError::ProcessFailure(format!(
                             "{}: result batch for call {call_id} from slot {slot} which is \
@@ -273,13 +358,16 @@ impl ParallelApply {
                     if let Some(adapt) = &mut self.adapt {
                         adapt.tuples_in_cycle += batch.len() as u64;
                     }
-                    out.extend(batch);
+                    self.slots[slot].call_buf.extend(batch);
                 }
                 FromChild::EndOfCall {
                     slot,
                     call_id,
                     error,
                 } => {
+                    if self.slots[slot].status == SlotStatus::Dead {
+                        continue; // stale notice from a killed child
+                    }
                     if self.slots[slot].current_call != Some(call_id) {
                         return Err(CoreError::ProcessFailure(format!(
                             "{}: end-of-call {call_id} from slot {slot} which is \
@@ -288,13 +376,23 @@ impl ParallelApply {
                         )));
                     }
                     self.slots[slot].current_call = None;
-                    if let Some(e) = error {
-                        if first_error.is_none() {
-                            first_error = Some(CoreError::ProcessFailure(format!(
-                                "{} call failed: {e}",
-                                self.pf_name
-                            )));
-                            pending.clear();
+                    self.slots[slot].in_flight.clear();
+                    match error {
+                        None => {
+                            // Commit the call's buffered results.
+                            out.append(&mut self.slots[slot].call_buf);
+                        }
+                        Some(e) => {
+                            // Deterministic evaluation failure: the query
+                            // aborts; requeueing would fail the same way.
+                            self.slots[slot].call_buf.clear();
+                            if first_error.is_none() {
+                                first_error = Some(CoreError::ProcessFailure(format!(
+                                    "{} call failed: {e}",
+                                    self.pf_name
+                                )));
+                                pending.clear();
+                            }
                         }
                     }
                     match self.slots[slot].status {
@@ -304,6 +402,22 @@ impl ParallelApply {
                             self.idle.push_back(slot);
                         }
                         _ => {}
+                    }
+                    // Failure-injection knob (tests): abruptly kill one
+                    // busy child to exercise the requeue path.
+                    if self.env.level == 0 && ctx.take_child_failure_trigger() {
+                        if let Some(victim) = self
+                            .slots
+                            .iter()
+                            .position(|s| {
+                                matches!(s.status, SlotStatus::Busy | SlotStatus::Draining)
+                            })
+                            .or_else(|| {
+                                self.slots.iter().position(|s| s.status == SlotStatus::Idle)
+                            })
+                        {
+                            self.fail_slot(victim, &mut pending);
+                        }
                     }
                     self.monitoring_step(ctx, &mut segment_start);
                 }
@@ -402,17 +516,60 @@ impl ParallelApply {
                 .expect("idle slot has a process");
             ctx.tree().note_calls(proc.id, batch.len() as u64);
             let frame = wire::frame_encoded_batch(&batch);
-            proc.send_call(ctx, call_id, frame, batch.len());
-            self.slots[slot].status = SlotStatus::Busy;
-            self.slots[slot].current_call = Some(call_id);
+            let sent = proc.send_call(ctx, call_id, frame, batch.len());
+            match sent {
+                Ok(()) => {
+                    self.slots[slot].status = SlotStatus::Busy;
+                    self.slots[slot].current_call = Some(call_id);
+                    self.slots[slot].in_flight = batch;
+                }
+                Err(_) => {
+                    // The child died before taking the call: requeue its
+                    // batch and fail the slot over to its siblings.
+                    self.slots[slot].in_flight = batch;
+                    self.fail_slot(slot, pending);
+                }
+            }
         }
     }
 
+    /// Tears one slot down synchronously (join included). Only safe when
+    /// the child cannot be blocked sending results — i.e. after its
+    /// `EndOfCall` was processed, or before it ever got a call.
     fn kill_slot(&mut self, slot: usize, dropped_by_adaptation: bool) {
-        if let Some(proc) = self.slots[slot].proc.take() {
+        let s = &mut self.slots[slot];
+        s.in_flight.clear();
+        s.call_buf.clear();
+        s.current_call = None;
+        if let Some(proc) = s.proc.take() {
             proc.shutdown(dropped_by_adaptation);
         }
-        self.slots[slot].status = SlotStatus::Dead;
+        s.status = SlotStatus::Dead;
+    }
+
+    /// Handles an abrupt child death mid-stream: discards the call's
+    /// partial results, requeues its undelivered parameters to surviving
+    /// siblings (including any per-slot round-robin backlog), and defers
+    /// the join to drop time (the child may be blocked sending into the
+    /// results channel this loop is reading).
+    fn fail_slot(&mut self, slot: usize, pending: &mut PendingParams) {
+        let s = &mut self.slots[slot];
+        let requeued = std::mem::take(&mut s.in_flight);
+        s.call_buf.clear();
+        s.current_call = None;
+        s.status = SlotStatus::Dead;
+        if let Some(proc) = s.proc.take() {
+            self.reaping.push(proc.begin_shutdown());
+        }
+        pending.requeue(requeued);
+        let survivors: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.status != SlotStatus::Dead)
+            .map(|(i, _)| i)
+            .collect();
+        pending.migrate_slot(slot, &survivors);
     }
 
     /// The heart of `AFF_APPLYP` (§V.A): a monitoring cycle completes when
@@ -477,24 +634,28 @@ impl ParallelApply {
         match action {
             Some(AdaptDecision::Add(n)) => {
                 for _ in 0..n {
-                    self.spawn_child(ctx);
+                    // An add-stage spawn failure is not fatal: the pool
+                    // keeps running at its current width.
+                    if self.spawn_child(ctx).is_err() {
+                        break;
+                    }
                 }
             }
-            Some(AdaptDecision::DropOne) => self.drop_one_child(),
+            Some(AdaptDecision::DropOne) => self.drop_one_child(ctx),
             _ => {}
         }
     }
 
     /// Drops one child and its subtree (paper Fig. 20). Prefers an idle
-    /// child (killed immediately); otherwise marks the newest busy child to
-    /// drain away after its current call.
-    fn drop_one_child(&mut self) {
+    /// child (parked warm or killed immediately); otherwise marks the
+    /// newest busy child to drain away after its current call.
+    fn drop_one_child(&mut self, ctx: &Arc<ExecContext>) {
         if let Some(slot) = self
             .slots
             .iter()
             .rposition(|s| s.status == SlotStatus::Idle)
         {
-            self.kill_slot(slot, true);
+            self.retire_slot(ctx, slot);
             return;
         }
         if let Some(slot) = self
@@ -503,6 +664,102 @@ impl ParallelApply {
             .rposition(|s| s.status == SlotStatus::Busy)
         {
             self.slots[slot].status = SlotStatus::Draining;
+        }
+    }
+
+    /// Removes one idle child: parked warm (with its whole subtree) when
+    /// the process pool is on, joined cold otherwise.
+    fn retire_slot(&mut self, ctx: &Arc<ExecContext>, slot: usize) {
+        let pool = ctx.process_pool().filter(|p| p.policy().enabled);
+        let Some(pool) = pool else {
+            self.kill_slot(slot, true);
+            return;
+        };
+        let saved = self.saved_model_secs(ctx);
+        if let Some(proc) = self.slots[slot].proc.take() {
+            if let Some(parked) = proc.park(true) {
+                pool.release(&self.pf_digest, self.env.level + 1, parked, saved);
+            }
+        }
+        self.slots[slot].status = SlotStatus::Dead;
+    }
+
+    /// Parks every idle child into the process pool at end of a successful
+    /// run, keyed by plan-function digest and level. Called by the run
+    /// driver after the final tree snapshot, before teardown.
+    pub fn park_children(&mut self, ctx: &Arc<ExecContext>) {
+        let pool = ctx.process_pool().filter(|p| p.policy().enabled);
+        let Some(pool) = pool else { return };
+        // Absorb late installation acks: a child that never got work may
+        // still be `Installing` here even though it is warm and parkable.
+        while let Ok(msg) = self.results_rx.try_recv() {
+            if let FromChild::Installed { slot, error: None } = msg {
+                if self.slots[slot].status == SlotStatus::Installing {
+                    self.slots[slot].status = SlotStatus::Idle;
+                }
+            }
+        }
+        let saved = self.saved_model_secs(ctx);
+        for slot in &mut self.slots {
+            if slot.status != SlotStatus::Idle {
+                continue;
+            }
+            if let Some(proc) = slot.proc.take() {
+                if let Some(parked) = proc.park(false) {
+                    pool.release(&self.pf_digest, self.env.level + 1, parked, saved);
+                }
+            }
+            slot.status = SlotStatus::Dead;
+        }
+    }
+
+    /// Park-time `Reset`, applied recursively down a warm subtree: clears
+    /// this operator's per-run adaptation state and forwards the reset to
+    /// every live child so the whole tree parks clean.
+    pub fn reset_children(&mut self) {
+        if let Some(adapt) = &mut self.adapt {
+            adapt.reset();
+        }
+        for slot in &self.slots {
+            if slot.status == SlotStatus::Dead {
+                continue;
+            }
+            if let Some(proc) = &slot.proc {
+                proc.forward_reset();
+            }
+        }
+    }
+
+    /// Attach-time re-registration, applied recursively when a warm
+    /// subtree joins a new run: the run has a fresh tree registry, so
+    /// every process re-registers under its original id and parent, and
+    /// the walk is forwarded down the tree.
+    pub fn reattach_children(&mut self, ctx: &Arc<ExecContext>) {
+        let saved = self.saved_model_secs(ctx);
+        for (index, slot) in self.slots.iter_mut().enumerate() {
+            if slot.status == SlotStatus::Dead {
+                continue;
+            }
+            let Some(proc) = slot.proc.as_mut() else {
+                continue;
+            };
+            if proc.attach(
+                ctx,
+                &self.env,
+                index,
+                &self.pf_name,
+                self.results_tx.clone(),
+            ) {
+                // This subtree process rode along with a warm acquire
+                // above it — its skipped spawn cost counts as saved.
+                if let Some(pool) = ctx.process_pool() {
+                    pool.note_saved(saved);
+                }
+            } else {
+                // Died while parked: the slot is gone for this run.
+                slot.proc.take();
+                slot.status = SlotStatus::Dead;
+            }
         }
     }
 }
@@ -564,6 +821,50 @@ impl PendingParams {
         }
     }
 
+    /// Puts a dead child's undelivered in-flight parameters back at the
+    /// head of the queue (shared policy) or lets `migrate_slot` place them
+    /// (they re-enter via the dead slot's queue first).
+    fn requeue(&mut self, params: Vec<Bytes>) {
+        match self {
+            PendingParams::Shared(q) => {
+                for param in params.into_iter().rev() {
+                    q.push_front(param);
+                }
+            }
+            PendingParams::PerSlot(queues) => {
+                // Temporarily park them on queue 0; `migrate_slot` is not
+                // guaranteed to run for queue 0, so distribute directly.
+                if let Some(first) = queues.first_mut() {
+                    for param in params.into_iter().rev() {
+                        first.push_front(param);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Migrates a dead slot's per-slot backlog to the surviving slots,
+    /// round-robin, so round-robin dispatch cannot strand parameters on a
+    /// killed child. A no-op under the shared queue.
+    fn migrate_slot(&mut self, dead: usize, survivors: &[usize]) {
+        let PendingParams::PerSlot(queues) = self else {
+            return;
+        };
+        if survivors.is_empty() {
+            return; // the all-dead error path reports the loss
+        }
+        let Some(queue) = queues.get_mut(dead) else {
+            return;
+        };
+        let stranded: Vec<Bytes> = queue.drain(..).collect();
+        for (i, param) in stranded.into_iter().enumerate() {
+            let target = survivors[i % survivors.len()];
+            if let Some(q) = queues.get_mut(target) {
+                q.push_back(param);
+            }
+        }
+    }
+
     fn clear(&mut self) {
         match self {
             PendingParams::Shared(q) => q.clear(),
@@ -574,7 +875,14 @@ impl PendingParams {
 
 impl Drop for ParallelApply {
     fn drop(&mut self) {
+        // Drop the results receiver FIRST: with bounded channels a child
+        // can be blocked mid-`send`, and joining it while the receiver is
+        // alive but unread would deadlock. Disconnecting the channel makes
+        // every blocked send fail fast, so the joins below terminate.
+        let (_tx, dummy_rx) = unbounded();
+        drop(std::mem::replace(&mut self.results_rx, dummy_rx));
         // Tear the subtree down; ChildProc::drop joins each thread.
+        self.reaping.clear();
         for slot in &mut self.slots {
             slot.proc.take();
         }

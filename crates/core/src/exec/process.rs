@@ -11,22 +11,33 @@
 //! honest; the default policy is one tuple per frame, the paper's exact
 //! semantics.
 //!
+//! Mailboxes are **bounded** ([`BatchPolicy::mailbox_capacity`]): a fast
+//! producer blocks instead of buffering an entire parameter or result
+//! stream in memory, and the time spent blocked is counted per node
+//! ([`TreeRegistry::note_blocked_send`]) next to `msgs_down`/`msgs_up`.
+//!
 //! Plan functions and tuples cross the boundary as serialized bytes
 //! ([`crate::wire`]); the parent pays the modeled client-side costs
 //! (process startup, plan shipping, per-frame and per-tuple dispatch) so
 //! the economics of the paper's single-core coordinator are preserved.
+//! A warm process acquired from the [`crate::exec::pool`] skips the
+//! startup and plan-ship charges entirely: it is re-wired to its new
+//! parent with an `Attach` message instead of being spawned.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, SendError, Sender, TrySendError};
 
 use wsmed_store::Tuple;
 
 use crate::exec::{compile, eval, ExecContext, ProcEnv};
+use crate::stats::TreeRegistry;
+use crate::transport::BatchPolicy;
 use crate::wire;
+use crate::{CoreError, CoreResult};
 
 /// Messages a parent sends to a child query process.
 #[derive(Debug)]
@@ -41,6 +52,19 @@ pub(crate) enum ToChild {
         /// Batch frame of serialized parameter tuples
         /// ([`wire::encode_tuple_batch`] layout).
         params: Bytes,
+    },
+    /// Park-time: clear per-run state (adaptation cycle counters), and
+    /// recursively reset the pooled subtree below so whole warm trees are
+    /// reclaimed in one piece.
+    Reset,
+    /// Acquire-time: re-wire this warm process to a new parent run — new
+    /// slot, new results channel, and a re-registration walk of the
+    /// subtree into the run's fresh tree registry.
+    Attach {
+        /// The process's slot at its new parent.
+        slot: usize,
+        /// The new parent's result channel.
+        results: Sender<FromChild>,
     },
     /// Terminate: tear down the subtree and exit.
     Shutdown,
@@ -76,6 +100,26 @@ pub(crate) enum FromChild {
     },
 }
 
+/// Sends on a (possibly bounded) mailbox, charging time blocked on a full
+/// channel to node `id`'s `blocked_send` counter.
+fn send_counted<T>(
+    tx: &Sender<T>,
+    msg: T,
+    tree: &TreeRegistry,
+    id: u64,
+) -> Result<(), SendError<T>> {
+    match tx.try_send(msg) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Disconnected(v)) => Err(SendError(v)),
+        Err(TrySendError::Full(v)) => {
+            let waited = Instant::now();
+            let result = tx.send(v);
+            tree.note_blocked_send(id, waited.elapsed());
+            result
+        }
+    }
+}
+
 /// A handle the parent keeps per child process.
 #[derive(Debug)]
 pub(crate) struct ChildProc {
@@ -83,7 +127,7 @@ pub(crate) struct ChildProc {
     pub id: u64,
     tx: Sender<ToChild>,
     join: Option<JoinHandle<()>>,
-    tree: std::sync::Arc<crate::stats::TreeRegistry>,
+    tree: Arc<TreeRegistry>,
     deregistered: bool,
 }
 
@@ -93,6 +137,8 @@ impl ChildProc {
     /// The calling (parent) thread pays the modeled process-startup and
     /// plan-shipping costs before this returns, serializing process
     /// management on the parent as on the paper's single-core client.
+    /// This is the single site charging `process_startup`, so the pool's
+    /// `cold_spawns` counter is exactly the number of startup charges.
     pub fn spawn(
         ctx: &Arc<ExecContext>,
         parent: &ProcEnv,
@@ -100,11 +146,14 @@ impl ChildProc {
         pf_name: &str,
         pf_bytes: Bytes,
         results: Sender<FromChild>,
-    ) -> ChildProc {
+    ) -> CoreResult<ChildProc> {
         let id = ctx.next_process_id();
         let level = parent.level + 1;
         let tree = ctx.tree();
         tree.register(id, Some(parent.id), level, pf_name);
+        if let Some(pool) = ctx.process_pool() {
+            pool.note_cold_spawn();
+        }
 
         // Client-side costs: starting the process and shipping the plan.
         let client = &ctx.sim().client;
@@ -114,32 +163,115 @@ impl ChildProc {
         ctx.record_shipped(pf_bytes.len());
         tree.note_msg_down(id);
 
-        let (tx, rx) = unbounded::<ToChild>();
+        let (tx, rx) = bounded::<ToChild>(ctx.batch_policy().mailbox_capacity());
         let ctx_child = Arc::clone(ctx);
         let join = std::thread::Builder::new()
-            .name(format!("wsmed-q{id}"))
+            .name(format!("wsmed-qp-{id}"))
             .spawn(move || child_main(ctx_child, ProcEnv { id, level }, slot, rx, results))
-            .expect("failed to spawn query process thread");
+            .map_err(|e| {
+                tree.deregister(id, false);
+                CoreError::ProcessFailure(format!("failed to spawn query process q{id}: {e}"))
+            })?;
 
-        tx.send(ToChild::Install(pf_bytes)).ok();
-        ChildProc {
+        let mut proc = ChildProc {
             id,
             tx,
             join: Some(join),
             tree,
             deregistered: false,
+        };
+        if proc.tx.send(ToChild::Install(pf_bytes)).is_err() {
+            // The thread died before reading its mailbox; reap it and
+            // surface the failure instead of silently dropping the plan.
+            drop(proc.join.take().map(JoinHandle::join));
+            proc.tree.deregister(id, false);
+            proc.deregistered = true;
+            return Err(CoreError::ProcessFailure(format!(
+                "query process q{id} died before plan installation"
+            )));
         }
+        Ok(proc)
     }
 
     /// Sends a batch of `n_params` parameter tuples as one frame; the
-    /// parent pays the per-frame plus per-tuple dispatch cost.
-    pub fn send_call(&self, ctx: &ExecContext, call_id: u64, params: Bytes, n_params: usize) {
+    /// parent pays the per-frame plus per-tuple dispatch cost. Fails when
+    /// the child hung up (died), so the caller can requeue the work.
+    pub fn send_call(
+        &self,
+        ctx: &ExecContext,
+        call_id: u64,
+        params: Bytes,
+        n_params: usize,
+    ) -> CoreResult<()> {
         let client = &ctx.sim().client;
         ctx.sim()
             .sleep_model(client.message_dispatch + client.tuple_dispatch * n_params as f64);
         ctx.record_shipped(params.len());
         self.tree.note_msg_down(self.id);
-        self.tx.send(ToChild::Call { call_id, params }).ok();
+        send_counted(
+            &self.tx,
+            ToChild::Call { call_id, params },
+            &self.tree,
+            self.id,
+        )
+        .map_err(|_| CoreError::ProcessFailure(format!("query process q{} hung up", self.id)))
+    }
+
+    /// Prepares the process for parking: sends `Reset` (clearing per-run
+    /// state down the subtree) and deregisters it from the current run's
+    /// tree. Returns `None` when the process is already dead — the caller
+    /// must drop it instead of pooling it.
+    pub fn park(mut self, dropped_by_adaptation: bool) -> Option<ChildProc> {
+        if self.tx.send(ToChild::Reset).is_err() {
+            return None; // dropping `self` reaps the dead thread
+        }
+        self.tree.deregister(self.id, dropped_by_adaptation);
+        self.deregistered = true;
+        Some(self)
+    }
+
+    /// Re-wires a warm (parked) process to a new parent: registers it in
+    /// the current run's tree, charges one message-dispatch for the attach
+    /// frame, and triggers the subtree's re-registration walk. Returns
+    /// `false` when the parked thread turned out to be dead (the caller
+    /// drops the handle and tries the next parked process).
+    pub fn attach(
+        &mut self,
+        ctx: &Arc<ExecContext>,
+        parent: &ProcEnv,
+        slot: usize,
+        pf_name: &str,
+        results: Sender<FromChild>,
+    ) -> bool {
+        self.tree = ctx.tree();
+        self.deregistered = false;
+        self.tree
+            .register(self.id, Some(parent.id), parent.level + 1, pf_name);
+        ctx.sim().sleep_model(ctx.sim().client.message_dispatch);
+        self.tree.note_msg_down(self.id);
+        send_counted(
+            &self.tx,
+            ToChild::Attach { slot, results },
+            &self.tree,
+            self.id,
+        )
+        .is_ok()
+    }
+
+    /// Forwards a `Reset` down one edge of a warm subtree being parked.
+    pub fn forward_reset(&self) {
+        self.tx.send(ToChild::Reset).ok();
+    }
+
+    /// Requests shutdown without joining — for a child that may be blocked
+    /// sending into a full results channel the caller is not draining.
+    /// The handle must be kept and dropped after the results receiver
+    /// (dropping joins the thread, which by then exits promptly).
+    pub fn begin_shutdown(mut self) -> ChildProc {
+        self.tx.try_send(ToChild::Shutdown).ok();
+        self.tree.deregister(self.id, false);
+        self.deregistered = true;
+        self
     }
 
     /// Shuts the child down and waits for its subtree to terminate.
@@ -172,9 +304,9 @@ impl Drop for ChildProc {
 fn child_main(
     ctx: Arc<ExecContext>,
     env: ProcEnv,
-    slot: usize,
+    mut slot: usize,
     rx: Receiver<ToChild>,
-    results: Sender<FromChild>,
+    mut results: Sender<FromChild>,
 ) {
     // ---- install phase ----------------------------------------------------
     let (pf, pf_digest) = match rx.recv() {
@@ -186,26 +318,30 @@ fn child_main(
                 (pf, digest)
             }
             Err(e) => {
-                ctx.tree().note_msg_up(env.id);
-                results
-                    .send(FromChild::Installed {
+                send_up(
+                    &ctx,
+                    &env,
+                    &results,
+                    FromChild::Installed {
                         slot,
                         error: Some(e.to_string()),
-                    })
-                    .ok();
+                    },
+                );
                 return;
             }
         },
-        Ok(ToChild::Shutdown) | Err(_) => return,
+        Ok(ToChild::Shutdown) | Ok(ToChild::Reset) | Ok(ToChild::Attach { .. }) | Err(_) => return,
         Ok(ToChild::Call { call_id, .. }) => {
-            ctx.tree().note_msg_up(env.id);
-            results
-                .send(FromChild::EndOfCall {
+            send_up(
+                &ctx,
+                &env,
+                &results,
+                FromChild::EndOfCall {
                     slot,
                     call_id,
                     error: Some("call before plan function installation".into()),
-                })
-                .ok();
+                },
+            );
             return;
         }
     };
@@ -216,13 +352,15 @@ fn child_main(
     let mut body = match compile(&ctx, &env, &pf.body) {
         Ok(node) => node,
         Err(e) => {
-            ctx.tree().note_msg_up(env.id);
-            results
-                .send(FromChild::Installed {
+            send_up(
+                &ctx,
+                &env,
+                &results,
+                FromChild::Installed {
                     slot,
                     error: Some(e.to_string()),
-                })
-                .ok();
+                },
+            );
             return;
         }
     };
@@ -244,6 +382,21 @@ fn child_main(
                     return; // parent hung up
                 }
             }
+            ToChild::Reset => {
+                // Parked: clear per-run state down the whole warm subtree.
+                crate::exec::reset_subtree(&mut body);
+            }
+            ToChild::Attach {
+                slot: new_slot,
+                results: new_results,
+            } => {
+                // Re-wired to a new parent run: the old results channel is
+                // gone, and the run has a fresh tree registry the subtree
+                // must re-register into.
+                slot = new_slot;
+                results = new_results;
+                crate::exec::reattach_subtree(&mut body, &ctx);
+            }
             ToChild::Shutdown => break,
             ToChild::Install(_) => {
                 // Re-installation is a protocol violation; ignore.
@@ -251,6 +404,14 @@ fn child_main(
         }
     }
     // `body` drops here, recursively shutting down this process's children.
+}
+
+/// Sends one frame up to the parent, counting the message (and any time
+/// blocked on a full channel) against this process's node.
+fn send_up(ctx: &Arc<ExecContext>, env: &ProcEnv, results: &Sender<FromChild>, msg: FromChild) {
+    let tree = ctx.tree();
+    tree.note_msg_up(env.id);
+    send_counted(results, msg, &tree, env.id).ok();
 }
 
 /// Evaluates one parameter batch, streaming result frames through a
@@ -306,14 +467,19 @@ fn handle_call(
     if error.is_some() && flush.parent_gone {
         return false;
     }
-    ctx.tree().note_msg_up(env.id);
-    results
-        .send(FromChild::EndOfCall {
+    let tree = ctx.tree();
+    tree.note_msg_up(env.id);
+    send_counted(
+        results,
+        FromChild::EndOfCall {
             slot,
             call_id,
             error,
-        })
-        .is_ok()
+        },
+        &tree,
+        env.id,
+    )
+    .is_ok()
 }
 
 /// Child-side result buffer: accumulates encoded tuples and flushes a
@@ -342,7 +508,7 @@ impl<'a> FlushBuffer<'a> {
         call_id: u64,
         results: &'a Sender<FromChild>,
     ) -> Self {
-        let policy = ctx.batch_policy();
+        let policy: BatchPolicy = ctx.batch_policy();
         FlushBuffer {
             ctx,
             env,
@@ -404,15 +570,19 @@ impl<'a> FlushBuffer<'a> {
             .sim()
             .sleep_model(client.message_dispatch + client.tuple_dispatch * n as f64);
         self.ctx.record_shipped(frame.len());
-        self.ctx.tree().note_msg_up(self.env.id);
-        let ok = self
-            .results
-            .send(FromChild::ResultBatch {
+        let tree = self.ctx.tree();
+        tree.note_msg_up(self.env.id);
+        let ok = send_counted(
+            self.results,
+            FromChild::ResultBatch {
                 slot: self.slot,
                 call_id: self.call_id,
                 tuples: frame,
-            })
-            .is_ok();
+            },
+            &tree,
+            self.env.id,
+        )
+        .is_ok();
         self.parent_gone = !ok;
         ok
     }

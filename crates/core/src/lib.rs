@@ -47,6 +47,7 @@ pub use cache::{CacheKey, CachePolicy, CacheStats, CallCache, CallLookup, Flight
 pub use catalog::OwfCatalog;
 pub use central::create_central_plan;
 pub use error::{CoreError, CoreResult};
+pub use exec::pool::{PoolPolicy, PoolStats, ProcessPool};
 pub use exec::ExecContext;
 pub use materialized::run_materialized;
 pub use parallel::{

@@ -9,6 +9,7 @@ use parking_lot::Mutex;
 use wsmed_store::Tuple;
 
 use crate::cache::CacheStats;
+use crate::exec::pool::PoolStats;
 
 /// Live registry of query processes, maintained by the runtime so the
 /// process tree (paper Fig. 4, 14, 15, 18–20) can be observed at any time.
@@ -52,6 +53,7 @@ struct NodeInfo {
     msgs_down: u64,
     msgs_up: u64,
     cache_short_circuits: u64,
+    blocked_send: Duration,
 }
 
 impl TreeRegistry {
@@ -75,6 +77,7 @@ impl TreeRegistry {
                 msgs_down: 0,
                 msgs_up: 0,
                 cache_short_circuits: 0,
+                blocked_send: Duration::ZERO,
             },
         );
         if parent.is_some() {
@@ -116,6 +119,16 @@ impl TreeRegistry {
     pub fn note_short_circuits(&self, id: u64, n: u64) {
         if let Some(node) = self.inner.lock().nodes.get_mut(&id) {
             node.cache_short_circuits += n;
+        }
+    }
+
+    /// Accumulates wall time an endpoint of the `id` mailbox spent blocked
+    /// in `send` because the bounded channel was full — backpressure made
+    /// visible. Both directions are attributed to the child endpoint,
+    /// matching `msgs_down`/`msgs_up`.
+    pub fn note_blocked_send(&self, id: u64, waited: Duration) {
+        if let Some(node) = self.inner.lock().nodes.get_mut(&id) {
+            node.blocked_send += waited;
         }
     }
 
@@ -203,6 +216,7 @@ impl TreeRegistry {
                 msgs_down: n.msgs_down,
                 msgs_up: n.msgs_up,
                 cache_short_circuits: n.cache_short_circuits,
+                blocked_send: n.blocked_send,
             })
             .collect();
         nodes.sort_by_key(|n| (n.level, n.id));
@@ -243,6 +257,11 @@ pub struct TreeNode {
     /// (dedup-aware dispatch; joins `msgs_down`/`msgs_up` in the
     /// load-balance view).
     pub cache_short_circuits: u64,
+    /// Wall time spent blocked in `send` on this node's mailboxes because
+    /// a bounded channel was full (both directions, attributed to the
+    /// child endpoint like `msgs_down`/`msgs_up`). Zero means the mailbox
+    /// capacity never throttled this edge.
+    pub blocked_send: Duration,
 }
 
 /// Statistics for one level of the process tree.
@@ -294,6 +313,12 @@ impl TreeSnapshot {
     /// dispatch, across all processes.
     pub fn total_short_circuits(&self) -> u64 {
         self.nodes.iter().map(|n| n.cache_short_circuits).sum()
+    }
+
+    /// Total wall time any process spent blocked sending into a full
+    /// bounded mailbox, across all edges of the tree.
+    pub fn total_blocked_send(&self) -> Duration {
+        self.nodes.iter().map(|n| n.blocked_send).sum()
     }
 
     /// Average fanout at a level, if the level exists.
@@ -378,6 +403,12 @@ pub struct ExecutionReport {
     /// when caching is disabled; `hits + misses + dedup_waits` is the
     /// call-lookup total, so the hit rate is computable per run.
     pub cache: CacheStats,
+    /// Per-run process-pool counters: warm acquires, cold spawns, modeled
+    /// startup seconds saved and evictions. All zero when no pool is
+    /// installed (an installed-but-disabled pool still counts cold
+    /// spawns); `cold_spawns` is exactly the number of times the modeled
+    /// `process_startup` cost was charged this run.
+    pub pool: PoolStats,
     /// Time from run start until the coordinator received its first result
     /// tuple from a child process — the streaming latency of the parallel
     /// plan. `None` for central plans (no child processes).
@@ -472,6 +503,20 @@ mod tests {
         let q1 = snap.nodes.iter().find(|n| n.id == 1).unwrap();
         assert_eq!((q1.msgs_down, q1.msgs_up, q1.calls), (2, 1, 3));
         assert_eq!(snap.total_messages(), 4);
+    }
+
+    #[test]
+    fn blocked_send_accumulates_per_node() {
+        let reg = TreeRegistry::new();
+        reg.register(0, None, 0, "coordinator");
+        reg.register(1, Some(0), 1, "PF1");
+        reg.note_blocked_send(1, Duration::from_millis(3));
+        reg.note_blocked_send(1, Duration::from_millis(4));
+        reg.note_blocked_send(99, Duration::from_millis(9)); // unknown id: ignored
+        let snap = reg.snapshot();
+        let q1 = snap.nodes.iter().find(|n| n.id == 1).unwrap();
+        assert_eq!(q1.blocked_send, Duration::from_millis(7));
+        assert_eq!(snap.total_blocked_send(), Duration::from_millis(7));
     }
 
     #[test]

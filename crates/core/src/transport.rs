@@ -88,6 +88,11 @@ pub struct BatchPolicy {
     pub max_result_tuples: usize,
     /// Model seconds a child may hold a non-empty result buffer.
     pub flush_model_secs: f64,
+    /// Capacity, in message frames, of each parent↔child mailbox.
+    /// `None` derives it from `max_params` (see
+    /// [`BatchPolicy::mailbox_capacity`]); `Some(n)` pins it (floored to 2
+    /// so a control frame can never deadlock behind a lone data frame).
+    pub mailbox_frames: Option<usize>,
 }
 
 impl Default for BatchPolicy {
@@ -97,6 +102,7 @@ impl Default for BatchPolicy {
             max_params: 1,
             max_result_tuples: 1,
             flush_model_secs: 0.05,
+            mailbox_frames: None,
         }
     }
 }
@@ -108,6 +114,20 @@ impl BatchPolicy {
             max_params: n.max(1),
             max_result_tuples: n.max(1),
             ..Default::default()
+        }
+    }
+
+    /// Capacity, in frames, of one parent→child (or child→parent) mailbox.
+    ///
+    /// Derived from `max_params` when unpinned: wider parameter frames mean
+    /// fewer frames in flight carry the same tuple volume, so a small frame
+    /// window suffices; the clamp keeps the window sane at both extremes.
+    /// The floor of 2 guarantees a control frame (Install/Attach/Shutdown)
+    /// plus one data frame always fit, which teardown relies on.
+    pub fn mailbox_capacity(&self) -> usize {
+        match self.mailbox_frames {
+            Some(n) => n.max(2),
+            None => self.max_params.clamp(2, 64),
         }
     }
 }
@@ -307,6 +327,21 @@ mod tests {
         assert_eq!((u.max_params, u.max_result_tuples), (1, 1));
         let u = BatchPolicy::uniform(64);
         assert_eq!((u.max_params, u.max_result_tuples), (64, 64));
+    }
+
+    #[test]
+    fn mailbox_capacity_derivation() {
+        // Derived: max_params clamped to [2, 64].
+        assert_eq!(BatchPolicy::default().mailbox_capacity(), 2);
+        assert_eq!(BatchPolicy::uniform(16).mailbox_capacity(), 16);
+        assert_eq!(BatchPolicy::uniform(500).mailbox_capacity(), 64);
+        // Pinned: floored to 2.
+        let pinned = |n| BatchPolicy {
+            mailbox_frames: Some(n),
+            ..Default::default()
+        };
+        assert_eq!(pinned(1).mailbox_capacity(), 2);
+        assert_eq!(pinned(8).mailbox_capacity(), 8);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use wsmed_store::FunctionRegistry;
 use crate::cache::{CachePolicy, CallCache};
 use crate::catalog::OwfCatalog;
 use crate::central::create_central_plan;
+use crate::exec::pool::{PoolPolicy, ProcessPool};
 use crate::exec::ExecContext;
 use crate::parallel::{parallel_level_count, parallelize, parallelize_adaptive, FanoutVector};
 use crate::plan::{AdaptiveConfig, QueryPlan};
@@ -48,6 +49,15 @@ pub struct Wsmed {
     /// every execution when the policy is cross-run; rebuilt per run
     /// otherwise.
     cache: Option<Arc<CallCache>>,
+    pool_policy: Option<PoolPolicy>,
+    /// The warm process pool for the current policy; parked query
+    /// processes live here between executions.
+    pool: Option<Arc<ProcessPool>>,
+    /// The execution context warm processes were spawned against. Parked
+    /// children hold an `Arc` to their context, so warm reuse requires
+    /// handing the *same* context to the next run; built lazily on the
+    /// first pooled execution and dropped when warm state is invalidated.
+    warm_ctx: parking_lot::Mutex<Option<Arc<ExecContext>>>,
 }
 
 impl Wsmed {
@@ -64,7 +74,53 @@ impl Wsmed {
             batch: crate::transport::BatchPolicy::default(),
             cache_policy: None,
             cache: None,
+            pool_policy: None,
+            pool: None,
+            warm_ctx: parking_lot::Mutex::new(None),
         }
+    }
+
+    /// Enables the warm process pool with the default [`PoolPolicy`]:
+    /// idle query processes are parked at end of run and reused (plan
+    /// function already installed — no modeled startup or plan-ship cost)
+    /// by later executions of the same plan function. A thin wrapper over
+    /// [`Wsmed::set_pool_policy`].
+    pub fn enable_process_pool(&mut self, enabled: bool) {
+        self.set_pool_policy(enabled.then(PoolPolicy::default));
+    }
+
+    /// Installs a process-pool policy (`None` removes the pool and joins
+    /// any parked processes). Note that a policy with `enabled: false`
+    /// still installs a pool — nothing parks and every spawn is cold, but
+    /// cold spawns are counted in [`crate::ExecutionReport::pool`], which
+    /// is what the warm-vs-cold ablation baseline measures.
+    pub fn set_pool_policy(&mut self, policy: Option<PoolPolicy>) {
+        self.pool_policy = policy;
+        // A policy change rebuilds the pool: parked processes of the old
+        // pool are joined, and the warm context is dropped with them.
+        self.pool = policy.map(|p| Arc::new(ProcessPool::new(p, self.sim.time_scale)));
+        *self.warm_ctx.lock() = None;
+    }
+
+    /// The installed pool policy, if any.
+    pub fn pool_policy(&self) -> Option<PoolPolicy> {
+        self.pool_policy
+    }
+
+    /// The live process pool, if one is installed — for inspecting
+    /// [`ProcessPool::stats`] and the parked-process census across runs.
+    pub fn process_pool(&self) -> Option<&Arc<ProcessPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Joins every parked process and drops the warm execution context.
+    /// Called when the OWF catalog changes: warm children compiled their
+    /// plan functions against the old catalog.
+    fn invalidate_warm_state(&mut self) {
+        if let Some(pool) = &self.pool {
+            pool.clear();
+        }
+        *self.warm_ctx.lock() = None;
     }
 
     /// Enables memoization of web service calls with the default
@@ -131,7 +187,10 @@ impl Wsmed {
     pub fn import_wsdl(&mut self, wsdl_uri: &str) -> CoreResult<Vec<String>> {
         let xml = self.transport.registry().wsdl_xml(wsdl_uri)?;
         let doc = wsmed_wsdl::parse_wsdl(&xml)?;
-        self.owfs.import(&doc, wsdl_uri)
+        let names = self.owfs.import(&doc, wsdl_uri)?;
+        // Warm processes hold plans compiled against the old catalog.
+        self.invalidate_warm_state();
+        Ok(names)
     }
 
     /// Imports every WSDL the registry knows about.
@@ -208,16 +267,34 @@ impl Wsmed {
 
     /// Executes any compiled plan as the coordinator.
     pub fn execute(&self, plan: &QueryPlan) -> CoreResult<ExecutionReport> {
-        let ctx = ExecContext::new(
-            Arc::clone(&self.transport) as Arc<dyn crate::transport::WsTransport>,
-            Arc::new(self.owfs.clone()),
-            self.sim.clone(),
-        );
+        let ctx = self.context_for_run();
         ctx.set_retry_policy(self.retry);
         ctx.set_dispatch_policy(self.dispatch);
         ctx.set_batch_policy(self.batch);
         ctx.install_call_cache(self.cache_for_run());
         ctx.run_plan(plan)
+    }
+
+    /// The execution context for one run: fresh without a pool; the
+    /// persistent warm context (built on first use) when a pool is
+    /// installed, since parked children can only re-attach to the context
+    /// they were spawned against.
+    fn context_for_run(&self) -> Arc<ExecContext> {
+        let Some(pool) = &self.pool else {
+            return self.fresh_context();
+        };
+        let mut warm = self.warm_ctx.lock();
+        let ctx = warm.get_or_insert_with(|| self.fresh_context());
+        ctx.install_process_pool(Some(pool));
+        Arc::clone(ctx)
+    }
+
+    fn fresh_context(&self) -> Arc<ExecContext> {
+        ExecContext::new(
+            Arc::clone(&self.transport) as Arc<dyn crate::transport::WsTransport>,
+            Arc::new(self.owfs.clone()),
+            self.sim.clone(),
+        )
     }
 
     /// Compile + execute the central plan.
@@ -231,11 +308,7 @@ impl Wsmed {
     /// Returns only the rows (the baseline has no process tree to report).
     pub fn run_materialized(&self, sql: &str) -> CoreResult<Vec<wsmed_store::Tuple>> {
         let plan = self.compile_central(sql)?;
-        let ctx = ExecContext::new(
-            Arc::clone(&self.transport) as Arc<dyn crate::transport::WsTransport>,
-            Arc::new(self.owfs.clone()),
-            self.sim.clone(),
-        );
+        let ctx = self.fresh_context(); // no process tree: nothing to pool
         ctx.set_retry_policy(self.retry);
         ctx.install_call_cache(self.cache_for_run());
         crate::materialized::run_materialized(&ctx, &plan)

@@ -1,19 +1,83 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! WSMED uses only `crossbeam::channel::{unbounded, Sender, Receiver,
-//! RecvTimeoutError}`, and only in MPSC form (many child threads send to
-//! one parent receiver). `std::sync::mpsc` has been crossbeam-backed since
-//! Rust 1.72 and provides identical semantics for this subset, so the shim
-//! re-exports it under crossbeam's module layout.
+//! WSMED uses `crossbeam::channel::{unbounded, bounded, Sender, Receiver,
+//! RecvTimeoutError, TrySendError}`, and only in MPSC form (many child
+//! threads send to one parent receiver). `std::sync::mpsc` has been
+//! crossbeam-backed since Rust 1.72 and provides identical semantics for
+//! this subset, so the shim re-exports it under crossbeam's module layout.
+//!
+//! crossbeam's `Sender` is a single type covering both unbounded and
+//! bounded channels, while std splits them into `mpsc::Sender` and
+//! `mpsc::SyncSender`. The shim unifies them behind one [`channel::Sender`]
+//! enum so call sites stay channel-flavor agnostic, exactly as with the
+//! real crate.
 
 /// Multi-producer channels, crossbeam-style namespace over `std::sync::mpsc`.
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, Sender};
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, TryRecvError};
+
+    /// Error returned by [`Sender::send`] when the receiver disconnected.
+    pub use std::sync::mpsc::SendError;
+    /// Error returned by [`Sender::try_send`]: the channel is full
+    /// (bounded flavor only) or the receiver disconnected.
+    pub use std::sync::mpsc::TrySendError;
+
+    /// Unified sender over unbounded and bounded channels, mirroring
+    /// crossbeam's single `Sender` type.
+    #[derive(Debug)]
+    pub enum Sender<T> {
+        /// Sender half of an [`unbounded`] channel.
+        Unbounded(mpsc::Sender<T>),
+        /// Sender half of a [`bounded`] channel.
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Unbounded(tx) => Sender::Unbounded(tx.clone()),
+                Sender::Bounded(tx) => Sender::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full.
+        /// Fails only when the receiver disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(tx) => tx.send(value),
+                Sender::Bounded(tx) => tx.send(value),
+            }
+        }
+
+        /// Attempts to send without blocking. On a full bounded channel
+        /// returns [`TrySendError::Full`]; an unbounded channel is never
+        /// full, so there only disconnection fails.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match self {
+                Sender::Unbounded(tx) => tx
+                    .send(value)
+                    .map_err(|SendError(v)| TrySendError::Disconnected(v)),
+                Sender::Bounded(tx) => tx.try_send(value),
+            }
+        }
+    }
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::channel()
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), rx)
+    }
+
+    /// Creates a bounded channel with capacity `cap` (floored to 1: std's
+    /// zero-capacity rendezvous channel has different semantics from a
+    /// queue of one and is never what a mailbox wants).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap.max(1));
+        (Sender::Bounded(tx), rx)
     }
 }
 
@@ -57,5 +121,45 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn bounded_blocks_at_capacity() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn bounded_send_unblocks_on_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let sender = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert!(sender.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn unbounded_try_send_never_full() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.try_send(i).unwrap();
+        }
+        drop(rx);
+        assert!(matches!(tx.try_send(7), Err(TrySendError::Disconnected(7))));
+    }
+
+    #[test]
+    fn bounded_capacity_zero_floors_to_one() {
+        let (tx, rx) = bounded(0);
+        // A true rendezvous channel would block here with no receiver waiting.
+        tx.try_send(9).unwrap();
+        assert_eq!(rx.recv().unwrap(), 9);
     }
 }

@@ -110,6 +110,7 @@ impl Shell {
             _ if lower.starts_with("dataset") => self.cmd_dataset(line),
             _ if lower.starts_with("fault") => self.cmd_fault(line),
             _ if lower.starts_with("cache") => self.cmd_cache(line),
+            _ if lower.starts_with("pool") => self.cmd_pool(line),
             _ if lower.starts_with("retry") => self.cmd_retry(line),
             _ if lower.starts_with("select") => self.run_sql(line),
             _ => println!("unknown command; try `help`"),
@@ -270,6 +271,47 @@ impl Shell {
         }
     }
 
+    fn cmd_pool(&mut self, line: &str) {
+        match line["pool".len()..].trim() {
+            "on" => {
+                self.setup.wsmed.enable_process_pool(true);
+                println!("warm process pool enabled: idle query processes park at end of run");
+            }
+            "off" => {
+                self.setup.wsmed.enable_process_pool(false);
+                println!("process pool disabled; parked processes joined");
+            }
+            "status" => match self.setup.wsmed.process_pool() {
+                None => println!("process pool: off"),
+                Some(pool) => {
+                    let policy = pool.policy();
+                    let s = pool.stats();
+                    println!(
+                        "process pool: {} — {} idle parked (bounds {}/key, {} total{})",
+                        if policy.enabled {
+                            "on"
+                        } else {
+                            "installed, disabled"
+                        },
+                        pool.idle_total(),
+                        policy.max_idle_per_pf,
+                        policy.max_idle_total,
+                        policy
+                            .idle_ttl_model_secs
+                            .map(|t| format!(", ttl {t} model-s"))
+                            .unwrap_or_default(),
+                    );
+                    println!(
+                        "last run: {} warm acquire(s), {} cold spawn(s), \
+                         {:.3} model-s startup saved, {} eviction(s)",
+                        s.warm_acquires, s.cold_spawns, s.startup_model_secs_saved, s.evictions
+                    );
+                }
+            },
+            _ => println!("usage: pool on|off|status"),
+        }
+    }
+
     fn cmd_retry(&mut self, line: &str) {
         match line["retry".len()..].trim().parse::<usize>() {
             Ok(attempts) if attempts >= 1 => {
@@ -309,6 +351,13 @@ impl Shell {
                         "cache: {} hits / {} misses, {} dedup wait(s), \
                          {} dispatch short-circuit(s), {} resident",
                         c.hits, c.misses, c.dedup_waits, c.short_circuits, c.entries
+                    );
+                }
+                let p = &report.pool;
+                if p.warm_acquires + p.cold_spawns > 0 {
+                    println!(
+                        "pool: {} warm / {} cold, {:.3} model-s startup saved",
+                        p.warm_acquires, p.cold_spawns, p.startup_model_secs_saved
                     );
                 }
                 self.last_tree = Some(report.tree);
@@ -397,6 +446,8 @@ commands:
   fault <provider> every <n>       inject faults; `fault <provider> clear`
   cache on|off|cross               sharded single-flight call cache
                                    (`cross` keeps entries across queries)
+  pool on|off|status               warm process pool (reuses query
+                                   processes + installed plans across runs)
   retry <n>                        attempts per call on transient faults
   quit"
     );
@@ -466,6 +517,32 @@ mod tests {
         assert!(shell.dispatch("query2"));
         assert!(shell.dispatch("query2"));
         assert!(shell.dispatch("cache off"));
+    }
+
+    #[test]
+    fn shell_pool_commands() {
+        let mut shell = Shell::new(0.0, "tiny".into());
+        assert!(shell.dispatch("pool status")); // off by default
+        assert!(shell.dispatch("pool on"));
+        assert!(shell.dispatch("pool bogus"));
+        shell.mode = Mode::Parallel(vec![2, 2]);
+        assert!(shell.dispatch("query2"));
+        assert!(shell.setup.wsmed.process_pool().unwrap().idle_total() > 0);
+        assert!(shell.dispatch("query2"));
+        // The rerun reused the parked tree: zero cold spawns.
+        assert_eq!(
+            shell
+                .setup
+                .wsmed
+                .process_pool()
+                .unwrap()
+                .stats()
+                .cold_spawns,
+            0
+        );
+        assert!(shell.dispatch("pool status"));
+        assert!(shell.dispatch("pool off"));
+        assert!(shell.setup.wsmed.process_pool().is_none());
     }
 
     #[test]

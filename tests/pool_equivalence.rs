@@ -1,0 +1,165 @@
+//! Property tests: the warm process pool is *semantically invisible*.
+//!
+//! Reusing parked query processes (plan function already installed, no
+//! modeled startup or plan-ship cost) must never change results: for
+//! arbitrary fanouts, batch policies and dataset seeds, a pooled rerun
+//! returns exactly the cold run's bag of tuples — and for fixed-fanout
+//! plans the rerun is entirely warm (zero cold spawns).
+
+use proptest::prelude::*;
+
+use wsmed::core::{paper, AdaptiveConfig, BatchPolicy, PoolPolicy};
+use wsmed::services::DatasetConfig;
+use wsmed::store::canonicalize;
+
+fn dataset(seed: u64) -> DatasetConfig {
+    DatasetConfig {
+        seed,
+        atlanta_state_count: 8,
+        min_neighbors: 1,
+        max_neighbors: 4,
+        zips_per_state: 3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_pooled_ff_equivalent_to_cold(
+        seed in 0u64..1000,
+        fo1 in 1usize..6,
+        fo2 in 0usize..6,
+        batch in 1usize..40,
+    ) {
+        let cold_setup = paper::setup(0.0, dataset(seed));
+        let cold = cold_setup
+            .wsmed
+            .run_parallel(paper::QUERY1_SQL, &vec![fo1, fo2])
+            .unwrap();
+
+        let mut setup = paper::setup(0.0, dataset(seed));
+        setup.wsmed.set_batch_policy(BatchPolicy::uniform(batch));
+        setup.wsmed.enable_process_pool(true);
+        let first = setup
+            .wsmed
+            .run_parallel(paper::QUERY1_SQL, &vec![fo1, fo2])
+            .unwrap();
+        let second = setup
+            .wsmed
+            .run_parallel(paper::QUERY1_SQL, &vec![fo1, fo2])
+            .unwrap();
+
+        prop_assert_eq!(
+            canonicalize(first.rows),
+            canonicalize(cold.rows.clone()),
+            "first pooled run diverged: fanouts {{{},{}}} batch {} seed {}",
+            fo1, fo2, batch, seed
+        );
+        prop_assert_eq!(
+            canonicalize(second.rows),
+            canonicalize(cold.rows),
+            "warm rerun diverged: fanouts {{{},{}}} batch {} seed {}",
+            fo1, fo2, batch, seed
+        );
+        // The fixed-fanout rerun re-builds the identical tree, so every
+        // level-1 child comes from the pool and brings its subtree along.
+        prop_assert_eq!(first.pool.cold_spawns > 0, true);
+        prop_assert_eq!(
+            second.pool.cold_spawns, 0,
+            "warm rerun cold-spawned: fanouts {{{},{}}} seed {}", fo1, fo2, seed
+        );
+        prop_assert_eq!(second.pool.warm_acquires as usize, fo1);
+    }
+
+    #[test]
+    fn prop_pooled_aff_equivalent_to_cold(
+        seed in 0u64..1000,
+        add_step in 1usize..5,
+        drop_enabled in any::<bool>(),
+    ) {
+        let config = AdaptiveConfig { add_step, drop_enabled, ..Default::default() };
+        let cold_setup = paper::setup(0.0, dataset(seed));
+        let cold = cold_setup
+            .wsmed
+            .run_adaptive(paper::QUERY2_SQL, &config)
+            .unwrap();
+
+        let mut setup = paper::setup(0.0, dataset(seed));
+        setup.wsmed.enable_process_pool(true);
+        let first = setup.wsmed.run_adaptive(paper::QUERY2_SQL, &config).unwrap();
+        let second = setup.wsmed.run_adaptive(paper::QUERY2_SQL, &config).unwrap();
+        prop_assert_eq!(
+            canonicalize(first.rows),
+            canonicalize(cold.rows.clone()),
+            "p={} drop={} seed {}", add_step, drop_enabled, seed
+        );
+        prop_assert_eq!(
+            canonicalize(second.rows),
+            canonicalize(cold.rows),
+            "warm adaptive rerun diverged: p={} drop={} seed {}",
+            add_step, drop_enabled, seed
+        );
+        // An adaptive rerun starts from the same initial fanout, so it
+        // must reuse at least that many parked processes.
+        prop_assert_eq!(second.pool.warm_acquires > 0, true);
+    }
+
+    #[test]
+    fn prop_pool_respects_idle_bounds(
+        seed in 0u64..1000,
+        fo1 in 1usize..6,
+        per_pf in 0usize..4,
+        total in 0usize..6,
+    ) {
+        let mut setup = paper::setup(0.0, dataset(seed));
+        setup.wsmed.set_pool_policy(Some(PoolPolicy {
+            max_idle_per_pf: per_pf,
+            max_idle_total: total,
+            ..Default::default()
+        }));
+        setup
+            .wsmed
+            .run_parallel(paper::QUERY1_SQL, &vec![fo1, 2])
+            .unwrap();
+        let pool = setup.wsmed.process_pool().unwrap();
+        prop_assert!(
+            pool.idle_total() <= total.min(per_pf * 2),
+            "{} parked > bounds (per_pf {}, total {})",
+            pool.idle_total(), per_pf, total
+        );
+    }
+
+    #[test]
+    fn prop_ttl_expires_everything_under_tiny_ttl(
+        seed in 0u64..1000,
+        fo1 in 1usize..5,
+        ttl in 0.0f64..0.0001,
+    ) {
+        // At a non-zero time scale any parked process is older (in model
+        // time) than these sub-millisecond TTLs by the time the next run
+        // acquires — so the rerun is fully cold and the expired processes
+        // are counted as evictions.
+        let mut setup = paper::setup(0.001, dataset(seed));
+        setup.wsmed.set_pool_policy(Some(PoolPolicy {
+            idle_ttl_model_secs: Some(ttl),
+            ..Default::default()
+        }));
+        let first = setup
+            .wsmed
+            .run_parallel(paper::QUERY1_SQL, &vec![fo1, 1])
+            .unwrap();
+        let second = setup
+            .wsmed
+            .run_parallel(paper::QUERY1_SQL, &vec![fo1, 1])
+            .unwrap();
+        prop_assert_eq!(
+            canonicalize(second.rows),
+            canonicalize(first.rows),
+            "ttl {} seed {}", ttl, seed
+        );
+        prop_assert_eq!(second.pool.warm_acquires, 0);
+        prop_assert_eq!(second.pool.cold_spawns > 0, true);
+        prop_assert_eq!(second.pool.evictions >= fo1 as u64, true);
+    }
+}
