@@ -13,7 +13,11 @@
 //! * at the paper's best Query2 tree `{4,3}`, batch = 64 sends ≥ 10×
 //!   fewer messages than batch = 1, at no cost in total model time;
 //! * the `flush_model_secs` staleness flush keeps Query1's first-row
-//!   latency within 2× of the streaming (batch = 1) behaviour.
+//!   latency within 2× of the streaming (batch = 1) behaviour;
+//! * the structured-trace hooks (`wsmed_core::obs`) cost nothing when
+//!   `TracePolicy` is disabled (the default): re-measuring the Query2
+//!   `{4,3}` batch = 1 cell with tracing explicitly disabled lands
+//!   within 1% of the sweep's own measurement of the same cell.
 //!
 //! ```text
 //! cargo run --release -p wsmed-bench --bin batch_ablation -- --full
@@ -204,6 +208,40 @@ fn main() {
                 cell.batch
             );
         }
+    }
+
+    // Trace hooks must be invisible while disabled: the disabled path is
+    // one atomic load per hook site, so an explicit re-measure of the
+    // Query2 {4,3} batch = 1 cell (best of 3, tracing force-disabled)
+    // must land within 1% of the sweep's own measurement above.
+    if opts.scale > 0.0 {
+        setup
+            .wsmed
+            .set_trace_policy(wsmed_core::TracePolicy::default());
+        let best = (0..3)
+            .map(|_| {
+                run_cell(
+                    &mut setup,
+                    paper::QUERY2_SQL,
+                    &[q2_best.0, q2_best.1],
+                    1,
+                    opts.scale,
+                )
+                .model_secs
+            })
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "Query2 {{{},{}}} batch 1 with tracing disabled: {best:.1} model-s              vs {:.1} model-s in-sweep ({:+.2}%)",
+            q2_best.0,
+            q2_best.1,
+            base.model_secs,
+            (best / base.model_secs - 1.0) * 100.0,
+        );
+        assert!(
+            best <= base.model_secs * 1.01,
+            "disabled trace hooks must cost <1% model time              ({best:.2}s vs {:.2}s baseline)",
+            base.model_secs
+        );
     }
 
     println!(

@@ -8,7 +8,10 @@
 //! ```
 //!
 //! Produces `target/experiments/congestion_<strategy>.csv`, each row
-//! `seq,operation,offset_secs,in_flight,model_latency`, ready to plot.
+//! `seq,operation,model_offset_secs,in_flight,model_latency`, ready to
+//! plot. Offsets are deterministic model time (cumulative recorded
+//! latency), so identically-seeded runs emit identical CSVs on any
+//! machine and at any `--scale`, including 0.
 
 use std::io::Write as _;
 

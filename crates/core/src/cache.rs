@@ -505,7 +505,13 @@ impl<V: Clone> Sharded<V> {
 /// Outcome of [`CallCache::lookup_call`].
 pub enum CallLookup<'a> {
     /// The call was answered from the cache.
-    Hit(Value),
+    Hit {
+        /// The cached response value.
+        value: Value,
+        /// True when this lookup blocked on another caller's in-flight
+        /// call (single-flight dedup) rather than finding a stored value.
+        waited: bool,
+    },
     /// Cold key: the caller must issue the web service call and settle the
     /// returned flight with [`Flight::complete`] (dropping it unsettled
     /// releases any waiters empty-handed).
@@ -615,7 +621,10 @@ impl CallCache {
         ) {
             Probe::Ready(value) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                CallLookup::Hit(value)
+                CallLookup::Hit {
+                    value,
+                    waited: false,
+                }
             }
             Probe::Begin => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -628,7 +637,10 @@ impl CallCache {
             Probe::Wait(latch) => {
                 self.dedup_waits.fetch_add(1, Ordering::Relaxed);
                 match latch.wait() {
-                    Some(value) => CallLookup::Hit(value),
+                    Some(value) => CallLookup::Hit {
+                        value,
+                        waited: true,
+                    },
                     None => CallLookup::Retry,
                 }
             }
@@ -705,7 +717,7 @@ mod tests {
         let cache = CallCache::new(CachePolicy::default(), 0.0);
         complete_miss(&cache, &key("F", 1), Value::Int(10));
         match cache.lookup_call(&key("F", 1)) {
-            CallLookup::Hit(v) => assert_eq!(v, Value::Int(10)),
+            CallLookup::Hit { value: v, .. } => assert_eq!(v, Value::Int(10)),
             _ => panic!("expected a hit"),
         }
         let stats = cache.stats();
@@ -755,16 +767,16 @@ mod tests {
         // Touch key 1 so key 2 is the LRU victim.
         assert!(matches!(
             cache.lookup_call(&key("F", 1)),
-            CallLookup::Hit(_)
+            CallLookup::Hit { .. }
         ));
         complete_miss(&cache, &key("F", 3), Value::Int(3));
         assert!(matches!(
             cache.lookup_call(&key("F", 1)),
-            CallLookup::Hit(_)
+            CallLookup::Hit { .. }
         ));
         assert!(matches!(
             cache.lookup_call(&key("F", 3)),
-            CallLookup::Hit(_)
+            CallLookup::Hit { .. }
         ));
         assert!(matches!(
             cache.lookup_call(&key("F", 2)),
@@ -784,7 +796,7 @@ mod tests {
         complete_miss(&cache, &key("F", 1), Value::Int(1));
         assert!(matches!(
             cache.lookup_call(&key("F", 1)),
-            CallLookup::Hit(_)
+            CallLookup::Hit { .. }
         ));
         std::thread::sleep(Duration::from_millis(10));
         assert!(matches!(
@@ -804,7 +816,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(5));
         assert!(matches!(
             cache.lookup_call(&key("F", 1)),
-            CallLookup::Hit(_)
+            CallLookup::Hit { .. }
         ));
     }
 
@@ -827,7 +839,7 @@ mod tests {
         cache.begin_run();
         assert!(matches!(
             cache.lookup_call(&key("F", 1)),
-            CallLookup::Hit(_)
+            CallLookup::Hit { .. }
         ));
         assert_eq!(cache.stats().hits, 1, "stats still reset per run");
     }
@@ -858,7 +870,7 @@ mod tests {
             let cache = Arc::clone(&cache);
             let k = k.clone();
             waiters.push(std::thread::spawn(move || match cache.lookup_call(&k) {
-                CallLookup::Hit(v) => v,
+                CallLookup::Hit { value: v, .. } => v,
                 _ => panic!("waiter must resolve to the leader's value"),
             }));
         }

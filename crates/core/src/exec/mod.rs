@@ -5,7 +5,7 @@ mod parallel_op;
 pub mod pool;
 mod process;
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Instant;
 
@@ -18,6 +18,7 @@ use wsmed_wsdl::OwfDef;
 use crate::cache::{CacheKey, CachePolicy, CacheStats, CallCache, CallLookup};
 use crate::catalog::OwfCatalog;
 use crate::exec::pool::{PoolStats, ProcessPool};
+use crate::obs::{self, TraceEventKind, TraceLog, TracePolicy};
 use crate::plan::{ArgExpr, PlanOp, QueryPlan};
 use crate::stats::{ExecutionReport, TreeRegistry};
 use crate::transport::{BatchPolicy, DispatchPolicy, RetryPolicy, WsTransport};
@@ -67,6 +68,13 @@ pub struct ExecContext {
     fail_child_after_eocs: AtomicU64,
     /// Run start marker used for the first-result measurement.
     run_started: parking_lot::Mutex<Option<Instant>>,
+    /// Structured-trace policy applied at the start of each run.
+    trace_policy: RwLock<TracePolicy>,
+    /// Fast path for the disabled case: every trace hook checks this one
+    /// relaxed atomic before touching the log handle below.
+    trace_on: AtomicBool,
+    /// The current (or last) run's trace log, when tracing was enabled.
+    trace: RwLock<Option<Arc<TraceLog>>>,
 }
 
 impl ExecContext {
@@ -93,6 +101,9 @@ impl ExecContext {
             pool: RwLock::new(Weak::new()),
             fail_child_after_eocs: AtomicU64::new(0),
             run_started: parking_lot::Mutex::new(None),
+            trace_policy: RwLock::new(TracePolicy::default()),
+            trace_on: AtomicBool::new(false),
+            trace: RwLock::new(None),
         })
     }
 
@@ -203,6 +214,47 @@ impl ExecContext {
         self.pool.read().upgrade()
     }
 
+    /// Installs the structured-trace policy applied at the start of each
+    /// subsequent [`ExecContext::run_plan`]. The default policy is
+    /// disabled, which keeps every trace hook to a single atomic load.
+    pub fn set_trace_policy(&self, policy: TracePolicy) {
+        *self.trace_policy.write() = policy;
+    }
+
+    /// The installed trace policy.
+    pub fn trace_policy(&self) -> TracePolicy {
+        *self.trace_policy.read()
+    }
+
+    /// The current (or last) run's trace log, when that run had tracing
+    /// enabled. Also surfaced on [`crate::ExecutionReport::trace`].
+    pub fn trace_handle(&self) -> Option<Arc<TraceLog>> {
+        self.trace.read().clone()
+    }
+
+    /// True when the current run records a trace. Hook sites that must
+    /// allocate to build an event payload check this first.
+    pub(crate) fn tracing(&self) -> bool {
+        self.trace_on.load(Ordering::Relaxed)
+    }
+
+    /// The live trace log — `None` (after one atomic load) when disabled.
+    pub(crate) fn tracer(&self) -> Option<Arc<TraceLog>> {
+        if !self.trace_on.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.trace.read().clone()
+    }
+
+    /// Records a trace event attributed to the process-tree node the
+    /// calling thread is bound to (coordinator or child query process).
+    pub(crate) fn trace_here(&self, kind: TraceEventKind) {
+        if let Some(log) = self.tracer() {
+            let (id, level, pf) = obs::current_proc();
+            log.emit(id, level, &pf, kind);
+        }
+    }
+
     /// Arms the failure-injection knob: after `n` end-of-call messages at
     /// the coordinator's parallel operator, one busy child is abruptly
     /// killed and its in-flight parameters requeued. Test-only plumbing
@@ -247,8 +299,21 @@ impl ExecContext {
         let key = CacheKey::for_call(&owf.name, args);
         loop {
             match cache.lookup_call(&key) {
-                CallLookup::Hit(value) => return Ok(value),
+                CallLookup::Hit { value, waited } => {
+                    if self.tracing() {
+                        self.trace_here(TraceEventKind::CacheHit {
+                            op: owf.name.clone(),
+                            waited,
+                        });
+                    }
+                    return Ok(value);
+                }
                 CallLookup::Miss(flight) => {
+                    if self.tracing() {
+                        self.trace_here(TraceEventKind::CacheMiss {
+                            op: owf.name.clone(),
+                        });
+                    }
                     let result = self.call_uncached(owf, args);
                     if let Ok(value) = &result {
                         flight.complete(value);
@@ -256,7 +321,14 @@ impl ExecContext {
                     return result;
                 }
                 // The in-flight leader failed; take the lead ourselves.
-                CallLookup::Retry => continue,
+                CallLookup::Retry => {
+                    if self.tracing() {
+                        self.trace_here(TraceEventKind::CacheRetry {
+                            op: owf.name.clone(),
+                        });
+                    }
+                    continue;
+                }
             }
         }
     }
@@ -271,6 +343,12 @@ impl ExecContext {
                 {
                     self.sim.sleep_model(policy.backoff_model_secs);
                     attempt += 1;
+                    if self.tracing() {
+                        self.trace_here(TraceEventKind::RetryAttempt {
+                            op: owf.name.clone(),
+                            attempt: attempt as u32,
+                        });
+                    }
                 }
                 other => return other,
             }
@@ -325,21 +403,51 @@ impl ExecContext {
 
         let calls_before = self.transport.metrics();
         let shipped_before = self.shipped_bytes.load(Ordering::Relaxed);
+
+        // Install this run's trace log (or clear a stale one) before any
+        // process can emit; the log's epoch doubles as the run epoch for
+        // model timestamps. The transport gets its own handle because WS
+        // calls happen below the context in the layering.
+        let policy = *self.trace_policy.read();
+        let trace_log = policy
+            .enabled
+            .then(|| Arc::new(TraceLog::new(policy, self.sim.time_scale)));
+        *self.trace.write() = trace_log.clone();
+        self.trace_on.store(trace_log.is_some(), Ordering::Relaxed);
+        self.transport.install_trace(trace_log.clone());
+        obs::set_current_proc(0, 0, Arc::from(""));
+
         let start = Instant::now();
         self.first_result_nanos.store(0, Ordering::Relaxed);
         *self.run_started.lock() = Some(start);
 
         let env = ProcEnv { id: 0, level: 0 };
-        let mut root = compile(self, &env, &plan.root)?;
-        let result = eval(&mut root, self, &Tuple::empty());
-        let snapshot = tree.snapshot(); // before teardown: the final shape
-        if result.is_ok() && pool.is_some() {
-            // Park idle children warm instead of joining them; whatever
-            // cannot be parked (busy, failed, over bounds) is torn down by
-            // the drop below.
-            park_tree(&mut root, self);
-        }
-        drop(root); // tears down whatever was not parked
+        self.trace_here(TraceEventKind::RunStart);
+        let (result, snapshot) = match compile(self, &env, &plan.root) {
+            Ok(mut root) => {
+                let result = eval(&mut root, self, &Tuple::empty());
+                let snapshot = tree.snapshot(); // before teardown: the final shape
+                self.trace_here(TraceEventKind::RunEnd {
+                    ok: result.is_ok(),
+                    rows: result.as_ref().map_or(0, |r| r.len() as u64),
+                });
+                if result.is_ok() && pool.is_some() {
+                    // Park idle children warm instead of joining them;
+                    // whatever cannot be parked (busy, failed, over
+                    // bounds) is torn down by the drop below.
+                    park_tree(&mut root, self);
+                }
+                drop(root); // tears down whatever was not parked
+                (result, snapshot)
+            }
+            Err(e) => {
+                self.trace_here(TraceEventKind::RunEnd { ok: false, rows: 0 });
+                (Err(e), tree.snapshot())
+            }
+        };
+        // Stop transport emission: the log now belongs to this finished
+        // run's report, and a later un-traced run must not append to it.
+        self.transport.install_trace(None);
 
         let wall = start.elapsed();
         let rows = result?;
@@ -367,6 +475,7 @@ impl ExecContext {
                 nanos => Some(std::time::Duration::from_nanos(nanos)),
             },
             tree: snapshot,
+            trace: trace_log,
         })
     }
 }

@@ -30,6 +30,7 @@ use wsmed_store::Tuple;
 use crate::cache::{self, CacheKey, CallCache};
 use crate::exec::process::{ChildProc, FromChild};
 use crate::exec::{ExecContext, ProcEnv};
+use crate::obs::TraceEventKind;
 use crate::plan::{AdaptDecision, AdaptiveConfig, PlanFunction};
 use crate::transport::DispatchPolicy;
 use crate::wire;
@@ -92,6 +93,8 @@ struct AdaptState {
     stopped: bool,
     /// The previous stage was a drop (a second worsening stops adaptation).
     last_was_drop: bool,
+    /// Completed monitoring cycles this run (trace record numbering).
+    cycles: u64,
 }
 
 impl AdaptState {
@@ -104,6 +107,7 @@ impl AdaptState {
         self.prev_t = None;
         self.stopped = false;
         self.last_was_drop = false;
+        self.cycles = 0;
     }
 }
 
@@ -112,9 +116,10 @@ pub(crate) struct ParallelApply {
     pf_name: String,
     pf_bytes: Bytes,
     /// Content address of `pf_bytes` — the memo namespace for this plan
-    /// function's per-parameter result rows (see [`crate::cache`]) and the
-    /// warm-pool key for its processes.
-    pf_digest: String,
+    /// function's per-parameter result rows (see [`crate::cache`]), the
+    /// warm-pool key for its processes, and the `pf` identity stamped on
+    /// this operator's child-side trace events.
+    pf_digest: Arc<str>,
     env: ProcEnv,
     slots: Vec<Slot>,
     idle: VecDeque<usize>,
@@ -154,6 +159,7 @@ impl ParallelApply {
             prev_t: None,
             stopped: false,
             last_was_drop: false,
+            cycles: 0,
         };
         Self::new(ctx, env, pf, init, Some(adapt))
     }
@@ -174,7 +180,7 @@ impl ParallelApply {
         // Encoded once from a reference; children get refcounted
         // clones of these bytes, never a deep copy of the plan.
         let pf_bytes = wire::encode_plan_function(pf);
-        let pf_digest = cache::pf_digest(&pf.name, &pf_bytes);
+        let pf_digest: Arc<str> = Arc::from(cache::pf_digest(&pf.name, &pf_bytes));
         let mut this = ParallelApply {
             pf_name: pf.name.clone(),
             pf_bytes,
@@ -233,6 +239,7 @@ impl ParallelApply {
             &self.env,
             slot_index,
             &self.pf_name,
+            &self.pf_digest,
             self.pf_bytes.clone(),
             self.results_tx.clone(),
         )?;
@@ -254,8 +261,21 @@ impl ParallelApply {
         client.process_startup + client.plan_ship_per_kib * self.pf_bytes.len() as f64 / 1024.0
     }
 
-    /// Streams `params` through the pool and returns the merged results.
+    /// Streams `params` through the pool and returns the merged results,
+    /// recording an operator span around the dispatch loop.
     pub fn run(&mut self, ctx: &Arc<ExecContext>, params: Vec<Tuple>) -> CoreResult<Vec<Tuple>> {
+        ctx.trace_here(TraceEventKind::OpRunStart {
+            params: params.len() as u64,
+        });
+        let result = self.run_inner(ctx, params);
+        ctx.trace_here(TraceEventKind::OpRunEnd {
+            ok: result.is_ok(),
+            results: result.as_ref().map_or(0, |r| r.len() as u64),
+        });
+        result
+    }
+
+    fn run_inner(&mut self, ctx: &Arc<ExecContext>, params: Vec<Tuple>) -> CoreResult<Vec<Tuple>> {
         // Adaptive pools always use the paper's first-finished dispatch;
         // the round-robin ablation only applies to fixed fanouts.
         let policy = if self.adapt.is_some() {
@@ -416,7 +436,7 @@ impl ParallelApply {
                                 self.slots.iter().position(|s| s.status == SlotStatus::Idle)
                             })
                         {
-                            self.fail_slot(victim, &mut pending);
+                            self.fail_slot(ctx, victim, &mut pending);
                         }
                     }
                     self.monitoring_step(ctx, &mut segment_start);
@@ -459,6 +479,7 @@ impl ParallelApply {
         out.extend(rows.iter().cloned());
         cache.note_short_circuits(1);
         ctx.tree().note_short_circuits(self.env.id, 1);
+        ctx.trace_here(TraceEventKind::ShortCircuit { params: 1 });
         true
     }
 
@@ -515,6 +536,16 @@ impl ParallelApply {
                 .as_ref()
                 .expect("idle slot has a process");
             ctx.tree().note_calls(proc.id, batch.len() as u64);
+            if let Some(tr) = ctx.tracer() {
+                tr.emit(
+                    proc.id,
+                    self.env.level + 1,
+                    &self.pf_digest,
+                    TraceEventKind::CallDispatched {
+                        params: batch.len() as u64,
+                    },
+                );
+            }
             let frame = wire::frame_encoded_batch(&batch);
             let sent = proc.send_call(ctx, call_id, frame, batch.len());
             match sent {
@@ -527,7 +558,7 @@ impl ParallelApply {
                     // The child died before taking the call: requeue its
                     // batch and fail the slot over to its siblings.
                     self.slots[slot].in_flight = batch;
-                    self.fail_slot(slot, pending);
+                    self.fail_slot(ctx, slot, pending);
                 }
             }
         }
@@ -552,15 +583,21 @@ impl ParallelApply {
     /// siblings (including any per-slot round-robin backlog), and defers
     /// the join to drop time (the child may be blocked sending into the
     /// results channel this loop is reading).
-    fn fail_slot(&mut self, slot: usize, pending: &mut PendingParams) {
+    fn fail_slot(&mut self, ctx: &Arc<ExecContext>, slot: usize, pending: &mut PendingParams) {
         let s = &mut self.slots[slot];
         let requeued = std::mem::take(&mut s.in_flight);
         s.call_buf.clear();
         s.current_call = None;
         s.status = SlotStatus::Dead;
+        let mut dead_id = 0;
         if let Some(proc) = s.proc.take() {
+            dead_id = proc.id;
             self.reaping.push(proc.begin_shutdown());
         }
+        ctx.trace_here(TraceEventKind::Requeue {
+            from_child: dead_id,
+            params: requeued.len() as u64,
+        });
         pending.requeue(requeued);
         let survivors: Vec<usize> = self
             .slots
@@ -589,6 +626,10 @@ impl ParallelApply {
             adapt.cycle_active += segment_start.elapsed();
             *segment_start = Instant::now();
             let t = adapt.cycle_active.as_secs_f64() / adapt.tuples_in_cycle.max(1) as f64;
+            let prev = adapt.prev_t;
+            let eocs = adapt.eoc_in_cycle as u64;
+            let tuples = adapt.tuples_in_cycle;
+            adapt.cycles += 1;
             let decision = if adapt.stopped {
                 None
             } else {
@@ -608,6 +649,18 @@ impl ParallelApply {
                 Some(AdaptDecision::Stop) => "stop".to_owned(),
                 None => "converged".to_owned(),
             };
+            if ctx.tracing() {
+                ctx.trace_here(TraceEventKind::Cycle {
+                    cycle: adapt.cycles,
+                    eocs,
+                    tuples,
+                    per_tuple_secs: t,
+                    prev,
+                    threshold: adapt.config.threshold,
+                    alive,
+                    verdict: described.clone(),
+                });
+            }
             ctx.tree().record_adapt_event(crate::stats::AdaptEvent {
                 process: self.env.id,
                 level: self.env.level,
@@ -720,11 +773,11 @@ impl ParallelApply {
         if let Some(adapt) = &mut self.adapt {
             adapt.reset();
         }
-        for slot in &self.slots {
+        for slot in &mut self.slots {
             if slot.status == SlotStatus::Dead {
                 continue;
             }
-            if let Some(proc) = &slot.proc {
+            if let Some(proc) = slot.proc.as_mut() {
                 proc.forward_reset();
             }
         }

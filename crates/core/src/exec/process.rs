@@ -34,6 +34,7 @@ use crossbeam::channel::{bounded, Receiver, SendError, Sender, TrySendError};
 use wsmed_store::Tuple;
 
 use crate::exec::{compile, eval, ExecContext, ProcEnv};
+use crate::obs::{self, TraceEventKind, TraceLog};
 use crate::stats::TreeRegistry;
 use crate::transport::BatchPolicy;
 use crate::wire;
@@ -101,12 +102,16 @@ pub(crate) enum FromChild {
 }
 
 /// Sends on a (possibly bounded) mailbox, charging time blocked on a full
-/// channel to node `id`'s `blocked_send` counter.
+/// channel to node `id`'s `blocked_send` counter (and recording a
+/// `blocked_send` trace event when a log is live).
 fn send_counted<T>(
     tx: &Sender<T>,
     msg: T,
     tree: &TreeRegistry,
     id: u64,
+    trace: Option<&TraceLog>,
+    level: usize,
+    pf: &Arc<str>,
 ) -> Result<(), SendError<T>> {
     match tx.try_send(msg) {
         Ok(()) => Ok(()),
@@ -114,7 +119,18 @@ fn send_counted<T>(
         Err(TrySendError::Full(v)) => {
             let waited = Instant::now();
             let result = tx.send(v);
-            tree.note_blocked_send(id, waited.elapsed());
+            let elapsed = waited.elapsed();
+            tree.note_blocked_send(id, elapsed);
+            if let Some(tr) = trace {
+                tr.emit(
+                    id,
+                    level,
+                    pf,
+                    TraceEventKind::BlockedSend {
+                        waited_secs: tr.model_secs(elapsed),
+                    },
+                );
+            }
             result
         }
     }
@@ -129,6 +145,17 @@ pub(crate) struct ChildProc {
     join: Option<JoinHandle<()>>,
     tree: Arc<TreeRegistry>,
     deregistered: bool,
+    /// Tree level this process is attached at (refreshed on warm attach).
+    level: usize,
+    /// Content digest of the plan function this process runs.
+    pf: Arc<str>,
+    /// The run's trace log, when the run that spawned (or warm-attached)
+    /// this process had tracing enabled. Cleared on park so pooled handles
+    /// never keep a finished run's log alive.
+    trace: Option<Arc<TraceLog>>,
+    /// Whether this process's terminal lifecycle event (park/kill/join)
+    /// was already recorded — each spawn gets exactly one terminal.
+    terminal_emitted: bool,
 }
 
 impl ChildProc {
@@ -144,6 +171,7 @@ impl ChildProc {
         parent: &ProcEnv,
         slot: usize,
         pf_name: &str,
+        pf_digest: &Arc<str>,
         pf_bytes: Bytes,
         results: Sender<FromChild>,
     ) -> CoreResult<ChildProc> {
@@ -179,7 +207,19 @@ impl ChildProc {
             join: Some(join),
             tree,
             deregistered: false,
+            level,
+            pf: Arc::clone(pf_digest),
+            trace: ctx.tracer(),
+            terminal_emitted: false,
         };
+        if let Some(tr) = &proc.trace {
+            tr.emit(
+                id,
+                level,
+                &proc.pf,
+                TraceEventKind::ChildSpawn { warm: false },
+            );
+        }
         if proc.tx.send(ToChild::Install(pf_bytes)).is_err() {
             // The thread died before reading its mailbox; reap it and
             // surface the failure instead of silently dropping the plan.
@@ -213,8 +253,24 @@ impl ChildProc {
             ToChild::Call { call_id, params },
             &self.tree,
             self.id,
+            self.trace.as_deref(),
+            self.level,
+            &self.pf,
         )
         .map_err(|_| CoreError::ProcessFailure(format!("query process q{} hung up", self.id)))
+    }
+
+    /// Records this process's terminal lifecycle event (at most once per
+    /// spawn/attach) and releases the log handle.
+    fn emit_terminal(&mut self, kind: TraceEventKind) {
+        if self.terminal_emitted {
+            self.trace = None;
+            return;
+        }
+        self.terminal_emitted = true;
+        if let Some(tr) = self.trace.take() {
+            tr.emit(self.id, self.level, &self.pf, kind);
+        }
     }
 
     /// Prepares the process for parking: sends `Reset` (clearing per-run
@@ -227,6 +283,7 @@ impl ChildProc {
         }
         self.tree.deregister(self.id, dropped_by_adaptation);
         self.deregistered = true;
+        self.emit_terminal(TraceEventKind::ChildPark);
         Some(self)
     }
 
@@ -249,18 +306,41 @@ impl ChildProc {
             .register(self.id, Some(parent.id), parent.level + 1, pf_name);
         ctx.sim().sleep_model(ctx.sim().client.message_dispatch);
         self.tree.note_msg_down(self.id);
-        send_counted(
+        self.level = parent.level + 1;
+        let trace = ctx.tracer();
+        let ok = send_counted(
             &self.tx,
             ToChild::Attach { slot, results },
             &self.tree,
             self.id,
+            trace.as_deref(),
+            self.level,
+            &self.pf,
         )
-        .is_ok()
+        .is_ok();
+        if ok {
+            // A warm acquire starts a fresh spawn→terminal lifecycle in
+            // the new run's log; a dead parked thread keeps its old (and
+            // already terminated) record instead.
+            self.trace = trace;
+            self.terminal_emitted = false;
+            if let Some(tr) = &self.trace {
+                tr.emit(
+                    self.id,
+                    self.level,
+                    &self.pf,
+                    TraceEventKind::ChildSpawn { warm: true },
+                );
+            }
+        }
+        ok
     }
 
     /// Forwards a `Reset` down one edge of a warm subtree being parked.
-    pub fn forward_reset(&self) {
-        self.tx.send(ToChild::Reset).ok();
+    pub fn forward_reset(&mut self) {
+        if self.tx.send(ToChild::Reset).is_ok() {
+            self.emit_terminal(TraceEventKind::ChildPark);
+        }
     }
 
     /// Requests shutdown without joining — for a child that may be blocked
@@ -271,11 +351,15 @@ impl ChildProc {
         self.tx.try_send(ToChild::Shutdown).ok();
         self.tree.deregister(self.id, false);
         self.deregistered = true;
+        self.emit_terminal(TraceEventKind::ChildKill { adapt: false });
         self
     }
 
     /// Shuts the child down and waits for its subtree to terminate.
     pub fn shutdown(mut self, dropped_by_adaptation: bool) {
+        self.emit_terminal(TraceEventKind::ChildKill {
+            adapt: dropped_by_adaptation,
+        });
         self.tx.send(ToChild::Shutdown).ok();
         if let Some(join) = self.join.take() {
             join.join().ok();
@@ -289,6 +373,7 @@ impl Drop for ChildProc {
     fn drop(&mut self) {
         // Teardown on the normal path (operator dropped) and on unwinding.
         // Threads must never leak.
+        self.emit_terminal(TraceEventKind::ChildJoin);
         self.tx.send(ToChild::Shutdown).ok();
         if let Some(join) = self.join.take() {
             join.join().ok();
@@ -308,6 +393,10 @@ fn child_main(
     rx: Receiver<ToChild>,
     mut results: Sender<FromChild>,
 ) {
+    // Bind this thread to its tree node so events recorded deep inside
+    // `eval` (cache lookups, retries, WS calls) carry the right identity;
+    // the pf digest is filled in once the plan function arrives.
+    obs::set_current_proc(env.id, env.level, Arc::from(""));
     // ---- install phase ----------------------------------------------------
     let (pf, pf_digest) = match rx.recv() {
         Ok(ToChild::Install(bytes)) => match wire::decode_plan_function(bytes.clone()) {
@@ -315,6 +404,7 @@ fn child_main(
             // so parent-side memo lookups hit what this child inserts.
             Ok(pf) => {
                 let digest = crate::cache::pf_digest(&pf.name, &bytes);
+                obs::set_current_proc(env.id, env.level, Arc::from(digest.as_str()));
                 (pf, digest)
             }
             Err(e) => {
@@ -411,7 +501,9 @@ fn child_main(
 fn send_up(ctx: &Arc<ExecContext>, env: &ProcEnv, results: &Sender<FromChild>, msg: FromChild) {
     let tree = ctx.tree();
     tree.note_msg_up(env.id);
-    send_counted(results, msg, &tree, env.id).ok();
+    let trace = ctx.tracer();
+    let (_, level, pf) = obs::current_proc();
+    send_counted(results, msg, &tree, env.id, trace.as_deref(), level, &pf).ok();
 }
 
 /// Evaluates one parameter batch, streaming result frames through a
@@ -469,6 +561,8 @@ fn handle_call(
     }
     let tree = ctx.tree();
     tree.note_msg_up(env.id);
+    let trace = ctx.tracer();
+    let (_, level, pf) = obs::current_proc();
     send_counted(
         results,
         FromChild::EndOfCall {
@@ -478,6 +572,9 @@ fn handle_call(
         },
         &tree,
         env.id,
+        trace.as_deref(),
+        level,
+        &pf,
     )
     .is_ok()
 }
@@ -572,6 +669,8 @@ impl<'a> FlushBuffer<'a> {
         self.ctx.record_shipped(frame.len());
         let tree = self.ctx.tree();
         tree.note_msg_up(self.env.id);
+        let trace = self.ctx.tracer();
+        let (_, level, pf) = obs::current_proc();
         let ok = send_counted(
             self.results,
             FromChild::ResultBatch {
@@ -581,6 +680,9 @@ impl<'a> FlushBuffer<'a> {
             },
             &tree,
             self.env.id,
+            trace.as_deref(),
+            level,
+            &pf,
         )
         .is_ok();
         self.parent_gone = !ok;

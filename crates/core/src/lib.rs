@@ -36,6 +36,7 @@ pub mod central;
 pub mod error;
 pub mod exec;
 pub mod materialized;
+pub mod obs;
 pub mod parallel;
 pub mod plan;
 pub mod stats;
@@ -50,6 +51,7 @@ pub use error::{CoreError, CoreResult};
 pub use exec::pool::{PoolPolicy, PoolStats, ProcessPool};
 pub use exec::ExecContext;
 pub use materialized::run_materialized;
+pub use obs::{KindMask, TraceEvent, TraceEventKind, TraceLog, TracePolicy};
 pub use parallel::{
     parallel_level_count, parallelize, parallelize_adaptive, parallelize_unprojected, FanoutVector,
 };

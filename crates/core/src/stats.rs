@@ -415,6 +415,10 @@ pub struct ExecutionReport {
     pub first_row_wall: Option<Duration>,
     /// Final process tree.
     pub tree: TreeSnapshot,
+    /// The run's structured trace, when a [`crate::obs::TracePolicy`] with
+    /// `enabled == true` was installed; `None` otherwise (tracing off is
+    /// the default and costs one atomic load per hook site).
+    pub trace: Option<std::sync::Arc<crate::obs::TraceLog>>,
 }
 
 impl ExecutionReport {

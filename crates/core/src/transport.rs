@@ -5,14 +5,16 @@
 //! [`SimTransport`] over the simulated providers; operator unit tests use
 //! [`MockTransport`] with scripted results and optional artificial delays.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use parking_lot::RwLock;
 use wsmed_services::ServiceRegistry;
 use wsmed_store::{xml_to_value, Value};
 use wsmed_wsdl::OwfDef;
 
+use crate::obs::{self, TraceEventKind, TraceLog};
 use crate::{CoreError, CoreResult};
 
 /// How the mediator handles transient web-service faults
@@ -144,17 +146,30 @@ pub trait WsTransport: Send + Sync {
     fn metrics(&self) -> wsmed_netsim::MetricsSnapshot {
         wsmed_netsim::MetricsSnapshot::default()
     }
+
+    /// Installs (or clears, with `None`) the trace log that provider-side
+    /// events should be emitted into for the current run. The default (for
+    /// mocks) ignores tracing entirely.
+    fn install_trace(&self, _trace: Option<Arc<TraceLog>>) {}
 }
 
 /// Transport over the simulated service registry.
 pub struct SimTransport {
     registry: ServiceRegistry,
+    /// Run-scoped trace sink; [`WsTransport::install_trace`] swaps it.
+    trace: RwLock<Option<Arc<TraceLog>>>,
+    /// Mirrors `trace.is_some()` so the untraced hot path is one load.
+    trace_on: AtomicBool,
 }
 
 impl SimTransport {
     /// Wraps a service registry.
     pub fn new(registry: ServiceRegistry) -> Self {
-        SimTransport { registry }
+        SimTransport {
+            registry,
+            trace: RwLock::new(None),
+            trace_on: AtomicBool::new(false),
+        }
     }
 
     /// The underlying registry (for WSDL import and metrics).
@@ -177,14 +192,33 @@ impl WsTransport for SimTransport {
         for ((name, ty), value) in owf.inputs.iter().zip(args) {
             rendered.push((name.clone(), ty.value_to_text(value)?));
         }
-        let response =
-            self.registry
-                .call(&owf.wsdl_uri, &owf.service, &owf.operation, &rendered)?;
-        Ok(xml_to_value(&response))
+        let response = self
+            .registry
+            .call(&owf.wsdl_uri, &owf.service, &owf.operation, &rendered);
+        if self.trace_on.load(Ordering::Relaxed) {
+            if let Some(tr) = self.trace.read().clone() {
+                let (node, level, pf) = obs::current_proc();
+                tr.emit(
+                    node,
+                    level,
+                    &pf,
+                    TraceEventKind::WsCall {
+                        op: owf.operation.clone(),
+                        ok: response.is_ok(),
+                    },
+                );
+            }
+        }
+        Ok(xml_to_value(&response?))
     }
 
     fn metrics(&self) -> wsmed_netsim::MetricsSnapshot {
         self.registry.network().total_metrics()
+    }
+
+    fn install_trace(&self, trace: Option<Arc<TraceLog>>) {
+        self.trace_on.store(trace.is_some(), Ordering::Relaxed);
+        *self.trace.write() = trace;
     }
 }
 

@@ -12,6 +12,7 @@ use crate::catalog::OwfCatalog;
 use crate::central::create_central_plan;
 use crate::exec::pool::{PoolPolicy, ProcessPool};
 use crate::exec::ExecContext;
+use crate::obs::{TraceLog, TracePolicy};
 use crate::parallel::{parallel_level_count, parallelize, parallelize_adaptive, FanoutVector};
 use crate::plan::{AdaptiveConfig, QueryPlan};
 use crate::stats::ExecutionReport;
@@ -58,6 +59,10 @@ pub struct Wsmed {
     /// handing the *same* context to the next run; built lazily on the
     /// first pooled execution and dropped when warm state is invalidated.
     warm_ctx: parking_lot::Mutex<Option<Arc<ExecContext>>>,
+    trace_policy: TracePolicy,
+    /// The trace of the most recent execution (also stashed when the run
+    /// itself failed), for the shell's `trace dump` and post-mortems.
+    last_trace: parking_lot::Mutex<Option<Arc<TraceLog>>>,
 }
 
 impl Wsmed {
@@ -77,7 +82,28 @@ impl Wsmed {
             pool_policy: None,
             pool: None,
             warm_ctx: parking_lot::Mutex::new(None),
+            trace_policy: TracePolicy::default(),
+            last_trace: parking_lot::Mutex::new(None),
         }
+    }
+
+    /// Installs the structured-trace policy for subsequent executions.
+    /// Tracing is off by default; the disabled path costs one atomic load
+    /// per hook site.
+    pub fn set_trace_policy(&mut self, policy: TracePolicy) {
+        self.trace_policy = policy;
+    }
+
+    /// The current structured-trace policy.
+    pub fn trace_policy(&self) -> TracePolicy {
+        self.trace_policy
+    }
+
+    /// The trace log of the most recent traced execution, if any — kept
+    /// even when the run returned an error, so failed runs can be
+    /// post-mortemed.
+    pub fn last_trace(&self) -> Option<Arc<TraceLog>> {
+        self.last_trace.lock().clone()
     }
 
     /// Enables the warm process pool with the default [`PoolPolicy`]:
@@ -272,7 +298,13 @@ impl Wsmed {
         ctx.set_dispatch_policy(self.dispatch);
         ctx.set_batch_policy(self.batch);
         ctx.install_call_cache(self.cache_for_run());
-        ctx.run_plan(plan)
+        ctx.set_trace_policy(self.trace_policy);
+        let result = ctx.run_plan(plan);
+        // Stash the run's trace (also on error) for `last_trace`.
+        if self.trace_policy.enabled {
+            *self.last_trace.lock() = ctx.trace_handle();
+        }
+        result
     }
 
     /// The execution context for one run: fresh without a pool; the

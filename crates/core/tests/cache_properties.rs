@@ -39,7 +39,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
 fn resolve(cache: &CallCache, key: &CacheKey, value: &Value, leaders: &AtomicUsize) -> Value {
     loop {
         match cache.lookup_call(key) {
-            CallLookup::Hit(v) => return v,
+            CallLookup::Hit { value: v, .. } => return v,
             CallLookup::Miss(flight) => {
                 leaders.fetch_add(1, AtomicOrdering::Relaxed);
                 // Hold the flight open briefly so other threads really do

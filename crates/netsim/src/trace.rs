@@ -1,13 +1,17 @@
 //! Per-call latency traces: the time-series view of provider saturation.
 //!
 //! When enabled on a provider, every successful call appends a
-//! [`TraceRecord`] — when it started (relative to trace enablement), how
-//! many calls were in flight, and the model latency it experienced. The
+//! [`TraceRecord`] — its *model-time* offset since the trace was enabled,
+//! how many calls were in flight, and the model latency it experienced. The
 //! congestion story behind Fig. 16/17 (latency climbing with in-flight
 //! count, then flattening at the saturation plateau) becomes directly
 //! plottable; `wsmed-bench`'s `congestion_trace` binary exports CSV.
-
-use std::time::Instant;
+//!
+//! Offsets advance a per-trace *model clock* — the cumulative model
+//! latency of the calls recorded so far — rather than reading a wall
+//! clock, so traces of the same seeded run are identical across machines
+//! and time scales (including `--scale 0` runs, where wall offsets would
+//! all collapse to ~0).
 
 use parking_lot::Mutex;
 
@@ -18,8 +22,9 @@ pub struct TraceRecord {
     pub seq: u64,
     /// Operation name.
     pub operation: String,
-    /// Wall seconds since the trace was enabled when the call started.
-    pub offset_secs: f64,
+    /// Model seconds since the trace was enabled when the call started:
+    /// the cumulative model latency of the previously recorded calls.
+    pub model_offset_secs: f64,
     /// Calls in flight at the provider when this call started (incl. it).
     pub in_flight: usize,
     /// Model latency the call experienced.
@@ -35,7 +40,8 @@ pub struct CallTrace {
 
 #[derive(Debug)]
 struct TraceInner {
-    started: Instant,
+    /// Cumulative model latency of the recorded calls — the trace's clock.
+    model_clock: f64,
     records: Vec<TraceRecord>,
     dropped: u64,
 }
@@ -46,7 +52,7 @@ impl CallTrace {
     pub fn new(capacity: usize) -> Self {
         CallTrace {
             inner: Mutex::new(TraceInner {
-                started: Instant::now(),
+                model_clock: 0.0,
                 records: Vec::new(),
                 dropped: 0,
             }),
@@ -61,11 +67,12 @@ impl CallTrace {
             inner.dropped += 1;
             return;
         }
-        let offset_secs = inner.started.elapsed().as_secs_f64();
+        let model_offset_secs = inner.model_clock;
+        inner.model_clock += latency;
         inner.records.push(TraceRecord {
             seq,
             operation: operation.to_owned(),
-            offset_secs,
+            model_offset_secs,
             in_flight,
             model_latency: latency,
         });
@@ -81,13 +88,14 @@ impl CallTrace {
         self.inner.lock().dropped
     }
 
-    /// Renders the trace as CSV (`seq,operation,offset_secs,in_flight,latency`).
+    /// Renders the trace as CSV
+    /// (`seq,operation,model_offset_secs,in_flight,model_latency`).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("seq,operation,offset_secs,in_flight,model_latency\n");
+        let mut out = String::from("seq,operation,model_offset_secs,in_flight,model_latency\n");
         for r in self.inner.lock().records.iter() {
             out.push_str(&format!(
                 "{},{},{:.6},{},{:.4}\n",
-                r.seq, r.operation, r.offset_secs, r.in_flight, r.model_latency
+                r.seq, r.operation, r.model_offset_secs, r.in_flight, r.model_latency
             ));
         }
         out
@@ -99,15 +107,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn records_in_order_with_offsets() {
+    fn records_in_order_with_model_offsets() {
         let trace = CallTrace::new(10);
         trace.record(1, "Op", 1, 0.5);
-        std::thread::sleep(std::time::Duration::from_millis(5));
         trace.record(2, "Op", 2, 0.9);
+        trace.record(3, "Op", 1, 0.1);
         let records = trace.records();
-        assert_eq!(records.len(), 2);
+        assert_eq!(records.len(), 3);
         assert_eq!(records[0].seq, 1);
-        assert!(records[1].offset_secs > records[0].offset_secs);
+        // Offsets are the deterministic model clock, not wall time: each
+        // call starts where the cumulative latency of its predecessors ends.
+        assert_eq!(records[0].model_offset_secs, 0.0);
+        assert_eq!(records[1].model_offset_secs, 0.5);
+        assert_eq!(records[2].model_offset_secs, 1.4);
         assert_eq!(records[1].in_flight, 2);
         assert_eq!(trace.dropped(), 0);
     }
@@ -129,8 +141,10 @@ mod tests {
         let csv = trace.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert!(lines[0].starts_with("seq,"));
-        assert!(lines[1].starts_with("1,GetPlacesInside,"));
-        assert!(lines[1].ends_with("3,1.2500"));
+        assert_eq!(
+            lines[0],
+            "seq,operation,model_offset_secs,in_flight,model_latency"
+        );
+        assert_eq!(lines[1], "1,GetPlacesInside,0.000000,3,1.2500");
     }
 }

@@ -112,6 +112,7 @@ impl Shell {
             _ if lower.starts_with("cache") => self.cmd_cache(line),
             _ if lower.starts_with("pool") => self.cmd_pool(line),
             _ if lower.starts_with("retry") => self.cmd_retry(line),
+            _ if lower.starts_with("trace") => self.cmd_trace(line),
             _ if lower.starts_with("select") => self.run_sql(line),
             _ => println!("unknown command; try `help`"),
         }
@@ -324,6 +325,47 @@ impl Shell {
         }
     }
 
+    fn cmd_trace(&mut self, line: &str) {
+        match line["trace".len()..].trim() {
+            "on" => {
+                self.setup
+                    .wsmed
+                    .set_trace_policy(wsmed::core::TracePolicy::enabled());
+                println!("structured tracing enabled for subsequent queries");
+            }
+            "off" => {
+                self.setup
+                    .wsmed
+                    .set_trace_policy(wsmed::core::TracePolicy::default());
+                println!("structured tracing disabled");
+            }
+            "dump" => match self.setup.wsmed.last_trace() {
+                None => println!("no traced query yet — `trace on`, then run one"),
+                Some(trace) => {
+                    let events = trace.events();
+                    let violations = wsmed::core::obs::validate(&events);
+                    println!(
+                        "{} event(s), {} dropped, {} invariant violation(s)",
+                        events.len(),
+                        trace.dropped(),
+                        violations.len()
+                    );
+                    for v in &violations {
+                        println!("  violation: {v}");
+                    }
+                    print!("{}", wsmed::core::obs::replay_transcript(&events));
+                    std::fs::create_dir_all("target/experiments").ok();
+                    let path = "target/experiments/shell_trace.jsonl";
+                    match std::fs::write(path, trace.to_jsonl()) {
+                        Ok(()) => println!("JSONL written to {path}"),
+                        Err(e) => println!("could not write {path}: {e}"),
+                    }
+                }
+            },
+            _ => println!("usage: trace on|off|dump"),
+        }
+    }
+
     fn run_sql(&mut self, sql: &str) {
         let t0 = std::time::Instant::now();
         let result = match &self.mode {
@@ -449,6 +491,9 @@ commands:
   pool on|off|status               warm process pool (reuses query
                                    processes + installed plans across runs)
   retry <n>                        attempts per call on transient faults
+  trace on|off|dump                structured model-time execution traces
+                                   (`dump` replays the last traced query
+                                   and writes JSONL for trace_export --check)
   quit"
     );
 }
@@ -543,6 +588,24 @@ mod tests {
         assert!(shell.dispatch("pool status"));
         assert!(shell.dispatch("pool off"));
         assert!(shell.setup.wsmed.process_pool().is_none());
+    }
+
+    #[test]
+    fn shell_trace_commands() {
+        let mut shell = Shell::new(0.0, "tiny".into());
+        assert!(shell.dispatch("trace dump")); // nothing traced yet
+        assert!(shell.dispatch("trace on"));
+        shell.mode = Mode::Adaptive(AdaptiveConfig::default());
+        assert!(shell.dispatch("query2"));
+        let trace = shell.setup.wsmed.last_trace().expect("trace stashed");
+        assert!(!trace.events().is_empty());
+        assert!(wsmed::core::obs::validate(&trace.events()).is_empty());
+        assert!(shell.dispatch("trace dump"));
+        assert!(shell.dispatch("trace off"));
+        assert!(shell.dispatch("trace bogus"));
+        // A query after `trace off` leaves the stashed trace untouched.
+        assert!(shell.dispatch("query2"));
+        assert!(shell.setup.wsmed.last_trace().is_some());
     }
 
     #[test]

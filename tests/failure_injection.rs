@@ -1,9 +1,31 @@
 //! Failure injection: provider faults must surface as clean errors, tear
 //! the process tree down without leaks, and leave the mediator usable.
+//! With structured tracing enabled, the event stream must stay
+//! well-formed through every failure path — including faults landing
+//! inside an adaptation window, faults during warm-pool reattach, and
+//! abrupt child kills whose in-flight parameters are requeued.
 
-use wsmed::core::{paper, AdaptiveConfig, CoreError};
+use wsmed::core::{obs, paper, AdaptiveConfig, CoreError, TraceEventKind, TracePolicy};
 use wsmed::netsim::FaultSpec;
 use wsmed::services::{DatasetConfig, GeoPlacesService, UsZipService, ZipCodesService};
+
+/// Reads a trace until its lifecycle story is quiescent (pool parking is
+/// asynchronous), then asserts it is well-formed and returns the events.
+fn settled_events(trace: &wsmed::core::TraceLog) -> Vec<wsmed::core::TraceEvent> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let events = trace.events();
+        let violations = obs::validate(&events);
+        if violations.is_empty() {
+            return events;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "trace never settled: {violations:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+}
 
 #[test]
 fn fault_in_coordinator_section_fails_fast() {
@@ -167,6 +189,202 @@ fn retry_policy_does_not_mask_permanent_faults() {
         .wsmed
         .run_parallel(paper::QUERY2_SQL, &vec![2, 2])
         .is_err());
+}
+
+#[test]
+fn fault_inside_adaptation_window_surfaces_with_trace() {
+    // The every-40th fault lands well after the first monitoring cycles
+    // have run add stages, i.e. *inside* the adaptation window — the run
+    // must die cleanly (never hang) and its trace must stay well-formed,
+    // with cycle decisions recorded before the failure.
+    let mut setup = paper::setup(0.0, DatasetConfig::small());
+    setup.wsmed.set_trace_policy(TracePolicy::enabled());
+    let zip = setup.network.provider(ZipCodesService::PROVIDER).unwrap();
+    zip.set_fault(FaultSpec::every(40));
+
+    let err = setup
+        .wsmed
+        .run_adaptive(paper::QUERY2_SQL, &AdaptiveConfig::default())
+        .unwrap_err();
+    assert!(matches!(err, CoreError::ProcessFailure(_)), "{err:?}");
+
+    let trace = setup.wsmed.last_trace().expect("failed run still traced");
+    let events = settled_events(&trace);
+    let cycles = events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::Cycle { .. }))
+        .count();
+    assert!(cycles > 0, "fault must land after adaptation began");
+    let run_end_ok = events.iter().find_map(|e| match e.kind {
+        TraceEventKind::RunEnd { ok, .. } => Some(ok),
+        _ => None,
+    });
+    assert_eq!(run_end_ok, Some(false), "trace must record the failed run");
+}
+
+#[test]
+fn retry_exhaustion_during_adaptation_errors_not_hangs() {
+    use wsmed::core::RetryPolicy;
+    // 30% per-call fault probability: two attempts per call exhaust on
+    // the first call whose retry also rolls a fault. The adaptive run
+    // must surface the exhaustion as a query error — completion of this
+    // test at all proves no hang — and the trace must carry the retry
+    // attempts it burned.
+    let mut setup = paper::setup(0.0, DatasetConfig::small());
+    setup.wsmed.set_trace_policy(TracePolicy::enabled());
+    setup.wsmed.set_retry_policy(RetryPolicy::attempts(2));
+    let zip = setup.network.provider(ZipCodesService::PROVIDER).unwrap();
+    zip.set_fault(FaultSpec {
+        fail_probability: 0.3,
+        ..Default::default()
+    });
+
+    let result = setup
+        .wsmed
+        .run_adaptive(paper::QUERY2_SQL, &AdaptiveConfig::default());
+    assert!(result.is_err(), "30% faults must exhaust 2 attempts");
+
+    let trace = setup.wsmed.last_trace().expect("failed run still traced");
+    let events = settled_events(&trace);
+    let max_attempt = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceEventKind::RetryAttempt { attempt, .. } => Some(attempt),
+            _ => None,
+        })
+        .max();
+    assert_eq!(
+        max_attempt,
+        Some(2),
+        "exhaustion means a second attempt ran"
+    );
+}
+
+#[test]
+fn fault_during_warm_pool_reattach_errors_cleanly() {
+    // Run 1 parks a warm tree; a total outage then makes the reattached
+    // run 2 fail; clearing the fault lets run 3 succeed again — and every
+    // traced stream stays well-formed across park / reattach / teardown.
+    let mut setup = paper::setup(0.0, DatasetConfig::tiny());
+    setup.wsmed.set_trace_policy(TracePolicy::enabled());
+    setup.wsmed.enable_process_pool(true);
+    let zip = setup.network.provider(ZipCodesService::PROVIDER).unwrap();
+
+    let ok1 = setup
+        .wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![2, 2])
+        .expect("clean first run");
+    settled_events(ok1.trace.as_ref().unwrap());
+    let pool = setup.wsmed.process_pool().unwrap().clone();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while pool.idle_total() == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(pool.idle_total() > 0, "first run parked nothing");
+
+    zip.set_fault(FaultSpec {
+        fail_probability: 1.0,
+        ..Default::default()
+    });
+    let err = setup
+        .wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![2, 2])
+        .unwrap_err();
+    assert!(matches!(err, CoreError::ProcessFailure(_)), "{err:?}");
+    let trace2 = setup.wsmed.last_trace().expect("failed run still traced");
+    let events2 = settled_events(&trace2);
+    assert!(
+        events2
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::ChildSpawn { warm: true })),
+        "second run must have reattached warm processes"
+    );
+
+    zip.set_fault(FaultSpec::none());
+    let ok3 = setup
+        .wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![2, 2])
+        .expect("recovery after clearing the fault");
+    assert_eq!(ok3.row_count(), 1);
+    settled_events(ok3.trace.as_ref().unwrap());
+}
+
+#[test]
+fn requeued_params_appear_exactly_once_in_trace() {
+    use std::sync::Arc;
+    use wsmed::core::{ExecContext, SimTransport, Wsmed};
+    use wsmed::netsim::{Network, SimConfig};
+    use wsmed::services::{install_paper_services, Dataset};
+    use wsmed::store::canonicalize;
+
+    // Build the paper world by hand so the cloned registry can feed a
+    // standalone ExecContext (the abrupt-kill knob lives there).
+    let sim = SimConfig::new(0.0, 0x5EED_1CDE);
+    let network = Network::new(sim.clone());
+    let dataset = Arc::new(Dataset::generate(DatasetConfig::tiny()));
+    let registry = install_paper_services(network, dataset);
+    let mut wsmed = Wsmed::new(registry.clone());
+    wsmed.import_all_wsdl().expect("paper services import");
+    let plan = wsmed
+        .compile_parallel(paper::QUERY2_SQL, &vec![3, 2])
+        .expect("compile Query2");
+    let clean = wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![3, 2])
+        .expect("reference run");
+
+    let ctx = ExecContext::new(
+        Arc::new(SimTransport::new(registry)) as Arc<dyn wsmed::core::WsTransport>,
+        Arc::new(wsmed.owfs().clone()),
+        sim,
+    );
+    ctx.set_trace_policy(TracePolicy::enabled());
+    // After 2 end-of-call messages the coordinator abruptly kills one
+    // busy child and requeues its in-flight parameters.
+    ctx.arm_child_failure_after_eocs(2);
+    let report = ctx.run_plan(&plan).expect("run survives the child kill");
+
+    // The kill did not lose or duplicate rows…
+    assert_eq!(
+        canonicalize(report.rows.clone()),
+        canonicalize(clean.rows.clone())
+    );
+
+    // …and the trace tells the story exactly once: one abrupt kill, one
+    // requeue event, and every level-1 parameter dispatched exactly
+    // `initial + requeued` times.
+    let events = settled_events(report.trace.as_ref().unwrap());
+    let requeues: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceEventKind::Requeue { params, .. } => Some(params),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        requeues.len(),
+        1,
+        "exactly one requeue recorded: {events:?}"
+    );
+
+    let op_params: u64 = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceEventKind::OpRunStart { params } if e.node == 0 => Some(params),
+            _ => None,
+        })
+        .sum();
+    let dispatched: u64 = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceEventKind::CallDispatched { params } if e.level == 1 => Some(params),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(
+        dispatched,
+        op_params + requeues[0],
+        "requeued params must be re-dispatched exactly once"
+    );
 }
 
 #[test]
