@@ -24,6 +24,24 @@ pub enum CoreError {
     ProcessFailure(String),
     /// A malformed plan (internal invariant violation).
     InvalidPlan(String),
+    /// A web service call exceeded its per-call model-time deadline (the
+    /// caller was charged exactly the deadline).
+    DeadlineExceeded {
+        /// Provider whose call timed out.
+        provider: String,
+        /// Operation being invoked.
+        operation: String,
+        /// The deadline that was charged, in model seconds.
+        deadline_model_secs: f64,
+    },
+    /// The per-provider circuit breaker is open: the call was rejected
+    /// without reaching the wire.
+    CircuitOpen {
+        /// Provider whose breaker is open.
+        provider: String,
+        /// Operation that was rejected.
+        operation: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +55,22 @@ impl fmt::Display for CoreError {
             CoreError::Wire(msg) => write!(f, "wire format error: {msg}"),
             CoreError::ProcessFailure(msg) => write!(f, "query process failure: {msg}"),
             CoreError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            CoreError::DeadlineExceeded {
+                provider,
+                operation,
+                deadline_model_secs,
+            } => write!(
+                f,
+                "deadline of {deadline_model_secs} model s exceeded calling \
+                 {provider:?}/{operation:?}"
+            ),
+            CoreError::CircuitOpen {
+                provider,
+                operation,
+            } => write!(
+                f,
+                "circuit breaker open for {provider:?}: {operation:?} rejected"
+            ),
         }
     }
 }

@@ -20,6 +20,9 @@ use crate::catalog::OwfCatalog;
 use crate::exec::pool::{PoolStats, ProcessPool};
 use crate::obs::{self, TraceEventKind, TraceLog, TracePolicy};
 use crate::plan::{ArgExpr, PlanOp, QueryPlan};
+use crate::resilience::{
+    self, Breakers, FailureMode, ResilienceCollector, ResiliencePolicy, Transition,
+};
 use crate::stats::{ExecutionReport, TreeRegistry};
 use crate::transport::{BatchPolicy, DispatchPolicy, RetryPolicy, WsTransport};
 use crate::{CoreError, CoreResult};
@@ -49,8 +52,14 @@ pub struct ExecContext {
     /// Nanoseconds from run start until the coordinator saw its first
     /// result tuple (0 = not yet / not applicable).
     first_result_nanos: AtomicU64,
-    /// Retry policy for transient web-service faults.
-    retry: RwLock<RetryPolicy>,
+    /// Resilient-call policy (retries, deadline, breaker, hedge, failure
+    /// mode) for web-service calls.
+    resilience: RwLock<ResiliencePolicy>,
+    /// Per-provider circuit-breaker states (reset every run).
+    breakers: Breakers,
+    /// Run-scoped resilience counters behind
+    /// [`crate::ResilienceStats`].
+    res_stats: ResilienceCollector,
     /// Parameter dispatch policy for fixed-fanout FF_APPLYP operators.
     dispatch: RwLock<DispatchPolicy>,
     /// Tuple batching policy for parent↔child message frames.
@@ -94,7 +103,9 @@ impl ExecContext {
             next_id: AtomicU64::new(1),
             shipped_bytes: AtomicU64::new(0),
             first_result_nanos: AtomicU64::new(0),
-            retry: RwLock::new(RetryPolicy::default()),
+            resilience: RwLock::new(ResiliencePolicy::default()),
+            breakers: Breakers::default(),
+            res_stats: ResilienceCollector::default(),
             dispatch: RwLock::new(DispatchPolicy::default()),
             batch: RwLock::new(BatchPolicy::default()),
             call_cache: RwLock::new(None),
@@ -132,14 +143,69 @@ impl ExecContext {
         self.tree.read().clone()
     }
 
-    /// Installs a retry policy for transient web-service faults.
+    /// Installs a retry policy for transient web-service faults (legacy
+    /// wrapper: lifts it into a [`ResiliencePolicy`] with the current
+    /// policy's non-retry knobs preserved).
     pub fn set_retry_policy(&self, policy: RetryPolicy) {
-        *self.retry.write() = policy;
+        let mut res = self.resilience.write();
+        res.max_attempts = policy.max_attempts.max(1);
+        res.backoff_model_secs = policy.backoff_model_secs;
+        res.backoff_multiplier = 1.0;
+        res.backoff_jitter_frac = 0.0;
     }
 
-    /// The current retry policy.
+    /// The retry-loop projection of the current resilience policy.
     pub fn retry_policy(&self) -> RetryPolicy {
-        *self.retry.read()
+        self.resilience.read().as_retry()
+    }
+
+    /// Installs the full resilient-call policy (deadline, backoff,
+    /// breaker, hedging, failure mode).
+    pub fn set_resilience_policy(&self, policy: ResiliencePolicy) {
+        *self.resilience.write() = policy;
+    }
+
+    /// The current resilience policy.
+    pub fn resilience_policy(&self) -> ResiliencePolicy {
+        *self.resilience.read()
+    }
+
+    /// The current query-level failure mode.
+    pub(crate) fn failure_mode(&self) -> FailureMode {
+        self.resilience.read().failure_mode
+    }
+
+    /// Resilience counters accumulated so far this run.
+    pub fn resilience_stats(&self) -> crate::ResilienceStats {
+        self.res_stats.snapshot()
+    }
+
+    /// Routes one skipped parameter tuple (partial failure mode): into
+    /// the calling thread's skip sink inside a child query process (it
+    /// ships with the end-of-call message, committing together with the
+    /// call's rows), or straight onto the run's collector at the
+    /// coordinator.
+    pub(crate) fn note_param_skip(&self, owf: &str) {
+        if self.tracing() {
+            self.trace_here(TraceEventKind::ParamSkipped { op: owf.to_owned() });
+        }
+        if !resilience::note_skip_local(owf) {
+            self.res_stats.note_skips(owf, 1);
+        }
+    }
+
+    /// Commits a batch of child-reported skips (successful end-of-call):
+    /// re-routes through the local sink so skips propagate correctly
+    /// through nested parallel operators, falling back to the collector
+    /// at the coordinator.
+    pub(crate) fn commit_skips(&self, skips: &[(String, u64)]) {
+        for (owf, n) in skips {
+            for _ in 0..*n {
+                if !resilience::note_skip_local(owf) {
+                    self.res_stats.note_skips(owf, 1);
+                }
+            }
+        }
     }
 
     /// Sets the parameter dispatch policy (ablation knob; the default is
@@ -333,16 +399,98 @@ impl ExecContext {
         }
     }
 
+    /// One uncached resilient call: breaker admission, bounded attempts
+    /// with backoff, per-attempt deadline, optional hedging. With the
+    /// default (plain, single-attempt) policy this is exactly one
+    /// un-decorated transport call — the paper-reproduction fast path.
     fn call_uncached(&self, owf: &OwfDef, args: &[Value]) -> CoreResult<Value> {
-        let policy = self.retry_policy();
-        let mut attempt = 1;
+        let policy = self.resilience_policy();
+        if policy.is_plain() && policy.max_attempts <= 1 {
+            return self.transport.call_operation(owf, args);
+        }
+        let provider = self.transport.provider_name(owf);
+        let mut attempt: usize = 1;
         loop {
-            match self.transport.call_operation(owf, args) {
-                Err(CoreError::Net(wsmed_netsim::NetError::ServiceFault { .. }))
-                    if attempt < policy.max_attempts =>
-                {
-                    self.sim.sleep_model(policy.backoff_model_secs);
+            if let Some(bp) = &policy.breaker {
+                let admission = self
+                    .breakers
+                    .admit(&provider, bp, self.transport.model_now());
+                if admission.went_half_open {
+                    self.res_stats.note_breaker_half_open();
+                    if self.tracing() {
+                        self.trace_here(TraceEventKind::BreakerHalfOpen {
+                            provider: provider.clone(),
+                        });
+                    }
+                }
+                if !admission.allowed {
+                    self.res_stats.note_breaker_rejection(&provider);
+                    if self.tracing() {
+                        self.trace_here(TraceEventKind::BreakerReject {
+                            provider: provider.clone(),
+                            op: owf.operation.clone(),
+                        });
+                    }
+                    // Terminal for this call: retrying against an open
+                    // breaker would only burn the backoff budget.
+                    return Err(CoreError::CircuitOpen {
+                        provider,
+                        operation: owf.operation.clone(),
+                    });
+                }
+            }
+            match self.call_attempt(owf, args, &policy) {
+                Ok(value) => {
+                    if policy.breaker.is_some()
+                        && self.breakers.on_success(&provider) == Some(Transition::Closed)
+                    {
+                        self.res_stats.note_breaker_close();
+                        if self.tracing() {
+                            self.trace_here(TraceEventKind::BreakerClose {
+                                provider: provider.clone(),
+                            });
+                        }
+                    }
+                    return Ok(value);
+                }
+                Err(e) if is_transient(&e) => {
+                    if matches!(e, CoreError::DeadlineExceeded { .. }) {
+                        self.res_stats.note_deadline_exceeded();
+                    }
+                    if let Some(bp) = &policy.breaker {
+                        if self
+                            .breakers
+                            .on_failure(&provider, bp, self.transport.model_now())
+                            == Some(Transition::Opened)
+                        {
+                            self.res_stats.note_breaker_open(&provider);
+                            if self.tracing() {
+                                self.trace_here(TraceEventKind::BreakerOpen {
+                                    provider: provider.clone(),
+                                });
+                            }
+                        }
+                    }
+                    if attempt >= policy.max_attempts {
+                        return Err(e);
+                    }
+                    // Jitter comes from a stream keyed by the arguments
+                    // and attempt number — seeded model randomness, never
+                    // wall time, so identically-seeded runs back off
+                    // identically.
+                    let roll = if policy.backoff_jitter_frac > 0.0 {
+                        wsmed_netsim::DetRng::keyed(
+                            self.sim.seed,
+                            &format!("backoff/{}", owf.name),
+                            fnv1a(&crate::wire::encode_value_slice(args)) ^ attempt as u64,
+                        )
+                        .next_f64()
+                    } else {
+                        0.5
+                    };
+                    self.sim.sleep_model(policy.backoff_for(attempt, roll));
                     attempt += 1;
+                    self.res_stats.note_retry(&provider);
                     if self.tracing() {
                         self.trace_here(TraceEventKind::RetryAttempt {
                             op: owf.name.clone(),
@@ -353,6 +501,75 @@ impl ExecContext {
                 other => return other,
             }
         }
+    }
+
+    /// One attempt of a resilient call: the deadline-bounded transport
+    /// call, plus the hedged backup when configured. The hedge sleeps the
+    /// configured model-time delay, then — if the primary is still in
+    /// flight — issues the same call and the first success wins. The
+    /// loser's value is dropped here, below the caching layer, so a
+    /// hedge can never insert a value the winner did not produce.
+    fn call_attempt(
+        &self,
+        owf: &OwfDef,
+        args: &[Value],
+        policy: &ResiliencePolicy,
+    ) -> CoreResult<Value> {
+        let deadline = policy.deadline_model_secs;
+        let Some(hedge) = policy.hedge else {
+            return self.transport.call_operation_ext(owf, args, deadline);
+        };
+        let settled = AtomicBool::new(false);
+        let binding = obs::current_proc();
+        std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::channel();
+            {
+                let settled = &settled;
+                let binding = &binding;
+                scope.spawn(move || {
+                    self.sim.sleep_model(hedge.delay_model_secs);
+                    if settled.load(Ordering::Acquire) {
+                        // Primary already finished; no backup call.
+                        let _ = tx.send(None);
+                        return;
+                    }
+                    // Attribute the hedge's trace events (and its WsCall)
+                    // to the same process-tree node as the primary.
+                    obs::set_current_proc(binding.0, binding.1, Arc::clone(&binding.2));
+                    self.res_stats.note_hedge_launched();
+                    if self.tracing() {
+                        self.trace_here(TraceEventKind::HedgeLaunch {
+                            op: owf.operation.clone(),
+                        });
+                    }
+                    let _ = tx.send(Some(self.transport.call_operation_ext(owf, args, deadline)));
+                });
+            }
+            let primary = self.transport.call_operation_ext(owf, args, deadline);
+            settled.store(true, Ordering::Release);
+            if primary.is_ok() {
+                // The hedge either never launches (it sees `settled`) or
+                // loses; either way its value is discarded un-cached.
+                return primary;
+            }
+            // Primary failed: wait for the hedge's verdict. The hedge
+            // call is bounded by the same deadline, so this cannot wait
+            // longer than one call.
+            match rx.recv() {
+                Ok(Some(Ok(value))) => {
+                    self.res_stats.note_hedge_win();
+                    if self.tracing() {
+                        self.trace_here(TraceEventKind::HedgeWin {
+                            op: owf.operation.clone(),
+                        });
+                    }
+                    Ok(value)
+                }
+                // Hedge skipped, failed too, or died: report the
+                // primary's error.
+                _ => primary,
+            }
+        })
     }
 
     pub(crate) fn next_process_id(&self) -> u64 {
@@ -400,6 +617,9 @@ impl ExecContext {
         if let Some(pool) = &pool {
             pool.begin_run();
         }
+        // Breaker state and resilience counters are per-run.
+        self.breakers.reset();
+        self.res_stats.reset();
 
         let calls_before = self.transport.metrics();
         let shipped_before = self.shipped_bytes.load(Ordering::Relaxed);
@@ -470,6 +690,7 @@ impl ExecContext {
             messages: snapshot.total_messages(),
             cache: cache.map_or_else(CacheStats::default, |c| c.stats()),
             pool: pool.map_or_else(PoolStats::default, |p| p.stats()),
+            resilience: self.res_stats.snapshot(),
             first_row_wall: match self.first_result_nanos.load(Ordering::Relaxed) {
                 0 => None,
                 nanos => Some(std::time::Duration::from_nanos(nanos)),
@@ -478,6 +699,35 @@ impl ExecContext {
             trace: trace_log,
         })
     }
+}
+
+/// Transient errors the retry loop may re-attempt: injected service
+/// faults and deadline timeouts. Bad requests and unknown operations are
+/// deterministic failures retrying cannot fix.
+fn is_transient(e: &CoreError) -> bool {
+    matches!(
+        e,
+        CoreError::Net(wsmed_netsim::NetError::ServiceFault { .. })
+            | CoreError::Net(wsmed_netsim::NetError::Timeout { .. })
+            | CoreError::DeadlineExceeded { .. }
+    )
+}
+
+/// Errors that drop a parameter tuple under [`FailureMode::Partial`]
+/// instead of aborting the query: a transient failure that exhausted its
+/// retries, or a breaker rejection.
+pub(crate) fn is_skippable(e: &CoreError) -> bool {
+    is_transient(e) || matches!(e, CoreError::CircuitOpen { .. })
+}
+
+/// FNV-1a over a byte slice (backoff-jitter stream key).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 impl std::fmt::Debug for ExecContext {
@@ -717,10 +967,20 @@ pub(crate) fn eval(
         ExecNode::Param => Ok(vec![param.clone()]),
         ExecNode::ApplyOwf { owf, args, input } => {
             let rows = eval(input, ctx, param)?;
+            let partial = ctx.failure_mode() == FailureMode::Partial;
             let mut out = Vec::new();
             for row in rows {
                 let values = resolve_args(args, &row);
-                let response = ctx.call_with_retry(owf, &values)?;
+                let response = match ctx.call_with_retry(owf, &values) {
+                    Ok(value) => value,
+                    Err(e) if partial && is_skippable(&e) => {
+                        // Degrade instead of aborting: this input row is
+                        // dropped from the result and counted.
+                        ctx.note_param_skip(&owf.name);
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
                 for produced in owf.flatten(&response)? {
                     out.push(row.concat(&produced));
                 }

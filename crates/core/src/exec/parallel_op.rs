@@ -384,6 +384,7 @@ impl ParallelApply {
                     slot,
                     call_id,
                     error,
+                    skipped,
                 } => {
                     if self.slots[slot].status == SlotStatus::Dead {
                         continue; // stale notice from a killed child
@@ -399,8 +400,13 @@ impl ParallelApply {
                     self.slots[slot].in_flight.clear();
                     match error {
                         None => {
-                            // Commit the call's buffered results.
+                            // Commit the call's buffered results, and the
+                            // skips recorded alongside them. Skips of a
+                            // dead or failed call are discarded with its
+                            // rows: the requeued parameters are
+                            // re-evaluated (and re-counted) elsewhere.
                             out.append(&mut self.slots[slot].call_buf);
+                            ctx.commit_skips(&skipped);
                         }
                         Some(e) => {
                             // Deterministic evaluation failure: the query

@@ -98,6 +98,13 @@ pub(crate) enum FromChild {
         call_id: u64,
         /// Evaluation error, if any.
         error: Option<String>,
+        /// Parameter tuples dropped under partial failure mode while
+        /// evaluating this call, as `(owf name, count)` entries. Shipped
+        /// with the end-of-call so the parent commits skips exactly when
+        /// it commits the call's rows — a dead child's skips are
+        /// discarded with its rows and re-counted by whichever survivor
+        /// re-evaluates the requeued parameters.
+        skipped: Vec<(String, u64)>,
     },
 }
 
@@ -430,6 +437,7 @@ fn child_main(
                     slot,
                     call_id,
                     error: Some("call before plan function installation".into()),
+                    skipped: Vec::new(),
                 },
             );
             return;
@@ -526,9 +534,13 @@ fn handle_call(
 ) -> bool {
     let cache = ctx.call_cache();
     let mut flush = FlushBuffer::new(ctx, env, slot, call_id, results);
+    // Fresh per call: skips recorded by `eval` under partial failure mode
+    // accumulate here and ship with this call's end-of-call message.
+    crate::resilience::install_skip_sink();
     let outcome = (|| -> crate::CoreResult<()> {
         for encoded in wire::split_tuple_batch(params)? {
             let param = wire::decode_tuple(encoded.clone())?;
+            let skips_before = crate::resilience::skip_sink_len();
             let rows = eval(body, ctx, &param)?;
             for tuple in &rows {
                 if !flush.push(tuple) {
@@ -536,8 +548,14 @@ fn handle_call(
                 }
             }
             if let Some(cache) = &cache {
-                let key = crate::cache::CacheKey::for_rows(pf_digest, &encoded);
-                cache.insert_rows(&key, std::sync::Arc::new(rows));
+                // A parameter whose evaluation skipped any call produced
+                // an incomplete row set; memoizing it would let a later
+                // duplicate short-circuit to partial rows without its
+                // skip being counted.
+                if crate::resilience::skip_sink_len() == skips_before {
+                    let key = crate::cache::CacheKey::for_rows(pf_digest, &encoded);
+                    cache.insert_rows(&key, std::sync::Arc::new(rows));
+                }
             }
             // A cheap parameter between expensive ones must not strand
             // buffered results past the latency bound.
@@ -547,6 +565,7 @@ fn handle_call(
         }
         Ok(())
     })();
+    let skipped = crate::resilience::take_skip_sink();
     let error = match outcome {
         Ok(()) => {
             if !flush.finish() {
@@ -569,6 +588,7 @@ fn handle_call(
             slot,
             call_id,
             error,
+            skipped,
         },
         &tree,
         env.id,

@@ -39,6 +39,7 @@ pub mod materialized;
 pub mod obs;
 pub mod parallel;
 pub mod plan;
+pub mod resilience;
 pub mod stats;
 pub mod transport;
 pub mod wire;
@@ -56,6 +57,9 @@ pub use parallel::{
     parallel_level_count, parallelize, parallelize_adaptive, parallelize_unprojected, FanoutVector,
 };
 pub use plan::{AdaptDecision, AdaptiveConfig, ArgExpr, PlanFunction, PlanOp, QueryPlan};
+pub use resilience::{
+    BreakerPolicy, FailureMode, HedgePolicy, ProviderResilience, ResiliencePolicy, ResilienceStats,
+};
 pub use stats::{AdaptEvent, ExecutionReport, LevelStats, TreeNode, TreeRegistry, TreeSnapshot};
 pub use transport::{
     BatchPolicy, DispatchPolicy, MockTransport, RetryPolicy, SimTransport, WsTransport,

@@ -60,8 +60,11 @@ impl KindMask {
     pub const WS: KindMask = KindMask(1 << 5);
     /// Mailbox blocked-send stalls.
     pub const STALLS: KindMask = KindMask(1 << 6);
+    /// Resilience events: circuit-breaker transitions and rejections,
+    /// hedged calls, parameter skips under partial failure mode.
+    pub const RESILIENCE: KindMask = KindMask(1 << 7);
     /// Every event group.
-    pub const ALL: KindMask = KindMask(0x7f);
+    pub const ALL: KindMask = KindMask(0xff);
 
     /// True when every bit of `other` is set in `self`.
     pub fn contains(self, other: KindMask) -> bool {
@@ -213,11 +216,54 @@ pub enum TraceEventKind {
         op: String,
         /// Whether the call succeeded.
         ok: bool,
+        /// Error class on failure (`fault`, `timeout`, `bad_request`,
+        /// `unknown_op`, or `other`); `None` when the call succeeded or
+        /// the class is unknown (old exports).
+        err: Option<String>,
     },
     /// A bounded mailbox send blocked until the receiver drained.
     BlockedSend {
         /// Model seconds the sender stalled.
         waited_secs: f64,
+    },
+    /// A provider's circuit breaker tripped closed → open.
+    BreakerOpen {
+        /// Provider whose breaker opened.
+        provider: String,
+    },
+    /// An open breaker's cooldown elapsed; probe calls are admitted.
+    BreakerHalfOpen {
+        /// Provider whose breaker went half-open.
+        provider: String,
+    },
+    /// A half-open probe succeeded; the breaker closed.
+    BreakerClose {
+        /// Provider whose breaker closed.
+        provider: String,
+    },
+    /// A call was rejected without reaching the wire (breaker open).
+    BreakerReject {
+        /// Provider whose breaker rejected the call.
+        provider: String,
+        /// Operation that was rejected.
+        op: String,
+    },
+    /// The hedge delay elapsed with the primary still in flight; a backup
+    /// call was launched.
+    HedgeLaunch {
+        /// Operation name.
+        op: String,
+    },
+    /// The primary failed and the hedged backup's success was taken.
+    HedgeWin {
+        /// Operation name.
+        op: String,
+    },
+    /// Under [`crate::FailureMode::Partial`], a parameter tuple whose call
+    /// exhausted retries/deadline/breaker was dropped from the result.
+    ParamSkipped {
+        /// OWF name whose call failed terminally.
+        op: String,
     },
 }
 
@@ -237,6 +283,13 @@ impl TraceEventKind {
             }
             WsCall { .. } => KindMask::WS,
             BlockedSend { .. } => KindMask::STALLS,
+            BreakerOpen { .. }
+            | BreakerHalfOpen { .. }
+            | BreakerClose { .. }
+            | BreakerReject { .. }
+            | HedgeLaunch { .. }
+            | HedgeWin { .. }
+            | ParamSkipped { .. } => KindMask::RESILIENCE,
         }
     }
 
@@ -262,6 +315,13 @@ impl TraceEventKind {
             RetryAttempt { .. } => "retry_attempt",
             WsCall { .. } => "ws_call",
             BlockedSend { .. } => "blocked_send",
+            BreakerOpen { .. } => "breaker_open",
+            BreakerHalfOpen { .. } => "breaker_half_open",
+            BreakerClose { .. } => "breaker_close",
+            BreakerReject { .. } => "breaker_reject",
+            HedgeLaunch { .. } => "hedge_launch",
+            HedgeWin { .. } => "hedge_win",
+            ParamSkipped { .. } => "param_skipped",
         }
     }
 }
@@ -513,9 +573,25 @@ pub fn event_to_jsonl(e: &TraceEvent) -> String {
             ",\"op\":\"{}\",\"attempt\":{attempt}",
             json_escape(op)
         )),
-        WsCall { op, ok } => s.push_str(&format!(",\"op\":\"{}\",\"ok\":{ok}", json_escape(op))),
+        WsCall { op, ok, err } => {
+            s.push_str(&format!(",\"op\":\"{}\",\"ok\":{ok}", json_escape(op)));
+            if let Some(err) = err {
+                s.push_str(&format!(",\"err\":\"{}\"", json_escape(err)));
+            }
+        }
         BlockedSend { waited_secs } => {
             s.push_str(&format!(",\"waited_secs\":{}", fmt_f64(*waited_secs)))
+        }
+        BreakerOpen { provider } | BreakerHalfOpen { provider } | BreakerClose { provider } => {
+            s.push_str(&format!(",\"provider\":\"{}\"", json_escape(provider)))
+        }
+        BreakerReject { provider, op } => s.push_str(&format!(
+            ",\"provider\":\"{}\",\"op\":\"{}\"",
+            json_escape(provider),
+            json_escape(op)
+        )),
+        HedgeLaunch { op } | HedgeWin { op } | ParamSkipped { op } => {
+            s.push_str(&format!(",\"op\":\"{}\"", json_escape(op)))
         }
     }
     s.push('}');
@@ -750,9 +826,37 @@ fn parse_kind(name: &str, map: &HashMap<String, Scalar>) -> Result<TraceEventKin
         "ws_call" => WsCall {
             op: get_str(map, "op")?,
             ok: get_bool(map, "ok")?,
+            // Optional: absent in exports predating the error class.
+            err: match map.get("err") {
+                Some(Scalar::Str(s)) => Some(s.clone()),
+                Some(Scalar::Null) | None => None,
+                other => return Err(format!("field \"err\": bad value {other:?}")),
+            },
         },
         "blocked_send" => BlockedSend {
             waited_secs: get_num(map, "waited_secs")?,
+        },
+        "breaker_open" => BreakerOpen {
+            provider: get_str(map, "provider")?,
+        },
+        "breaker_half_open" => BreakerHalfOpen {
+            provider: get_str(map, "provider")?,
+        },
+        "breaker_close" => BreakerClose {
+            provider: get_str(map, "provider")?,
+        },
+        "breaker_reject" => BreakerReject {
+            provider: get_str(map, "provider")?,
+            op: get_str(map, "op")?,
+        },
+        "hedge_launch" => HedgeLaunch {
+            op: get_str(map, "op")?,
+        },
+        "hedge_win" => HedgeWin {
+            op: get_str(map, "op")?,
+        },
+        "param_skipped" => ParamSkipped {
+            op: get_str(map, "op")?,
         },
         other => return Err(format!("unknown kind {other:?}")),
     })
@@ -1076,9 +1180,37 @@ mod tests {
             WsCall {
                 op: "GetAllStates".to_owned(),
                 ok: true,
+                err: None,
+            },
+            WsCall {
+                op: "GetPlacesInside".to_owned(),
+                ok: false,
+                err: Some("timeout".to_owned()),
             },
             BlockedSend {
                 waited_secs: 0.0078125,
+            },
+            BreakerOpen {
+                provider: "www.uszip.com".to_owned(),
+            },
+            BreakerHalfOpen {
+                provider: "www.uszip.com".to_owned(),
+            },
+            BreakerClose {
+                provider: "www.uszip.com".to_owned(),
+            },
+            BreakerReject {
+                provider: "www.uszip.com".to_owned(),
+                op: "GetInfoByState".to_owned(),
+            },
+            HedgeLaunch {
+                op: "GetPlaceList".to_owned(),
+            },
+            HedgeWin {
+                op: "GetPlaceList".to_owned(),
+            },
+            ParamSkipped {
+                op: "GetPlacesInside".to_owned(),
             },
         ];
         let events: Vec<TraceEvent> = kinds
@@ -1277,6 +1409,22 @@ mod tests {
         assert!(json.contains("\"ph\":\"i\""));
         assert!(json.contains("\"tid\":1"));
         assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn ws_call_without_err_field_still_parses() {
+        // Exports written before the error class carried only op/ok.
+        let line = "{\"seq\":1,\"t\":0.5,\"node\":0,\"level\":0,\"pf\":\"\",\
+                    \"kind\":\"ws_call\",\"op\":\"GetAllStates\",\"ok\":true}";
+        let events = parse_jsonl(line).expect("old ws_call line parses");
+        assert_eq!(
+            events[0].kind,
+            TraceEventKind::WsCall {
+                op: "GetAllStates".to_owned(),
+                ok: true,
+                err: None,
+            }
+        );
     }
 
     #[test]

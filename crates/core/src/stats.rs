@@ -10,6 +10,7 @@ use wsmed_store::Tuple;
 
 use crate::cache::CacheStats;
 use crate::exec::pool::PoolStats;
+use crate::resilience::ResilienceStats;
 
 /// Live registry of query processes, maintained by the runtime so the
 /// process tree (paper Fig. 4, 14, 15, 18–20) can be observed at any time.
@@ -409,6 +410,11 @@ pub struct ExecutionReport {
     /// spawns); `cold_spawns` is exactly the number of times the modeled
     /// `process_startup` cost was charged this run.
     pub pool: PoolStats,
+    /// Per-run resilience counters: retries, deadline timeouts, hedges,
+    /// circuit-breaker transitions/rejections and skipped parameters
+    /// (partial failure mode). All zero — [`ResilienceStats::is_quiet`] —
+    /// under the default non-resilient policy.
+    pub resilience: ResilienceStats,
     /// Time from run start until the coordinator received its first result
     /// tuple from a child process — the streaming latency of the parallel
     /// plan. `None` for central plans (no child processes).

@@ -141,6 +141,36 @@ pub trait WsTransport: Send + Sync {
     /// paper Fig. 2 line 14).
     fn call_operation(&self, owf: &OwfDef, args: &[Value]) -> CoreResult<Value>;
 
+    /// [`WsTransport::call_operation`] with an optional per-call model-time
+    /// deadline: a call whose model latency would exceed the deadline
+    /// charges exactly the deadline and fails with
+    /// [`CoreError::DeadlineExceeded`]. The default (for mocks) ignores the
+    /// deadline and delegates, so transports without a latency model keep
+    /// their plain semantics.
+    fn call_operation_ext(
+        &self,
+        owf: &OwfDef,
+        args: &[Value],
+        deadline_model_secs: Option<f64>,
+    ) -> CoreResult<Value> {
+        let _ = deadline_model_secs;
+        self.call_operation(owf, args)
+    }
+
+    /// The provider name an OWF's calls resolve to — the key the per-
+    /// provider circuit breaker trips on. The default uses the OWF's
+    /// service name; transports that know the real endpoint override it.
+    fn provider_name(&self, owf: &OwfDef) -> String {
+        owf.service.clone()
+    }
+
+    /// A monotone model-time clock for client-side policies (circuit-
+    /// breaker cooldowns). The default (for mocks) is frozen at zero,
+    /// which makes cooldowns elapse immediately.
+    fn model_now(&self) -> f64 {
+        0.0
+    }
+
     /// Aggregate call metrics across all providers, for execution reports.
     /// The default (for mocks) reports nothing.
     fn metrics(&self) -> wsmed_netsim::MetricsSnapshot {
@@ -151,6 +181,19 @@ pub trait WsTransport: Send + Sync {
     /// events should be emitted into for the current run. The default (for
     /// mocks) ignores tracing entirely.
     fn install_trace(&self, _trace: Option<Arc<TraceLog>>) {}
+}
+
+/// Stable one-word class of a call error, carried on
+/// [`TraceEventKind::WsCall`] and accepted by `trace_export --check`.
+pub(crate) fn error_class(e: &CoreError) -> &'static str {
+    use wsmed_netsim::NetError;
+    match e {
+        CoreError::Net(NetError::ServiceFault { .. }) => "fault",
+        CoreError::Net(NetError::Timeout { .. }) | CoreError::DeadlineExceeded { .. } => "timeout",
+        CoreError::Net(NetError::BadRequest { .. }) => "bad_request",
+        CoreError::Net(NetError::UnknownOperation { .. }) => "unknown_op",
+        _ => "other",
+    }
 }
 
 /// Transport over the simulated service registry.
@@ -180,6 +223,15 @@ impl SimTransport {
 
 impl WsTransport for SimTransport {
     fn call_operation(&self, owf: &OwfDef, args: &[Value]) -> CoreResult<Value> {
+        self.call_operation_ext(owf, args, None)
+    }
+
+    fn call_operation_ext(
+        &self,
+        owf: &OwfDef,
+        args: &[Value],
+        deadline_model_secs: Option<f64>,
+    ) -> CoreResult<Value> {
         if args.len() != owf.inputs.len() {
             return Err(CoreError::InvalidPlan(format!(
                 "OWF {} expects {} arguments, plan supplied {}",
@@ -194,7 +246,25 @@ impl WsTransport for SimTransport {
         }
         let response = self
             .registry
-            .call(&owf.wsdl_uri, &owf.service, &owf.operation, &rendered);
+            .call_with_deadline(
+                &owf.wsdl_uri,
+                &owf.service,
+                &owf.operation,
+                &rendered,
+                deadline_model_secs,
+            )
+            .map_err(|e| match e {
+                wsmed_netsim::NetError::Timeout {
+                    provider,
+                    operation,
+                    ..
+                } => CoreError::DeadlineExceeded {
+                    provider,
+                    operation,
+                    deadline_model_secs: deadline_model_secs.unwrap_or(f64::INFINITY),
+                },
+                other => CoreError::Net(other),
+            });
         if self.trace_on.load(Ordering::Relaxed) {
             if let Some(tr) = self.trace.read().clone() {
                 let (node, level, pf) = obs::current_proc();
@@ -205,11 +275,23 @@ impl WsTransport for SimTransport {
                     TraceEventKind::WsCall {
                         op: owf.operation.clone(),
                         ok: response.is_ok(),
+                        err: response.as_ref().err().map(|e| error_class(e).to_owned()),
                     },
                 );
             }
         }
         Ok(xml_to_value(&response?))
+    }
+
+    fn provider_name(&self, owf: &OwfDef) -> String {
+        self.registry
+            .endpoint(&owf.wsdl_uri)
+            .map(|e| e.provider.name().to_owned())
+            .unwrap_or_else(|_| owf.service.clone())
+    }
+
+    fn model_now(&self) -> f64 {
+        self.registry.network().model_time()
     }
 
     fn metrics(&self) -> wsmed_netsim::MetricsSnapshot {

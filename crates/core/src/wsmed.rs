@@ -42,7 +42,7 @@ pub struct Wsmed {
     transport: Arc<SimTransport>,
     owfs: OwfCatalog,
     sim: SimConfig,
-    retry: crate::transport::RetryPolicy,
+    resilience: crate::resilience::ResiliencePolicy,
     dispatch: crate::transport::DispatchPolicy,
     batch: crate::transport::BatchPolicy,
     cache_policy: Option<CachePolicy>,
@@ -74,7 +74,7 @@ impl Wsmed {
             transport: Arc::new(SimTransport::new(registry)),
             owfs: OwfCatalog::new(),
             sim,
-            retry: crate::transport::RetryPolicy::default(),
+            resilience: crate::resilience::ResiliencePolicy::default(),
             dispatch: crate::transport::DispatchPolicy::default(),
             batch: crate::transport::BatchPolicy::default(),
             cache_policy: None,
@@ -203,9 +203,34 @@ impl Wsmed {
     }
 
     /// Sets the retry policy used for transient web-service faults on all
-    /// subsequent executions.
+    /// subsequent executions. Compatibility shim over
+    /// [`set_resilience_policy`](Self::set_resilience_policy): overwrites
+    /// the attempt count and backoff base while leaving any richer
+    /// resilience knobs (deadline, breaker, hedging, failure mode) as
+    /// previously configured.
     pub fn set_retry_policy(&mut self, policy: crate::transport::RetryPolicy) {
-        self.retry = policy;
+        self.resilience.max_attempts = policy.max_attempts.max(1);
+        self.resilience.backoff_model_secs = policy.backoff_model_secs;
+        self.resilience.backoff_multiplier = 1.0;
+        self.resilience.backoff_jitter_frac = 0.0;
+    }
+
+    /// Sets the full resilience policy (retries with backoff and jitter,
+    /// per-call deadline, circuit breaker, hedging, failure mode) for all
+    /// subsequent executions.
+    pub fn set_resilience_policy(&mut self, policy: crate::resilience::ResiliencePolicy) {
+        self.resilience = policy;
+    }
+
+    /// The currently configured resilience policy.
+    pub fn resilience_policy(&self) -> crate::resilience::ResiliencePolicy {
+        self.resilience
+    }
+
+    /// Sets only the failure mode (abort vs partial degradation), leaving
+    /// the rest of the resilience policy untouched.
+    pub fn set_failure_mode(&mut self, mode: crate::resilience::FailureMode) {
+        self.resilience.failure_mode = mode;
     }
 
     /// Imports one WSDL document by URI, generating OWFs for its
@@ -294,7 +319,7 @@ impl Wsmed {
     /// Executes any compiled plan as the coordinator.
     pub fn execute(&self, plan: &QueryPlan) -> CoreResult<ExecutionReport> {
         let ctx = self.context_for_run();
-        ctx.set_retry_policy(self.retry);
+        ctx.set_resilience_policy(self.resilience);
         ctx.set_dispatch_policy(self.dispatch);
         ctx.set_batch_policy(self.batch);
         ctx.install_call_cache(self.cache_for_run());
@@ -341,7 +366,7 @@ impl Wsmed {
     pub fn run_materialized(&self, sql: &str) -> CoreResult<Vec<wsmed_store::Tuple>> {
         let plan = self.compile_central(sql)?;
         let ctx = self.fresh_context(); // no process tree: nothing to pool
-        ctx.set_retry_policy(self.retry);
+        ctx.set_resilience_policy(self.resilience);
         ctx.install_call_cache(self.cache_for_run());
         crate::materialized::run_materialized(&ctx, &plan)
     }

@@ -41,7 +41,7 @@ pub use fault::FaultSpec;
 pub use latency::LatencyModel;
 pub use metrics::{CallStats, MetricsSnapshot, ProviderMetrics};
 pub use network::{NetError, NetResult, Network};
-pub use provider::{Provider, ProviderSpec};
+pub use provider::{CallOpts, Provider, ProviderSpec};
 pub use rng::DetRng;
 pub use trace::{CallTrace, TraceRecord};
 

@@ -21,6 +21,7 @@ pub struct CallStats {
 pub struct ProviderMetrics {
     calls: AtomicU64,
     faults: AtomicU64,
+    timeouts: AtomicU64,
     request_bytes: AtomicU64,
     response_bytes: AtomicU64,
     /// Sum of model latencies in microseconds (fixed-point to stay atomic).
@@ -45,11 +46,16 @@ impl ProviderMetrics {
         self.faults.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot for reporting.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             calls: self.calls.load(Ordering::Relaxed),
             faults: self.faults.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
             request_bytes: self.request_bytes.load(Ordering::Relaxed),
             response_bytes: self.response_bytes.load(Ordering::Relaxed),
             total_model_latency: self.latency_micros.load(Ordering::Relaxed) as f64 / 1e6,
@@ -65,6 +71,10 @@ pub struct MetricsSnapshot {
     pub calls: u64,
     /// Calls that failed due to injected faults.
     pub faults: u64,
+    /// Calls cut off by a caller-supplied deadline (hangs included): the
+    /// caller was charged the deadline and received
+    /// [`crate::NetError::Timeout`].
+    pub timeouts: u64,
     /// Total request payload bytes.
     pub request_bytes: u64,
     /// Total response payload bytes.
@@ -90,6 +100,7 @@ impl MetricsSnapshot {
         MetricsSnapshot {
             calls: self.calls + other.calls,
             faults: self.faults + other.faults,
+            timeouts: self.timeouts + other.timeouts,
             request_bytes: self.request_bytes + other.request_bytes,
             response_bytes: self.response_bytes + other.response_bytes,
             total_model_latency: self.total_model_latency + other.total_model_latency,
@@ -137,6 +148,7 @@ mod tests {
         let a = MetricsSnapshot {
             calls: 1,
             faults: 0,
+            timeouts: 1,
             request_bytes: 10,
             response_bytes: 20,
             total_model_latency: 0.5,
@@ -145,6 +157,7 @@ mod tests {
         let b = MetricsSnapshot {
             calls: 2,
             faults: 1,
+            timeouts: 2,
             request_bytes: 5,
             response_bytes: 5,
             total_model_latency: 1.0,
@@ -153,6 +166,7 @@ mod tests {
         let c = a.merge(&b);
         assert_eq!(c.calls, 3);
         assert_eq!(c.faults, 1);
+        assert_eq!(c.timeouts, 3);
         assert_eq!(c.request_bytes, 15);
         assert_eq!(c.max_in_flight, 7);
         assert!((c.total_model_latency - 1.5).abs() < 1e-12);

@@ -39,6 +39,17 @@ pub enum NetError {
         /// Description of what was wrong.
         message: String,
     },
+    /// The call's model latency exceeded the caller's deadline (a hang or
+    /// a slow call under a per-call deadline). The caller was charged
+    /// exactly the deadline in model time.
+    Timeout {
+        /// Provider whose call timed out.
+        provider: String,
+        /// Operation being invoked.
+        operation: String,
+        /// 1-based call sequence number at the provider.
+        call_seq: u64,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -62,6 +73,14 @@ impl fmt::Display for NetError {
             NetError::BadRequest { provider, message } => {
                 write!(f, "bad request to {provider:?}: {message}")
             }
+            NetError::Timeout {
+                provider,
+                operation,
+                call_seq,
+            } => write!(
+                f,
+                "deadline exceeded at {provider:?}/{operation:?} (call #{call_seq})"
+            ),
         }
     }
 }
@@ -138,6 +157,15 @@ impl Network {
     /// Sleeps for `model_seconds` of simulated client-side work.
     pub fn pay_client_cost(&self, model_seconds: f64) {
         self.config.sleep_model(model_seconds);
+    }
+
+    /// Total model time charged across all providers — the sum of their
+    /// deterministic per-provider model clocks ([`Provider::model_time`]).
+    /// Monotone and independent of wall time, so client-side policies
+    /// (e.g. circuit-breaker cooldowns) can measure model-time intervals
+    /// even at time scale 0.
+    pub fn model_time(&self) -> f64 {
+        self.providers.read().values().map(|p| p.model_time()).sum()
     }
 }
 

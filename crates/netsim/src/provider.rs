@@ -3,9 +3,26 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::{CallStats, DetRng, FaultSpec, LatencyModel, NetError, NetResult, SimConfig};
+
+/// Per-call options for [`Provider::call_with_opts`].
+///
+/// The plain [`Provider::call`] uses the default: no deadline, chaos rolls
+/// keyed by call sequence number.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CallOpts {
+    /// Cut the call off once its model latency would exceed this many
+    /// model seconds: the caller is charged exactly the deadline and gets
+    /// [`NetError::Timeout`]. `None` waits the full latency (hangs
+    /// included).
+    pub deadline_model_secs: Option<f64>,
+    /// Content hash of the request, used to key probabilistic chaos rolls
+    /// when the installed [`FaultSpec::keyed_by_args`] is set — making
+    /// the failing argument set independent of dispatch interleaving.
+    pub args_key: u64,
+}
 
 /// Static description of a provider, used to register it on a network.
 #[derive(Debug, Clone)]
@@ -65,6 +82,13 @@ pub struct Provider {
     fault: RwLock<FaultSpec>,
     metrics: crate::ProviderMetrics,
     trace: RwLock<Option<std::sync::Arc<crate::CallTrace>>>,
+    /// The provider's deterministic model clock: cumulative model latency
+    /// charged by its calls (successes, faults' set-up costs, and
+    /// deadline charges alike). Outage and brownout windows in the
+    /// installed [`FaultSpec`] are evaluated against this clock — like
+    /// [`crate::CallTrace`] offsets, it never reads wall time, so
+    /// identically-seeded runs see identical windows at any time scale.
+    model_clock: Mutex<f64>,
 }
 
 impl Provider {
@@ -76,6 +100,7 @@ impl Provider {
             fault: RwLock::new(FaultSpec::none()),
             metrics: crate::ProviderMetrics::default(),
             trace: RwLock::new(None),
+            model_clock: Mutex::new(0.0),
         }
     }
 
@@ -125,6 +150,16 @@ impl Provider {
         self.in_flight.load(Ordering::Relaxed)
     }
 
+    /// The provider's model clock: cumulative model latency charged so far
+    /// (the time base for [`FaultSpec`] outage/brownout windows).
+    pub fn model_time(&self) -> f64 {
+        *self.model_clock.lock()
+    }
+
+    fn advance_model_clock(&self, latency: f64) {
+        *self.model_clock.lock() += latency;
+    }
+
     /// Performs one call to operation `op`.
     ///
     /// `serve` produces the response and its payload size in bytes; it runs
@@ -140,15 +175,56 @@ impl Provider {
         request_bytes: usize,
         serve: impl FnOnce() -> (R, usize),
     ) -> NetResult<(R, CallStats)> {
+        self.call_with_opts(config, op, request_bytes, CallOpts::default(), serve)
+    }
+
+    /// [`Self::call`] with per-call options: a model-time deadline and an
+    /// argument-content key for chaos rolls.
+    ///
+    /// RNG discipline: the pre-existing per-call stream (keyed by provider,
+    /// operation and call sequence) draws exactly the same values in
+    /// exactly the same order as before the chaos model existed — one
+    /// fault roll, then the latency jitter — so a run with an inactive
+    /// [`FaultSpec`] and no deadline is bit-identical to the historical
+    /// behaviour. Hang rolls and argument-keyed fault rolls come from
+    /// *separately keyed* streams.
+    pub fn call_with_opts<R>(
+        &self,
+        config: &SimConfig,
+        op: &str,
+        request_bytes: usize,
+        opts: CallOpts,
+        serve: impl FnOnce() -> (R, usize),
+    ) -> NetResult<(R, CallStats)> {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         let mut rng = DetRng::keyed(config.seed, &format!("{}/{op}", self.spec.name), seq);
         let fault_roll = rng.next_f64();
         let model = self.latency_model(op);
+        let spec = self.fault.read().clone();
+        let chaos_key = if spec.keyed_by_args {
+            opts.args_key
+        } else {
+            seq
+        };
 
-        if self.fault.read().should_fail(seq, fault_roll) {
+        let fail_roll = if spec.keyed_by_args && spec.fail_probability > 0.0 {
+            DetRng::keyed(
+                config.seed,
+                &format!("{}/{op}/fault", self.spec.name),
+                chaos_key,
+            )
+            .next_f64()
+        } else {
+            fault_roll
+        };
+        let down = !spec.down_between.is_empty() && spec.down_at(self.model_time());
+        if down || spec.should_fail(seq, fail_roll) {
             self.metrics.record_fault();
-            // A failed call still pays its set-up cost before erroring out.
+            // A failed call still pays its set-up cost before erroring
+            // out; the charge advances the model clock, so outage windows
+            // eventually pass even when every call during them fails.
             config.sleep_model(model.setup);
+            self.advance_model_clock(model.setup);
             return Err(NetError::ServiceFault {
                 provider: self.spec.name.clone(),
                 operation: op.to_owned(),
@@ -161,10 +237,41 @@ impl Provider {
         let congestion = overload.powf(self.spec.congestion_exponent);
 
         let (response, response_bytes) = serve();
-        let latency = model.latency(request_bytes, response_bytes, congestion, &mut rng);
+        let mut latency = model.latency(request_bytes, response_bytes, congestion, &mut rng);
+        if !spec.brownout_between.is_empty() {
+            latency *= spec.latency_factor_at(self.model_time());
+        }
+        if spec.hang_every.is_some() || spec.hang_probability > 0.0 {
+            let hang_roll = DetRng::keyed(
+                config.seed,
+                &format!("{}/{op}/hang", self.spec.name),
+                chaos_key,
+            )
+            .next_f64();
+            if spec.should_hang(seq, hang_roll) {
+                latency += spec.hang_model_secs;
+            }
+        }
+
+        if let Some(deadline) = opts.deadline_model_secs {
+            if latency > deadline {
+                // The caller is charged exactly the deadline, never the
+                // (possibly effectively infinite) hang latency.
+                config.sleep_model(deadline);
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                self.advance_model_clock(deadline);
+                self.metrics.record_timeout();
+                return Err(NetError::Timeout {
+                    provider: self.spec.name.clone(),
+                    operation: op.to_owned(),
+                    call_seq: seq,
+                });
+            }
+        }
         config.sleep_model(latency);
 
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.advance_model_clock(latency);
 
         let stats = CallStats {
             model_latency: latency,
@@ -312,6 +419,185 @@ mod tests {
         assert_eq!(records.len(), 2, "only calls during tracing recorded");
         assert!(records.iter().all(|r| r.operation == "Op"));
         assert!(records[0].model_latency > 0.0);
+    }
+
+    #[test]
+    fn hang_without_deadline_inflates_latency() {
+        let p = test_provider(4);
+        p.set_fault(FaultSpec {
+            hang_every: Some(2),
+            hang_model_secs: 500.0,
+            ..Default::default()
+        });
+        let cfg = SimConfig::default();
+        let (_, fast) = p.call(&cfg, "Op", 0, || ((), 0)).unwrap();
+        let (_, hung) = p.call(&cfg, "Op", 0, || ((), 0)).unwrap();
+        assert!(fast.model_latency < 1.0, "{fast:?}");
+        assert!(hung.model_latency > 500.0, "{hung:?}");
+        assert_eq!(p.metrics().timeouts, 0);
+    }
+
+    #[test]
+    fn deadline_cuts_hang_and_charges_exactly_the_deadline() {
+        let p = test_provider(4);
+        p.set_fault(FaultSpec {
+            hang_every: Some(1),
+            hang_model_secs: 500.0,
+            ..Default::default()
+        });
+        let cfg = SimConfig::default();
+        let before = p.model_time();
+        let opts = CallOpts {
+            deadline_model_secs: Some(2.0),
+            args_key: 0,
+        };
+        let err = p
+            .call_with_opts(&cfg, "Op", 0, opts, || ((), 0))
+            .unwrap_err();
+        match err {
+            NetError::Timeout {
+                provider,
+                operation,
+                call_seq,
+            } => {
+                assert_eq!(provider, "test.example");
+                assert_eq!(operation, "Op");
+                assert_eq!(call_seq, 1);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Charged exactly the deadline on the provider's model clock.
+        assert!((p.model_time() - before - 2.0).abs() < 1e-9);
+        let m = p.metrics();
+        assert_eq!(m.timeouts, 1);
+        assert_eq!(m.calls, 0);
+        assert_eq!(p.in_flight(), 0);
+    }
+
+    #[test]
+    fn deadline_leaves_fast_calls_untouched() {
+        let p = test_provider(4);
+        let cfg = SimConfig::default();
+        let opts = CallOpts {
+            deadline_model_secs: Some(10.0),
+            args_key: 0,
+        };
+        let with = p.call_with_opts(&cfg, "Op", 0, opts, || ((), 0)).unwrap().1;
+        // Same seed and stream position as an undeadlined provider's first
+        // call: the deadline must not perturb the latency draw.
+        let q = test_provider(4);
+        let without = q.call(&cfg, "Op", 0, || ((), 0)).unwrap().1;
+        assert_eq!(with.model_latency, without.model_latency);
+        assert_eq!(p.metrics().timeouts, 0);
+    }
+
+    #[test]
+    fn outage_window_fails_calls_until_clock_passes() {
+        let p = test_provider(4);
+        // Each clean call charges ~0.5 model s; the window [1.0, 2.0)
+        // covers roughly calls 3..4.
+        p.set_fault(FaultSpec {
+            down_between: vec![(1.0, 2.0)],
+            ..Default::default()
+        });
+        let cfg = SimConfig::default();
+        let mut outcomes = Vec::new();
+        for _ in 0..16 {
+            outcomes.push(p.call(&cfg, "Op", 0, || ((), 0)).is_ok());
+        }
+        let faults = outcomes.iter().filter(|ok| !**ok).count();
+        assert!(faults > 0, "window never hit: {outcomes:?}");
+        // The clock keeps advancing through the outage (set-up charges),
+        // so later calls succeed again.
+        assert!(
+            *outcomes.last().unwrap(),
+            "outage never ended: {outcomes:?}"
+        );
+        assert_eq!(p.metrics().faults as usize, faults);
+    }
+
+    #[test]
+    fn brownout_multiplies_latency_inside_window() {
+        let p = test_provider(4);
+        p.set_fault(FaultSpec {
+            brownout_between: vec![(0.0, 0.6)],
+            brownout_factor: 10.0,
+            ..Default::default()
+        });
+        let cfg = SimConfig::default();
+        // First call starts at clock 0 (inside): 0.5 * 10 = 5.0.
+        let (_, slow) = p.call(&cfg, "Op", 0, || ((), 0)).unwrap();
+        assert!((slow.model_latency - 5.0).abs() < 1e-9, "{slow:?}");
+        // Clock is now 5.0, outside the window: normal latency.
+        let (_, normal) = p.call(&cfg, "Op", 0, || ((), 0)).unwrap();
+        assert!((normal.model_latency - 0.5).abs() < 1e-9, "{normal:?}");
+    }
+
+    #[test]
+    fn keyed_by_args_ties_failure_to_request_content() {
+        let spec = FaultSpec {
+            fail_probability: 0.5,
+            keyed_by_args: true,
+            ..Default::default()
+        };
+        let cfg = SimConfig::default();
+        // The same args_key must fail (or pass) identically no matter how
+        // many calls preceded it — run it at different seq positions.
+        let verdict_at = |warmup: u64, key: u64| {
+            let p = test_provider(4);
+            p.set_fault(spec.clone());
+            for _ in 0..warmup {
+                let opts = CallOpts {
+                    deadline_model_secs: None,
+                    args_key: 0xFEED,
+                };
+                let _ = p.call_with_opts(&cfg, "Op", 0, opts, || ((), 0));
+            }
+            let opts = CallOpts {
+                deadline_model_secs: None,
+                args_key: key,
+            };
+            p.call_with_opts(&cfg, "Op", 0, opts, || ((), 0)).is_ok()
+        };
+        for key in [1u64, 2, 3, 4, 5, 6, 7, 8] {
+            assert_eq!(
+                verdict_at(0, key),
+                verdict_at(3, key),
+                "verdict for key {key} depended on call ordering"
+            );
+        }
+    }
+
+    #[test]
+    fn inactive_chaos_spec_preserves_historical_latencies() {
+        // A FaultSpec with only inert chaos fields must not perturb the
+        // per-call RNG stream: latencies match a clean provider's exactly.
+        let cfg = SimConfig::new(0.0, 1234);
+        let latencies = |spec: Option<FaultSpec>| {
+            let p = Provider::new(ProviderSpec::new(
+                "d",
+                2,
+                LatencyModel {
+                    setup: 0.1,
+                    per_kib: 0.0,
+                    server_mean: 0.5,
+                    jitter_frac: 0.3,
+                },
+            ));
+            if let Some(spec) = spec {
+                p.set_fault(spec);
+            }
+            (0..20)
+                .map(|_| p.call(&cfg, "Op", 0, || ((), 0)).unwrap().1.model_latency)
+                .collect::<Vec<f64>>()
+        };
+        let inert = FaultSpec {
+            brownout_between: vec![(0.0, 100.0)],
+            brownout_factor: 1.0,
+            keyed_by_args: true,
+            ..Default::default()
+        };
+        assert_eq!(latencies(None), latencies(Some(inert)));
     }
 
     #[test]

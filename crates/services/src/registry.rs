@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use wsmed_netsim::{NetError, NetResult, Network, Provider, ProviderSpec};
+use wsmed_netsim::{CallOpts, NetError, NetResult, Network, Provider, ProviderSpec};
 use wsmed_wsdl::WsdlDocument;
 use wsmed_xml::Element;
 
@@ -108,6 +108,23 @@ impl ServiceRegistry {
         operation: &str,
         args: &[(String, String)],
     ) -> NetResult<Element> {
+        self.call_with_deadline(wsdl_uri, service_name, operation, args, None)
+    }
+
+    /// [`Self::call`] with an optional per-call model-time deadline: a
+    /// call whose model latency (hangs and brownouts included) would
+    /// exceed the deadline charges exactly the deadline and returns
+    /// [`NetError::Timeout`]. The request's rendered content also keys the
+    /// provider's argument-keyed chaos rolls, making the set of failing
+    /// argument tuples independent of dispatch interleaving.
+    pub fn call_with_deadline(
+        &self,
+        wsdl_uri: &str,
+        service_name: &str,
+        operation: &str,
+        args: &[(String, String)],
+        deadline_model_secs: Option<f64>,
+    ) -> NetResult<Element> {
         let endpoint = self.endpoint(wsdl_uri)?;
         if endpoint.service.service_name() != service_name {
             return Err(NetError::BadRequest {
@@ -131,28 +148,45 @@ impl ServiceRegistry {
                 .children
                 .push(Element::text_leaf(name.clone(), value.clone()));
         }
-        let request_bytes = request.to_xml().len();
+        let request_xml = request.to_xml();
+        let request_bytes = request_xml.len();
+        let opts = CallOpts {
+            deadline_model_secs,
+            args_key: content_key(&request_xml),
+        };
 
         let service = Arc::clone(&endpoint.service);
         let op = operation.to_owned();
         let config = self.network.config().clone();
-        let (response, _stats) =
-            endpoint
-                .provider
-                .call(&config, operation, request_bytes, move || {
-                    match service.invoke(&op, &request) {
-                        Ok(resp) => {
-                            let bytes = resp.to_xml().len();
-                            (Ok(resp), bytes)
-                        }
-                        Err(msg) => (Err(msg), 128),
-                    }
-                })?;
+        let (response, _stats) = endpoint.provider.call_with_opts(
+            &config,
+            operation,
+            request_bytes,
+            opts,
+            move || match service.invoke(&op, &request) {
+                Ok(resp) => {
+                    let bytes = resp.to_xml().len();
+                    (Ok(resp), bytes)
+                }
+                Err(msg) => (Err(msg), 128),
+            },
+        )?;
         response.map_err(|message| NetError::BadRequest {
             provider: endpoint.service.provider_name().to_owned(),
             message,
         })
     }
+}
+
+/// FNV-1a hash of the rendered request — the argument-content key for
+/// [`wsmed_netsim::FaultSpec::keyed_by_args`] chaos rolls.
+fn content_key(request_xml: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in request_xml.as_bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Installs the paper's four services plus the repository's AviationData

@@ -32,6 +32,7 @@ struct Shell {
     dataset_name: String,
     mode: Mode,
     last_tree: Option<wsmed::core::TreeSnapshot>,
+    last_resilience: Option<wsmed::core::ResilienceStats>,
 }
 
 fn main() {
@@ -88,6 +89,7 @@ impl Shell {
             dataset_name,
             mode: Mode::Adaptive(AdaptiveConfig::default()),
             last_tree: None,
+            last_resilience: None,
         }
     }
 
@@ -112,6 +114,7 @@ impl Shell {
             _ if lower.starts_with("cache") => self.cmd_cache(line),
             _ if lower.starts_with("pool") => self.cmd_pool(line),
             _ if lower.starts_with("retry") => self.cmd_retry(line),
+            _ if lower.starts_with("resilience") => self.cmd_resilience(line),
             _ if lower.starts_with("trace") => self.cmd_trace(line),
             _ if lower.starts_with("select") => self.run_sql(line),
             _ => println!("unknown command; try `help`"),
@@ -132,17 +135,36 @@ impl Shell {
     }
 
     fn cmd_metrics(&self) {
+        // Per-provider retry/breaker counters come from the last report;
+        // calls/faults/timeouts are cumulative network-side counters.
+        let res: std::collections::BTreeMap<&str, &wsmed::core::ProviderResilience> = self
+            .last_resilience
+            .iter()
+            .flat_map(|r| r.per_provider.iter())
+            .map(|(name, pr)| (name.as_str(), pr))
+            .collect();
         println!(
-            "{:<22} {:>8} {:>8} {:>13} {:>14}",
-            "provider", "calls", "faults", "mean lat (s)", "max in-flight"
+            "{:<22} {:>8} {:>8} {:>9} {:>13} {:>14} {:>8} {:>10}",
+            "provider",
+            "calls",
+            "faults",
+            "timeouts",
+            "mean lat (s)",
+            "max in-flight",
+            "retries",
+            "brk opens"
         );
         for (name, m) in self.setup.network.metrics_by_provider() {
+            let pr = res.get(name.as_str());
             println!(
-                "{name:<22} {:>8} {:>8} {:>13.2} {:>14}",
+                "{name:<22} {:>8} {:>8} {:>9} {:>13.2} {:>14} {:>8} {:>10}",
                 m.calls,
                 m.faults,
+                m.timeouts,
                 m.mean_latency(),
-                m.max_in_flight
+                m.max_in_flight,
+                pr.map_or(0, |p| p.retries),
+                pr.map_or(0, |p| p.breaker_opens),
             );
         }
     }
@@ -248,7 +270,58 @@ impl Shell {
                 }
                 Err(e) => println!("{e}"),
             },
-            _ => println!("usage: fault <provider> every <n> | fault <provider> clear"),
+            ["fault", provider, "hang", "every", n] => {
+                match (self.setup.network.provider(provider), n.parse::<u64>()) {
+                    (Ok(p), Ok(n)) if n > 0 => {
+                        p.set_fault(FaultSpec::hang_every(n));
+                        println!(
+                            "{provider} now hangs every {n}th call — observable only \
+                             through a deadline (`resilience deadline <s>`)"
+                        );
+                    }
+                    _ => println!("usage: fault <provider> hang every <n>"),
+                }
+            }
+            ["fault", provider, "down", t0, t1] => {
+                match (
+                    self.setup.network.provider(provider),
+                    t0.parse::<f64>(),
+                    t1.parse::<f64>(),
+                ) {
+                    (Ok(p), Ok(t0), Ok(t1)) if t1 > t0 => {
+                        p.set_fault(FaultSpec {
+                            down_between: vec![(t0, t1)],
+                            ..FaultSpec::default()
+                        });
+                        println!("{provider} down for model time [{t0}, {t1})");
+                    }
+                    _ => println!("usage: fault <provider> down <model-t0> <model-t1>"),
+                }
+            }
+            ["fault", provider, "brownout", t0, t1, factor] => {
+                match (
+                    self.setup.network.provider(provider),
+                    t0.parse::<f64>(),
+                    t1.parse::<f64>(),
+                    factor.parse::<f64>(),
+                ) {
+                    (Ok(p), Ok(t0), Ok(t1), Ok(f)) if t1 > t0 && f >= 1.0 => {
+                        p.set_fault(FaultSpec {
+                            brownout_between: vec![(t0, t1)],
+                            brownout_factor: f,
+                            ..FaultSpec::default()
+                        });
+                        println!("{provider} browned out ×{f} for model time [{t0}, {t1})");
+                    }
+                    _ => println!(
+                        "usage: fault <provider> brownout <model-t0> <model-t1> <factor ≥ 1>"
+                    ),
+                }
+            }
+            _ => println!(
+                "usage: fault <provider> every <n> | hang every <n> | \
+                 down <t0> <t1> | brownout <t0> <t1> <f> | clear"
+            ),
         }
     }
 
@@ -323,6 +396,105 @@ impl Shell {
             }
             _ => println!("usage: retry <attempts ≥ 1>"),
         }
+    }
+
+    fn cmd_resilience(&mut self, line: &str) {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let mut policy = self.setup.wsmed.resilience_policy();
+        match parts.as_slice() {
+            ["resilience"] | ["resilience", "show"] => {
+                println!(
+                    "attempts {}, backoff {} model-s ×{} (jitter {}), deadline {}, \
+                     breaker {}, hedge {}, on failure {}",
+                    policy.max_attempts,
+                    policy.backoff_model_secs,
+                    policy.backoff_multiplier,
+                    policy.backoff_jitter_frac,
+                    policy
+                        .deadline_model_secs
+                        .map(|d| format!("{d} model-s"))
+                        .unwrap_or_else(|| "off".into()),
+                    policy
+                        .breaker
+                        .map(|b| format!(
+                            "on (trip {}, cooldown {} model-s)",
+                            b.failure_threshold, b.cooldown_model_secs
+                        ))
+                        .unwrap_or_else(|| "off".into()),
+                    policy
+                        .hedge
+                        .map(|h| format!("after {} model-s", h.delay_model_secs))
+                        .unwrap_or_else(|| "off".into()),
+                    match policy.failure_mode {
+                        wsmed::core::FailureMode::Abort => "abort",
+                        wsmed::core::FailureMode::Partial => "drop parameter (partial)",
+                    },
+                );
+                return;
+            }
+            ["resilience", "deadline", "off"] => {
+                policy.deadline_model_secs = None;
+                println!("per-call deadline off");
+            }
+            ["resilience", "deadline", d] => match d.parse::<f64>() {
+                Ok(d) if d > 0.0 => {
+                    policy.deadline_model_secs = Some(d);
+                    println!("per-call deadline: {d} model-s (hung calls time out)");
+                }
+                _ => {
+                    println!("usage: resilience deadline <model-secs > 0 | off>");
+                    return;
+                }
+            },
+            ["resilience", "breaker", "on"] => {
+                policy.breaker = Some(wsmed::core::BreakerPolicy::default());
+                let b = policy.breaker.unwrap();
+                println!(
+                    "circuit breaker on: opens after {} consecutive failures, \
+                     half-open probe after {} model-s",
+                    b.failure_threshold, b.cooldown_model_secs
+                );
+            }
+            ["resilience", "breaker", "off"] => {
+                policy.breaker = None;
+                println!("circuit breaker off");
+            }
+            ["resilience", "hedge", "off"] => {
+                policy.hedge = None;
+                println!("hedged requests off");
+            }
+            ["resilience", "hedge", d] => match d.parse::<f64>() {
+                Ok(d) if d > 0.0 => {
+                    policy.hedge = Some(wsmed::core::HedgePolicy {
+                        delay_model_secs: d,
+                    });
+                    println!("hedged requests: backup call after {d} model-s, first success wins");
+                }
+                _ => {
+                    println!("usage: resilience hedge <model-secs > 0 | off>");
+                    return;
+                }
+            },
+            ["resilience", "mode", "abort"] => {
+                policy.failure_mode = wsmed::core::FailureMode::Abort;
+                println!("failure mode: abort the query on an exhausted call");
+            }
+            ["resilience", "mode", "partial"] => {
+                policy.failure_mode = wsmed::core::FailureMode::Partial;
+                println!(
+                    "failure mode: drop the failing parameter tuple and continue \
+                     (skips reported per OWF)"
+                );
+            }
+            _ => {
+                println!(
+                    "usage: resilience [show] | deadline <s|off> | breaker on|off | \
+                     hedge <s|off> | mode abort|partial"
+                );
+                return;
+            }
+        }
+        self.setup.wsmed.set_resilience_policy(policy);
     }
 
     fn cmd_trace(&mut self, line: &str) {
@@ -402,6 +574,24 @@ impl Shell {
                         p.warm_acquires, p.cold_spawns, p.startup_model_secs_saved
                     );
                 }
+                let r = &report.resilience;
+                if !r.is_quiet() {
+                    println!(
+                        "resilience: {} retries, {} deadline(s) exceeded, {} hedge(s) \
+                         ({} won), breaker {} open / {} reject(s), {} param(s) skipped",
+                        r.retries,
+                        r.deadline_exceeded,
+                        r.hedges_launched,
+                        r.hedge_wins,
+                        r.breaker_opens,
+                        r.breaker_rejections,
+                        r.skipped_params
+                    );
+                    for (owf, n) in &r.skipped_by_owf {
+                        println!("  skipped {n} parameter(s) at {owf}");
+                    }
+                }
+                self.last_resilience = Some(report.resilience.clone());
                 self.last_tree = Some(report.tree);
             }
             Err(e) => println!("error: {e}"),
@@ -486,11 +676,17 @@ commands:
   scale <f>                        wall seconds per model second (rebuilds)
   dataset paper|small|tiny         dataset size (rebuilds)
   fault <provider> every <n>       inject faults; `fault <provider> clear`
+  fault <provider> hang every <n>  hang calls (needs a deadline to observe)
+  fault <provider> down <t0> <t1>  outage window on the provider model clock
+  fault <provider> brownout <t0> <t1> <f>
+                                   multiply latency ×f inside the window
   cache on|off|cross               sharded single-flight call cache
                                    (`cross` keeps entries across queries)
   pool on|off|status               warm process pool (reuses query
                                    processes + installed plans across runs)
   retry <n>                        attempts per call on transient faults
+  resilience …                     deadline <s|off> | breaker on|off |
+                                   hedge <s|off> | mode abort|partial | show
   trace on|off|dump                structured model-time execution traces
                                    (`dump` replays the last traced query
                                    and writes JSONL for trace_export --check)
@@ -618,5 +814,52 @@ mod tests {
         assert!(shell.dispatch("fault codebump.com/zip clear"));
         assert!(shell.dispatch("query2"));
         assert_eq!(shell.last_tree.as_ref().unwrap().total_alive(), 1);
+        // Chaos fault forms parse; bad forms print usage without crashing.
+        assert!(shell.dispatch("fault codebump.com/zip hang every 3"));
+        assert!(shell.dispatch("fault codebump.com/zip down 0 50"));
+        assert!(shell.dispatch("fault codebump.com/zip brownout 0 50 4"));
+        assert!(shell.dispatch("fault codebump.com/zip clear"));
+        assert!(shell.dispatch("fault codebump.com/zip down 50"));
+        assert!(shell.dispatch("fault codebump.com/zip hang every zero"));
+    }
+
+    #[test]
+    fn shell_resilience_commands() {
+        let mut shell = Shell::new(0.0, "tiny".into());
+        assert!(shell.dispatch("resilience show"));
+        assert!(shell.dispatch("resilience deadline 30"));
+        assert!(shell.dispatch("resilience breaker on"));
+        assert!(shell.dispatch("resilience hedge 2.5"));
+        assert!(shell.dispatch("resilience mode partial"));
+        let policy = shell.setup.wsmed.resilience_policy();
+        assert_eq!(policy.deadline_model_secs, Some(30.0));
+        assert!(policy.breaker.is_some());
+        assert!(policy.hedge.is_some());
+        assert_eq!(policy.failure_mode, wsmed::core::FailureMode::Partial);
+        assert!(shell.dispatch("resilience show"));
+        assert!(shell.dispatch("resilience bogus"));
+        assert!(shell.dispatch("resilience deadline nope"));
+        assert!(shell.dispatch("resilience deadline off"));
+        assert!(shell.dispatch("resilience breaker off"));
+        assert!(shell.dispatch("resilience hedge off"));
+        assert!(shell.dispatch("resilience mode abort"));
+        assert!(shell.setup.wsmed.resilience_policy().is_plain());
+    }
+
+    #[test]
+    fn shell_partial_mode_survives_faults_and_reports_skips() {
+        let mut shell = Shell::new(0.0, "tiny".into());
+        shell.mode = Mode::Parallel(vec![2, 2]);
+        assert!(shell.dispatch("query2"));
+        let full_rows = shell.last_tree.is_some();
+        assert!(full_rows);
+        assert!(shell.dispatch("resilience mode partial"));
+        assert!(shell.dispatch("fault codebump.com/zip every 4"));
+        assert!(shell.dispatch("query2"));
+        let stats = shell.last_resilience.as_ref().expect("stats recorded");
+        assert!(stats.skipped_params > 0, "faults should skip parameters");
+        assert!(shell.dispatch("metrics"));
+        assert!(shell.dispatch("fault codebump.com/zip clear"));
+        assert!(shell.dispatch("resilience mode abort"));
     }
 }

@@ -398,3 +398,289 @@ fn retry_policy_ignores_non_transient_errors() {
         .run_central("select gs.Bogus from GetAllStates gs")
         .is_err());
 }
+
+// ---------------------------------------------------------------------------
+// Resilient transport: deadlines, breakers, hedging, partial degradation.
+// ---------------------------------------------------------------------------
+
+use wsmed::core::{BreakerPolicy, FailureMode, HedgePolicy, ResiliencePolicy};
+
+/// Query2's chain without the final `ToPlace` filter: the zip is in the
+/// projection, so a dropped `GetPlacesInside` parameter is visible as a
+/// missing distinct zip — exact skip accounting is checkable row-side.
+const UNFILTERED_Q2: &str = "\
+    select gp.ToState, gp.zip \
+    From GetAllStates gs, GetInfoByState gi, getzipcode gc, GetPlacesInside gp \
+    Where gs.State=gi.USState and gi.GetInfoByStateResult=gc.zipstr \
+      and gc.zipcode=gp.zip";
+
+fn distinct_zips(rows: &[wsmed::store::Tuple]) -> std::collections::BTreeSet<String> {
+    rows.iter().map(|r| r.values()[1].render()).collect()
+}
+
+#[test]
+fn deadline_converts_hangs_into_timeouts_and_retries_recover() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let clean = setup
+        .wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![2, 2])
+        .expect("clean run");
+
+    let mut setup = paper::setup(0.0, DatasetConfig::tiny());
+    let zip = setup.network.provider(ZipCodesService::PROVIDER).unwrap();
+    // Hangs are seq-keyed: a retry draws a fresh sequence number, so a
+    // bounded retry budget recovers every hang the deadline exposes.
+    zip.set_fault(FaultSpec::hang_every(7));
+    setup.wsmed.set_resilience_policy(ResiliencePolicy {
+        max_attempts: 3,
+        deadline_model_secs: Some(5.0),
+        ..ResiliencePolicy::default()
+    });
+    let report = setup
+        .wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![2, 2])
+        .expect("deadline + retries absorb hangs");
+    assert_eq!(
+        wsmed::store::canonicalize(report.rows.clone()),
+        wsmed::store::canonicalize(clean.rows.clone())
+    );
+    assert!(
+        report.resilience.deadline_exceeded > 0,
+        "hangs must surface as deadline hits: {:?}",
+        report.resilience
+    );
+    assert!(report.resilience.retries > 0);
+    // The network counted the cut-off calls as timeouts.
+    let (_, zip_metrics) = setup
+        .network
+        .metrics_by_provider()
+        .into_iter()
+        .find(|(name, _)| name == ZipCodesService::PROVIDER)
+        .unwrap();
+    assert!(zip_metrics.timeouts > 0);
+}
+
+#[test]
+fn without_deadline_hangs_charge_their_full_stall() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let zip = setup.network.provider(ZipCodesService::PROVIDER).unwrap();
+    zip.set_fault(FaultSpec::hang_every(10));
+    let before = setup.network.model_time();
+    setup
+        .wsmed
+        .run_parallel(paper::QUERY2_SQL, &vec![2, 2])
+        .expect("hangs without a deadline still terminate (finite stall)");
+    let charged = setup.network.model_time() - before;
+    // Every hang stalls `hang_model_secs` (600) model seconds: even one
+    // dwarfs the whole clean query.
+    assert!(
+        charged > 600.0,
+        "hung calls must be charged their stall ({charged:.1} model-s)"
+    );
+}
+
+#[test]
+fn partial_mode_drops_failing_params_with_exact_accounting() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let clean = setup
+        .wsmed
+        .run_parallel(UNFILTERED_Q2, &vec![2, 2])
+        .expect("clean run");
+    let clean_zips = distinct_zips(&clean.rows);
+
+    let mut setup = paper::setup(0.0, DatasetConfig::tiny());
+    let zip = setup.network.provider(ZipCodesService::PROVIDER).unwrap();
+    // Args-keyed faults: the same zips fail on every attempt, so retries
+    // cannot mask the drop and the skip count is schedule-independent.
+    zip.set_fault(FaultSpec {
+        fail_probability: 0.1,
+        keyed_by_args: true,
+        ..FaultSpec::default()
+    });
+    setup.wsmed.set_resilience_policy(ResiliencePolicy {
+        max_attempts: 2,
+        failure_mode: FailureMode::Partial,
+        ..ResiliencePolicy::default()
+    });
+    let report = setup
+        .wsmed
+        .run_parallel(UNFILTERED_Q2, &vec![2, 2])
+        .expect("partial mode survives the faults");
+    let kept_zips = distinct_zips(&report.rows);
+    assert!(kept_zips.is_subset(&clean_zips));
+    let lost = clean_zips.len() - kept_zips.len();
+    assert!(lost > 0, "a 10% keyed fault rate must drop something");
+    assert_eq!(
+        report.resilience.skipped_params as usize, lost,
+        "every missing zip is exactly one recorded skip: {:?}",
+        report.resilience
+    );
+    assert_eq!(
+        report.resilience.skipped_by_owf,
+        vec![("GetPlacesInside".to_owned(), lost as u64)]
+    );
+    // No rows duplicated: per-zip multiplicities match the clean run.
+    let clean_subset: Vec<_> = clean
+        .rows
+        .iter()
+        .filter(|r| kept_zips.contains(&r.values()[1].render()))
+        .cloned()
+        .collect();
+    assert_eq!(
+        wsmed::store::canonicalize(report.rows.clone()),
+        wsmed::store::canonicalize(clean_subset)
+    );
+}
+
+#[test]
+fn abort_mode_still_fails_fast_under_the_same_faults() {
+    let mut setup = paper::setup(0.0, DatasetConfig::tiny());
+    let zip = setup.network.provider(ZipCodesService::PROVIDER).unwrap();
+    zip.set_fault(FaultSpec {
+        fail_probability: 0.1,
+        keyed_by_args: true,
+        ..FaultSpec::default()
+    });
+    setup.wsmed.set_resilience_policy(ResiliencePolicy {
+        max_attempts: 2,
+        failure_mode: FailureMode::Abort,
+        ..ResiliencePolicy::default()
+    });
+    assert!(setup
+        .wsmed
+        .run_parallel(UNFILTERED_Q2, &vec![2, 2])
+        .is_err());
+}
+
+#[test]
+fn breaker_opens_and_recovers_during_central_execution() {
+    let mut setup = paper::setup(0.0, DatasetConfig::tiny());
+    let uszip = setup.network.provider(UsZipService::PROVIDER).unwrap();
+    // The first six GetInfoByState calls fail outright; the breaker
+    // trips after two, probes (cooldown 0 admits immediately), re-opens
+    // on failed probes, and closes on the first good call.
+    uszip.set_fault(FaultSpec {
+        fail_first: 6,
+        ..FaultSpec::default()
+    });
+    setup.wsmed.set_resilience_policy(ResiliencePolicy {
+        breaker: Some(BreakerPolicy {
+            failure_threshold: 2,
+            cooldown_model_secs: 0.0,
+            half_open_probes: 1,
+            probe_after_rejections: 0,
+        }),
+        failure_mode: FailureMode::Partial,
+        ..ResiliencePolicy::default()
+    });
+    setup.wsmed.set_trace_policy(TracePolicy::enabled());
+    let report = setup
+        .wsmed
+        .run_central(paper::QUERY2_SQL)
+        .expect("partial mode rides out the cold start");
+    let r = &report.resilience;
+    assert!(r.breaker_opens >= 2, "open + re-opens from probes: {r:?}");
+    assert_eq!(r.breaker_closes, 1, "one recovery: {r:?}");
+    assert_eq!(
+        r.skipped_params, 6,
+        "each failed call drops one param: {r:?}"
+    );
+    // The trace tells the same story.
+    let events = settled_events(report.trace.as_ref().unwrap());
+    let opens = events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::BreakerOpen { .. }))
+        .count();
+    let closes = events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::BreakerClose { .. }))
+        .count();
+    let skips = events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::ParamSkipped { .. }))
+        .count();
+    assert_eq!(opens as u64, r.breaker_opens);
+    assert_eq!(closes as u64, r.breaker_closes);
+    assert_eq!(skips as u64, r.skipped_params);
+}
+
+#[test]
+fn open_breaker_rejections_drop_params_in_partial_mode() {
+    let mut setup = paper::setup(0.0, DatasetConfig::tiny());
+    let uszip = setup.network.provider(UsZipService::PROVIDER).unwrap();
+    uszip.set_fault(FaultSpec {
+        fail_probability: 1.0,
+        ..FaultSpec::default()
+    });
+    setup.wsmed.set_resilience_policy(ResiliencePolicy {
+        breaker: Some(BreakerPolicy {
+            failure_threshold: 2,
+            cooldown_model_secs: 1e9,
+            half_open_probes: 1,
+            probe_after_rejections: 0,
+        }),
+        failure_mode: FailureMode::Partial,
+        ..ResiliencePolicy::default()
+    });
+    let report = setup
+        .wsmed
+        .run_central(paper::QUERY2_SQL)
+        .expect("everything downstream of the dead provider is dropped");
+    let r = &report.resilience;
+    assert!(report.rows.is_empty());
+    assert_eq!(r.breaker_opens, 1);
+    assert!(
+        r.breaker_rejections > 0,
+        "calls after the trip are rejected without hitting the network: {r:?}"
+    );
+    // Only the pre-trip calls reached the provider.
+    let (_, m) = setup
+        .network
+        .metrics_by_provider()
+        .into_iter()
+        .find(|(name, _)| name == UsZipService::PROVIDER)
+        .unwrap();
+    assert_eq!(m.faults, 2, "the breaker stopped the rest");
+}
+
+#[test]
+fn hedged_requests_win_against_hangs_without_corrupting_results() {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let clean = setup
+        .wsmed
+        .run_parallel(UNFILTERED_Q2, &vec![2, 2])
+        .expect("clean run");
+
+    let mut setup = paper::setup(0.0, DatasetConfig::tiny());
+    let zip = setup.network.provider(ZipCodesService::PROVIDER).unwrap();
+    zip.set_fault(FaultSpec::hang_every(6));
+    setup.wsmed.set_resilience_policy(ResiliencePolicy {
+        max_attempts: 2,
+        deadline_model_secs: Some(5.0),
+        hedge: Some(HedgePolicy {
+            delay_model_secs: 0.5,
+        }),
+        failure_mode: FailureMode::Partial,
+        ..ResiliencePolicy::default()
+    });
+    let report = setup
+        .wsmed
+        .run_parallel(UNFILTERED_Q2, &vec![2, 2])
+        .expect("hedges + deadline ride out the hangs");
+    let r = &report.resilience;
+    assert!(r.hedges_launched > 0, "hedges must launch: {r:?}");
+    assert!(
+        r.hedge_wins > 0,
+        "a hedge must beat at least one hung primary: {r:?}"
+    );
+    // Hedge losers are dropped below the caching layer: the result is a
+    // subset of the clean multiset, never an embellished one.
+    let mut clean_rows = clean.rows.clone();
+    for row in &report.rows {
+        let i = clean_rows
+            .iter()
+            .position(|c| c == row)
+            .expect("no duplicated or invented row");
+        clean_rows.swap_remove(i);
+    }
+}

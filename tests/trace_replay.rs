@@ -105,3 +105,60 @@ fn differently_seeded_run_is_valid_but_unconstrained() {
         report.tree.levels[1].alive
     )));
 }
+
+#[test]
+fn identically_seeded_chaos_runs_replay_byte_identical() {
+    use wsmed::core::{FailureMode, ResiliencePolicy};
+    use wsmed::netsim::FaultSpec;
+    use wsmed::services::ZipCodesService;
+    use wsmed::store::canonicalize;
+
+    // Chaos whose decisions are all drawn from seeded streams keyed by
+    // request content or call sequence — never wall time: args-keyed
+    // faults fix the failing zips, seq-keyed hangs are cut by the
+    // deadline, retries back off with seeded jitter. Hedging stays off
+    // (its launch/win counts race the primary at scale 0) and the
+    // breaker threshold is unreachable, so the replayed story depends
+    // only on the seed.
+    let run = || {
+        let mut setup = paper::setup(0.0, DatasetConfig::small());
+        let zip = setup
+            .network
+            .provider(ZipCodesService::PROVIDER)
+            .expect("zip provider");
+        zip.set_fault(FaultSpec {
+            fail_probability: 0.05,
+            hang_probability: 0.02,
+            keyed_by_args: true,
+            ..FaultSpec::default()
+        });
+        setup.wsmed.set_resilience_policy(ResiliencePolicy {
+            max_attempts: 3,
+            backoff_model_secs: 0.5,
+            backoff_multiplier: 2.0,
+            backoff_jitter_frac: 0.25,
+            deadline_model_secs: Some(5.0),
+            failure_mode: FailureMode::Partial,
+            ..ResiliencePolicy::default()
+        });
+        traced_adaptive_query2(&mut setup.wsmed)
+    };
+    let r1 = run();
+    let r2 = run();
+
+    assert_eq!(
+        transcript_of(&r1),
+        transcript_of(&r2),
+        "same-seed chaos transcripts diverged"
+    );
+    assert_eq!(canonicalize(r1.rows.clone()), canonicalize(r2.rows.clone()));
+    assert_eq!(r1.resilience.skipped_params, r2.resilience.skipped_params);
+    assert_eq!(r1.resilience.skipped_by_owf, r2.resilience.skipped_by_owf);
+    assert_eq!(
+        r1.resilience.deadline_exceeded,
+        r2.resilience.deadline_exceeded
+    );
+    // The chaos was real: something was skipped, and the result shrank.
+    assert!(r1.resilience.skipped_params > 0);
+    assert!(r1.resilience.deadline_exceeded > 0);
+}
