@@ -66,16 +66,7 @@ fn bench_wire(c: &mut Criterion) {
     // BatchPolicy sweep of the batch_ablation harness.
     let mut group = c.benchmark_group("wire/batch");
     for size in [1usize, 8, 64, 512] {
-        let tuples: Vec<Tuple> = (0..size)
-            .map(|i| {
-                Tuple::new(vec![
-                    Value::str("Atlanta Heights"),
-                    Value::str("GA"),
-                    Value::Real(i as f64 + 0.25),
-                    Value::str("Atlanta Heights, GA"),
-                ])
-            })
-            .collect();
+        let tuples: Vec<Tuple> = wsmed_bench::wire_bench_tuples(size);
         let frame = wire::encode_tuple_batch(&tuples);
         let encoded: Vec<bytes::Bytes> = tuples.iter().map(wire::encode_tuple).collect();
         group.bench_with_input(BenchmarkId::new("encode", size), &tuples, |b, tuples| {
@@ -93,8 +84,59 @@ fn bench_wire(c: &mut Criterion) {
                 BatchSize::SmallInput,
             )
         });
+
+        // The columnar message path at the same sizes: whole-column encode
+        // and a decode whose string columns borrow the received frame.
+        let col_frame = wire::encode_columnar_message(&tuples);
+        group.bench_with_input(
+            BenchmarkId::new("encode_columnar", size),
+            &tuples,
+            |b, tuples| b.iter(|| wire::encode_columnar_message(std::hint::black_box(tuples))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode_columnar", size),
+            &col_frame,
+            |b, frame| {
+                b.iter_batched(
+                    || frame.clone(),
+                    |frame| wire::decode_message(frame).expect("decode"),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
     }
     group.finish();
+
+    // Zero-copy invariant, checked where it matters most: decoding a
+    // 512-tuple columnar frame must not copy a single string value — all
+    // string-column heaps stay shared slices of the frame allocation.
+    let shared = wsmed_bench::assert_columnar_zero_copy(512);
+    println!(
+        "wire/batch 512: columnar decode borrows all {shared} string heaps \
+         from the frame (no per-value copies)"
+    );
+
+    // Machine-readable summary: row vs columnar throughput and density at
+    // the two batch sizes the acceptance claims are stated over.
+    let micros = [
+        wsmed_bench::measure_wire_micro(64),
+        wsmed_bench::measure_wire_micro(512),
+    ];
+    for m in &micros {
+        println!(
+            "wire micro {:>4} tuples: decode {:>12.0} tuples/s columnar vs \
+             {:>12.0} row (×{:.1}); {:.1} vs {:.1} B/tuple",
+            m.size,
+            m.col_decode_tps,
+            m.row_decode_tps,
+            m.decode_speedup(),
+            m.col_bytes_per_tuple(),
+            m.row_bytes_per_tuple(),
+        );
+    }
+    let path =
+        wsmed_bench::bench_json_section("wire_bench", &wsmed_bench::wire_micro_json(&micros));
+    println!("wire micro summary merged into {}", path.display());
 }
 
 criterion_group! {

@@ -23,7 +23,7 @@
 //! cargo run --release -p wsmed-bench --bin batch_ablation -- --full
 //! ```
 
-use wsmed_bench::{csv_row, csv_writer, HarnessOpts, Timed};
+use wsmed_bench::{bench_json_section, csv_row, csv_writer, json_num, HarnessOpts, Timed};
 use wsmed_core::{paper, BatchPolicy};
 use wsmed_services::calibration;
 use wsmed_store::{canonicalize, Tuple};
@@ -244,8 +244,30 @@ fn main() {
         );
     }
 
+    // Machine-readable model-time section of BENCH_wire.json: one object
+    // per swept cell, mirroring the CSV (model time is null at --scale 0).
+    let mut cells_json = Vec::new();
+    for (query, sweep) in [("query1", &q1), ("query2", &q2)] {
+        for ((fo1, fo2), cells) in sweep {
+            for cell in cells {
+                cells_json.push(format!(
+                    "{{\"query\": \"{query}\", \"fo1\": {fo1}, \"fo2\": {fo2}, \
+                     \"batch\": {}, \"messages\": {}, \"shipped_bytes\": {}, \
+                     \"model_secs\": {}, \"rows\": {}}}",
+                    cell.batch,
+                    cell.messages,
+                    cell.shipped,
+                    json_num(cell.model_secs),
+                    cell.rows.len(),
+                ));
+            }
+        }
+    }
+    let json_path = bench_json_section("batch_model_time", &format!("[{}]", cells_json.join(", ")));
+
     println!(
-        "\nall batching claims hold; CSV written to {}",
-        path.display()
+        "\nall batching claims hold; CSV written to {}, summary merged into {}",
+        path.display(),
+        json_path.display()
     );
 }

@@ -5,11 +5,23 @@
 //! projected rewrite (the default) against shipping full prefix tuples,
 //! for both paper queries, in message bytes and model time.
 //!
+//! A second section compares the row and columnar wire paths directly
+//! (real wall-clock micro-measurements, independent of `--scale`) and
+//! asserts the columnar engine's claims in-binary:
+//! * columnar decode is ≥ 2× the row-path decode throughput at both 64
+//!   and 512 tuples per frame;
+//! * the columnar frame is strictly denser (fewer bytes per tuple);
+//! * decoding copies no string values — every string column's heap stays
+//!   a shared slice of the received frame.
+//!
 //! ```text
 //! cargo run --release -p wsmed-bench --bin shipping_ablation
 //! ```
 
-use wsmed_bench::{csv_row, csv_writer, timed, HarnessOpts};
+use wsmed_bench::{
+    assert_columnar_zero_copy, bench_json_section, csv_row, csv_writer, measure_wire_micro, timed,
+    wire_micro_json, HarnessOpts,
+};
 use wsmed_core::paper;
 
 fn main() {
@@ -72,4 +84,44 @@ fn main() {
         );
     }
     println!("\nCSV written to {}", path.display());
+
+    // ---- row vs columnar wire path ---------------------------------------
+    println!("\n== wire path: row vs columnar (wall-clock micro) ==\n");
+    println!(
+        "{:<6} {:>14} {:>14} {:>8} {:>10} {:>10}",
+        "tuples", "row dec t/s", "col dec t/s", "speedup", "row B/t", "col B/t"
+    );
+    let mut micros = Vec::new();
+    for size in [64usize, 512] {
+        let m = measure_wire_micro(size);
+        println!(
+            "{:<6} {:>14.0} {:>14.0} {:>7.1}x {:>10.1} {:>10.1}",
+            m.size,
+            m.row_decode_tps,
+            m.col_decode_tps,
+            m.decode_speedup(),
+            m.row_bytes_per_tuple(),
+            m.col_bytes_per_tuple(),
+        );
+        assert!(
+            m.decode_speedup() >= 2.0,
+            "columnar decode must be ≥2× row decode at {size} tuples \
+             (got {:.2}×)",
+            m.decode_speedup()
+        );
+        assert!(
+            m.col_bytes_per_tuple() < m.row_bytes_per_tuple(),
+            "columnar frames must be denser at {size} tuples: {:.1} vs {:.1} B/tuple",
+            m.col_bytes_per_tuple(),
+            m.row_bytes_per_tuple()
+        );
+        let shared = assert_columnar_zero_copy(size);
+        println!("       zero-copy: all {shared} string heaps borrow the received frame");
+        micros.push(m);
+    }
+    let json_path = bench_json_section("shipping_wire", &wire_micro_json(&micros));
+    println!(
+        "\nall wire-path claims hold; summary merged into {}",
+        json_path.display()
+    );
 }

@@ -13,10 +13,11 @@
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use wsmed_core::{paper, AdaptiveConfig, ExecutionReport, FanoutVector, Wsmed};
+use wsmed_core::{paper, wire, AdaptiveConfig, ExecutionReport, FanoutVector, Wsmed};
 use wsmed_services::DatasetConfig;
+use wsmed_store::{ColumnData, Tuple, Value};
 
 /// Command-line options shared by all harness binaries.
 #[derive(Debug, Clone)]
@@ -121,6 +122,237 @@ pub fn csv_row(file: &mut fs::File, row: &str) {
     writeln!(file, "{row}").expect("write CSV row");
 }
 
+// ---- machine-readable benchmark summary -------------------------------
+
+/// Formats a float as a JSON number, mapping non-finite values (e.g. model
+/// time measured at `--scale 0`) to `null`.
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Writes one named section of `target/experiments/BENCH_wire.json` and
+/// returns the merged summary's path.
+///
+/// `body` must be a complete JSON value. Each writer drops a fragment under
+/// `target/experiments/bench_json/` and the merged summary is regenerated
+/// from every fragment present, so independent binaries (the wire benches,
+/// the ablation harnesses) contribute sections without clobbering each
+/// other across runs.
+pub fn bench_json_section(section: &str, body: &str) -> PathBuf {
+    let dir = PathBuf::from("target/experiments/bench_json");
+    fs::create_dir_all(&dir).expect("create bench_json dir");
+    fs::write(dir.join(format!("{section}.json")), body).expect("write bench_json fragment");
+    merge_bench_json(&dir)
+}
+
+/// Rebuilds `BENCH_wire.json` from every fragment in `dir`, sections sorted
+/// by name for a stable diffable output.
+fn merge_bench_json(dir: &std::path::Path) -> PathBuf {
+    let mut sections: Vec<(String, String)> = fs::read_dir(dir)
+        .expect("read bench_json dir")
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path
+                .file_name()?
+                .to_str()?
+                .strip_suffix(".json")?
+                .to_owned();
+            Some((name, fs::read_to_string(&path).ok()?))
+        })
+        .collect();
+    sections.sort();
+    let mut doc = String::from("{\n");
+    for (i, (name, body)) in sections.iter().enumerate() {
+        if i > 0 {
+            doc.push_str(",\n");
+        }
+        doc.push_str(&format!("  \"{name}\": {}", body.trim()));
+    }
+    doc.push_str("\n}\n");
+    let out = PathBuf::from("target/experiments/BENCH_wire.json");
+    fs::write(&out, &doc).expect("write BENCH_wire.json");
+    out
+}
+
+// ---- row-vs-columnar wire micro-measurements ---------------------------
+
+/// The 4-column parameter-tuple shape used throughout the wire benches
+/// (three strings and a real, matching Query1's shipped views).
+pub fn wire_bench_tuples(size: usize) -> Vec<Tuple> {
+    (0..size)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::str("Atlanta Heights"),
+                Value::str("GA"),
+                Value::Real(i as f64 + 0.25),
+                Value::str("Atlanta Heights, GA"),
+            ])
+        })
+        .collect()
+}
+
+/// Wire-path micro-measurement over one batch of [`wire_bench_tuples`]:
+/// the row message path (per-tuple encode + frame; frame split + per-tuple
+/// decode) versus the columnar path (whole-column encode; typed column
+/// decode that borrows string heaps from the frame).
+#[derive(Debug, Clone)]
+pub struct WireMicro {
+    /// Tuples per frame.
+    pub size: usize,
+    /// Row-path frame bytes (including the 1-byte kind prefix).
+    pub row_frame_bytes: usize,
+    /// Columnar frame bytes (including the 1-byte kind prefix).
+    pub col_frame_bytes: usize,
+    /// Row-path encode throughput, tuples per wall-clock second.
+    pub row_encode_tps: f64,
+    /// Columnar encode throughput, tuples per wall-clock second.
+    pub col_encode_tps: f64,
+    /// Row-path decode throughput (frame → value-accessible tuples).
+    pub row_decode_tps: f64,
+    /// Columnar decode throughput (frame → value-accessible batch).
+    pub col_decode_tps: f64,
+}
+
+impl WireMicro {
+    /// Frame bytes per tuple on the row path.
+    pub fn row_bytes_per_tuple(&self) -> f64 {
+        self.row_frame_bytes as f64 / self.size as f64
+    }
+
+    /// Frame bytes per tuple on the columnar path.
+    pub fn col_bytes_per_tuple(&self) -> f64 {
+        self.col_frame_bytes as f64 / self.size as f64
+    }
+
+    /// Columnar decode throughput over row decode throughput.
+    pub fn decode_speedup(&self) -> f64 {
+        self.col_decode_tps / self.row_decode_tps
+    }
+
+    /// Renders this measurement as one JSON object.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"size\": {}, \"row_frame_bytes\": {}, \"col_frame_bytes\": {}, \
+             \"row_bytes_per_tuple\": {}, \"col_bytes_per_tuple\": {}, \
+             \"row_encode_tuples_per_sec\": {}, \"col_encode_tuples_per_sec\": {}, \
+             \"row_decode_tuples_per_sec\": {}, \"col_decode_tuples_per_sec\": {}, \
+             \"decode_speedup\": {}}}",
+            self.size,
+            self.row_frame_bytes,
+            self.col_frame_bytes,
+            json_num(self.row_bytes_per_tuple()),
+            json_num(self.col_bytes_per_tuple()),
+            json_num(self.row_encode_tps),
+            json_num(self.col_encode_tps),
+            json_num(self.row_decode_tps),
+            json_num(self.col_decode_tps),
+            json_num(self.decode_speedup()),
+        )
+    }
+}
+
+/// Renders a slice of micro-measurements as a JSON array.
+pub fn wire_micro_json(micros: &[WireMicro]) -> String {
+    let items: Vec<String> = micros.iter().map(WireMicro::json).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Best-of-3 throughput of `f`, where each call processes `size` tuples.
+fn best_tuples_per_sec(size: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..8 {
+        f();
+    }
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let mut iters = 0u64;
+        while t0.elapsed() < Duration::from_millis(120) {
+            f();
+            iters += 1;
+        }
+        let tps = (iters * size as u64) as f64 / t0.elapsed().as_secs_f64();
+        best = best.max(tps);
+    }
+    best
+}
+
+/// Measures the row and columnar wire paths at one batch size. Wall-clock
+/// (real time, independent of `--scale`), best of 3 passes per closure.
+pub fn measure_wire_micro(size: usize) -> WireMicro {
+    let tuples = wire_bench_tuples(size);
+    let encoded: Vec<_> = tuples.iter().map(wire::encode_tuple).collect();
+    let row_frame = wire::encode_rows_message(encoded.iter());
+    let col_frame = wire::encode_columnar_message(&tuples);
+
+    let row_encode_tps = best_tuples_per_sec(size, || {
+        let encoded: Vec<_> = tuples.iter().map(wire::encode_tuple).collect();
+        std::hint::black_box(wire::encode_rows_message(encoded.iter()));
+    });
+    let col_encode_tps = best_tuples_per_sec(size, || {
+        std::hint::black_box(wire::encode_columnar_message(&tuples));
+    });
+    let row_decode_tps = best_tuples_per_sec(size, || {
+        match wire::decode_message(row_frame.clone()).expect("row frame decodes") {
+            wire::MessageBatch::Rows(parts) => {
+                for part in parts {
+                    std::hint::black_box(wire::decode_tuple(part).expect("tuple decodes"));
+                }
+            }
+            wire::MessageBatch::Columnar(_) => unreachable!("kind-0 frame"),
+        }
+    });
+    let col_decode_tps = best_tuples_per_sec(size, || {
+        std::hint::black_box(
+            wire::decode_message(col_frame.clone()).expect("columnar frame decodes"),
+        );
+    });
+
+    WireMicro {
+        size,
+        row_frame_bytes: row_frame.len(),
+        col_frame_bytes: col_frame.len(),
+        row_encode_tps,
+        col_encode_tps,
+        row_decode_tps,
+        col_decode_tps,
+    }
+}
+
+/// Asserts that decoding a `size`-tuple columnar frame performs no
+/// per-value heap copies: every string column's heap must be a shared
+/// slice of the received frame allocation. Returns the number of string
+/// columns checked.
+pub fn assert_columnar_zero_copy(size: usize) -> usize {
+    let tuples = wire_bench_tuples(size);
+    let frame = wire::encode_columnar_message(&tuples);
+    let batch = match wire::decode_message(frame.clone()).expect("columnar frame decodes") {
+        wire::MessageBatch::Columnar(batch) => batch,
+        wire::MessageBatch::Rows(_) => panic!("uniform batch must encode columnar"),
+    };
+    let frame_range = frame.as_ptr_range();
+    let mut shared = 0;
+    for col in batch.columns() {
+        if let ColumnData::Str(scol) = col.data() {
+            assert!(
+                scol.heap().is_shared(),
+                "string heap must share the frame allocation, not copy out of it"
+            );
+            let heap = scol.heap().as_bytes().as_ptr_range();
+            assert!(
+                heap.start >= frame_range.start && heap.end <= frame_range.end,
+                "string heap must point into the received frame"
+            );
+            shared += 1;
+        }
+    }
+    assert!(shared > 0, "bench tuples contain string columns");
+    shared
+}
+
 /// Prints a `measured vs paper` line with a rough agreement marker:
 /// `ok` within 2× either way, `≠` otherwise (absolute agreement is not the
 /// goal — the substrate is a simulator).
@@ -209,6 +441,30 @@ mod tests {
     fn best_cell_finds_minimum() {
         let rows = vec![(1, 1, 100.0), (5, 4, 42.0), (2, 2, 77.0)];
         assert_eq!(best_cell(&rows), (5, 4, 42.0));
+    }
+
+    #[test]
+    fn bench_json_merges_sections_sorted() {
+        let out = bench_json_section("zz_selftest", "{\"a\": 1}");
+        bench_json_section("aa_selftest", "[1, 2]");
+        let doc = std::fs::read_to_string(&out).unwrap();
+        let aa = doc.find("\"aa_selftest\": [1, 2]").expect("aa section");
+        let zz = doc.find("\"zz_selftest\": {\"a\": 1}").expect("zz section");
+        assert!(aa < zz, "sections must be sorted by name");
+        assert!(doc.starts_with("{\n") && doc.ends_with("\n}\n"));
+    }
+
+    #[test]
+    fn json_num_maps_non_finite_to_null() {
+        assert_eq!(json_num(1.5), "1.500");
+        assert_eq!(json_num(f64::INFINITY), "null");
+        assert_eq!(json_num(f64::NAN), "null");
+    }
+
+    #[test]
+    fn columnar_decode_is_zero_copy() {
+        // Three of the four bench columns are strings; all must borrow.
+        assert_eq!(assert_columnar_zero_copy(16), 3);
     }
 
     #[test]

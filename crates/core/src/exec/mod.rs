@@ -981,8 +981,12 @@ pub(crate) fn eval(
                     }
                     Err(e) => return Err(e),
                 };
-                for produced in owf.flatten(&response)? {
-                    out.push(row.concat(&produced));
+                // Batch-at-a-time flattening: one columnar batch per
+                // response, iterated through row views. OWF output is always
+                // uniform-arity, so this never hits the row fallback.
+                let produced = owf.flatten_batch(&response)?;
+                for i in 0..produced.len() {
+                    out.push(row.concat(&produced.row(i)));
                 }
             }
             Ok(out)

@@ -55,14 +55,23 @@ enum SlotStatus {
     Dead,
 }
 
+/// One parameter tuple staged for shipping: the row itself (source of
+/// columnar Call frames — whole-column encode without re-decoding) and
+/// its row encoding (memo screening key, and the row-format frame body).
+#[derive(Debug, Clone)]
+struct ShipParam {
+    encoded: Bytes,
+    row: Tuple,
+}
+
 struct Slot {
     proc: Option<ChildProc>,
     status: SlotStatus,
     /// The call id this slot is currently processing, for protocol checks.
     current_call: Option<u64>,
-    /// Encoded parameters of the in-flight call — requeued to surviving
+    /// Parameters of the in-flight call — requeued to surviving
     /// siblings if this child dies before its `EndOfCall`.
-    in_flight: Vec<Bytes>,
+    in_flight: Vec<ShipParam>,
     /// Result tuples of the in-flight call, committed at `EndOfCall`.
     call_buf: Vec<Tuple>,
 }
@@ -288,11 +297,11 @@ impl ParallelApply {
         // Dedup-aware dispatch: answer parameters whose plan-function rows
         // are already memoized parent-side, without shipping them to a
         // child — no frame, no child round-trip, no repeated OWF call.
-        let mut to_ship: Vec<Bytes> = Vec::with_capacity(params.len());
-        for param in &params {
-            let encoded = wire::encode_tuple(param);
+        let mut to_ship: Vec<ShipParam> = Vec::with_capacity(params.len());
+        for row in params {
+            let encoded = wire::encode_tuple(&row);
             if !self.screen_param(ctx, &cache, &encoded, &mut out) {
-                to_ship.push(encoded);
+                to_ship.push(ShipParam { encoded, row });
             }
         }
         let mut pending = PendingParams::new(policy, self.slots.len(), to_ship);
@@ -367,7 +376,7 @@ impl ParallelApply {
                             self.pf_name, self.slots[slot].current_call
                         )));
                     }
-                    let batch = wire::decode_tuple_batch(tuples)?;
+                    let batch = wire::decode_message(tuples)?.into_tuples()?;
                     // The marginal per-tuple cost of unpacking the frame
                     // (the per-frame share was paid above on receipt).
                     ctx.sim()
@@ -496,7 +505,8 @@ impl ParallelApply {
         pending: &mut PendingParams,
         out: &mut Vec<Tuple>,
     ) {
-        let max_params = ctx.batch_policy().max_params.max(1);
+        let policy = ctx.batch_policy();
+        let max_params = policy.max_params.max(1);
         while !pending.is_empty() {
             let Some(slot) = self.idle.pop_front() else {
                 break;
@@ -517,7 +527,7 @@ impl ParallelApply {
             let had_work = !batch.is_empty();
             // Second screening pass: a duplicate of this parameter may have
             // completed (and been memoized) since the run started.
-            batch.retain(|encoded| !self.screen_param(ctx, cache, encoded, out));
+            batch.retain(|p| !self.screen_param(ctx, cache, &p.encoded, out));
             if batch.is_empty() {
                 if had_work {
                     // Everything taken was answered from the memo; the slot
@@ -552,7 +562,14 @@ impl ParallelApply {
                     },
                 );
             }
-            let frame = wire::frame_encoded_batch(&batch);
+            let frame = if policy.columnar {
+                // Whole-column encode straight from the staged rows; falls
+                // back to the row format on non-uniform arity.
+                let rows: Vec<Tuple> = batch.iter().map(|p| p.row.clone()).collect();
+                wire::encode_columnar_message(&rows)
+            } else {
+                wire::encode_rows_message(batch.iter().map(|p| &p.encoded))
+            };
             let sent = proc.send_call(ctx, call_id, frame, batch.len());
             match sent {
                 Ok(()) => {
@@ -827,13 +844,13 @@ impl ParallelApply {
 /// dispatch policy.
 enum PendingParams {
     /// One shared queue: next parameter to the first finished child.
-    Shared(VecDeque<Bytes>),
+    Shared(VecDeque<ShipParam>),
     /// One queue per slot: parameter i pre-assigned to slot i mod fanout.
-    PerSlot(Vec<VecDeque<Bytes>>),
+    PerSlot(Vec<VecDeque<ShipParam>>),
 }
 
 impl PendingParams {
-    fn new(policy: DispatchPolicy, slot_count: usize, params: Vec<Bytes>) -> Self {
+    fn new(policy: DispatchPolicy, slot_count: usize, params: Vec<ShipParam>) -> Self {
         match policy {
             DispatchPolicy::FirstFinished => PendingParams::Shared(params.into()),
             DispatchPolicy::RoundRobin => {
@@ -860,7 +877,7 @@ impl PendingParams {
 
     /// Takes up to `max` next parameters for `slot`, honoring the policy.
     /// An empty result means the slot has no work available.
-    fn take_batch_for(&mut self, slot: usize, max: usize) -> Vec<Bytes> {
+    fn take_batch_for(&mut self, slot: usize, max: usize) -> Vec<ShipParam> {
         let queue = match self {
             PendingParams::Shared(q) => q,
             PendingParams::PerSlot(queues) => match queues.get_mut(slot) {
@@ -873,7 +890,7 @@ impl PendingParams {
     }
 
     /// Whether `slot` has any parameter available, without taking it.
-    fn take_peek(&self, slot: usize) -> Option<&Bytes> {
+    fn take_peek(&self, slot: usize) -> Option<&ShipParam> {
         match self {
             PendingParams::Shared(q) => q.front(),
             PendingParams::PerSlot(queues) => queues.get(slot)?.front(),
@@ -883,7 +900,7 @@ impl PendingParams {
     /// Puts a dead child's undelivered in-flight parameters back at the
     /// head of the queue (shared policy) or lets `migrate_slot` place them
     /// (they re-enter via the dead slot's queue first).
-    fn requeue(&mut self, params: Vec<Bytes>) {
+    fn requeue(&mut self, params: Vec<ShipParam>) {
         match self {
             PendingParams::Shared(q) => {
                 for param in params.into_iter().rev() {
@@ -915,7 +932,7 @@ impl PendingParams {
         let Some(queue) = queues.get_mut(dead) else {
             return;
         };
-        let stranded: Vec<Bytes> = queue.drain(..).collect();
+        let stranded: Vec<ShipParam> = queue.drain(..).collect();
         for (i, param) in stranded.into_iter().enumerate() {
             let target = survivors[i % survivors.len()];
             if let Some(q) = queues.get_mut(target) {

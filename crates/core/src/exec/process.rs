@@ -50,8 +50,8 @@ pub(crate) enum ToChild {
     Call {
         /// Correlation id, unique per parent.
         call_id: u64,
-        /// Batch frame of serialized parameter tuples
-        /// ([`wire::encode_tuple_batch`] layout).
+        /// Kind-prefixed message frame of parameter tuples — row or
+        /// columnar format ([`wire::decode_message`]).
         params: Bytes,
     },
     /// Park-time: clear per-run state (adaptation cycle counters), and
@@ -87,7 +87,8 @@ pub(crate) enum FromChild {
         slot: usize,
         /// Correlation id of the call.
         call_id: u64,
-        /// Batch frame of serialized result tuples.
+        /// Kind-prefixed message frame of result tuples
+        /// ([`wire::decode_message`]).
         tuples: Bytes,
     },
     /// The current call finished (successfully or not).
@@ -538,10 +539,16 @@ fn handle_call(
     // accumulate here and ship with this call's end-of-call message.
     crate::resilience::install_skip_sink();
     let outcome = (|| -> crate::CoreResult<()> {
-        for encoded in wire::split_tuple_batch(params)? {
-            let param = wire::decode_tuple(encoded.clone())?;
+        // One parameter's evaluation: stream its rows through the flush
+        // buffer and memoize its complete result set under its row-format
+        // wire encoding (`key` is computed lazily — columnar frames only
+        // re-encode a row when the memo will actually be written).
+        let mut eval_param = |param: &Tuple,
+                              key: &mut dyn FnMut() -> crate::cache::CacheKey,
+                              flush: &mut FlushBuffer|
+         -> crate::CoreResult<()> {
             let skips_before = crate::resilience::skip_sink_len();
-            let rows = eval(body, ctx, &param)?;
+            let rows = eval(body, ctx, param)?;
             for tuple in &rows {
                 if !flush.push(tuple) {
                     return Err(crate::CoreError::ProcessFailure("parent gone".into()));
@@ -553,14 +560,39 @@ fn handle_call(
                 // duplicate short-circuit to partial rows without its
                 // skip being counted.
                 if crate::resilience::skip_sink_len() == skips_before {
-                    let key = crate::cache::CacheKey::for_rows(pf_digest, &encoded);
-                    cache.insert_rows(&key, std::sync::Arc::new(rows));
+                    cache.insert_rows(&key(), std::sync::Arc::new(rows));
                 }
             }
             // A cheap parameter between expensive ones must not strand
             // buffered results past the latency bound.
             if !flush.flush_if_stale() {
                 return Err(crate::CoreError::ProcessFailure("parent gone".into()));
+            }
+            Ok(())
+        };
+        match wire::decode_message(params)? {
+            wire::MessageBatch::Rows(parts) => {
+                for encoded in parts {
+                    let param = wire::decode_tuple(encoded.clone())?;
+                    eval_param(
+                        &param,
+                        &mut || crate::cache::CacheKey::for_rows(pf_digest, &encoded),
+                        &mut flush,
+                    )?;
+                }
+            }
+            wire::MessageBatch::Columnar(batch) => {
+                for i in 0..batch.len() {
+                    let param = batch.row(i);
+                    // Memo-key parity: the key bytes come straight from the
+                    // column slices and equal the parent's `encode_tuple`
+                    // output exactly.
+                    eval_param(
+                        &param,
+                        &mut || crate::cache::CacheKey::for_batch_row(pf_digest, &batch, i),
+                        &mut flush,
+                    )?;
+                }
             }
         }
         Ok(())
@@ -612,7 +644,11 @@ struct FlushBuffer<'a> {
     results: &'a Sender<FromChild>,
     max_tuples: usize,
     flush_model_secs: f64,
+    /// Row mode: per-tuple encodings, framed with a memcpy at flush.
     buf: Vec<Bytes>,
+    /// Columnar mode: buffered rows, whole-column encoded at flush.
+    rows: Vec<Tuple>,
+    columnar: bool,
     buffered_since: Option<Instant>,
     parent_gone: bool,
 }
@@ -635,17 +671,31 @@ impl<'a> FlushBuffer<'a> {
             max_tuples: policy.max_result_tuples.max(1),
             flush_model_secs: policy.flush_model_secs,
             buf: Vec::new(),
+            rows: Vec::new(),
+            columnar: policy.columnar,
             buffered_since: None,
             parent_gone: false,
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        if self.columnar {
+            self.rows.len()
+        } else {
+            self.buf.len()
         }
     }
 
     /// Buffers one result tuple, flushing if the buffer filled or went
     /// stale. Returns `false` if the parent hung up.
     fn push(&mut self, tuple: &Tuple) -> bool {
-        self.buf.push(wire::encode_tuple(tuple));
+        if self.columnar {
+            self.rows.push(tuple.clone());
+        } else {
+            self.buf.push(wire::encode_tuple(tuple));
+        }
         self.buffered_since.get_or_insert_with(Instant::now);
-        if self.buf.len() >= self.max_tuples {
+        if self.buffered() >= self.max_tuples {
             return self.flush();
         }
         self.flush_if_stale()
@@ -666,7 +716,7 @@ impl<'a> FlushBuffer<'a> {
 
     /// Flushes any remaining tuples at end of call.
     fn finish(&mut self) -> bool {
-        if self.buf.is_empty() {
+        if self.buffered() == 0 {
             true
         } else {
             self.flush()
@@ -674,12 +724,17 @@ impl<'a> FlushBuffer<'a> {
     }
 
     fn flush(&mut self) -> bool {
-        if self.buf.is_empty() {
+        let n = self.buffered();
+        if n == 0 {
             return true;
         }
-        let frame = wire::frame_encoded_batch(&self.buf);
-        let n = self.buf.len();
+        let frame = if self.columnar {
+            wire::encode_columnar_message(&self.rows)
+        } else {
+            wire::encode_rows_message(&self.buf)
+        };
         self.buf.clear();
+        self.rows.clear();
         self.buffered_since = None;
         // The child pays its own send cost: one frame plus its tuples.
         let client = &self.ctx.sim().client;

@@ -95,6 +95,12 @@ pub struct BatchPolicy {
     /// [`BatchPolicy::mailbox_capacity`]); `Some(n)` pins it (floored to 2
     /// so a control frame can never deadlock behind a lone data frame).
     pub mailbox_frames: Option<usize>,
+    /// Ship Call/ResultBatch frames in the columnar wire format
+    /// (`wire::encode_columnar_message`): whole-column encodes on the
+    /// sender, zero-copy string decode on the receiver. Off by default —
+    /// the row format is the paper's per-tuple semantics; either setting
+    /// yields identical results and identical model-time accounting.
+    pub columnar: bool,
 }
 
 impl Default for BatchPolicy {
@@ -105,6 +111,7 @@ impl Default for BatchPolicy {
             max_result_tuples: 1,
             flush_model_secs: 0.05,
             mailbox_frames: None,
+            columnar: false,
         }
     }
 }
@@ -116,6 +123,14 @@ impl BatchPolicy {
             max_params: n.max(1),
             max_result_tuples: n.max(1),
             ..Default::default()
+        }
+    }
+
+    /// [`BatchPolicy::uniform`] with the columnar wire format enabled.
+    pub fn columnar(n: usize) -> Self {
+        BatchPolicy {
+            columnar: true,
+            ..BatchPolicy::uniform(n)
         }
     }
 

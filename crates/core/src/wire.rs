@@ -11,9 +11,12 @@
 //! endian, u32 lengths). It is not versioned — both ends are always the
 //! same build, as in the paper's single-system deployment.
 
+use std::cell::RefCell;
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use wsmed_store::{Record, Tuple, Value};
+use wsmed_store::ValueBatch;
+use wsmed_store::{Column, ColumnData, Record, StrColumn, StrHeap, Tuple, Validity, Value};
 
 use crate::plan::{AdaptiveConfig, ArgExpr, PlanFunction, PlanOp};
 use crate::{CoreError, CoreResult};
@@ -36,14 +39,36 @@ pub fn encode_tuple(tuple: &Tuple) -> Bytes {
 
 /// Serializes a value slice with the same layout as [`encode_tuple`] —
 /// lets callers build structural keys without cloning values into a
-/// `Tuple` first.
+/// `Tuple` first. Capacity is sized from the values' exact encoded
+/// length, so the buffer never re-grows mid-encode.
 pub(crate) fn encode_value_slice(values: &[Value]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
+    let cap = 4 + values.iter().map(value_encoded_size).sum::<usize>();
+    let mut buf = BytesMut::with_capacity(cap);
     buf.put_u32_le(values.len() as u32);
     for v in values {
         put_value(&mut buf, v);
     }
     buf.freeze()
+}
+
+/// Exact number of bytes [`put_value`] writes for `value`.
+fn value_encoded_size(value: &Value) -> usize {
+    match value {
+        Value::Null => 1,
+        Value::Str(s) => 1 + 4 + s.len(),
+        Value::Real(_) | Value::Int(_) => 1 + 8,
+        Value::Bool(_) => 1 + 1,
+        Value::Record(record) => {
+            1 + 4
+                + record
+                    .iter()
+                    .map(|(name, v)| 4 + name.len() + value_encoded_size(v))
+                    .sum::<usize>()
+        }
+        Value::Sequence(items) | Value::Bag(items) => {
+            1 + 4 + items.iter().map(value_encoded_size).sum::<usize>()
+        }
+    }
 }
 
 /// Serializes a batch of tuples into one frame.
@@ -56,14 +81,22 @@ pub(crate) fn encode_value_slice(values: &[Value]) -> Bytes {
 pub fn encode_tuple_batch(tuples: &[Tuple]) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 * tuples.len() + 8);
     put_varint(&mut buf, tuples.len() as u64);
-    let mut scratch = BytesMut::with_capacity(64);
-    for t in tuples {
-        put_tuple(&mut scratch, t);
-        put_varint(&mut buf, scratch.len() as u64);
-        buf.put_slice(&scratch);
-        scratch.clear();
-    }
+    TUPLE_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        for t in tuples {
+            scratch.clear();
+            put_tuple(scratch, t);
+            put_varint(&mut buf, scratch.len() as u64);
+            buf.put_slice(scratch);
+        }
+    });
     buf.freeze()
+}
+
+thread_local! {
+    // Per-tuple encode buffer shared across frames: `clear` keeps the
+    // capacity, so after the first few frames no frame re-grows it.
+    static TUPLE_SCRATCH: RefCell<BytesMut> = RefCell::new(BytesMut::with_capacity(256));
 }
 
 /// Builds a batch frame from tuples that are already individually
@@ -81,6 +114,338 @@ where
         buf.put_slice(part);
     }
     buf.freeze()
+}
+
+// -------------------------------------------------------------- columnar --
+//
+// The Call / ResultBatch message frames carry a one-byte kind prefix:
+// kind 0 means a legacy row frame follows (`encode_tuple_batch` layout),
+// kind 1 a columnar frame. Columnar layout after the kind byte:
+//
+//   varint row_count, varint col_count, then per column:
+//     u8 tag (0=Null 1=Int 2=Real 3=Bool 4=Str 5=Other)
+//     u8 has_validity, then ceil(rows/8) mask bytes if 1
+//     data — Int/Real: rows × 8 LE; Bool: ceil(rows/8) packed bits;
+//            Str: rows × u32 LE lengths, u32 heap_len, heap bytes;
+//            Other: rows × tagged values (row format per value)
+//
+// Decode of a Str column borrows the heap straight out of the received
+// frame (`copy_to_bytes` shares the allocation) — zero per-value copies.
+
+/// Message frame kind: a legacy row frame follows.
+const KIND_ROWS: u8 = 0;
+/// Message frame kind: a columnar frame follows.
+const KIND_COLUMNAR: u8 = 1;
+
+/// A decoded Call/ResultBatch message frame.
+#[derive(Debug, Clone)]
+pub enum MessageBatch {
+    /// Per-tuple row encodings, zero-copy slices of the frame (the
+    /// slices match [`encode_tuple`] output byte-for-byte).
+    Rows(Vec<Bytes>),
+    /// A columnar batch whose string heaps borrow the frame.
+    Columnar(ValueBatch),
+}
+
+impl MessageBatch {
+    /// Number of tuples carried.
+    pub fn len(&self) -> usize {
+        match self {
+            MessageBatch::Rows(parts) => parts.len(),
+            MessageBatch::Columnar(batch) => batch.len(),
+        }
+    }
+
+    /// Whether the frame carries no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes every tuple (row fallback for unmigrated callers).
+    pub fn into_tuples(self) -> CoreResult<Vec<Tuple>> {
+        match self {
+            MessageBatch::Rows(parts) => parts.into_iter().map(decode_tuple).collect(),
+            MessageBatch::Columnar(batch) => Ok(batch.to_tuples()),
+        }
+    }
+}
+
+/// Builds a kind-prefixed message frame from pre-encoded row tuples.
+pub fn encode_rows_message<'a, I>(encoded: I) -> Bytes
+where
+    I: IntoIterator<Item = &'a Bytes>,
+    I::IntoIter: ExactSizeIterator,
+{
+    let iter = encoded.into_iter();
+    let mut buf = BytesMut::with_capacity(8);
+    buf.put_u8(KIND_ROWS);
+    put_varint(&mut buf, iter.len() as u64);
+    for part in iter {
+        put_varint(&mut buf, part.len() as u64);
+        buf.put_slice(part);
+    }
+    buf.freeze()
+}
+
+/// Builds a columnar message frame from a batch.
+pub fn encode_columnar_batch(batch: &ValueBatch) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + 16 * batch.len());
+    buf.put_u8(KIND_COLUMNAR);
+    put_columnar(&mut buf, batch);
+    buf.freeze()
+}
+
+/// Encodes tuples as a columnar message frame, falling back to the row
+/// format when the batch cannot be columnarized (non-uniform arity).
+pub fn encode_columnar_message(tuples: &[Tuple]) -> Bytes {
+    match ValueBatch::from_tuples(tuples) {
+        Some(batch) => encode_columnar_batch(&batch),
+        None => {
+            let mut buf = BytesMut::with_capacity(64 * tuples.len() + 9);
+            buf.put_u8(KIND_ROWS);
+            put_varint(&mut buf, tuples.len() as u64);
+            TUPLE_SCRATCH.with(|cell| {
+                let scratch = &mut *cell.borrow_mut();
+                for t in tuples {
+                    scratch.clear();
+                    put_tuple(scratch, t);
+                    put_varint(&mut buf, scratch.len() as u64);
+                    buf.put_slice(scratch);
+                }
+            });
+            buf.freeze()
+        }
+    }
+}
+
+/// Decodes a kind-prefixed message frame produced by
+/// [`encode_rows_message`] / [`encode_columnar_message`].
+pub fn decode_message(mut bytes: Bytes) -> CoreResult<MessageBatch> {
+    match get_u8(&mut bytes)? {
+        KIND_ROWS => Ok(MessageBatch::Rows(split_tuple_batch(bytes)?)),
+        KIND_COLUMNAR => {
+            let batch = get_columnar(&mut bytes)?;
+            if bytes.has_remaining() {
+                return Err(CoreError::Wire(format!(
+                    "{} trailing bytes after columnar frame",
+                    bytes.remaining()
+                )));
+            }
+            Ok(MessageBatch::Columnar(batch))
+        }
+        kind => Err(CoreError::Wire(format!("unknown message kind {kind}"))),
+    }
+}
+
+/// Re-encodes row `i` of a columnar batch in [`encode_tuple`] layout,
+/// straight from the column vectors (strings come from heap slices, no
+/// `Arc` materialization). Byte-identical to `encode_tuple(&batch.row(i))`
+/// — this is how the child keeps per-parameter memo keys in parity with
+/// the parent's row encodings without materializing rows.
+pub fn encode_row_tuple(batch: &ValueBatch, i: usize) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 * batch.arity().max(1));
+    buf.put_u32_le(batch.arity() as u32);
+    for col in batch.columns() {
+        if !col.is_valid(i) {
+            buf.put_u8(0);
+            continue;
+        }
+        match col.data() {
+            ColumnData::Null => buf.put_u8(0),
+            ColumnData::Int(v) => {
+                buf.put_u8(3);
+                buf.put_i64_le(v[i]);
+            }
+            ColumnData::Real(v) => {
+                buf.put_u8(2);
+                buf.put_f64_le(v[i]);
+            }
+            ColumnData::Bool(v) => {
+                buf.put_u8(4);
+                buf.put_u8(u8::from(v[i]));
+            }
+            ColumnData::Str(col) => {
+                buf.put_u8(1);
+                let raw = col.get_bytes(i);
+                buf.put_u32_le(raw.len() as u32);
+                buf.put_slice(raw);
+            }
+            ColumnData::Other(v) => put_value(&mut buf, &v[i]),
+        }
+    }
+    buf.freeze()
+}
+
+fn put_validity(buf: &mut BytesMut, validity: Option<&Validity>) {
+    match validity {
+        Some(mask) => {
+            buf.put_u8(1);
+            buf.put_slice(mask.as_bytes());
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn put_columnar(buf: &mut BytesMut, batch: &ValueBatch) {
+    put_varint(buf, batch.len() as u64);
+    put_varint(buf, batch.arity() as u64);
+    for col in batch.columns() {
+        match col.data() {
+            ColumnData::Null => {
+                buf.put_u8(0);
+                buf.put_u8(0); // all-null columns carry no mask
+            }
+            ColumnData::Int(v) => {
+                buf.put_u8(1);
+                put_validity(buf, col.validity());
+                for &x in v {
+                    buf.put_i64_le(x);
+                }
+            }
+            ColumnData::Real(v) => {
+                buf.put_u8(2);
+                put_validity(buf, col.validity());
+                for &x in v {
+                    buf.put_f64_le(x);
+                }
+            }
+            ColumnData::Bool(v) => {
+                buf.put_u8(3);
+                put_validity(buf, col.validity());
+                let mut packed = vec![0u8; v.len().div_ceil(8)];
+                for (i, &b) in v.iter().enumerate() {
+                    if b {
+                        packed[i / 8] |= 1 << (i % 8);
+                    }
+                }
+                buf.put_slice(&packed);
+            }
+            ColumnData::Str(scol) => {
+                buf.put_u8(4);
+                put_validity(buf, col.validity());
+                let offsets = scol.offsets();
+                for w in offsets.windows(2) {
+                    buf.put_u32_le(w[1] - w[0]);
+                }
+                let heap = scol.heap().as_bytes();
+                buf.put_u32_le(heap.len() as u32);
+                buf.put_slice(heap);
+            }
+            ColumnData::Other(v) => {
+                buf.put_u8(5);
+                put_validity(buf, col.validity());
+                for value in v {
+                    put_value(buf, value);
+                }
+            }
+        }
+    }
+}
+
+fn get_validity(buf: &mut Bytes, rows: usize) -> CoreResult<Option<Validity>> {
+    match get_u8(buf)? {
+        0 => Ok(None),
+        1 => {
+            let n = rows.div_ceil(8);
+            need(buf, n)?;
+            let raw = buf.copy_to_bytes(n).to_vec();
+            Validity::from_bytes(raw, rows)
+                .map(Some)
+                .ok_or_else(|| CoreError::Wire("bad validity mask".into()))
+        }
+        tag => Err(CoreError::Wire(format!("bad validity tag {tag}"))),
+    }
+}
+
+fn get_columnar(buf: &mut Bytes) -> CoreResult<ValueBatch> {
+    let rows = get_varint(buf)?;
+    let cols = get_varint(buf)?;
+    if rows > u32::MAX as u64 || cols > u32::MAX as u64 {
+        return Err(CoreError::Wire(format!(
+            "absurd columnar shape {rows}×{cols}"
+        )));
+    }
+    let rows = rows as usize;
+    let mut columns = Vec::with_capacity((cols as usize).min(4096));
+    for _ in 0..cols {
+        let tag = get_u8(buf)?;
+        if tag == 0 {
+            match get_u8(buf)? {
+                0 => columns.push(Column::new(ColumnData::Null, None)),
+                other => {
+                    return Err(CoreError::Wire(format!(
+                        "null column with validity tag {other}"
+                    )))
+                }
+            }
+            continue;
+        }
+        let validity = get_validity(buf, rows)?;
+        let data = match tag {
+            1 => {
+                need(buf, rows * 8)?;
+                let mut v = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    v.push(buf.get_i64_le());
+                }
+                ColumnData::Int(v)
+            }
+            2 => {
+                need(buf, rows * 8)?;
+                let mut v = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    v.push(buf.get_f64_le());
+                }
+                ColumnData::Real(v)
+            }
+            3 => {
+                let n = rows.div_ceil(8);
+                need(buf, n)?;
+                let packed = buf.copy_to_bytes(n);
+                ColumnData::Bool(
+                    (0..rows)
+                        .map(|i| packed[i / 8] & (1 << (i % 8)) != 0)
+                        .collect(),
+                )
+            }
+            4 => {
+                need(buf, rows * 4)?;
+                let mut offsets = Vec::with_capacity(rows + 1);
+                offsets.push(0u32);
+                let mut total = 0u64;
+                for _ in 0..rows {
+                    total += u64::from(buf.get_u32_le());
+                    if total > u64::from(u32::MAX) {
+                        return Err(CoreError::Wire("string heap overflows u32".into()));
+                    }
+                    offsets.push(total as u32);
+                }
+                let heap_len = get_u32(buf)?;
+                if heap_len as u64 != total {
+                    return Err(CoreError::Wire(format!(
+                        "heap length {heap_len} != summed lengths {total}"
+                    )));
+                }
+                need(buf, heap_len)?;
+                // Zero-copy: the heap is a refcounted view of the frame.
+                let heap = buf.copy_to_bytes(heap_len);
+                let col = StrColumn::new(offsets, StrHeap::Shared(heap))
+                    .ok_or_else(|| CoreError::Wire("invalid UTF-8 in string column".into()))?;
+                ColumnData::Str(col)
+            }
+            5 => {
+                let mut v = Vec::with_capacity(rows.min(4096));
+                for _ in 0..rows {
+                    v.push(get_value(buf)?);
+                }
+                ColumnData::Other(v)
+            }
+            other => return Err(CoreError::Wire(format!("unknown column tag {other}"))),
+        };
+        columns.push(Column::new(data, validity));
+    }
+    ValueBatch::from_parts(rows, columns)
+        .ok_or_else(|| CoreError::Wire("columnar frame shape mismatch".into()))
 }
 
 /// LEB128 unsigned varint (7 bits per byte, high bit = continuation).
@@ -411,7 +776,11 @@ fn get_str(buf: &mut Bytes) -> CoreResult<String> {
     let len = get_u32(buf)?;
     need(buf, len)?;
     let raw = buf.copy_to_bytes(len);
-    String::from_utf8(raw.to_vec()).map_err(|_| CoreError::Wire("invalid UTF-8".into()))
+    // Validate in place and copy once; `String::from_utf8(raw.to_vec())`
+    // would copy before validating and throw the copy away on error.
+    std::str::from_utf8(&raw)
+        .map(str::to_owned)
+        .map_err(|_| CoreError::Wire("invalid UTF-8".into()))
 }
 
 fn get_value(buf: &mut Bytes) -> CoreResult<Value> {
@@ -819,6 +1188,131 @@ mod tests {
         assert!(decode_tuple_batch(Bytes::from(raw)).is_err());
     }
 
+    // ---- columnar frames -------------------------------------------------
+
+    fn columnar_batch() -> Vec<Tuple> {
+        vec![
+            Tuple::new(vec![
+                Value::Int(1),
+                Value::str("Atlanta"),
+                Value::Real(1.5),
+                Value::Bool(true),
+                Value::Null,
+            ]),
+            Tuple::new(vec![
+                Value::Int(2),
+                Value::Null,
+                Value::Real(f64::NAN),
+                Value::Null,
+                Value::Sequence(vec![Value::Int(9), Value::str("x")]),
+            ]),
+            Tuple::new(vec![
+                Value::Int(3),
+                Value::str("Decatur"),
+                Value::Real(-0.0),
+                Value::Bool(false),
+                Value::str("mixed"),
+            ]),
+        ]
+    }
+
+    fn assert_rows_eq(a: &[Tuple], b: &[Tuple]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.total_cmp(y), std::cmp::Ordering::Equal, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn columnar_message_roundtrip() {
+        let tuples = columnar_batch();
+        let frame = encode_columnar_message(&tuples);
+        let MessageBatch::Columnar(batch) = decode_message(frame).unwrap() else {
+            panic!("uniform batch must ship columnar");
+        };
+        assert_rows_eq(&batch.to_tuples(), &tuples);
+        // Empty batches round-trip too.
+        let empty = decode_message(encode_columnar_message(&[])).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn columnar_decode_borrows_frame_heap() {
+        let tuples = columnar_batch();
+        let frame = encode_columnar_message(&tuples);
+        let frame_range = frame.as_ptr_range();
+        let MessageBatch::Columnar(batch) = decode_message(frame.clone()).unwrap() else {
+            panic!("expected columnar");
+        };
+        let ColumnData::Str(col) = batch.column(1).data() else {
+            panic!("expected str column");
+        };
+        assert!(col.heap().is_shared(), "heap must borrow the frame");
+        let heap = col.heap().as_bytes().as_ptr_range();
+        assert!(
+            frame_range.start <= heap.start && heap.end <= frame_range.end,
+            "heap bytes must live inside the received frame"
+        );
+    }
+
+    #[test]
+    fn non_uniform_batch_falls_back_to_rows() {
+        let tuples = sample_batch(); // arities 2, 0, 3
+        let frame = encode_columnar_message(&tuples);
+        let decoded = decode_message(frame).unwrap();
+        let MessageBatch::Rows(parts) = &decoded else {
+            panic!("non-uniform arity must fall back to the row format");
+        };
+        for (part, t) in parts.iter().zip(&tuples) {
+            assert_eq!(part, &encode_tuple(t));
+        }
+        assert_rows_eq(&decoded.into_tuples().unwrap(), &tuples);
+    }
+
+    #[test]
+    fn rows_message_matches_legacy_frame_plus_kind() {
+        let tuples = sample_batch();
+        let parts: Vec<Bytes> = tuples.iter().map(encode_tuple).collect();
+        let msg = encode_rows_message(&parts);
+        assert_eq!(msg[0], 0, "kind byte");
+        assert_eq!(msg.slice(1..), encode_tuple_batch(&tuples));
+        assert_rows_eq(
+            &decode_message(msg).unwrap().into_tuples().unwrap(),
+            &tuples,
+        );
+    }
+
+    #[test]
+    fn encode_row_tuple_matches_row_encoding() {
+        for tuples in [columnar_batch(), vec![Tuple::empty(), Tuple::empty()]] {
+            let batch = wsmed_store::ValueBatch::from_tuples(&tuples).unwrap();
+            for (i, t) in tuples.iter().enumerate() {
+                assert_eq!(
+                    encode_row_tuple(&batch, i),
+                    encode_tuple(t),
+                    "row {i} encoding must be byte-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_frame_rejects_corruption() {
+        let frame = encode_columnar_message(&columnar_batch());
+        for cut in 0..frame.len() {
+            assert!(
+                decode_message(frame.slice(0..cut)).is_err(),
+                "cut at {cut} decoded successfully"
+            );
+        }
+        let mut raw = frame.to_vec();
+        raw.push(0);
+        assert!(decode_message(Bytes::from(raw)).is_err(), "trailing bytes");
+        let mut raw = frame.to_vec();
+        raw[0] = 9;
+        assert!(decode_message(Bytes::from(raw)).is_err(), "unknown kind");
+    }
+
     // ---- property tests --------------------------------------------------
 
     fn value_strategy() -> impl Strategy<Value = Value> {
@@ -857,7 +1351,52 @@ mod tests {
         fn prop_decoder_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = decode_plan_function(Bytes::from(raw.clone()));
             let _ = decode_tuple(Bytes::from(raw.clone()));
-            let _ = decode_tuple_batch(Bytes::from(raw));
+            let _ = decode_tuple_batch(Bytes::from(raw.clone()));
+            let _ = decode_message(Bytes::from(raw.clone()));
+            // Exercise the columnar decoder directly too.
+            let mut framed = vec![1u8];
+            framed.extend_from_slice(&raw);
+            let _ = decode_message(Bytes::from(framed));
+        }
+
+        #[test]
+        fn prop_columnar_roundtrip_uniform(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(value_strategy(), 3..4),
+                0..12,
+            )
+        ) {
+            let tuples: Vec<Tuple> = rows.into_iter().map(Tuple::new).collect();
+            let decoded = decode_message(encode_columnar_message(&tuples)).unwrap();
+            let back = decoded.into_tuples().unwrap();
+            prop_assert_eq!(back.len(), tuples.len());
+            for (b, t) in back.iter().zip(&tuples) {
+                prop_assert_eq!(b.total_cmp(t), std::cmp::Ordering::Equal);
+            }
+        }
+
+        #[test]
+        fn prop_encode_row_tuple_parity(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(value_strategy(), 4..5),
+                1..10,
+            )
+        ) {
+            // Memo-key invariant: the child's column-sourced re-encoding of
+            // any row must equal the parent's `encode_tuple` byte-for-byte,
+            // even after a wire round trip.
+            let tuples: Vec<Tuple> = rows.into_iter().map(Tuple::new).collect();
+            let direct = wsmed_store::ValueBatch::from_tuples(&tuples).unwrap();
+            let MessageBatch::Columnar(wired) =
+                decode_message(encode_columnar_batch(&direct)).unwrap()
+            else {
+                panic!("expected columnar")
+            };
+            for (i, t) in tuples.iter().enumerate() {
+                let expected = encode_tuple(t);
+                prop_assert_eq!(&encode_row_tuple(&direct, i), &expected);
+                prop_assert_eq!(&encode_row_tuple(&wired, i), &expected);
+            }
         }
 
         #[test]

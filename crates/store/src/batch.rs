@@ -1,0 +1,586 @@
+//! Columnar tuple batches — the batch-at-a-time representation of the
+//! engine's hot path.
+//!
+//! A [`ValueBatch`] holds a fixed number of rows as *per-column typed
+//! vectors* instead of per-row [`Value`] trees: an `Int` column is one
+//! `Vec<i64>`, a string column is a flat byte heap plus an offsets
+//! vector, and nulls live in a per-column validity bitmask. Compared to
+//! `Vec<Tuple>` this removes the per-value enum tags, the per-string
+//! `Arc` allocations and the pointer chasing that dominate the wire hot
+//! path, and it gives the wire format whole-column slices to memcpy.
+//!
+//! The string heap is abstracted behind [`StrHeap`] so a decoded batch
+//! can *borrow* the received frame (`StrHeap::Shared`, zero-copy) while a
+//! batch built from tuples owns its bytes (`StrHeap::Owned`).
+//!
+//! **Row fallback.** A batch requires uniform arity and is most compact
+//! when a column holds one scalar type (plus nulls). Mixed-type or
+//! nested (record/sequence/bag) columns degrade gracefully to
+//! [`ColumnData::Other`], a per-row `Value` vector; batches with
+//! non-uniform arity cannot be built at all ([`ValueBatch::from_tuples`]
+//! returns `None`) and callers ship the row format instead. Row-view
+//! accessors ([`ValueBatch::row`], [`Column::value`]) let operator code
+//! that still thinks in tuples migrate incrementally.
+
+use bytes::Bytes;
+
+use crate::{Tuple, Value};
+
+/// A packed validity bitmask: bit `i` set ⇔ row `i` is non-null.
+///
+/// Only materialized for columns that actually contain nulls; an absent
+/// mask means every row is valid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Validity {
+    bits: Vec<u8>,
+    len: usize,
+}
+
+impl Validity {
+    /// Builds a mask from per-row validity flags.
+    pub fn from_flags(flags: &[bool]) -> Self {
+        let mut bits = vec![0u8; flags.len().div_ceil(8)];
+        for (i, &ok) in flags.iter().enumerate() {
+            if ok {
+                bits[i / 8] |= 1 << (i % 8);
+            }
+        }
+        Validity {
+            bits,
+            len: flags.len(),
+        }
+    }
+
+    /// Reconstructs a mask from its packed bytes (wire decode).
+    /// Returns `None` when the byte count does not match `len`.
+    pub fn from_bytes(bits: Vec<u8>, len: usize) -> Option<Self> {
+        (bits.len() == len.div_ceil(8)).then_some(Validity { bits, len })
+    }
+
+    /// Whether row `i` is valid (non-null).
+    pub fn is_valid(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[i / 8] & (1 << (i % 8)) != 0
+    }
+
+    /// The packed bytes, `ceil(len/8)` of them (wire encode).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The backing bytes of a string column: either owned by the batch or a
+/// zero-copy view into a received wire frame.
+#[derive(Debug, Clone)]
+pub enum StrHeap {
+    /// The batch owns its heap (built from tuples).
+    Owned(Vec<u8>),
+    /// The heap borrows a slice of the frame it was decoded from —
+    /// cloning the `Bytes` bumps a refcount, never copies.
+    Shared(Bytes),
+}
+
+impl StrHeap {
+    /// The heap bytes, wherever they live.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            StrHeap::Owned(v) => v,
+            StrHeap::Shared(b) => b,
+        }
+    }
+
+    /// Whether this heap borrows a received frame (the zero-copy path).
+    pub fn is_shared(&self) -> bool {
+        matches!(self, StrHeap::Shared(_))
+    }
+}
+
+/// A string column: a flat heap of UTF-8 bytes plus `len + 1` offsets.
+/// Row `i` is `heap[offsets[i]..offsets[i+1]]`; null rows are
+/// zero-length (and masked out by the column's validity).
+///
+/// Every offset range is guaranteed valid UTF-8 by construction:
+/// [`StrColumn::new`] validates each slice once, so accessors can slice
+/// without re-checking.
+#[derive(Debug, Clone)]
+pub struct StrColumn {
+    offsets: Vec<u32>,
+    heap: StrHeap,
+}
+
+impl StrColumn {
+    /// Builds a column after validating every row slice as UTF-8.
+    /// Returns `None` when offsets are malformed (non-monotone, wrong
+    /// count, past the heap) or any slice is invalid UTF-8.
+    pub fn new(offsets: Vec<u32>, heap: StrHeap) -> Option<Self> {
+        let bytes = heap.as_bytes();
+        if offsets.is_empty() || *offsets.last().unwrap() as usize != bytes.len() {
+            return None;
+        }
+        for w in offsets.windows(2) {
+            if w[0] > w[1] {
+                return None;
+            }
+            std::str::from_utf8(&bytes[w[0] as usize..w[1] as usize]).ok()?;
+        }
+        Some(StrColumn { offsets, heap })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the column holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row `i` as a string slice borrowing the heap.
+    pub fn get(&self, i: usize) -> &str {
+        // Validated slice-by-slice in `new`; re-checking is cheap
+        // insurance against construction bugs and keeps the crate free
+        // of `unsafe`.
+        std::str::from_utf8(self.get_bytes(i)).expect("validated at construction")
+    }
+
+    /// Row `i` as raw bytes (for wire writers that emit length + bytes).
+    pub fn get_bytes(&self, i: usize) -> &[u8] {
+        let (a, b) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        &self.heap.as_bytes()[a..b]
+    }
+
+    /// The backing heap.
+    pub fn heap(&self) -> &StrHeap {
+        &self.heap
+    }
+
+    /// The offsets vector (`len + 1` entries).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+}
+
+/// The typed vector behind one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Every row null (validity is implicitly all-invalid).
+    Null,
+    /// `Vec<i64>`; masked rows hold 0.
+    Int(Vec<i64>),
+    /// `Vec<f64>` with exact bit patterns (NaN-safe); masked rows hold 0.
+    Real(Vec<f64>),
+    /// Packed booleans; masked rows hold `false`.
+    Bool(Vec<bool>),
+    /// Flat string heap + offsets; masked rows are zero-length.
+    Str(StrColumn),
+    /// Row fallback: mixed-type or nested values, one `Value` per row.
+    Other(Vec<Value>),
+}
+
+impl ColumnData {
+    /// Short kind name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ColumnData::Null => "null",
+            ColumnData::Int(_) => "int",
+            ColumnData::Real(_) => "real",
+            ColumnData::Bool(_) => "bool",
+            ColumnData::Str(_) => "str",
+            ColumnData::Other(_) => "other",
+        }
+    }
+}
+
+/// One column: typed data plus an optional validity mask (absent ⇔ all
+/// rows valid; [`ColumnData::Null`] columns are all-invalid without one).
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: ColumnData,
+    validity: Option<Validity>,
+}
+
+impl Column {
+    /// Assembles a column. `validity`, when present, must cover exactly
+    /// the column's rows (checked by [`ValueBatch::from_parts`]).
+    pub fn new(data: ColumnData, validity: Option<Validity>) -> Self {
+        Column { data, validity }
+    }
+
+    /// The typed data vector.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The validity mask, if the column has nulls.
+    pub fn validity(&self) -> Option<&Validity> {
+        self.validity.as_ref()
+    }
+
+    /// Whether row `i` is non-null.
+    pub fn is_valid(&self, i: usize) -> bool {
+        if matches!(self.data, ColumnData::Null) {
+            return false;
+        }
+        self.validity.as_ref().is_none_or(|v| v.is_valid(i))
+    }
+
+    /// Materializes row `i` as a [`Value`] (row-view accessor; allocates
+    /// for strings — columnar consumers should read the typed vectors).
+    pub fn value(&self, i: usize) -> Value {
+        if !self.is_valid(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Null => Value::Null,
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Real(v) => Value::Real(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Str(col) => Value::str(col.get(i)),
+            ColumnData::Other(v) => v[i].clone(),
+        }
+    }
+}
+
+/// A columnar batch of `len` rows across `columns.len()` columns.
+#[derive(Debug, Clone, Default)]
+pub struct ValueBatch {
+    len: usize,
+    columns: Vec<Column>,
+}
+
+impl ValueBatch {
+    /// Builds a batch from row tuples.
+    ///
+    /// Returns `None` when the tuples do not share one arity — the
+    /// caller's cue to fall back to the row wire format. A uniform batch
+    /// always succeeds: columns that defy typing become
+    /// [`ColumnData::Other`].
+    pub fn from_tuples(tuples: &[Tuple]) -> Option<ValueBatch> {
+        let Some(first) = tuples.first() else {
+            return Some(ValueBatch::default());
+        };
+        let arity = first.arity();
+        if tuples.iter().any(|t| t.arity() != arity) {
+            return None;
+        }
+        let columns = (0..arity)
+            .map(|c| build_column(tuples, c))
+            .collect::<Vec<_>>();
+        Some(ValueBatch {
+            len: tuples.len(),
+            columns,
+        })
+    }
+
+    /// Assembles a batch from decoded columns (wire decode). Returns
+    /// `None` when any column's row count or validity length disagrees
+    /// with `len`.
+    pub fn from_parts(len: usize, columns: Vec<Column>) -> Option<ValueBatch> {
+        for col in &columns {
+            let rows = match &col.data {
+                ColumnData::Null => len,
+                ColumnData::Int(v) => v.len(),
+                ColumnData::Real(v) => v.len(),
+                ColumnData::Bool(v) => v.len(),
+                ColumnData::Str(s) => s.len(),
+                ColumnData::Other(v) => v.len(),
+            };
+            if rows != len {
+                return None;
+            }
+            if let Some(v) = &col.validity {
+                if v.len() != len {
+                    return None;
+                }
+            }
+        }
+        Some(ValueBatch { len, columns })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns. Zero-column batches with rows are legal (empty
+    /// tuples flow through predicates).
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column `c`.
+    pub fn column(&self, c: usize) -> &Column {
+        &self.columns[c]
+    }
+
+    /// Materializes row `i` as a [`Tuple`] (row-view accessor).
+    pub fn row(&self, i: usize) -> Tuple {
+        assert!(i < self.len, "row {i} out of {} rows", self.len);
+        self.columns.iter().map(|col| col.value(i)).collect()
+    }
+
+    /// Materializes every row — the documented row fallback for operator
+    /// code that has not migrated to columnar access yet.
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        (0..self.len).map(|i| self.row(i)).collect()
+    }
+}
+
+/// Scans column `c` of `tuples` and picks the densest representation.
+fn build_column(tuples: &[Tuple], c: usize) -> Column {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Kind {
+        Unseen,
+        Int,
+        Real,
+        Bool,
+        Str,
+        Other,
+    }
+    let mut kind = Kind::Unseen;
+    let mut nulls = false;
+    let mut str_bytes = 0usize;
+    for t in tuples {
+        match t.get(c) {
+            Value::Null => nulls = true,
+            Value::Int(_) if matches!(kind, Kind::Unseen | Kind::Int) => kind = Kind::Int,
+            Value::Real(_) if matches!(kind, Kind::Unseen | Kind::Real) => kind = Kind::Real,
+            Value::Bool(_) if matches!(kind, Kind::Unseen | Kind::Bool) => kind = Kind::Bool,
+            Value::Str(s) if matches!(kind, Kind::Unseen | Kind::Str) => {
+                kind = Kind::Str;
+                str_bytes += s.len();
+            }
+            _ => {
+                kind = Kind::Other;
+                break;
+            }
+        }
+    }
+    let validity = || {
+        nulls.then(|| {
+            let flags: Vec<bool> = tuples
+                .iter()
+                .map(|t| !matches!(t.get(c), Value::Null))
+                .collect();
+            Validity::from_flags(&flags)
+        })
+    };
+    let data = match kind {
+        Kind::Unseen => return Column::new(ColumnData::Null, None),
+        Kind::Int => ColumnData::Int(
+            tuples
+                .iter()
+                .map(|t| match t.get(c) {
+                    Value::Int(i) => *i,
+                    _ => 0,
+                })
+                .collect(),
+        ),
+        Kind::Real => ColumnData::Real(
+            tuples
+                .iter()
+                .map(|t| match t.get(c) {
+                    Value::Real(r) => *r,
+                    _ => 0.0,
+                })
+                .collect(),
+        ),
+        Kind::Bool => ColumnData::Bool(
+            tuples
+                .iter()
+                .map(|t| match t.get(c) {
+                    Value::Bool(b) => *b,
+                    _ => false,
+                })
+                .collect(),
+        ),
+        Kind::Str => {
+            let mut heap = Vec::with_capacity(str_bytes);
+            let mut offsets = Vec::with_capacity(tuples.len() + 1);
+            offsets.push(0u32);
+            for t in tuples {
+                if let Value::Str(s) = t.get(c) {
+                    heap.extend_from_slice(s.as_bytes());
+                }
+                offsets.push(heap.len() as u32);
+            }
+            ColumnData::Str(
+                StrColumn::new(offsets, StrHeap::Owned(heap)).expect("owned heap is valid UTF-8"),
+            )
+        }
+        Kind::Other => ColumnData::Other(tuples.iter().map(|t| t.get(c).clone()).collect()),
+    };
+    Column::new(data, validity())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_batch() -> Vec<Tuple> {
+        vec![
+            Tuple::new(vec![
+                Value::Int(1),
+                Value::str("Atlanta"),
+                Value::Real(1.5),
+                Value::Null,
+            ]),
+            Tuple::new(vec![
+                Value::Int(2),
+                Value::Null,
+                Value::Real(f64::NAN),
+                Value::Bool(true),
+            ]),
+            Tuple::new(vec![
+                Value::Int(3),
+                Value::str("Decatur"),
+                Value::Real(-0.0),
+                Value::Sequence(vec![Value::Int(9)]),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn round_trips_rows() {
+        let tuples = mixed_batch();
+        let batch = ValueBatch::from_tuples(&tuples).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.arity(), 4);
+        for (i, t) in tuples.iter().enumerate() {
+            assert_eq!(
+                batch.row(i).total_cmp(t),
+                std::cmp::Ordering::Equal,
+                "row {i}"
+            );
+        }
+        let back = batch.to_tuples();
+        for (b, t) in back.iter().zip(&tuples) {
+            assert_eq!(b.total_cmp(t), std::cmp::Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn column_typing() {
+        let batch = ValueBatch::from_tuples(&mixed_batch()).unwrap();
+        assert!(matches!(batch.column(0).data(), ColumnData::Int(_)));
+        assert!(matches!(batch.column(1).data(), ColumnData::Str(_)));
+        assert!(matches!(batch.column(2).data(), ColumnData::Real(_)));
+        assert!(matches!(batch.column(3).data(), ColumnData::Other(_)));
+        assert!(batch.column(0).validity().is_none(), "no nulls, no mask");
+        assert!(batch.column(1).validity().is_some());
+        assert!(batch.column(1).is_valid(0));
+        assert!(!batch.column(1).is_valid(1));
+    }
+
+    #[test]
+    fn real_bits_survive() {
+        let batch = ValueBatch::from_tuples(&mixed_batch()).unwrap();
+        let ColumnData::Real(v) = batch.column(2).data() else {
+            panic!("real column")
+        };
+        assert!(v[1].is_nan());
+        assert!(v[2].is_sign_negative() && v[2] == 0.0);
+    }
+
+    #[test]
+    fn non_uniform_arity_is_rejected() {
+        let tuples = vec![Tuple::new(vec![Value::Int(1)]), Tuple::new(vec![])];
+        assert!(ValueBatch::from_tuples(&tuples).is_none());
+    }
+
+    #[test]
+    fn empty_and_all_null_columns() {
+        assert_eq!(ValueBatch::from_tuples(&[]).unwrap().len(), 0);
+        let tuples = vec![Tuple::new(vec![Value::Null]), Tuple::new(vec![Value::Null])];
+        let batch = ValueBatch::from_tuples(&tuples).unwrap();
+        assert!(matches!(batch.column(0).data(), ColumnData::Null));
+        assert_eq!(batch.row(1), Tuple::new(vec![Value::Null]));
+    }
+
+    #[test]
+    fn empty_tuples_keep_row_count() {
+        let tuples = vec![Tuple::empty(), Tuple::empty()];
+        let batch = ValueBatch::from_tuples(&tuples).unwrap();
+        assert_eq!((batch.len(), batch.arity()), (2, 0));
+        assert_eq!(batch.to_tuples(), tuples);
+    }
+
+    #[test]
+    fn str_column_slices_share_heap() {
+        let tuples = vec![
+            Tuple::new(vec![Value::str("ab")]),
+            Tuple::new(vec![Value::str("")]),
+            Tuple::new(vec![Value::str("cde")]),
+        ];
+        let batch = ValueBatch::from_tuples(&tuples).unwrap();
+        let ColumnData::Str(col) = batch.column(0).data() else {
+            panic!("str column")
+        };
+        assert_eq!(col.get(0), "ab");
+        assert_eq!(col.get(1), "");
+        assert_eq!(col.get(2), "cde");
+        assert_eq!(col.offsets(), &[0, 2, 2, 5]);
+        assert!(!col.heap().is_shared());
+        let heap = col.heap().as_bytes().as_ptr_range();
+        assert!(heap.contains(&col.get_bytes(2).as_ptr()), "slice in heap");
+    }
+
+    #[test]
+    fn shared_heap_validates_utf8_per_slice() {
+        // 0xC3 0xA9 is 'é'; splitting it across an offset boundary makes
+        // both halves invalid even though the whole heap is valid UTF-8.
+        let heap = Bytes::from(vec![0xC3, 0xA9]);
+        assert!(StrColumn::new(vec![0, 1, 2], StrHeap::Shared(heap.clone())).is_none());
+        assert!(StrColumn::new(vec![0, 2], StrHeap::Shared(heap)).is_some());
+    }
+
+    #[test]
+    fn from_parts_checks_lengths() {
+        let col = Column::new(ColumnData::Int(vec![1, 2]), None);
+        assert!(ValueBatch::from_parts(2, vec![col.clone()]).is_some());
+        assert!(ValueBatch::from_parts(3, vec![col]).is_none());
+        let bad_mask = Column::new(
+            ColumnData::Int(vec![1, 2]),
+            Some(Validity::from_flags(&[true])),
+        );
+        assert!(ValueBatch::from_parts(2, vec![bad_mask]).is_none());
+    }
+
+    #[test]
+    fn validity_bit_packing() {
+        let flags: Vec<bool> = (0..19).map(|i| i % 3 == 0).collect();
+        let v = Validity::from_flags(&flags);
+        assert_eq!(v.as_bytes().len(), 3);
+        for (i, &f) in flags.iter().enumerate() {
+            assert_eq!(v.is_valid(i), f, "bit {i}");
+        }
+        assert_eq!(
+            Validity::from_bytes(v.as_bytes().to_vec(), 19)
+                .unwrap()
+                .as_bytes(),
+            v.as_bytes()
+        );
+        assert!(Validity::from_bytes(vec![0], 19).is_none());
+    }
+}

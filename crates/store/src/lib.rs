@@ -19,6 +19,7 @@
 //!   (`getzipcode`, `concat`, `equal`, …) plus an extension point for the
 //!   mediator to register OWFs.
 
+mod batch;
 mod error;
 mod functions;
 mod tuple;
@@ -26,6 +27,7 @@ mod types;
 mod value;
 mod xmlval;
 
+pub use batch::{Column, ColumnData, StrColumn, StrHeap, Validity, ValueBatch};
 pub use error::{StoreError, StoreResult};
 pub use functions::{install_builtins, FunctionRegistry, NativeFn, Signature};
 pub use tuple::{canonicalize, Schema, Tuple};

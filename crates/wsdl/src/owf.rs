@@ -8,7 +8,7 @@
 //! — queries constrain the input columns with equality predicates
 //! (`gp.place='Atlanta'`) and read the output columns.
 
-use wsmed_store::{Schema, SqlType, StoreResult, Tuple, Value};
+use wsmed_store::{Schema, SqlType, StoreResult, Tuple, Value, ValueBatch};
 
 use crate::{OperationDef, TypeNode, WsdlError, WsdlResult};
 
@@ -186,6 +186,20 @@ impl OwfDef {
         }
         Ok(rows)
     }
+
+    /// Flattens a converted response value into a columnar [`ValueBatch`].
+    ///
+    /// This is the batch-at-a-time counterpart of [`OwfDef::flatten`]: every
+    /// row produced by one response shares the OWF's output schema, so the
+    /// flattened stream is always uniform-arity and columnarizes without a
+    /// row fallback. Consumers iterate results through
+    /// [`ValueBatch::row`] views or hand the batch to the columnar wire
+    /// encoder whole.
+    pub fn flatten_batch(&self, response: &Value) -> StoreResult<ValueBatch> {
+        let rows = self.flatten(response)?;
+        Ok(ValueBatch::from_tuples(&rows)
+            .expect("OWF flattening always produces uniform-arity rows"))
+    }
 }
 
 /// Iterates a value: sequences/bags yield their elements, everything else
@@ -323,6 +337,26 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].get(1), &Value::str("CO"));
         assert_eq!(rows[1].get(2), &Value::Real(33.0));
+    }
+
+    #[test]
+    fn flatten_batch_matches_row_flatten() {
+        let owf = OwfDef::derive(&states_op(), "GeoPlaces", "urn:geo").unwrap();
+        let xml = "<GetAllStatesResponse><GetAllStatesResult>\
+            <GeoPlaceDetails><Name>Colorado</Name><State>CO</State><LatDegrees>39.0</LatDegrees></GeoPlaceDetails>\
+            <GeoPlaceDetails><Name>Georgia</Name><LatDegrees>33.0</LatDegrees></GeoPlaceDetails>\
+            </GetAllStatesResult></GetAllStatesResponse>";
+        let value = xml_to_value(&parse(xml).unwrap());
+        let batch = owf.flatten_batch(&value).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.to_tuples(), owf.flatten(&value).unwrap());
+        // The missing <State> becomes a null slot in a typed string column.
+        assert_eq!(batch.row(1).get(1), &Value::Null);
+        // An empty result flattens to an empty batch, not an error.
+        let empty = xml_to_value(
+            &parse("<GetAllStatesResponse><GetAllStatesResult/></GetAllStatesResponse>").unwrap(),
+        );
+        assert!(owf.flatten_batch(&empty).unwrap().is_empty());
     }
 
     #[test]

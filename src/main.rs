@@ -113,6 +113,7 @@ impl Shell {
             _ if lower.starts_with("fault") => self.cmd_fault(line),
             _ if lower.starts_with("cache") => self.cmd_cache(line),
             _ if lower.starts_with("pool") => self.cmd_pool(line),
+            _ if lower.starts_with("batch") => self.cmd_batch(line),
             _ if lower.starts_with("retry") => self.cmd_retry(line),
             _ if lower.starts_with("resilience") => self.cmd_resilience(line),
             _ if lower.starts_with("trace") => self.cmd_trace(line),
@@ -342,6 +343,33 @@ impl Shell {
                 println!("call cache disabled");
             }
             _ => println!("usage: cache on|off|cross"),
+        }
+    }
+
+    fn cmd_batch(&mut self, line: &str) {
+        let args = line["batch".len()..].trim();
+        let (n_str, columnar) = match args.strip_suffix("columnar") {
+            Some(rest) => (rest.trim(), true),
+            None => (args, false),
+        };
+        match n_str.parse::<usize>() {
+            Ok(n) if n >= 1 => {
+                let policy = if columnar {
+                    wsmed::core::BatchPolicy::columnar(n)
+                } else {
+                    wsmed::core::BatchPolicy::uniform(n)
+                };
+                self.setup.wsmed.set_batch_policy(policy);
+                println!(
+                    "tuple shipping: up to {n} tuples per frame, {} wire layout",
+                    if columnar {
+                        "columnar (zero-copy decode)"
+                    } else {
+                        "per-row"
+                    }
+                );
+            }
+            _ => println!("usage: batch <n> [columnar]   (n ≥ 1; 1 = paper's per-tuple streaming)"),
         }
     }
 
@@ -684,6 +712,8 @@ commands:
                                    (`cross` keeps entries across queries)
   pool on|off|status               warm process pool (reuses query
                                    processes + installed plans across runs)
+  batch <n> [columnar]             tuples per shipped frame; `columnar`
+                                   switches to whole-column zero-copy frames
   retry <n>                        attempts per call on transient faults
   resilience …                     deadline <s|off> | breaker on|off |
                                    hedge <s|off> | mode abort|partial | show
