@@ -166,6 +166,7 @@ fn run_config(
     let ws_calls = setup.network.total_metrics().calls - calls_before;
 
     if let Some(path) = trace_to {
+        #[allow(deprecated)] // failed chaos runs have no report to read from
         let trace = setup.wsmed.last_trace().expect("traced run stashes a log");
         let events = trace.events();
         let violations = obs::validate(&events);

@@ -143,15 +143,30 @@ pub fn json_num(v: f64) -> String {
 /// the ablation harnesses) contribute sections without clobbering each
 /// other across runs.
 pub fn bench_json_section(section: &str, body: &str) -> PathBuf {
-    let dir = PathBuf::from("target/experiments/bench_json");
-    fs::create_dir_all(&dir).expect("create bench_json dir");
-    fs::write(dir.join(format!("{section}.json")), body).expect("write bench_json fragment");
-    merge_bench_json(&dir)
+    bench_json_file("BENCH_wire.json", section, body)
 }
 
-/// Rebuilds `BENCH_wire.json` from every fragment in `dir`, sections sorted
+/// Writes one named section of `target/experiments/<out_name>` and returns
+/// the merged summary's path. Sections of different output files keep
+/// separate fragment directories, so e.g. `BENCH_multiquery.json` never
+/// absorbs wire-bench fragments (or vice versa).
+pub fn bench_json_file(out_name: &str, section: &str, body: &str) -> PathBuf {
+    // The wire summary predates multi-file output and keeps its original
+    // flat fragment directory.
+    let dir = if out_name == "BENCH_wire.json" {
+        PathBuf::from("target/experiments/bench_json")
+    } else {
+        let stem = out_name.strip_suffix(".json").unwrap_or(out_name);
+        PathBuf::from(format!("target/experiments/bench_json_{stem}"))
+    };
+    fs::create_dir_all(&dir).expect("create bench_json dir");
+    fs::write(dir.join(format!("{section}.json")), body).expect("write bench_json fragment");
+    merge_bench_json(&dir, out_name)
+}
+
+/// Rebuilds `<out_name>` from every fragment in `dir`, sections sorted
 /// by name for a stable diffable output.
-fn merge_bench_json(dir: &std::path::Path) -> PathBuf {
+fn merge_bench_json(dir: &std::path::Path, out_name: &str) -> PathBuf {
     let mut sections: Vec<(String, String)> = fs::read_dir(dir)
         .expect("read bench_json dir")
         .filter_map(|entry| {
@@ -173,8 +188,8 @@ fn merge_bench_json(dir: &std::path::Path) -> PathBuf {
         doc.push_str(&format!("  \"{name}\": {}", body.trim()));
     }
     doc.push_str("\n}\n");
-    let out = PathBuf::from("target/experiments/BENCH_wire.json");
-    fs::write(&out, &doc).expect("write BENCH_wire.json");
+    let out = PathBuf::from("target/experiments").join(out_name);
+    fs::write(&out, &doc).expect("write merged bench JSON");
     out
 }
 

@@ -34,7 +34,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
@@ -171,6 +171,10 @@ pub struct CacheStats {
     /// Parameter tuples answered parent-side by dedup-aware dispatch
     /// instead of being shipped to a child query process.
     pub short_circuits: u64,
+    /// Hits (including dedup waits and short circuits) whose entry was
+    /// produced by a *different* query sharing this cache — the
+    /// cross-query single-flight payoff under a concurrent mediator.
+    pub cross_query_hits: u64,
     /// Entries resident when the snapshot was taken (calls + memoized
     /// plan-function invocations).
     pub entries: u64,
@@ -182,6 +186,82 @@ impl CacheStats {
     pub fn hit_rate(&self) -> Option<f64> {
         let total = self.hits + self.misses + self.dedup_waits;
         (total > 0).then(|| (self.hits + self.dedup_waits) as f64 / total as f64)
+    }
+}
+
+/// Per-query attribution counters for one shared [`CallCache`]. Every
+/// execution context owns one; scoped cache operations bump both the
+/// cache-global counters and the caller's scope, so a query's
+/// [`crate::ExecutionReport::cache`] describes *its* traffic even when
+/// many queries share the cache concurrently.
+#[derive(Debug, Default)]
+pub(crate) struct CacheScope {
+    query: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    dedup_waits: AtomicU64,
+    evictions: AtomicU64,
+    short_circuits: AtomicU64,
+    cross_query_hits: AtomicU64,
+}
+
+impl CacheScope {
+    /// Rearms the scope for a new run attributed to query `query`.
+    pub(crate) fn reset(&self, query: u64) {
+        self.query.store(query, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.dedup_waits.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.short_circuits.store(0, Ordering::Relaxed);
+        self.cross_query_hits.store(0, Ordering::Relaxed);
+    }
+
+    /// The query id entries produced through this scope are tagged with.
+    pub(crate) fn query(&self) -> u64 {
+        self.query.load(Ordering::Relaxed)
+    }
+
+    fn note_hit(&self, owner: u64) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if owner != self.query() {
+            self.cross_query_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// This query's slice of the shared cache activity; `entries` is the
+    /// cache-global resident count at snapshot time.
+    pub(crate) fn snapshot(&self, entries: u64) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            short_circuits: self.short_circuits.load(Ordering::Relaxed),
+            cross_query_hits: self.cross_query_hits.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+/// Eviction counter fan-out: every eviction is charged to the cache's
+/// global counter and, when the evicting operation ran under a query's
+/// scope, to that scope as well.
+#[derive(Clone, Copy)]
+struct EvictSink<'a> {
+    global: &'a AtomicU64,
+    scope: Option<&'a AtomicU64>,
+}
+
+impl EvictSink<'_> {
+    fn add(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.global.fetch_add(n, Ordering::Relaxed);
+        if let Some(scope) = self.scope {
+            scope.fetch_add(n, Ordering::Relaxed);
+        }
     }
 }
 
@@ -248,8 +328,11 @@ enum EntryState<V> {
         value: V,
         stamp: u64,
         inserted: Instant,
+        /// Query id of the run that produced the value (0 for unscoped
+        /// callers) — the provenance behind `cross_query_hits`.
+        owner: u64,
     },
-    InFlight(Arc<Latch<V>>),
+    InFlight(Arc<Latch<V>>, u64),
 }
 
 struct Shard<V> {
@@ -281,7 +364,7 @@ impl<V> Shard<V> {
     }
 
     /// Evicts least-recently-used ready entries until `ready <= cap`.
-    fn evict_to(&mut self, cap: usize, evictions: &AtomicU64) {
+    fn evict_to(&mut self, cap: usize, evictions: EvictSink<'_>) {
         while self.ready > cap {
             let Some((key, stamp)) = self.queue.pop_front() else {
                 break; // only in-flight entries left
@@ -293,7 +376,7 @@ impl<V> Shard<V> {
             if current {
                 self.map.remove(&key);
                 self.ready -= 1;
-                evictions.fetch_add(1, Ordering::Relaxed);
+                evictions.add(1);
             }
         }
         // Bound the lazy queue: rebuild it from live stamps when stale
@@ -319,10 +402,11 @@ struct Sharded<V> {
     per_shard_cap: usize,
 }
 
-/// Outcome of an internal lookup-or-begin.
+/// Outcome of an internal lookup-or-begin. `Ready` and `Wait` carry the
+/// query id that owns (or is producing) the entry.
 enum Probe<V> {
-    Ready(V),
-    Wait(Arc<Latch<V>>),
+    Ready(V, u64),
+    Wait(Arc<Latch<V>>, u64),
     Begin,
 }
 
@@ -349,14 +433,15 @@ impl<V: Clone> Sharded<V> {
         }
     }
 
-    /// Non-blocking read; bumps recency, expires stale entries.
+    /// Non-blocking read; bumps recency, expires stale entries. Returns
+    /// the value and the owning query's id.
     fn get(
         &self,
         key: &CacheKey,
         ttl: Option<f64>,
         time_scale: f64,
-        evictions: &AtomicU64,
-    ) -> Option<V> {
+        evictions: EvictSink<'_>,
+    ) -> Option<(V, u64)> {
         let mut shard = self.shard(key).lock();
         let inserted = match shard.map.get(key) {
             Some(EntryState::Ready { inserted, .. }) => *inserted,
@@ -364,22 +449,25 @@ impl<V: Clone> Sharded<V> {
         };
         if Self::expired(ttl, time_scale, inserted) {
             shard.remove_ready(key);
-            evictions.fetch_add(1, Ordering::Relaxed);
+            evictions.add(1);
             return None;
         }
         let stamp = shard.touch(key);
         let Some(EntryState::Ready {
-            value, stamp: s, ..
+            value,
+            stamp: s,
+            owner,
+            ..
         }) = shard.map.get_mut(key)
         else {
             unreachable!("entry vanished under the shard lock");
         };
         *s = stamp;
-        Some(value.clone())
+        Some((value.clone(), *owner))
     }
 
     /// Plain insert (used by the rows memo and by completing flights).
-    fn insert(&self, key: &CacheKey, value: V, evictions: &AtomicU64) {
+    fn insert(&self, key: &CacheKey, value: V, owner: u64, evictions: EvictSink<'_>) {
         let mut shard = self.shard(key).lock();
         let stamp = shard.touch(key);
         let was_ready = matches!(shard.map.get(key), Some(EntryState::Ready { .. }));
@@ -389,6 +477,7 @@ impl<V: Clone> Sharded<V> {
                 value,
                 stamp,
                 inserted: Instant::now(),
+                owner,
             },
         );
         if !was_ready {
@@ -398,17 +487,19 @@ impl<V: Clone> Sharded<V> {
     }
 
     /// Read or register an in-flight entry under one lock acquisition.
+    /// `owner` tags the in-flight entry with the would-be leader's query.
     fn probe(
         &self,
         key: &CacheKey,
         single_flight: bool,
         ttl: Option<f64>,
         time_scale: f64,
-        evictions: &AtomicU64,
+        owner: u64,
+        evictions: EvictSink<'_>,
     ) -> Probe<V> {
         if !single_flight {
             return match self.get(key, ttl, time_scale, evictions) {
-                Some(v) => Probe::Ready(v),
+                Some((v, entry_owner)) => Probe::Ready(v, entry_owner),
                 None => Probe::Begin,
             };
         }
@@ -416,7 +507,7 @@ impl<V: Clone> Sharded<V> {
         enum Seen<V> {
             Fresh,
             Expired,
-            Wait(Arc<Latch<V>>),
+            Wait(Arc<Latch<V>>, u64),
             Cold,
         }
         let seen = match shard.map.get(key) {
@@ -427,42 +518,45 @@ impl<V: Clone> Sharded<V> {
                     Seen::Fresh
                 }
             }
-            Some(EntryState::InFlight(latch)) => Seen::Wait(Arc::clone(latch)),
+            Some(EntryState::InFlight(latch, leader)) => Seen::Wait(Arc::clone(latch), *leader),
             None => Seen::Cold,
         };
         match seen {
             Seen::Fresh => {
                 let stamp = shard.touch(key);
                 let Some(EntryState::Ready {
-                    value, stamp: s, ..
+                    value,
+                    stamp: s,
+                    owner: entry_owner,
+                    ..
                 }) = shard.map.get_mut(key)
                 else {
                     unreachable!("entry vanished under the shard lock");
                 };
                 *s = stamp;
-                return Probe::Ready(value.clone());
+                return Probe::Ready(value.clone(), *entry_owner);
             }
-            Seen::Wait(latch) => return Probe::Wait(latch),
+            Seen::Wait(latch, leader) => return Probe::Wait(latch, leader),
             Seen::Expired => {
                 shard.remove_ready(key);
-                evictions.fetch_add(1, Ordering::Relaxed);
+                evictions.add(1);
             }
             Seen::Cold => {}
         }
         shard
             .map
-            .insert(key.clone(), EntryState::InFlight(Latch::new()));
+            .insert(key.clone(), EntryState::InFlight(Latch::new(), owner));
         Probe::Begin
     }
 
-    /// Settles an in-flight entry: `Some` caches the value and wakes the
-    /// waiters with it; `None` removes the entry and wakes them empty-
-    /// handed (error results are never cached).
-    fn finish(&self, key: &CacheKey, outcome: Option<V>, evictions: &AtomicU64) {
+    /// Settles an in-flight entry: `Some` caches the value (owned by
+    /// `owner`) and wakes the waiters with it; `None` removes the entry
+    /// and wakes them empty-handed (error results are never cached).
+    fn finish(&self, key: &CacheKey, outcome: Option<V>, owner: u64, evictions: EvictSink<'_>) {
         let latch = {
             let mut shard = self.shard(key).lock();
             let latch = match shard.map.get(key) {
-                Some(EntryState::InFlight(latch)) => Some(Arc::clone(latch)),
+                Some(EntryState::InFlight(latch, _)) => Some(Arc::clone(latch)),
                 _ => None,
             };
             match &outcome {
@@ -475,6 +569,7 @@ impl<V: Clone> Sharded<V> {
                             value: value.clone(),
                             stamp,
                             inserted: Instant::now(),
+                            owner,
                         },
                     );
                     if !was_ready {
@@ -503,7 +598,7 @@ impl<V: Clone> Sharded<V> {
             let retained: HashMap<CacheKey, EntryState<V>> = shard
                 .map
                 .drain()
-                .filter(|(_, e)| matches!(e, EntryState::InFlight(_)))
+                .filter(|(_, e)| matches!(e, EntryState::InFlight(..)))
                 .collect();
             shard.map = retained;
             shard.queue.clear();
@@ -542,15 +637,22 @@ pub struct Flight<'a> {
     cache: &'a CallCache,
     key: CacheKey,
     settled: bool,
+    owner: u64,
 }
 
 impl Flight<'_> {
     /// Caches `value` and hands it to every waiter.
     pub fn complete(mut self, value: &Value) {
         self.settled = true;
-        self.cache
-            .calls
-            .finish(&self.key, Some(value.clone()), &self.cache.evictions);
+        self.cache.calls.finish(
+            &self.key,
+            Some(value.clone()),
+            self.owner,
+            EvictSink {
+                global: &self.cache.evictions,
+                scope: None,
+            },
+        );
     }
 }
 
@@ -559,9 +661,15 @@ impl Drop for Flight<'_> {
         if !self.settled {
             // Error path (or leader unwound): release waiters, cache
             // nothing.
-            self.cache
-                .calls
-                .finish(&self.key, None, &self.cache.evictions);
+            self.cache.calls.finish(
+                &self.key,
+                None,
+                self.owner,
+                EvictSink {
+                    global: &self.cache.evictions,
+                    scope: None,
+                },
+            );
         }
     }
 }
@@ -583,6 +691,11 @@ pub struct CallCache {
     dedup_waits: AtomicU64,
     evictions: AtomicU64,
     short_circuits: AtomicU64,
+    cross_query_hits: AtomicU64,
+    /// Runs currently using this cache. Counter resets and per-run
+    /// entry clears happen only on the idle → busy edge, so overlapping
+    /// runs share state instead of clobbering each other.
+    active_runs: AtomicUsize,
 }
 
 impl CallCache {
@@ -600,6 +713,8 @@ impl CallCache {
             dedup_waits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             short_circuits: AtomicU64::new(0),
+            cross_query_hits: AtomicU64::new(0),
+            active_runs: AtomicUsize::new(0),
         }
     }
 
@@ -608,18 +723,42 @@ impl CallCache {
         &self.policy
     }
 
-    /// Starts a run: per-run counters reset; entries are cleared unless
-    /// the policy is cross-run.
+    fn sink<'a>(&'a self, scope: Option<&'a CacheScope>) -> EvictSink<'a> {
+        EvictSink {
+            global: &self.evictions,
+            scope: scope.map(|s| &s.evictions),
+        }
+    }
+
+    /// Starts a run against this cache. On the idle → busy edge (no
+    /// other run active) the busy-period counters reset and entries are
+    /// cleared unless the policy is cross-run; runs overlapping an
+    /// already-active run join the busy period and share its state —
+    /// that sharing is what cross-query single-flight rides on. Pair
+    /// with [`CallCache::end_run`].
     pub fn begin_run(&self) {
+        if self.active_runs.fetch_add(1, Ordering::AcqRel) > 0 {
+            return;
+        }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.dedup_waits.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
         self.short_circuits.store(0, Ordering::Relaxed);
+        self.cross_query_hits.store(0, Ordering::Relaxed);
         if !self.policy.cross_run {
             self.calls.clear();
             self.rows.clear();
         }
+    }
+
+    /// Marks one run as finished with this cache (the busy period ends
+    /// when every overlapping run has).
+    pub fn end_run(&self) {
+        // Tolerate historical callers that paired begin_run with nothing.
+        let _ = self
+            .active_runs
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1));
     }
 
     /// Looks a call key up, blocking on an identical in-flight call when
@@ -627,16 +766,35 @@ impl CallCache {
     /// (each retry is preceded by a real failed call, so the loop is
     /// bounded by the transport's own failure behaviour).
     pub fn lookup_call(&self, key: &CacheKey) -> CallLookup<'_> {
+        self.lookup_call_for(key, None)
+    }
+
+    /// [`CallCache::lookup_call`] attributed to one query's scope: the
+    /// scope's counters are bumped alongside the cache-global ones, and
+    /// hits on entries owned by a different query count as cross-query.
+    pub(crate) fn lookup_call_for<'a>(
+        &'a self,
+        key: &CacheKey,
+        scope: Option<&CacheScope>,
+    ) -> CallLookup<'a> {
         let ttl = self.policy.ttl_model_secs;
+        let query = scope.map_or(0, CacheScope::query);
         match self.calls.probe(
             key,
             self.policy.single_flight,
             ttl,
             self.time_scale,
-            &self.evictions,
+            query,
+            self.sink(scope),
         ) {
-            Probe::Ready(value) => {
+            Probe::Ready(value, owner) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(scope) = scope {
+                    scope.note_hit(owner);
+                }
+                if scope.is_some_and(|s| owner != s.query()) {
+                    self.cross_query_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 CallLookup::Hit {
                     value,
                     waited: false,
@@ -644,14 +802,27 @@ impl CallCache {
             }
             Probe::Begin => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(scope) = scope {
+                    scope.misses.fetch_add(1, Ordering::Relaxed);
+                }
                 CallLookup::Miss(Flight {
                     cache: self,
                     key: key.clone(),
                     settled: false,
+                    owner: query,
                 })
             }
-            Probe::Wait(latch) => {
+            Probe::Wait(latch, leader) => {
                 self.dedup_waits.fetch_add(1, Ordering::Relaxed);
+                if let Some(scope) = scope {
+                    scope.dedup_waits.fetch_add(1, Ordering::Relaxed);
+                    if leader != scope.query() {
+                        scope.cross_query_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                if scope.is_some_and(|s| leader != s.query()) {
+                    self.cross_query_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 match latch.wait() {
                     Some(value) => CallLookup::Hit {
                         value,
@@ -665,24 +836,46 @@ impl CallCache {
 
     /// Memoized result rows of a plan-function invocation, if present
     /// (non-blocking — dedup-aware dispatch never waits on a child).
-    pub(crate) fn peek_rows(&self, key: &CacheKey) -> Option<Arc<Vec<Tuple>>> {
-        self.rows.get(
+    /// A hit on another query's memoized rows counts as cross-query on
+    /// both the scope and the cache.
+    pub(crate) fn peek_rows(
+        &self,
+        key: &CacheKey,
+        scope: Option<&CacheScope>,
+    ) -> Option<Arc<Vec<Tuple>>> {
+        let (rows, owner) = self.rows.get(
             key,
             self.policy.ttl_model_secs,
             self.time_scale,
-            &self.evictions,
-        )
+            self.sink(scope),
+        )?;
+        if let Some(scope) = scope {
+            if owner != scope.query() {
+                scope.cross_query_hits.fetch_add(1, Ordering::Relaxed);
+                self.cross_query_hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Some(rows)
     }
 
     /// Records the result rows of one plan-function invocation.
-    pub(crate) fn insert_rows(&self, key: &CacheKey, rows: Arc<Vec<Tuple>>) {
-        self.rows.insert(key, rows, &self.evictions);
+    pub(crate) fn insert_rows(
+        &self,
+        key: &CacheKey,
+        rows: Arc<Vec<Tuple>>,
+        scope: Option<&CacheScope>,
+    ) {
+        let owner = scope.map_or(0, CacheScope::query);
+        self.rows.insert(key, rows, owner, self.sink(scope));
     }
 
     /// Counts parameter tuples answered parent-side by dedup-aware
     /// dispatch.
-    pub(crate) fn note_short_circuits(&self, n: u64) {
+    pub(crate) fn note_short_circuits(&self, n: u64, scope: Option<&CacheScope>) {
         self.short_circuits.fetch_add(n, Ordering::Relaxed);
+        if let Some(scope) = scope {
+            scope.short_circuits.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     /// Entries currently resident (completed calls + memoized rows).
@@ -690,7 +883,8 @@ impl CallCache {
         self.calls.ready_entries() + self.rows.ready_entries()
     }
 
-    /// Snapshot of the per-run counters.
+    /// Snapshot of the busy-period counters (since the last idle → busy
+    /// edge; equals per-run counters for sequential callers).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -698,6 +892,7 @@ impl CallCache {
             dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             short_circuits: self.short_circuits.load(Ordering::Relaxed),
+            cross_query_hits: self.cross_query_hits.load(Ordering::Relaxed),
             entries: self.ready_entries() as u64,
         }
     }
@@ -923,10 +1118,88 @@ mod tests {
         let cache = CallCache::new(CachePolicy::default(), 0.0);
         let param = crate::wire::encode_tuple(&Tuple::new(vec![Value::Int(5)]));
         let k = CacheKey::for_rows("pf:PF1:10:abcd", &param);
-        assert!(cache.peek_rows(&k).is_none());
+        assert!(cache.peek_rows(&k, None).is_none());
         let rows = Arc::new(vec![Tuple::new(vec![Value::str("a")])]);
-        cache.insert_rows(&k, Arc::clone(&rows));
-        assert_eq!(cache.peek_rows(&k).as_deref(), Some(rows.as_ref()));
+        cache.insert_rows(&k, Arc::clone(&rows), None);
+        assert_eq!(cache.peek_rows(&k, None).as_deref(), Some(rows.as_ref()));
+    }
+
+    #[test]
+    fn scoped_lookups_attribute_cross_query_hits() {
+        let cache = CallCache::new(CachePolicy::default(), 0.0);
+        let a = CacheScope::default();
+        a.reset(1);
+        let b = CacheScope::default();
+        b.reset(2);
+        // Query 1 produces the entry.
+        match cache.lookup_call_for(&key("F", 1), Some(&a)) {
+            CallLookup::Miss(flight) => flight.complete(&Value::Int(10)),
+            _ => panic!("expected a miss"),
+        }
+        // Query 1 re-reading its own entry is a plain hit.
+        assert!(matches!(
+            cache.lookup_call_for(&key("F", 1), Some(&a)),
+            CallLookup::Hit { .. }
+        ));
+        // Query 2 reading query 1's entry is a cross-query hit.
+        assert!(matches!(
+            cache.lookup_call_for(&key("F", 1), Some(&b)),
+            CallLookup::Hit { .. }
+        ));
+        let sa = a.snapshot(0);
+        let sb = b.snapshot(0);
+        assert_eq!((sa.misses, sa.hits, sa.cross_query_hits), (1, 1, 0));
+        assert_eq!((sb.misses, sb.hits, sb.cross_query_hits), (0, 1, 1));
+        assert_eq!(cache.stats().cross_query_hits, 1);
+        // Scope sums equal the cache-global counters.
+        let total = cache.stats();
+        assert_eq!(sa.hits + sb.hits, total.hits);
+        assert_eq!(sa.misses + sb.misses, total.misses);
+    }
+
+    #[test]
+    fn rows_memo_attributes_cross_query_reads() {
+        let cache = CallCache::new(CachePolicy::default(), 0.0);
+        let a = CacheScope::default();
+        a.reset(7);
+        let b = CacheScope::default();
+        b.reset(8);
+        let param = crate::wire::encode_tuple(&Tuple::new(vec![Value::Int(5)]));
+        let k = CacheKey::for_rows("pf:PF1:10:abcd", &param);
+        let rows = Arc::new(vec![Tuple::new(vec![Value::str("a")])]);
+        cache.insert_rows(&k, rows, Some(&a));
+        assert!(cache.peek_rows(&k, Some(&a)).is_some());
+        assert_eq!(a.snapshot(0).cross_query_hits, 0);
+        assert!(cache.peek_rows(&k, Some(&b)).is_some());
+        assert_eq!(b.snapshot(0).cross_query_hits, 1);
+    }
+
+    #[test]
+    fn overlapping_runs_share_one_busy_period() {
+        let cache = CallCache::new(CachePolicy::default(), 0.0);
+        cache.begin_run();
+        complete_miss(&cache, &key("F", 1), Value::Int(1));
+        // A second overlapping run neither clears entries nor counters.
+        cache.begin_run();
+        assert!(matches!(
+            cache.lookup_call(&key("F", 1)),
+            CallLookup::Hit { .. }
+        ));
+        assert_eq!(cache.stats().misses, 1);
+        cache.end_run();
+        cache.end_run();
+        // Idle again: the next run starts a fresh busy period.
+        cache.begin_run();
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert!(matches!(
+            cache.lookup_call(&key("F", 1)),
+            CallLookup::Miss(_)
+        ));
+        cache.end_run();
+        // Unbalanced historical callers saturate at zero.
+        cache.end_run();
+        cache.begin_run();
+        cache.end_run();
     }
 
     #[test]

@@ -42,6 +42,14 @@ pub enum CoreError {
         /// Operation that was rejected.
         operation: String,
     },
+    /// Admission control shed the work before it ran: a query or call
+    /// exceeded the mediator's [`crate::QuotaPolicy`].
+    Admission {
+        /// Tenant whose quota was exhausted.
+        tenant: String,
+        /// Which budget rejected the work.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -71,6 +79,9 @@ impl fmt::Display for CoreError {
                 f,
                 "circuit breaker open for {provider:?}: {operation:?} rejected"
             ),
+            CoreError::Admission { tenant, reason } => {
+                write!(f, "admission control rejected tenant {tenant:?}: {reason}")
+            }
         }
     }
 }

@@ -15,13 +15,13 @@ use wsmed_netsim::SimConfig;
 use wsmed_store::{FunctionRegistry, Tuple, Value};
 use wsmed_wsdl::OwfDef;
 
-use crate::cache::{CacheKey, CachePolicy, CacheStats, CallCache, CallLookup};
+use crate::cache::{CacheKey, CachePolicy, CacheScope, CacheStats, CallCache, CallLookup};
 use crate::catalog::OwfCatalog;
-use crate::exec::pool::{PoolStats, ProcessPool};
+use crate::exec::pool::{PoolScope, PoolStats, ProcessPool};
 use crate::obs::{self, TraceEventKind, TraceLog, TracePolicy};
 use crate::plan::{ArgExpr, PlanOp, QueryPlan};
 use crate::resilience::{
-    self, Breakers, FailureMode, ResilienceCollector, ResiliencePolicy, Transition,
+    self, Breakers, CallGate, FailureMode, ResilienceCollector, ResiliencePolicy, Transition,
 };
 use crate::stats::{ExecutionReport, TreeRegistry};
 use crate::transport::{BatchPolicy, DispatchPolicy, RetryPolicy, WsTransport};
@@ -55,8 +55,13 @@ pub struct ExecContext {
     /// Resilient-call policy (retries, deadline, breaker, hedge, failure
     /// mode) for web-service calls.
     resilience: RwLock<ResiliencePolicy>,
-    /// Per-provider circuit-breaker states (reset every run).
-    breakers: Breakers,
+    /// Per-provider circuit-breaker states. Fresh per context by default;
+    /// [`crate::Wsmed`] installs its mediator-global table so concurrent
+    /// queries observe one shared view of each provider's health.
+    breakers: RwLock<Arc<Breakers>>,
+    /// Admission gate for per-tenant in-flight call budgets, when the
+    /// mediator runs under a [`crate::QuotaPolicy`].
+    admission: RwLock<Option<CallGate>>,
     /// Run-scoped resilience counters behind
     /// [`crate::ResilienceStats`].
     res_stats: ResilienceCollector,
@@ -72,6 +77,18 @@ pub struct ExecContext {
     /// pool owns parked threads whose closures hold this context's `Arc`,
     /// so a strong reference here would form a leak cycle.
     pool: RwLock<Weak<ProcessPool>>,
+    /// This context's query id — tags cache entries it creates so other
+    /// queries' reads count as cross-query hits.
+    query_id: AtomicU64,
+    /// Per-query attribution of shared-cache traffic.
+    cache_scope: CacheScope,
+    /// Per-query attribution of warm-pool traffic.
+    pool_scope: PoolScope,
+    /// Web service calls this context issued this run (cache hits
+    /// excluded; every attempt that reached the transport counts).
+    ws_calls: AtomicU64,
+    /// Wire bytes (request + response) those calls moved.
+    ws_bytes: AtomicU64,
     /// Failure-injection knob for tests: after this many end-of-call
     /// messages at the coordinator, one busy child is abruptly killed.
     fail_child_after_eocs: AtomicU64,
@@ -104,12 +121,18 @@ impl ExecContext {
             shipped_bytes: AtomicU64::new(0),
             first_result_nanos: AtomicU64::new(0),
             resilience: RwLock::new(ResiliencePolicy::default()),
-            breakers: Breakers::default(),
+            breakers: RwLock::new(Arc::new(Breakers::default())),
+            admission: RwLock::new(None),
             res_stats: ResilienceCollector::default(),
             dispatch: RwLock::new(DispatchPolicy::default()),
             batch: RwLock::new(BatchPolicy::default()),
             call_cache: RwLock::new(None),
             pool: RwLock::new(Weak::new()),
+            query_id: AtomicU64::new(0),
+            cache_scope: CacheScope::default(),
+            pool_scope: PoolScope::default(),
+            ws_calls: AtomicU64::new(0),
+            ws_bytes: AtomicU64::new(0),
             fail_child_after_eocs: AtomicU64::new(0),
             run_started: parking_lot::Mutex::new(None),
             trace_policy: RwLock::new(TracePolicy::default()),
@@ -173,6 +196,71 @@ impl ExecContext {
     /// The current query-level failure mode.
     pub(crate) fn failure_mode(&self) -> FailureMode {
         self.resilience.read().failure_mode
+    }
+
+    /// Installs a shared circuit-breaker table. [`crate::Wsmed`] points
+    /// every per-query context at its mediator-global table so one
+    /// provider's failures trip the breaker for all concurrent queries.
+    pub(crate) fn install_breakers(&self, breakers: Arc<Breakers>) {
+        *self.breakers.write() = breakers;
+    }
+
+    /// The circuit-breaker table this context consults (one cheap
+    /// refcounted handle).
+    pub(crate) fn breakers(&self) -> Arc<Breakers> {
+        self.breakers.read().clone()
+    }
+
+    /// Installs (or clears) the admission gate charging this context's
+    /// web-service calls against a tenant's in-flight budget.
+    pub(crate) fn install_admission(&self, gate: Option<CallGate>) {
+        *self.admission.write() = gate;
+    }
+
+    /// Tags this context with the mediator-assigned query id used for
+    /// cross-query cache attribution. Standalone contexts keep id 0.
+    pub fn set_query_id(&self, id: u64) {
+        self.query_id.store(id, Ordering::Relaxed);
+    }
+
+    /// Per-query cache attribution scope.
+    pub(crate) fn cache_scope(&self) -> &CacheScope {
+        &self.cache_scope
+    }
+
+    /// Per-query pool attribution scope.
+    pub(crate) fn pool_scope(&self) -> &PoolScope {
+        &self.pool_scope
+    }
+
+    /// The single chokepoint where this context touches the wire: meters
+    /// calls and bytes onto per-context counters (correct under
+    /// concurrent queries, unlike diffing global provider metrics) and
+    /// emits the per-call trace event.
+    pub(crate) fn transport_call(
+        &self,
+        owf: &OwfDef,
+        args: &[Value],
+        deadline_model_secs: Option<f64>,
+    ) -> CoreResult<Value> {
+        let result = self
+            .transport
+            .call_operation_metered(owf, args, deadline_model_secs);
+        self.ws_calls.fetch_add(1, Ordering::Relaxed);
+        if let Ok((_, bytes)) = &result {
+            self.ws_bytes.fetch_add(*bytes, Ordering::Relaxed);
+        }
+        if self.tracing() {
+            self.trace_here(TraceEventKind::WsCall {
+                op: owf.operation.clone(),
+                ok: result.is_ok(),
+                err: result
+                    .as_ref()
+                    .err()
+                    .map(|e| crate::transport::error_class(e).to_owned()),
+            });
+        }
+        result.map(|(value, _bytes)| value)
     }
 
     /// Resilience counters accumulated so far this run.
@@ -364,7 +452,7 @@ impl ExecContext {
         // value equality is structural.
         let key = CacheKey::for_call(&owf.name, args);
         loop {
-            match cache.lookup_call(&key) {
+            match cache.lookup_call_for(&key, Some(&self.cache_scope)) {
                 CallLookup::Hit { value, waited } => {
                     if self.tracing() {
                         self.trace_here(TraceEventKind::CacheHit {
@@ -404,17 +492,36 @@ impl ExecContext {
     /// default (plain, single-attempt) policy this is exactly one
     /// un-decorated transport call — the paper-reproduction fast path.
     fn call_uncached(&self, owf: &OwfDef, args: &[Value]) -> CoreResult<Value> {
+        // Admission first: a shed call must not consume breaker budget or
+        // reach the wire. The token spans every attempt (and hedge) of
+        // this one logical call.
+        let gate = self.admission.read().clone();
+        let _token = match &gate {
+            Some(gate) => match gate.begin_call(&owf.operation) {
+                Ok(token) => Some(token),
+                Err(e) => {
+                    self.res_stats.note_admission_rejection();
+                    if self.tracing() {
+                        self.trace_here(TraceEventKind::AdmissionReject {
+                            tenant: gate.tenant().to_owned(),
+                            op: owf.operation.clone(),
+                        });
+                    }
+                    return Err(e);
+                }
+            },
+            None => None,
+        };
         let policy = self.resilience_policy();
         if policy.is_plain() && policy.max_attempts <= 1 {
-            return self.transport.call_operation(owf, args);
+            return self.transport_call(owf, args, None);
         }
         let provider = self.transport.provider_name(owf);
+        let breakers = self.breakers();
         let mut attempt: usize = 1;
         loop {
             if let Some(bp) = &policy.breaker {
-                let admission = self
-                    .breakers
-                    .admit(&provider, bp, self.transport.model_now());
+                let admission = breakers.admit(&provider, bp, self.transport.model_now());
                 if admission.went_half_open {
                     self.res_stats.note_breaker_half_open();
                     if self.tracing() {
@@ -442,7 +549,7 @@ impl ExecContext {
             match self.call_attempt(owf, args, &policy) {
                 Ok(value) => {
                     if policy.breaker.is_some()
-                        && self.breakers.on_success(&provider) == Some(Transition::Closed)
+                        && breakers.on_success(&provider) == Some(Transition::Closed)
                     {
                         self.res_stats.note_breaker_close();
                         if self.tracing() {
@@ -458,9 +565,7 @@ impl ExecContext {
                         self.res_stats.note_deadline_exceeded();
                     }
                     if let Some(bp) = &policy.breaker {
-                        if self
-                            .breakers
-                            .on_failure(&provider, bp, self.transport.model_now())
+                        if breakers.on_failure(&provider, bp, self.transport.model_now())
                             == Some(Transition::Opened)
                         {
                             self.res_stats.note_breaker_open(&provider);
@@ -517,7 +622,7 @@ impl ExecContext {
     ) -> CoreResult<Value> {
         let deadline = policy.deadline_model_secs;
         let Some(hedge) = policy.hedge else {
-            return self.transport.call_operation_ext(owf, args, deadline);
+            return self.transport_call(owf, args, deadline);
         };
         let settled = AtomicBool::new(false);
         let binding = obs::current_proc();
@@ -542,10 +647,10 @@ impl ExecContext {
                             op: owf.operation.clone(),
                         });
                     }
-                    let _ = tx.send(Some(self.transport.call_operation_ext(owf, args, deadline)));
+                    let _ = tx.send(Some(self.transport_call(owf, args, deadline)));
                 });
             }
-            let primary = self.transport.call_operation_ext(owf, args, deadline);
+            let primary = self.transport_call(owf, args, deadline);
             settled.store(true, Ordering::Release);
             if primary.is_ok() {
                 // The hedge either never launches (it sees `settled`) or
@@ -607,8 +712,11 @@ impl ExecContext {
         let tree = TreeRegistry::new();
         *self.tree.write() = Arc::clone(&tree);
         tree.register(0, None, 0, "coordinator");
-        // Counters reset every run (a context can outlive many runs);
-        // entries persist only under a cross-run policy.
+        // Shared infrastructure joins this run's busy period: counters
+        // (and per-run entries / breaker states) reset only on the
+        // idle→busy edge, so overlapping queries share live state while a
+        // sequential caller still sees fresh counters every run. Each
+        // `begin_run` is paired with an `end_run` below.
         let cache = self.call_cache();
         if let Some(cache) = &cache {
             cache.begin_run();
@@ -617,24 +725,28 @@ impl ExecContext {
         if let Some(pool) = &pool {
             pool.begin_run();
         }
-        // Breaker state and resilience counters are per-run.
-        self.breakers.reset();
+        let breakers = self.breakers();
+        breakers.begin_run();
+        // Per-query state is unconditionally fresh.
         self.res_stats.reset();
+        self.cache_scope
+            .reset(self.query_id.load(Ordering::Relaxed));
+        self.pool_scope.reset();
+        self.ws_calls.store(0, Ordering::Relaxed);
+        self.ws_bytes.store(0, Ordering::Relaxed);
 
-        let calls_before = self.transport.metrics();
         let shipped_before = self.shipped_bytes.load(Ordering::Relaxed);
 
         // Install this run's trace log (or clear a stale one) before any
         // process can emit; the log's epoch doubles as the run epoch for
-        // model timestamps. The transport gets its own handle because WS
-        // calls happen below the context in the layering.
+        // model timestamps. WS-call events are emitted by this context's
+        // own transport chokepoint, so the transport needs no handle.
         let policy = *self.trace_policy.read();
         let trace_log = policy
             .enabled
             .then(|| Arc::new(TraceLog::new(policy, self.sim.time_scale)));
         *self.trace.write() = trace_log.clone();
         self.trace_on.store(trace_log.is_some(), Ordering::Relaxed);
-        self.transport.install_trace(trace_log.clone());
         obs::set_current_proc(0, 0, Arc::from(""));
 
         let start = Instant::now();
@@ -665,13 +777,18 @@ impl ExecContext {
                 (Err(e), tree.snapshot())
             }
         };
-        // Stop transport emission: the log now belongs to this finished
-        // run's report, and a later un-traced run must not append to it.
-        self.transport.install_trace(None);
+        // Leave the shared infrastructure's busy period (mirror of the
+        // begin_run calls above), on success and failure alike.
+        if let Some(cache) = &cache {
+            cache.end_run();
+        }
+        if let Some(pool) = &pool {
+            pool.end_run();
+        }
+        breakers.end_run();
 
         let wall = start.elapsed();
         let rows = result?;
-        let calls_after = self.transport.metrics();
 
         let model_seconds = if self.sim.time_scale > 0.0 {
             Some(wall.as_secs_f64() / self.sim.time_scale)
@@ -683,13 +800,14 @@ impl ExecContext {
             column_names: plan.column_names.clone(),
             wall,
             model_seconds,
-            ws_calls: calls_after.calls - calls_before.calls,
-            ws_bytes: (calls_after.request_bytes + calls_after.response_bytes)
-                - (calls_before.request_bytes + calls_before.response_bytes),
+            ws_calls: self.ws_calls.load(Ordering::Relaxed),
+            ws_bytes: self.ws_bytes.load(Ordering::Relaxed),
             shipped_bytes: self.shipped_bytes.load(Ordering::Relaxed) - shipped_before,
             messages: snapshot.total_messages(),
-            cache: cache.map_or_else(CacheStats::default, |c| c.stats()),
-            pool: pool.map_or_else(PoolStats::default, |p| p.stats()),
+            cache: cache.map_or_else(CacheStats::default, |c| {
+                self.cache_scope.snapshot(c.stats().entries)
+            }),
+            pool: pool.map_or_else(PoolStats::default, |_| self.pool_scope.snapshot()),
             resilience: self.res_stats.snapshot(),
             first_row_wall: match self.first_result_nanos.load(Ordering::Relaxed) {
                 0 => None,
@@ -715,9 +833,13 @@ fn is_transient(e: &CoreError) -> bool {
 
 /// Errors that drop a parameter tuple under [`FailureMode::Partial`]
 /// instead of aborting the query: a transient failure that exhausted its
-/// retries, or a breaker rejection.
+/// retries, a breaker rejection, or an admission shed.
 pub(crate) fn is_skippable(e: &CoreError) -> bool {
-    is_transient(e) || matches!(e, CoreError::CircuitOpen { .. })
+    is_transient(e)
+        || matches!(
+            e,
+            CoreError::CircuitOpen { .. } | CoreError::Admission { .. }
+        )
 }
 
 /// FNV-1a over a byte slice (backoff-jitter stream key).
@@ -784,8 +906,10 @@ pub(crate) fn reset_subtree(node: &mut ExecNode) {
 
 /// Walks a compiled subtree re-registering every live process of a warm
 /// tree into the new run's tree registry (attach-time walk inside a warm
-/// child, forwarded recursively).
-pub(crate) fn reattach_subtree(node: &mut ExecNode, ctx: &Arc<ExecContext>) {
+/// child, forwarded recursively). `env` is the hosting process's identity
+/// in the *new* run — a warm tree may be re-homed into a different
+/// execution context with freshly allocated process ids.
+pub(crate) fn reattach_subtree(node: &mut ExecNode, ctx: &Arc<ExecContext>, env: &ProcEnv) {
     match node {
         ExecNode::Unit | ExecNode::Param => {}
         ExecNode::ApplyOwf { input, .. }
@@ -796,10 +920,10 @@ pub(crate) fn reattach_subtree(node: &mut ExecNode, ctx: &Arc<ExecContext>) {
         | ExecNode::Distinct { input }
         | ExecNode::Limit { input, .. }
         | ExecNode::Count { input }
-        | ExecNode::GroupBy { input, .. } => reattach_subtree(input, ctx),
+        | ExecNode::GroupBy { input, .. } => reattach_subtree(input, ctx, env),
         ExecNode::Parallel { op, input } => {
-            op.reattach_children(ctx);
-            reattach_subtree(input, ctx);
+            op.reattach_children(ctx, env);
+            reattach_subtree(input, ctx, env);
         }
     }
 }

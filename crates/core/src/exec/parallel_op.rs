@@ -222,7 +222,8 @@ impl ParallelApply {
     fn spawn_child(&mut self, ctx: &Arc<ExecContext>) -> CoreResult<()> {
         let slot_index = self.slots.len();
         if let Some(pool) = ctx.process_pool() {
-            while let Some(warm) = pool.acquire(&self.pf_digest, self.env.level + 1) {
+            let scope = Some(ctx.pool_scope());
+            while let Some(warm) = pool.acquire(&self.pf_digest, self.env.level + 1, scope) {
                 let mut proc = warm.proc;
                 if proc.attach(
                     ctx,
@@ -231,7 +232,7 @@ impl ParallelApply {
                     &self.pf_name,
                     self.results_tx.clone(),
                 ) {
-                    pool.note_warm_acquire(warm.saved_model_secs);
+                    pool.note_warm_acquire(warm.saved_model_secs, scope);
                     // A warm process is installed and idle immediately —
                     // Attach is processed before any later Call (FIFO), so
                     // no installation round-trip is needed.
@@ -240,7 +241,7 @@ impl ParallelApply {
                     return Ok(());
                 }
                 // The parked thread died while idle; reap it and retry.
-                pool.note_dead_on_acquire();
+                pool.note_dead_on_acquire(scope);
             }
         }
         let proc = ChildProc::spawn(
@@ -485,14 +486,14 @@ impl ParallelApply {
             return false;
         };
         let key = CacheKey::for_rows(&self.pf_digest, encoded);
-        let Some(rows) = cache.peek_rows(&key) else {
+        let Some(rows) = cache.peek_rows(&key, Some(ctx.cache_scope())) else {
             return false;
         };
         if !rows.is_empty() && self.env.level == 0 {
             ctx.record_first_result();
         }
         out.extend(rows.iter().cloned());
-        cache.note_short_circuits(1);
+        cache.note_short_circuits(1, Some(ctx.cache_scope()));
         ctx.tree().note_short_circuits(self.env.id, 1);
         ctx.trace_here(TraceEventKind::ShortCircuit { params: 1 });
         true
@@ -754,7 +755,13 @@ impl ParallelApply {
         let saved = self.saved_model_secs(ctx);
         if let Some(proc) = self.slots[slot].proc.take() {
             if let Some(parked) = proc.park(true) {
-                pool.release(&self.pf_digest, self.env.level + 1, parked, saved);
+                pool.release(
+                    &self.pf_digest,
+                    self.env.level + 1,
+                    parked,
+                    saved,
+                    Some(ctx.pool_scope()),
+                );
             }
         }
         self.slots[slot].status = SlotStatus::Dead;
@@ -782,7 +789,13 @@ impl ParallelApply {
             }
             if let Some(proc) = slot.proc.take() {
                 if let Some(parked) = proc.park(false) {
-                    pool.release(&self.pf_digest, self.env.level + 1, parked, saved);
+                    pool.release(
+                        &self.pf_digest,
+                        self.env.level + 1,
+                        parked,
+                        saved,
+                        Some(ctx.pool_scope()),
+                    );
                 }
             }
             slot.status = SlotStatus::Dead;
@@ -807,10 +820,15 @@ impl ParallelApply {
     }
 
     /// Attach-time re-registration, applied recursively when a warm
-    /// subtree joins a new run: the run has a fresh tree registry, so
-    /// every process re-registers under its original id and parent, and
-    /// the walk is forwarded down the tree.
-    pub fn reattach_children(&mut self, ctx: &Arc<ExecContext>) {
+    /// subtree joins a new run: the run has a fresh tree registry (and,
+    /// under a mediator-global pool, possibly a different execution
+    /// context), so this operator re-homes to its hosting process's new
+    /// identity and every child re-registers under a freshly allocated id,
+    /// with the walk forwarded down the tree.
+    pub fn reattach_children(&mut self, ctx: &Arc<ExecContext>, env: &ProcEnv) {
+        // The hosting process got a new id in the acquiring run's tree;
+        // children below must register against it, not the parked one.
+        self.env = *env;
         let saved = self.saved_model_secs(ctx);
         for (index, slot) in self.slots.iter_mut().enumerate() {
             if slot.status == SlotStatus::Dead {
@@ -829,7 +847,7 @@ impl ParallelApply {
                 // This subtree process rode along with a warm acquire
                 // above it — its skipped spawn cost counts as saved.
                 if let Some(pool) = ctx.process_pool() {
-                    pool.note_saved(saved);
+                    pool.note_saved(saved, Some(ctx.pool_scope()));
                 }
             } else {
                 // Died while parked: the slot is gone for this run.

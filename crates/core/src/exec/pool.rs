@@ -21,7 +21,7 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -46,6 +46,13 @@ pub struct PoolPolicy {
     pub idle_ttl_model_secs: Option<f64>,
     /// Master switch: when false, every spawn is cold and nothing parks.
     pub enabled: bool,
+    /// Fair-share bound on warm acquisitions per query (`None` =
+    /// unlimited). With many queries sharing one pool, an unbounded
+    /// first-comer drains every warm process LIFO; capping per-query
+    /// acquisitions slices the warm fleet round-robin across queries
+    /// (each query stays LIFO — warmest-first — within its budget) while
+    /// the losers fall back to cold spawns instead of starving.
+    pub warm_acquire_budget_per_query: Option<u64>,
 }
 
 impl Default for PoolPolicy {
@@ -55,6 +62,7 @@ impl Default for PoolPolicy {
             max_idle_total: 64,
             idle_ttl_model_secs: None,
             enabled: true,
+            warm_acquire_budget_per_query: None,
         }
     }
 }
@@ -75,6 +83,45 @@ pub struct PoolStats {
     /// Parked processes evicted this run (bounds, TTL, or a dead thread
     /// discovered at acquire time).
     pub evictions: u64,
+}
+
+/// Per-query attribution counters for one shared [`ProcessPool`], owned
+/// by the execution context. Scoped pool operations bump both the
+/// pool-global counters and the acquiring query's scope, so a query's
+/// [`crate::ExecutionReport::pool`] describes *its* warm reuse even when
+/// many queries share the pool concurrently. The warm-acquire count also
+/// enforces [`PoolPolicy::warm_acquire_budget_per_query`].
+#[derive(Debug, Default)]
+pub(crate) struct PoolScope {
+    warm_acquires: AtomicU64,
+    cold_spawns: AtomicU64,
+    saved_micros: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PoolScope {
+    /// Rearms the scope for a new run.
+    pub(crate) fn reset(&self) {
+        self.warm_acquires.store(0, Ordering::Relaxed);
+        self.cold_spawns.store(0, Ordering::Relaxed);
+        self.saved_micros.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Warm acquisitions so far this run (the fair-share budget meter).
+    pub(crate) fn warm_acquires(&self) -> u64 {
+        self.warm_acquires.load(Ordering::Relaxed)
+    }
+
+    /// This query's slice of the shared pool activity.
+    pub(crate) fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            warm_acquires: self.warm_acquires.load(Ordering::Relaxed),
+            cold_spawns: self.cold_spawns.load(Ordering::Relaxed),
+            startup_model_secs_saved: self.saved_micros.load(Ordering::Relaxed) as f64 / 1e6,
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// One parked (idle, warm) query process.
@@ -113,6 +160,9 @@ pub struct ProcessPool {
     cold_spawns: AtomicU64,
     saved_micros: AtomicU64,
     evictions: AtomicU64,
+    /// Runs currently using this pool; counters reset only on the
+    /// idle → busy edge so overlapping runs share one busy period.
+    active_runs: AtomicUsize,
 }
 
 impl std::fmt::Debug for ProcessPool {
@@ -137,6 +187,7 @@ impl ProcessPool {
             cold_spawns: AtomicU64::new(0),
             saved_micros: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            active_runs: AtomicUsize::new(0),
         }
     }
 
@@ -145,16 +196,31 @@ impl ProcessPool {
         self.policy
     }
 
-    /// Resets the per-run counters. Parked processes are kept — cross-run
-    /// reuse is the pool's entire point.
+    /// Starts a run against this pool. Counters reset only on the
+    /// idle → busy edge (no other run active); overlapping runs join the
+    /// busy period. Parked processes are kept either way — cross-run
+    /// reuse is the pool's entire point. Pair with
+    /// [`ProcessPool::end_run`].
     pub fn begin_run(&self) {
+        if self.active_runs.fetch_add(1, Ordering::AcqRel) > 0 {
+            return;
+        }
         self.warm_acquires.store(0, Ordering::Relaxed);
         self.cold_spawns.store(0, Ordering::Relaxed);
         self.saved_micros.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
     }
 
-    /// Snapshot of the per-run counters.
+    /// Marks one run as finished with this pool.
+    pub fn end_run(&self) {
+        // Tolerate historical callers that paired begin_run with nothing.
+        let _ = self
+            .active_runs
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1));
+    }
+
+    /// Snapshot of the busy-period counters (equals per-run counters for
+    /// sequential callers).
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             warm_acquires: self.warm_acquires.load(Ordering::Relaxed),
@@ -169,19 +235,44 @@ impl ProcessPool {
         self.inner.lock().total
     }
 
+    fn note_evictions(&self, n: u64, scope: Option<&PoolScope>) {
+        if n == 0 {
+            return;
+        }
+        self.evictions.fetch_add(n, Ordering::Relaxed);
+        if let Some(scope) = scope {
+            scope.evictions.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Counts one cold spawn (called from `ChildProc::spawn`, the single
     /// site that charges the modeled startup cost — so `cold_spawns` is
     /// exactly the number of startup charges this run).
-    pub(crate) fn note_cold_spawn(&self) {
+    pub(crate) fn note_cold_spawn(&self, scope: Option<&PoolScope>) {
         self.cold_spawns.fetch_add(1, Ordering::Relaxed);
+        if let Some(scope) = scope {
+            scope.cold_spawns.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Pops the most recently parked (warmest) live process for a key,
     /// discarding TTL-expired entries on the way. Returns `None` when the
-    /// pool is disabled or has nothing warm for this key.
-    pub(crate) fn acquire(&self, digest: &str, level: usize) -> Option<WarmProc> {
+    /// pool is disabled, has nothing warm for this key, or the acquiring
+    /// query's fair-share budget
+    /// ([`PoolPolicy::warm_acquire_budget_per_query`]) is spent.
+    pub(crate) fn acquire(
+        &self,
+        digest: &str,
+        level: usize,
+        scope: Option<&PoolScope>,
+    ) -> Option<WarmProc> {
         if !self.policy.enabled {
             return None;
+        }
+        if let (Some(budget), Some(scope)) = (self.policy.warm_acquire_budget_per_query, scope) {
+            if scope.warm_acquires() >= budget {
+                return None; // budget spent: fall back to a cold spawn
+            }
         }
         let mut expired: Vec<ParkedProc> = Vec::new();
         let warm = {
@@ -203,8 +294,7 @@ impl ProcessPool {
             found
         };
         // Joining evicted threads must happen outside the pool lock.
-        self.evictions
-            .fetch_add(expired.len() as u64, Ordering::Relaxed);
+        self.note_evictions(expired.len() as u64, scope);
         drop(expired);
         warm.map(|p| WarmProc {
             proc: p.proc,
@@ -214,23 +304,29 @@ impl ProcessPool {
 
     /// Counts a successful warm attach: one spawn's worth of modeled
     /// startup + plan-ship cost skipped.
-    pub(crate) fn note_warm_acquire(&self, saved_model_secs: f64) {
+    pub(crate) fn note_warm_acquire(&self, saved_model_secs: f64, scope: Option<&PoolScope>) {
         self.warm_acquires.fetch_add(1, Ordering::Relaxed);
-        self.note_saved(saved_model_secs);
+        if let Some(scope) = scope {
+            scope.warm_acquires.fetch_add(1, Ordering::Relaxed);
+        }
+        self.note_saved(saved_model_secs, scope);
     }
 
     /// Adds skipped modeled cost without counting an acquire — used for
     /// the subtree processes re-attached beneath a warm acquire (each
     /// skipped its own startup + plan-ship charge, but was never itself in
     /// the pool).
-    pub(crate) fn note_saved(&self, saved_model_secs: f64) {
-        self.saved_micros
-            .fetch_add((saved_model_secs * 1e6) as u64, Ordering::Relaxed);
+    pub(crate) fn note_saved(&self, saved_model_secs: f64, scope: Option<&PoolScope>) {
+        let micros = (saved_model_secs * 1e6) as u64;
+        self.saved_micros.fetch_add(micros, Ordering::Relaxed);
+        if let Some(scope) = scope {
+            scope.saved_micros.fetch_add(micros, Ordering::Relaxed);
+        }
     }
 
     /// Counts a parked process that turned out to be dead at attach time.
-    pub(crate) fn note_dead_on_acquire(&self) {
-        self.evictions.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn note_dead_on_acquire(&self, scope: Option<&PoolScope>) {
+        self.note_evictions(1, scope);
     }
 
     /// Parks an idle process for later reuse, evicting the oldest parked
@@ -243,6 +339,7 @@ impl ProcessPool {
         level: usize,
         proc: ChildProc,
         saved_model_secs: f64,
+        scope: Option<&PoolScope>,
     ) {
         if !self.policy.enabled
             || self.policy.max_idle_total == 0
@@ -274,8 +371,7 @@ impl ProcessPool {
                 }
             }
         }
-        self.evictions
-            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        self.note_evictions(evicted.len() as u64, scope);
         // ChildProc::drop joins the thread — never do that under the lock.
         drop(evicted);
     }

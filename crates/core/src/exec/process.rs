@@ -59,9 +59,15 @@ pub(crate) enum ToChild {
     /// reclaimed in one piece.
     Reset,
     /// Acquire-time: re-wire this warm process to a new parent run — new
-    /// slot, new results channel, and a re-registration walk of the
-    /// subtree into the run's fresh tree registry.
+    /// execution context (the pool is mediator-global, so the acquiring
+    /// run may belong to a different query), new identity in that run's
+    /// tree, new slot, new results channel, and a re-registration walk of
+    /// the subtree into the run's fresh tree registry.
     Attach {
+        /// The acquiring run's execution context.
+        ctx: Arc<ExecContext>,
+        /// This process's identity in the acquiring run's tree.
+        env: ProcEnv,
         /// The process's slot at its new parent.
         slot: usize,
         /// The new parent's result channel.
@@ -188,7 +194,7 @@ impl ChildProc {
         let tree = ctx.tree();
         tree.register(id, Some(parent.id), level, pf_name);
         if let Some(pool) = ctx.process_pool() {
-            pool.note_cold_spawn();
+            pool.note_cold_spawn(Some(ctx.pool_scope()));
         }
 
         // Client-side costs: starting the process and shipping the plan.
@@ -308,6 +314,10 @@ impl ChildProc {
         pf_name: &str,
         results: Sender<FromChild>,
     ) -> bool {
+        // A mediator-global pool can hand this process to a *different*
+        // query's run; take a fresh id from the acquiring context so the
+        // process can never collide with ids that context already issued.
+        self.id = ctx.next_process_id();
         self.tree = ctx.tree();
         self.deregistered = false;
         self.tree
@@ -318,7 +328,15 @@ impl ChildProc {
         let trace = ctx.tracer();
         let ok = send_counted(
             &self.tx,
-            ToChild::Attach { slot, results },
+            ToChild::Attach {
+                ctx: Arc::clone(ctx),
+                env: ProcEnv {
+                    id: self.id,
+                    level: self.level,
+                },
+                slot,
+                results,
+            },
             &self.tree,
             self.id,
             trace.as_deref(),
@@ -395,8 +413,8 @@ impl Drop for ChildProc {
 
 /// The child process main loop.
 fn child_main(
-    ctx: Arc<ExecContext>,
-    env: ProcEnv,
+    mut ctx: Arc<ExecContext>,
+    mut env: ProcEnv,
     mut slot: usize,
     rx: Receiver<ToChild>,
     mut results: Sender<FromChild>,
@@ -486,15 +504,21 @@ fn child_main(
                 crate::exec::reset_subtree(&mut body);
             }
             ToChild::Attach {
+                ctx: new_ctx,
+                env: new_env,
                 slot: new_slot,
                 results: new_results,
             } => {
-                // Re-wired to a new parent run: the old results channel is
-                // gone, and the run has a fresh tree registry the subtree
-                // must re-register into.
+                // Re-wired to a new parent run, possibly under a different
+                // query's execution context: rebind everything — context,
+                // identity, slot, results channel — then re-register the
+                // warm subtree into the new run's tree with fresh ids.
+                ctx = new_ctx;
+                env = new_env;
                 slot = new_slot;
                 results = new_results;
-                crate::exec::reattach_subtree(&mut body, &ctx);
+                obs::set_current_proc(env.id, env.level, Arc::from(pf_digest.as_str()));
+                crate::exec::reattach_subtree(&mut body, &ctx, &env);
             }
             ToChild::Shutdown => break,
             ToChild::Install(_) => {
@@ -560,7 +584,7 @@ fn handle_call(
                 // duplicate short-circuit to partial rows without its
                 // skip being counted.
                 if crate::resilience::skip_sink_len() == skips_before {
-                    cache.insert_rows(&key(), std::sync::Arc::new(rows));
+                    cache.insert_rows(&key(), std::sync::Arc::new(rows), Some(ctx.cache_scope()));
                 }
             }
             // A cheap parameter between expensive ones must not strand

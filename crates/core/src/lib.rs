@@ -58,10 +58,11 @@ pub use parallel::{
 };
 pub use plan::{AdaptDecision, AdaptiveConfig, ArgExpr, PlanFunction, PlanOp, QueryPlan};
 pub use resilience::{
-    BreakerPolicy, FailureMode, HedgePolicy, ProviderResilience, ResiliencePolicy, ResilienceStats,
+    AdmissionControl, AdmissionStats, BreakerPolicy, BreakerTotals, FailureMode, HedgePolicy,
+    ProviderResilience, QueryGuard, QuotaPolicy, ResiliencePolicy, ResilienceStats,
 };
 pub use stats::{AdaptEvent, ExecutionReport, LevelStats, TreeNode, TreeRegistry, TreeSnapshot};
 pub use transport::{
     BatchPolicy, DispatchPolicy, MockTransport, RetryPolicy, SimTransport, WsTransport,
 };
-pub use wsmed::{paper, Wsmed};
+pub use wsmed::{paper, QuerySession, Wsmed, DEFAULT_TENANT};

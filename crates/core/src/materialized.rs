@@ -31,9 +31,18 @@ use crate::{CoreError, CoreResult};
 /// calls per level, WSQ/DSQ style. Returns the same rows as
 /// [`ExecContext::run_plan`] on the central plan.
 pub fn run_materialized(ctx: &Arc<ExecContext>, plan: &QueryPlan) -> CoreResult<Vec<Tuple>> {
-    if let Some(cache) = ctx.call_cache() {
+    let cache = ctx.call_cache();
+    if let Some(cache) = &cache {
         cache.begin_run();
     }
+    let result = run_materialized_inner(ctx, plan);
+    if let Some(cache) = &cache {
+        cache.end_run();
+    }
+    result
+}
+
+fn run_materialized_inner(ctx: &Arc<ExecContext>, plan: &QueryPlan) -> CoreResult<Vec<Tuple>> {
     // Decompose the chain bottom-up.
     let mut stages: Vec<&PlanOp> = Vec::new();
     let mut op = &plan.root;

@@ -248,6 +248,14 @@ pub enum TraceEventKind {
         /// Operation that was rejected.
         op: String,
     },
+    /// A call was rejected by admission control (tenant over its
+    /// in-flight quota) without reaching the wire.
+    AdmissionReject {
+        /// Tenant whose quota rejected the call.
+        tenant: String,
+        /// Operation that was rejected.
+        op: String,
+    },
     /// The hedge delay elapsed with the primary still in flight; a backup
     /// call was launched.
     HedgeLaunch {
@@ -287,6 +295,7 @@ impl TraceEventKind {
             | BreakerHalfOpen { .. }
             | BreakerClose { .. }
             | BreakerReject { .. }
+            | AdmissionReject { .. }
             | HedgeLaunch { .. }
             | HedgeWin { .. }
             | ParamSkipped { .. } => KindMask::RESILIENCE,
@@ -319,6 +328,7 @@ impl TraceEventKind {
             BreakerHalfOpen { .. } => "breaker_half_open",
             BreakerClose { .. } => "breaker_close",
             BreakerReject { .. } => "breaker_reject",
+            AdmissionReject { .. } => "admission_reject",
             HedgeLaunch { .. } => "hedge_launch",
             HedgeWin { .. } => "hedge_win",
             ParamSkipped { .. } => "param_skipped",
@@ -590,6 +600,11 @@ pub fn event_to_jsonl(e: &TraceEvent) -> String {
             json_escape(provider),
             json_escape(op)
         )),
+        AdmissionReject { tenant, op } => s.push_str(&format!(
+            ",\"tenant\":\"{}\",\"op\":\"{}\"",
+            json_escape(tenant),
+            json_escape(op)
+        )),
         HedgeLaunch { op } | HedgeWin { op } | ParamSkipped { op } => {
             s.push_str(&format!(",\"op\":\"{}\"", json_escape(op)))
         }
@@ -847,6 +862,10 @@ fn parse_kind(name: &str, map: &HashMap<String, Scalar>) -> Result<TraceEventKin
         },
         "breaker_reject" => BreakerReject {
             provider: get_str(map, "provider")?,
+            op: get_str(map, "op")?,
+        },
+        "admission_reject" => AdmissionReject {
+            tenant: get_str(map, "tenant")?,
             op: get_str(map, "op")?,
         },
         "hedge_launch" => HedgeLaunch {
@@ -1201,6 +1220,10 @@ mod tests {
             },
             BreakerReject {
                 provider: "www.uszip.com".to_owned(),
+                op: "GetInfoByState".to_owned(),
+            },
+            AdmissionReject {
+                tenant: "default".to_owned(),
                 op: "GetInfoByState".to_owned(),
             },
             HedgeLaunch {

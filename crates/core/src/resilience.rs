@@ -32,10 +32,12 @@
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
+use crate::error::{CoreError, CoreResult};
 use crate::transport::RetryPolicy;
 
 /// What the mediator does when one parameter tuple's web-service call
@@ -210,6 +212,9 @@ pub struct ResilienceStats {
     pub breaker_rejections: u64,
     /// Parameter tuples dropped under [`FailureMode::Partial`].
     pub skipped_params: u64,
+    /// Calls shed by admission control ([`QuotaPolicy`] budgets) before
+    /// reaching the wire.
+    pub admission_rejections: u64,
     /// Per-provider breakdown, sorted by provider name.
     pub per_provider: Vec<(String, ProviderResilience)>,
     /// Skipped-parameter counts per OWF name, sorted by name.
@@ -236,6 +241,7 @@ pub(crate) struct ResilienceCollector {
     breaker_closes: AtomicU64,
     breaker_rejections: AtomicU64,
     skipped_params: AtomicU64,
+    admission_rejections: AtomicU64,
     per_provider: Mutex<BTreeMap<String, ProviderResilience>>,
     skipped_by_owf: Mutex<BTreeMap<String, u64>>,
 }
@@ -251,6 +257,7 @@ impl ResilienceCollector {
         self.breaker_closes.store(0, Ordering::Relaxed);
         self.breaker_rejections.store(0, Ordering::Relaxed);
         self.skipped_params.store(0, Ordering::Relaxed);
+        self.admission_rejections.store(0, Ordering::Relaxed);
         self.per_provider.lock().clear();
         self.skipped_by_owf.lock().clear();
     }
@@ -293,6 +300,10 @@ impl ResilienceCollector {
         self.breaker_closes.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn note_admission_rejection(&self) {
+        self.admission_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn note_breaker_rejection(&self, provider: &str) {
         self.breaker_rejections.fetch_add(1, Ordering::Relaxed);
         self.per_provider
@@ -327,6 +338,7 @@ impl ResilienceCollector {
             breaker_closes: self.breaker_closes.load(Ordering::Relaxed),
             breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
             skipped_params: self.skipped_params.load(Ordering::Relaxed),
+            admission_rejections: self.admission_rejections.load(Ordering::Relaxed),
             per_provider: self
                 .per_provider
                 .lock()
@@ -384,16 +396,64 @@ pub(crate) enum Transition {
     Closed,
 }
 
-/// Per-provider breaker states for one execution context. Reset at the
-/// start of every run.
+/// Lifetime circuit-breaker transition totals across every query that
+/// shared one breaker table. These are never reset by runs, so summing
+/// per-query [`ResilienceStats`] deltas against them is meaningful under
+/// concurrent executions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerTotals {
+    /// Transitions closed/half-open → open.
+    pub opens: u64,
+    /// Transitions open → half-open (cooldown or rejection escape).
+    pub half_opens: u64,
+    /// Transitions half-open → closed (probe succeeded).
+    pub closes: u64,
+    /// Calls rejected by an open breaker without reaching the wire.
+    pub rejections: u64,
+}
+
+/// Per-provider breaker states, shared by every query running against
+/// one mediator. State is cleared at the start of each busy period (the
+/// first run after the table goes idle), so sequential runs see the
+/// paper-era "fresh breakers per run" semantics while overlapping runs
+/// share live state.
 #[derive(Debug, Default)]
 pub(crate) struct Breakers {
     states: Mutex<HashMap<String, BreakerState>>,
+    active_runs: AtomicUsize,
+    opens: AtomicU64,
+    half_opens: AtomicU64,
+    closes: AtomicU64,
+    rejections: AtomicU64,
 }
 
 impl Breakers {
     pub(crate) fn reset(&self) {
         self.states.lock().clear();
+    }
+
+    /// Marks one run as using this breaker table. The first run of a
+    /// busy period (idle → busy edge) clears per-provider state; runs
+    /// that overlap an already-active run share it.
+    pub(crate) fn begin_run(&self) {
+        if self.active_runs.fetch_add(1, Ordering::AcqRel) == 0 {
+            self.reset();
+        }
+    }
+
+    /// Marks one run as finished with this breaker table.
+    pub(crate) fn end_run(&self) {
+        self.active_runs.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Lifetime transition totals (never reset by runs).
+    pub(crate) fn totals(&self) -> BreakerTotals {
+        BreakerTotals {
+            opens: self.opens.load(Ordering::Relaxed),
+            half_opens: self.half_opens.load(Ordering::Relaxed),
+            closes: self.closes.load(Ordering::Relaxed),
+            rejections: self.rejections.load(Ordering::Relaxed),
+        }
     }
 
     /// Decides whether a call against `provider` may proceed at model
@@ -417,12 +477,14 @@ impl Breakers {
                     state.phase = Phase::HalfOpen {
                         probes_in_flight: 1,
                     };
+                    self.half_opens.fetch_add(1, Ordering::Relaxed);
                     Admission {
                         allowed: true,
                         went_half_open: true,
                     }
                 } else {
                     *rejections += 1;
+                    self.rejections.fetch_add(1, Ordering::Relaxed);
                     Admission {
                         allowed: false,
                         went_half_open: false,
@@ -439,6 +501,7 @@ impl Breakers {
                         went_half_open: false,
                     }
                 } else {
+                    self.rejections.fetch_add(1, Ordering::Relaxed);
                     Admission {
                         allowed: false,
                         went_half_open: false,
@@ -457,6 +520,7 @@ impl Breakers {
         match state.phase {
             Phase::HalfOpen { .. } => {
                 state.phase = Phase::Closed;
+                self.closes.fetch_add(1, Ordering::Relaxed);
                 Some(Transition::Closed)
             }
             // A call admitted before the breaker tripped may complete
@@ -484,6 +548,7 @@ impl Breakers {
                         since_model: now,
                         rejections: 0,
                     };
+                    self.opens.fetch_add(1, Ordering::Relaxed);
                     Some(Transition::Opened)
                 } else {
                     None
@@ -494,11 +559,195 @@ impl Breakers {
                     since_model: now,
                     rejections: 0,
                 };
+                self.opens.fetch_add(1, Ordering::Relaxed);
                 Some(Transition::Opened)
             }
             // Stragglers failing while already open change nothing.
             Phase::Open { .. } => None,
         }
+    }
+}
+
+/// Admission-control budgets for a mediator shared by many tenants.
+/// Every limit is optional; the default policy admits everything, which
+/// keeps single-user runs byte-identical to the pre-quota behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuotaPolicy {
+    /// Queries allowed in flight at once across all tenants; the
+    /// `N+1`-th concurrent `execute` fails with
+    /// [`CoreError::Admission`] instead of queueing.
+    pub max_concurrent_queries: Option<usize>,
+    /// Web-service calls allowed in flight at once across all tenants —
+    /// the mediator-wide provider-capacity guard.
+    pub max_inflight_calls: Option<usize>,
+    /// Web-service calls one tenant may have in flight at once.
+    pub per_tenant_inflight_calls: Option<usize>,
+}
+
+/// Counters describing admission-control activity, for dashboards and
+/// the shell's shared-infrastructure printout. Lifetime totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Queries currently executing.
+    pub active_queries: usize,
+    /// Web-service calls currently in flight (admission-counted).
+    pub inflight_calls: usize,
+    /// Queries rejected at admission.
+    pub shed_queries: u64,
+    /// Calls rejected by the global or per-tenant in-flight budget.
+    pub shed_calls: u64,
+}
+
+/// Mediator-global admission control: enforces a [`QuotaPolicy`] over
+/// concurrent queries and in-flight web-service calls, shedding load
+/// with [`CoreError::Admission`] instead of queueing. All decisions are
+/// pure counter comparisons — deterministic given a deterministic
+/// schedule of acquisitions.
+#[derive(Debug, Default)]
+pub struct AdmissionControl {
+    policy: RwLock<QuotaPolicy>,
+    active_queries: AtomicUsize,
+    inflight_calls: AtomicUsize,
+    tenants: Mutex<HashMap<String, Arc<AtomicUsize>>>,
+    shed_queries: AtomicU64,
+    shed_calls: AtomicU64,
+}
+
+/// Releases one admitted query's slot on drop.
+#[derive(Debug)]
+pub struct QueryGuard {
+    control: Arc<AdmissionControl>,
+}
+
+impl Drop for QueryGuard {
+    fn drop(&mut self) {
+        self.control.active_queries.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Per-query handle for charging web-service calls against the global
+/// and per-tenant in-flight budgets.
+#[derive(Debug, Clone)]
+pub(crate) struct CallGate {
+    control: Arc<AdmissionControl>,
+    tenant: Arc<str>,
+    tenant_inflight: Arc<AtomicUsize>,
+}
+
+/// Releases one in-flight call's budget slots on drop.
+#[derive(Debug)]
+pub(crate) struct CallToken {
+    control: Arc<AdmissionControl>,
+    tenant_inflight: Arc<AtomicUsize>,
+}
+
+impl Drop for CallToken {
+    fn drop(&mut self) {
+        self.control.inflight_calls.fetch_sub(1, Ordering::AcqRel);
+        self.tenant_inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Increments `counter` unless that would exceed `limit`.
+fn try_acquire(counter: &AtomicUsize, limit: Option<usize>) -> bool {
+    match limit {
+        None => {
+            counter.fetch_add(1, Ordering::AcqRel);
+            true
+        }
+        Some(limit) => counter
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
+                (v < limit).then_some(v + 1)
+            })
+            .is_ok(),
+    }
+}
+
+impl AdmissionControl {
+    /// Replaces the active quota policy (applies to future admissions).
+    pub fn set_policy(&self, policy: QuotaPolicy) {
+        *self.policy.write() = policy;
+    }
+
+    /// The active quota policy.
+    pub fn policy(&self) -> QuotaPolicy {
+        *self.policy.read()
+    }
+
+    /// Admits one query for `tenant`, or sheds it when the concurrent
+    /// query budget is exhausted. The returned guard holds the slot
+    /// until dropped.
+    pub fn admit_query(self: &Arc<Self>, tenant: &str) -> CoreResult<QueryGuard> {
+        let limit = self.policy.read().max_concurrent_queries;
+        if !try_acquire(&self.active_queries, limit) {
+            self.shed_queries.fetch_add(1, Ordering::Relaxed);
+            return Err(CoreError::Admission {
+                tenant: tenant.to_owned(),
+                reason: format!("max_concurrent_queries ({}) exhausted", limit.unwrap_or(0)),
+            });
+        }
+        Ok(QueryGuard {
+            control: Arc::clone(self),
+        })
+    }
+
+    /// The per-query call gate for `tenant` (shares one in-flight
+    /// counter across all of the tenant's queries).
+    pub(crate) fn gate(self: &Arc<Self>, tenant: &str) -> CallGate {
+        let tenant_inflight = Arc::clone(self.tenants.lock().entry(tenant.to_owned()).or_default());
+        CallGate {
+            control: Arc::clone(self),
+            tenant: Arc::from(tenant),
+            tenant_inflight,
+        }
+    }
+
+    /// Lifetime admission counters plus current occupancy.
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            active_queries: self.active_queries.load(Ordering::Acquire),
+            inflight_calls: self.inflight_calls.load(Ordering::Acquire),
+            shed_queries: self.shed_queries.load(Ordering::Relaxed),
+            shed_calls: self.shed_calls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl CallGate {
+    /// Charges one web-service call against the global and per-tenant
+    /// in-flight budgets, or sheds it with [`CoreError::Admission`].
+    pub(crate) fn begin_call(&self, operation: &str) -> CoreResult<CallToken> {
+        let policy = *self.control.policy.read();
+        if !try_acquire(&self.control.inflight_calls, policy.max_inflight_calls) {
+            self.control.shed_calls.fetch_add(1, Ordering::Relaxed);
+            return Err(CoreError::Admission {
+                tenant: self.tenant.as_ref().to_owned(),
+                reason: format!(
+                    "max_inflight_calls ({}) exhausted calling {operation:?}",
+                    policy.max_inflight_calls.unwrap_or(0)
+                ),
+            });
+        }
+        if !try_acquire(&self.tenant_inflight, policy.per_tenant_inflight_calls) {
+            self.control.inflight_calls.fetch_sub(1, Ordering::AcqRel);
+            self.control.shed_calls.fetch_add(1, Ordering::Relaxed);
+            return Err(CoreError::Admission {
+                tenant: self.tenant.as_ref().to_owned(),
+                reason: format!(
+                    "per_tenant_inflight_calls ({}) exhausted calling {operation:?}",
+                    policy.per_tenant_inflight_calls.unwrap_or(0)
+                ),
+            });
+        }
+        Ok(CallToken {
+            control: Arc::clone(&self.control),
+            tenant_inflight: Arc::clone(&self.tenant_inflight),
+        })
+    }
+
+    /// The tenant this gate charges.
+    pub(crate) fn tenant(&self) -> &str {
+        &self.tenant
     }
 }
 
@@ -728,6 +977,116 @@ mod tests {
         assert!(!s.is_quiet());
         c.reset();
         assert!(c.snapshot().is_quiet());
+    }
+
+    #[test]
+    fn admission_defaults_admit_everything() {
+        let ac = Arc::new(AdmissionControl::default());
+        let g1 = ac.admit_query("a").expect("admit");
+        let g2 = ac.admit_query("b").expect("admit");
+        let gate = ac.gate("a");
+        let t1 = gate.begin_call("Op").expect("call");
+        let t2 = gate.begin_call("Op").expect("call");
+        assert_eq!(ac.stats().active_queries, 2);
+        assert_eq!(ac.stats().inflight_calls, 2);
+        drop((t1, t2, g1, g2));
+        assert_eq!(ac.stats().active_queries, 0);
+        assert_eq!(ac.stats().inflight_calls, 0);
+        assert_eq!(ac.stats().shed_queries, 0);
+        assert_eq!(ac.stats().shed_calls, 0);
+    }
+
+    #[test]
+    fn query_quota_sheds_then_recovers() {
+        let ac = Arc::new(AdmissionControl::default());
+        ac.set_policy(QuotaPolicy {
+            max_concurrent_queries: Some(1),
+            ..Default::default()
+        });
+        let guard = ac.admit_query("a").expect("first admitted");
+        let err = ac.admit_query("b").expect_err("second shed");
+        assert!(matches!(err, CoreError::Admission { ref tenant, .. } if tenant == "b"));
+        assert_eq!(ac.stats().shed_queries, 1);
+        drop(guard);
+        ac.admit_query("b").expect("slot released");
+    }
+
+    #[test]
+    fn call_budgets_shed_per_tenant_and_globally() {
+        let ac = Arc::new(AdmissionControl::default());
+        ac.set_policy(QuotaPolicy {
+            per_tenant_inflight_calls: Some(1),
+            max_inflight_calls: Some(2),
+            ..Default::default()
+        });
+        let a = ac.gate("a");
+        let b = ac.gate("b");
+        let c = ac.gate("c");
+        let ta = a.begin_call("Op").expect("a admitted");
+        // Tenant budget: a's second concurrent call sheds.
+        assert!(a.begin_call("Op").is_err());
+        let tb = b.begin_call("Op").expect("b admitted");
+        // Global budget: a third in-flight call sheds even for a fresh
+        // tenant, and failing the global check charges nothing.
+        assert!(c.begin_call("Op").is_err());
+        assert_eq!(ac.stats().inflight_calls, 2);
+        assert_eq!(ac.stats().shed_calls, 2);
+        drop(tb);
+        let tc = c.begin_call("Op").expect("slot released");
+        drop(ta);
+        assert_eq!(ac.stats().inflight_calls, 1);
+        drop(tc);
+        assert_eq!(ac.stats().inflight_calls, 0);
+        // Two gates for one tenant share the in-flight counter.
+        let a2 = ac.gate("a");
+        let t = a.begin_call("Op").expect("a idle again");
+        assert!(a2.begin_call("Op").is_err());
+        drop(t);
+        assert_eq!(a.tenant(), "a");
+    }
+
+    #[test]
+    fn breaker_totals_accumulate_across_busy_periods() {
+        let breakers = Breakers::default();
+        let policy = BreakerPolicy {
+            failure_threshold: 1,
+            cooldown_model_secs: 5.0,
+            half_open_probes: 1,
+            probe_after_rejections: 0,
+        };
+        breakers.begin_run();
+        assert_eq!(
+            breakers.on_failure("p", &policy, 0.0),
+            Some(Transition::Opened)
+        );
+        assert!(!breakers.admit("p", &policy, 1.0).allowed);
+        assert!(breakers.admit("p", &policy, 6.0).went_half_open);
+        assert_eq!(breakers.on_success("p"), Some(Transition::Closed));
+        breakers.end_run();
+        // Next busy period clears state but keeps totals.
+        breakers.begin_run();
+        assert!(breakers.admit("p", &policy, 0.0).allowed);
+        breakers.end_run();
+        assert_eq!(
+            breakers.totals(),
+            BreakerTotals {
+                opens: 1,
+                half_opens: 1,
+                closes: 1,
+                rejections: 1,
+            }
+        );
+        // Overlapping runs share state: the second begin_run does not
+        // clear the open breaker.
+        breakers.begin_run();
+        assert_eq!(
+            breakers.on_failure("p", &policy, 0.0),
+            Some(Transition::Opened)
+        );
+        breakers.begin_run();
+        assert!(!breakers.admit("p", &policy, 1.0).allowed);
+        breakers.end_run();
+        breakers.end_run();
     }
 
     #[test]

@@ -172,6 +172,20 @@ pub trait WsTransport: Send + Sync {
         self.call_operation(owf, args)
     }
 
+    /// [`WsTransport::call_operation_ext`] that also reports the wire
+    /// bytes (request + response) the call moved, so each execution
+    /// context can meter its own traffic without diffing global provider
+    /// metrics (which double-counts under concurrent queries). The
+    /// default (for mocks without a wire model) reports zero bytes.
+    fn call_operation_metered(
+        &self,
+        owf: &OwfDef,
+        args: &[Value],
+        deadline_model_secs: Option<f64>,
+    ) -> CoreResult<(Value, u64)> {
+        Ok((self.call_operation_ext(owf, args, deadline_model_secs)?, 0))
+    }
+
     /// The provider name an OWF's calls resolve to — the key the per-
     /// provider circuit breaker trips on. The default uses the OWF's
     /// service name; transports that know the real endpoint override it.
@@ -247,6 +261,16 @@ impl WsTransport for SimTransport {
         args: &[Value],
         deadline_model_secs: Option<f64>,
     ) -> CoreResult<Value> {
+        self.call_operation_metered(owf, args, deadline_model_secs)
+            .map(|(value, _bytes)| value)
+    }
+
+    fn call_operation_metered(
+        &self,
+        owf: &OwfDef,
+        args: &[Value],
+        deadline_model_secs: Option<f64>,
+    ) -> CoreResult<(Value, u64)> {
         if args.len() != owf.inputs.len() {
             return Err(CoreError::InvalidPlan(format!(
                 "OWF {} expects {} arguments, plan supplied {}",
@@ -261,7 +285,7 @@ impl WsTransport for SimTransport {
         }
         let response = self
             .registry
-            .call_with_deadline(
+            .call_with_deadline_stats(
                 &owf.wsdl_uri,
                 &owf.service,
                 &owf.operation,
@@ -295,7 +319,9 @@ impl WsTransport for SimTransport {
                 );
             }
         }
-        Ok(xml_to_value(&response?))
+        let (element, stats) = response?;
+        let bytes = (stats.request_bytes + stats.response_bytes) as u64;
+        Ok((xml_to_value(&element), bytes))
     }
 
     fn provider_name(&self, owf: &OwfDef) -> String {

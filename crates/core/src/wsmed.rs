@@ -1,5 +1,6 @@
 //! The WSMED mediator facade: import WSDL, pose SQL, execute plans.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use wsmed_netsim::SimConfig;
@@ -15,9 +16,13 @@ use crate::exec::ExecContext;
 use crate::obs::{TraceLog, TracePolicy};
 use crate::parallel::{parallel_level_count, parallelize, parallelize_adaptive, FanoutVector};
 use crate::plan::{AdaptiveConfig, QueryPlan};
+use crate::resilience::{AdmissionControl, BreakerTotals, Breakers, QuotaPolicy};
 use crate::stats::ExecutionReport;
 use crate::transport::SimTransport;
 use crate::CoreResult;
+
+/// The default tenant name for executions posed without a session.
+pub const DEFAULT_TENANT: &str = "default";
 
 /// The mediator: owns the OWF catalog and the connection to the (simulated)
 /// web-service world.
@@ -46,19 +51,28 @@ pub struct Wsmed {
     dispatch: crate::transport::DispatchPolicy,
     batch: crate::transport::BatchPolicy,
     cache_policy: Option<CachePolicy>,
-    /// The live cache instance for the current policy. Re-installed into
-    /// every execution when the policy is cross-run; rebuilt per run
-    /// otherwise.
+    /// The live cache instance for the current policy, shared by every
+    /// execution. Busy-period semantics inside the cache clear per-run
+    /// state on the idle→busy edge, so sequential runs under a
+    /// non-cross-run policy still see a fresh cache while overlapping
+    /// runs share entries and in-flight latches.
     cache: Option<Arc<CallCache>>,
     pool_policy: Option<PoolPolicy>,
     /// The warm process pool for the current policy; parked query
-    /// processes live here between executions.
+    /// processes live here between executions — and, since warm attach
+    /// re-homes a parked subtree into the acquiring run's context, across
+    /// concurrent queries too.
     pool: Option<Arc<ProcessPool>>,
-    /// The execution context warm processes were spawned against. Parked
-    /// children hold an `Arc` to their context, so warm reuse requires
-    /// handing the *same* context to the next run; built lazily on the
-    /// first pooled execution and dropped when warm state is invalidated.
-    warm_ctx: parking_lot::Mutex<Option<Arc<ExecContext>>>,
+    /// Mediator-global circuit-breaker table: every execution context
+    /// shares it, so one query tripping a provider's breaker sheds load
+    /// for all concurrent queries.
+    breakers: Arc<Breakers>,
+    /// Admission control: query-concurrency and per-tenant in-flight call
+    /// quotas ([`QuotaPolicy`]; the default admits everything).
+    admission: Arc<AdmissionControl>,
+    /// Monotone query-id source for cross-query cache attribution
+    /// (starts at 1; id 0 is the standalone-context sentinel).
+    next_query_id: AtomicU64,
     trace_policy: TracePolicy,
     /// The trace of the most recent execution (also stashed when the run
     /// itself failed), for the shell's `trace dump` and post-mortems.
@@ -81,7 +95,9 @@ impl Wsmed {
             cache: None,
             pool_policy: None,
             pool: None,
-            warm_ctx: parking_lot::Mutex::new(None),
+            breakers: Arc::new(Breakers::default()),
+            admission: Arc::new(AdmissionControl::default()),
+            next_query_id: AtomicU64::new(1),
             trace_policy: TracePolicy::default(),
             last_trace: parking_lot::Mutex::new(None),
         }
@@ -102,8 +118,35 @@ impl Wsmed {
     /// The trace log of the most recent traced execution, if any — kept
     /// even when the run returned an error, so failed runs can be
     /// post-mortemed.
+    ///
+    /// Under concurrent executions "most recent" is whichever run stashed
+    /// last; per-query code should read [`ExecutionReport::trace`], which
+    /// is raced by nothing.
+    #[deprecated(
+        since = "0.7.0",
+        note = "races under concurrent executions; read `ExecutionReport::trace` instead"
+    )]
     pub fn last_trace(&self) -> Option<Arc<TraceLog>> {
         self.last_trace.lock().clone()
+    }
+
+    /// Installs the admission-control quota policy (max concurrent
+    /// queries, global and per-tenant in-flight call budgets). Takes
+    /// effect for subsequent admissions; work already admitted keeps its
+    /// reservations.
+    pub fn set_quota_policy(&self, policy: QuotaPolicy) {
+        self.admission.set_policy(policy);
+    }
+
+    /// The mediator's admission controller, for quota inspection
+    /// ([`AdmissionControl::stats`]).
+    pub fn admission(&self) -> &Arc<AdmissionControl> {
+        &self.admission
+    }
+
+    /// Lifetime transition totals of the mediator-global breaker table.
+    pub fn breaker_totals(&self) -> BreakerTotals {
+        self.breakers.totals()
     }
 
     /// Enables the warm process pool with the default [`PoolPolicy`]:
@@ -123,9 +166,8 @@ impl Wsmed {
     pub fn set_pool_policy(&mut self, policy: Option<PoolPolicy>) {
         self.pool_policy = policy;
         // A policy change rebuilds the pool: parked processes of the old
-        // pool are joined, and the warm context is dropped with them.
+        // pool are joined.
         self.pool = policy.map(|p| Arc::new(ProcessPool::new(p, self.sim.time_scale)));
-        *self.warm_ctx.lock() = None;
     }
 
     /// The installed pool policy, if any.
@@ -146,7 +188,6 @@ impl Wsmed {
         if let Some(pool) = &self.pool {
             pool.clear();
         }
-        *self.warm_ctx.lock() = None;
     }
 
     /// Enables memoization of web service calls with the default
@@ -178,15 +219,14 @@ impl Wsmed {
         self.cache.as_ref()
     }
 
-    /// The cache instance an execution should use: the shared one under a
-    /// cross-run policy, a fresh one per run otherwise.
+    /// The cache instance an execution should use. Always the mediator's
+    /// shared instance: the cache's busy-period accounting clears per-run
+    /// state (and, under a non-cross-run policy, resident entries) when a
+    /// run begins with no other run active, so sequential runs keep the
+    /// old per-run semantics while concurrent runs share entries and
+    /// single-flight latches.
     fn cache_for_run(&self) -> Option<Arc<CallCache>> {
-        let policy = self.cache_policy?;
-        if policy.cross_run {
-            self.cache.clone()
-        } else {
-            Some(Arc::new(CallCache::new(policy, self.sim.time_scale)))
-        }
+        self.cache.clone()
     }
 
     /// Sets the `FF_APPLYP` parameter dispatch policy for subsequent
@@ -316,13 +356,27 @@ impl Wsmed {
         parallelize_adaptive(&self.compile_central(sql)?, config)
     }
 
-    /// Executes any compiled plan as the coordinator.
+    /// Executes any compiled plan as the coordinator, attributed to the
+    /// default tenant. Takes `&self`: concurrent executions from many
+    /// threads over one mediator are supported and share the call cache,
+    /// process pool, breaker table, and admission controller.
     pub fn execute(&self, plan: &QueryPlan) -> CoreResult<ExecutionReport> {
+        self.execute_for(DEFAULT_TENANT, plan)
+    }
+
+    /// Executes any compiled plan on behalf of `tenant`. The run is gated
+    /// by the mediator's [`QuotaPolicy`]: over-quota executions fail fast
+    /// with [`crate::CoreError::Admission`] without compiling a context.
+    pub fn execute_for(&self, tenant: &str, plan: &QueryPlan) -> CoreResult<ExecutionReport> {
+        let _guard = self.admission.admit_query(tenant)?;
         let ctx = self.context_for_run();
+        ctx.set_query_id(self.next_query_id.fetch_add(1, Ordering::Relaxed));
         ctx.set_resilience_policy(self.resilience);
         ctx.set_dispatch_policy(self.dispatch);
         ctx.set_batch_policy(self.batch);
         ctx.install_call_cache(self.cache_for_run());
+        ctx.install_breakers(Arc::clone(&self.breakers));
+        ctx.install_admission(Some(self.admission.gate(tenant)));
         ctx.set_trace_policy(self.trace_policy);
         let result = ctx.run_plan(plan);
         // Stash the run's trace (also on error) for `last_trace`.
@@ -332,18 +386,15 @@ impl Wsmed {
         result
     }
 
-    /// The execution context for one run: fresh without a pool; the
-    /// persistent warm context (built on first use) when a pool is
-    /// installed, since parked children can only re-attach to the context
-    /// they were spawned against.
+    /// The execution context for one run: always fresh. Warm pool
+    /// processes re-home into the acquiring run's context on attach, so
+    /// no persistent context is needed for pooling.
     fn context_for_run(&self) -> Arc<ExecContext> {
-        let Some(pool) = &self.pool else {
-            return self.fresh_context();
-        };
-        let mut warm = self.warm_ctx.lock();
-        let ctx = warm.get_or_insert_with(|| self.fresh_context());
-        ctx.install_process_pool(Some(pool));
-        Arc::clone(ctx)
+        let ctx = self.fresh_context();
+        if let Some(pool) = &self.pool {
+            ctx.install_process_pool(Some(pool));
+        }
+        ctx
     }
 
     fn fresh_context(&self) -> Arc<ExecContext> {
@@ -383,6 +434,15 @@ impl Wsmed {
         self.execute(&plan)
     }
 
+    /// Opens a tenant-scoped handle for concurrent execution: every run
+    /// posed through the session is admitted and metered under `tenant`.
+    pub fn session(self: &Arc<Self>, tenant: &str) -> QuerySession {
+        QuerySession {
+            med: Arc::clone(self),
+            tenant: tenant.to_owned(),
+        }
+    }
+
     /// Human-readable compilation trace: calculus, central plan and (when a
     /// fanout vector is given) the parallel plan.
     pub fn explain(&self, sql: &str, fanouts: Option<&FanoutVector>) -> CoreResult<String> {
@@ -405,6 +465,61 @@ impl std::fmt::Debug for Wsmed {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Wsmed")
             .field("owfs", &self.owfs.names())
+            .finish()
+    }
+}
+
+/// A tenant-scoped execution handle over a shared mediator, cheap to
+/// clone and send to worker threads. All sessions over one [`Wsmed`]
+/// share its call cache, process pool, breaker table, and admission
+/// controller; each execution still gets its own [`ExecutionReport`]
+/// with per-query attribution.
+#[derive(Clone)]
+pub struct QuerySession {
+    med: Arc<Wsmed>,
+    tenant: String,
+}
+
+impl QuerySession {
+    /// The tenant this session executes as.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The shared mediator behind this session.
+    pub fn mediator(&self) -> &Arc<Wsmed> {
+        &self.med
+    }
+
+    /// Executes a compiled plan as this session's tenant
+    /// (see [`Wsmed::execute_for`]).
+    pub fn execute(&self, plan: &QueryPlan) -> CoreResult<ExecutionReport> {
+        self.med.execute_for(&self.tenant, plan)
+    }
+
+    /// Compile + execute the central plan as this session's tenant.
+    pub fn run_central(&self, sql: &str) -> CoreResult<ExecutionReport> {
+        let plan = self.med.compile_central(sql)?;
+        self.execute(&plan)
+    }
+
+    /// Compile + execute with explicit fanouts as this session's tenant.
+    pub fn run_parallel(&self, sql: &str, fanouts: &FanoutVector) -> CoreResult<ExecutionReport> {
+        let plan = self.med.compile_parallel(sql, fanouts)?;
+        self.execute(&plan)
+    }
+
+    /// Compile + execute adaptively as this session's tenant.
+    pub fn run_adaptive(&self, sql: &str, config: &AdaptiveConfig) -> CoreResult<ExecutionReport> {
+        let plan = self.med.compile_adaptive(sql, config)?;
+        self.execute(&plan)
+    }
+}
+
+impl std::fmt::Debug for QuerySession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuerySession")
+            .field("tenant", &self.tenant)
             .finish()
     }
 }

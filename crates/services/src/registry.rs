@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use wsmed_netsim::{CallOpts, NetError, NetResult, Network, Provider, ProviderSpec};
+use wsmed_netsim::{CallOpts, CallStats, NetError, NetResult, Network, Provider, ProviderSpec};
 use wsmed_wsdl::WsdlDocument;
 use wsmed_xml::Element;
 
@@ -125,6 +125,21 @@ impl ServiceRegistry {
         args: &[(String, String)],
         deadline_model_secs: Option<f64>,
     ) -> NetResult<Element> {
+        self.call_with_deadline_stats(wsdl_uri, service_name, operation, args, deadline_model_secs)
+            .map(|(response, _stats)| response)
+    }
+
+    /// [`Self::call_with_deadline`] that also surfaces the per-call wire
+    /// accounting ([`CallStats`]: request/response bytes and model
+    /// latency), for callers that meter traffic per execution context.
+    pub fn call_with_deadline_stats(
+        &self,
+        wsdl_uri: &str,
+        service_name: &str,
+        operation: &str,
+        args: &[(String, String)],
+        deadline_model_secs: Option<f64>,
+    ) -> NetResult<(Element, CallStats)> {
         let endpoint = self.endpoint(wsdl_uri)?;
         if endpoint.service.service_name() != service_name {
             return Err(NetError::BadRequest {
@@ -158,7 +173,7 @@ impl ServiceRegistry {
         let service = Arc::clone(&endpoint.service);
         let op = operation.to_owned();
         let config = self.network.config().clone();
-        let (response, _stats) = endpoint.provider.call_with_opts(
+        let (response, stats) = endpoint.provider.call_with_opts(
             &config,
             operation,
             request_bytes,
@@ -171,10 +186,11 @@ impl ServiceRegistry {
                 Err(msg) => (Err(msg), 128),
             },
         )?;
-        response.map_err(|message| NetError::BadRequest {
+        let response = response.map_err(|message| NetError::BadRequest {
             provider: endpoint.service.provider_name().to_owned(),
             message,
-        })
+        })?;
+        Ok((response, stats))
     }
 }
 

@@ -117,6 +117,7 @@ impl Shell {
             _ if lower.starts_with("retry") => self.cmd_retry(line),
             _ if lower.starts_with("resilience") => self.cmd_resilience(line),
             _ if lower.starts_with("trace") => self.cmd_trace(line),
+            _ if lower.starts_with("mq") => self.cmd_mq(line),
             _ if lower.starts_with("select") => self.run_sql(line),
             _ => println!("unknown command; try `help`"),
         }
@@ -539,6 +540,7 @@ impl Shell {
                     .set_trace_policy(wsmed::core::TracePolicy::default());
                 println!("structured tracing disabled");
             }
+            #[allow(deprecated)] // the shell's `trace dump` is single-threaded
             "dump" => match self.setup.wsmed.last_trace() {
                 None => println!("no traced query yet — `trace on`, then run one"),
                 Some(trace) => {
@@ -623,6 +625,134 @@ impl Shell {
                 self.last_tree = Some(report.tree);
             }
             Err(e) => println!("error: {e}"),
+        }
+    }
+
+    /// `mq run <K> <sql>`: K concurrent executions of one query over the
+    /// shared mediator, then per-query and shared-infrastructure stats.
+    fn cmd_mq(&mut self, line: &str) {
+        const USAGE: &str = "usage: mq run <K> <sql | query1 | query2 | query3>";
+        let rest = line["mq".len()..].trim();
+        let Some(rest) = rest.strip_prefix("run") else {
+            println!("{USAGE}");
+            return;
+        };
+        let Some((k_str, sql)) = rest.trim_start().split_once(char::is_whitespace) else {
+            println!("{USAGE}");
+            return;
+        };
+        let Ok(k) = k_str.parse::<usize>() else {
+            println!("{USAGE}");
+            return;
+        };
+        if k == 0 || k > 64 {
+            println!("K must be between 1 and 64");
+            return;
+        }
+        let sql = match sql.trim().to_ascii_lowercase().as_str() {
+            "query1" => paper::QUERY1_SQL,
+            "query2" => paper::QUERY2_SQL,
+            "query3" => paper::QUERY3_SQL,
+            _ => sql.trim(),
+        };
+        let med = &self.setup.wsmed;
+        let plan = match &self.mode {
+            Mode::Central => med.compile_central(sql),
+            Mode::Parallel(fanouts) => med.compile_parallel(sql, fanouts),
+            Mode::Adaptive(config) => med.compile_adaptive(sql, config),
+        };
+        let plan = match plan {
+            Ok(plan) => plan,
+            Err(e) => {
+                println!("error: {e}");
+                return;
+            }
+        };
+
+        let t0 = std::time::Instant::now();
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..=k)
+                .map(|q| {
+                    let plan = &plan;
+                    scope.spawn(move || med.execute_for(&format!("t{q}"), plan))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query thread panicked"))
+                .collect()
+        });
+        let wall = t0.elapsed();
+
+        for (q, result) in results.iter().enumerate() {
+            match result {
+                Ok(report) => {
+                    let model = report
+                        .model_seconds
+                        .map(|m| format!(" ≈ {m:.1} model-s"))
+                        .unwrap_or_default();
+                    println!(
+                        "  q{} (tenant t{}): {} row(s) in {:?}{model}, {} ws call(s), \
+                         cache {}/{} ({} cross-query), pool {} warm / {} cold",
+                        q + 1,
+                        q + 1,
+                        report.row_count(),
+                        report.wall,
+                        report.ws_calls,
+                        report.cache.hits,
+                        report.cache.misses,
+                        report.cache.cross_query_hits,
+                        report.pool.warm_acquires,
+                        report.pool.cold_spawns,
+                    );
+                }
+                Err(e) => println!("  q{} (tenant t{}): error: {e}", q + 1, q + 1),
+            }
+        }
+        let model = if self.scale > 0.0 {
+            format!(" ≈ {:.1} model-s", wall.as_secs_f64() / self.scale)
+        } else {
+            String::new()
+        };
+        println!("makespan: {wall:?}{model} for {k} concurrent quer(ies)");
+
+        if let Some(cache) = med.call_cache() {
+            let c = cache.stats();
+            println!(
+                "shared cache: {} hits / {} misses, {} dedup wait(s), \
+                 {} cross-query hit(s), {} resident",
+                c.hits, c.misses, c.dedup_waits, c.cross_query_hits, c.entries
+            );
+        }
+        if let Some(pool) = med.process_pool() {
+            let p = pool.stats();
+            println!(
+                "shared pool: {} parked, {} warm / {} cold, \
+                 {:.3} model-s startup saved",
+                pool.idle_total(),
+                p.warm_acquires,
+                p.cold_spawns,
+                p.startup_model_secs_saved
+            );
+        }
+        let b = med.breaker_totals();
+        if b.opens + b.rejections > 0 {
+            println!(
+                "shared breakers: {} open(s), {} rejection(s) lifetime",
+                b.opens, b.rejections
+            );
+        }
+        let a = med.admission().stats();
+        if a.shed_queries + a.shed_calls > 0 {
+            println!(
+                "admission: {} quer(ies) shed, {} call(s) shed",
+                a.shed_queries, a.shed_calls
+            );
+        }
+
+        if let Some(Ok(report)) = results.into_iter().find(|r| r.is_ok()) {
+            self.last_resilience = Some(report.resilience.clone());
+            self.last_tree = Some(report.tree);
         }
     }
 }
@@ -720,6 +850,9 @@ commands:
   trace on|off|dump                structured model-time execution traces
                                    (`dump` replays the last traced query
                                    and writes JSONL for trace_export --check)
+  mq run <K> <sql|queryN>          K concurrent executions over the shared
+                                   mediator (cache/pool/breakers shared),
+                                   with per-query + shared stats
   quit"
     );
 }
@@ -817,6 +950,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the deprecated `last_trace` shim
     fn shell_trace_commands() {
         let mut shell = Shell::new(0.0, "tiny".into());
         assert!(shell.dispatch("trace dump")); // nothing traced yet
@@ -832,6 +966,21 @@ mod tests {
         // A query after `trace off` leaves the stashed trace untouched.
         assert!(shell.dispatch("query2"));
         assert!(shell.setup.wsmed.last_trace().is_some());
+    }
+
+    #[test]
+    fn shell_mq_command() {
+        let mut shell = Shell::new(0.0, "tiny".into());
+        assert!(shell.dispatch("cache on"));
+        assert!(shell.dispatch("pool on"));
+        assert!(shell.dispatch("mq run 3 query2"));
+        assert!(shell.last_tree.is_some(), "mq must stash a tree");
+        // Usage errors keep the shell alive.
+        assert!(shell.dispatch("mq"));
+        assert!(shell.dispatch("mq run"));
+        assert!(shell.dispatch("mq run x query2"));
+        assert!(shell.dispatch("mq run 0 query2"));
+        assert!(shell.dispatch("mq run 2 select nonsense"));
     }
 
     #[test]

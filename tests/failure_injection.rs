@@ -192,6 +192,7 @@ fn retry_policy_does_not_mask_permanent_faults() {
 }
 
 #[test]
+#[allow(deprecated)] // failed runs have no report; `last_trace` is the shim
 fn fault_inside_adaptation_window_surfaces_with_trace() {
     // The every-40th fault lands well after the first monitoring cycles
     // have run add stages, i.e. *inside* the adaptation window — the run
@@ -223,6 +224,7 @@ fn fault_inside_adaptation_window_surfaces_with_trace() {
 }
 
 #[test]
+#[allow(deprecated)] // failed runs have no report; `last_trace` is the shim
 fn retry_exhaustion_during_adaptation_errors_not_hangs() {
     use wsmed::core::RetryPolicy;
     // 30% per-call fault probability: two attempts per call exhaust on
@@ -261,6 +263,7 @@ fn retry_exhaustion_during_adaptation_errors_not_hangs() {
 }
 
 #[test]
+#[allow(deprecated)] // failed runs have no report; `last_trace` is the shim
 fn fault_during_warm_pool_reattach_errors_cleanly() {
     // Run 1 parks a warm tree; a total outage then makes the reattached
     // run 2 fail; clearing the fault lets run 3 succeed again — and every
