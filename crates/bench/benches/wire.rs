@@ -134,8 +134,12 @@ fn bench_wire(c: &mut Criterion) {
             m.row_bytes_per_tuple(),
         );
     }
-    let path =
-        wsmed_bench::bench_json_section("wire_bench", &wsmed_bench::wire_micro_json(&micros));
+    let path = wsmed_bench::emit_bench_section(
+        "BENCH_wire.json",
+        "wire_bench",
+        None,
+        &wsmed_bench::wire_micro_json(&micros),
+    );
     println!("wire micro summary merged into {}", path.display());
 }
 

@@ -23,7 +23,7 @@
 //! cargo run --release -p wsmed-bench --bin batch_ablation -- --full
 //! ```
 
-use wsmed_bench::{bench_json_section, csv_row, csv_writer, json_num, HarnessOpts, Timed};
+use wsmed_bench::{csv_row, csv_writer, emit_bench_section, json_num, HarnessOpts, Timed};
 use wsmed_core::{paper, BatchPolicy};
 use wsmed_services::calibration;
 use wsmed_store::{canonicalize, Tuple};
@@ -263,7 +263,12 @@ fn main() {
             }
         }
     }
-    let json_path = bench_json_section("batch_model_time", &format!("[{}]", cells_json.join(", ")));
+    let json_path = emit_bench_section(
+        "BENCH_wire.json",
+        "batch_model_time",
+        Some(opts.scale),
+        &format!("[{}]", cells_json.join(", ")),
+    );
 
     println!(
         "\nall batching claims hold; CSV written to {}, summary merged into {}",

@@ -161,13 +161,18 @@ fn run_config(
     }
     let calls_before = setup.network.total_metrics().calls;
     let model_before = setup.network.model_time();
-    let result = setup.wsmed.run_parallel(CHAOS_SQL, fanouts);
+    let plan = setup
+        .wsmed
+        .compile_parallel(CHAOS_SQL, fanouts)
+        .expect("chaos query compiles");
+    // Failed chaos runs have no report to read a trace from; the traced
+    // execution API returns this run's log either way.
+    let (result, run_trace) = setup.wsmed.execute_traced(&plan);
     let charged_model_secs = setup.network.model_time() - model_before;
     let ws_calls = setup.network.total_metrics().calls - calls_before;
 
     if let Some(path) = trace_to {
-        #[allow(deprecated)] // failed chaos runs have no report to read from
-        let trace = setup.wsmed.last_trace().expect("traced run stashes a log");
+        let trace = run_trace.expect("traced run yields a log");
         let events = trace.events();
         let violations = obs::validate(&events);
         assert!(

@@ -31,7 +31,7 @@
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-use wsmed_bench::{bench_json_file, csv_row, csv_writer, json_num, HarnessOpts};
+use wsmed_bench::{csv_row, csv_writer, emit_bench_section, json_num, HarnessOpts};
 use wsmed_core::{paper, ExecutionReport, FanoutVector, Wsmed};
 use wsmed_store::{canonicalize, Tuple};
 
@@ -296,7 +296,12 @@ fn main() {
         json_num(concurrent.provider_calls as f64 / no_sharing.provider_calls as f64),
         concurrent.cross_query_hits(),
     );
-    let summary = bench_json_file("BENCH_multiquery.json", "multiquery", &json);
+    let summary = emit_bench_section(
+        "BENCH_multiquery.json",
+        "multiquery",
+        Some(opts.scale),
+        &json,
+    );
 
     println!(
         "\nall multi-query claims hold; CSV written to {}, summary to {}",

@@ -19,7 +19,7 @@
 //! ```
 
 use wsmed_bench::{
-    assert_columnar_zero_copy, bench_json_section, csv_row, csv_writer, measure_wire_micro, timed,
+    assert_columnar_zero_copy, csv_row, csv_writer, emit_bench_section, measure_wire_micro, timed,
     wire_micro_json, HarnessOpts,
 };
 use wsmed_core::paper;
@@ -119,7 +119,12 @@ fn main() {
         println!("       zero-copy: all {shared} string heaps borrow the received frame");
         micros.push(m);
     }
-    let json_path = bench_json_section("shipping_wire", &wire_micro_json(&micros));
+    let json_path = emit_bench_section(
+        "BENCH_wire.json",
+        "shipping_wire",
+        None,
+        &wire_micro_json(&micros),
+    );
     println!(
         "\nall wire-path claims hold; summary merged into {}",
         json_path.display()

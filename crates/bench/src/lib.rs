@@ -146,6 +146,27 @@ pub fn bench_json_section(section: &str, body: &str) -> PathBuf {
     bench_json_file("BENCH_wire.json", section, body)
 }
 
+/// The one shared emission path for `BENCH_*.json` summaries: wraps `body`
+/// in the common section schema — section name, the model-time `scale` the
+/// measurement ran at (`None` → `null` for wall-clock-only benches), and
+/// the payload under `"data"` — then merges it into `out_name`, whose
+/// `_meta` header carries the schema version, a run id, and the section
+/// list. Every harness binary and bench writes through here so downstream
+/// tooling can parse any `BENCH_*.json` the same way.
+pub fn emit_bench_section(
+    out_name: &str,
+    section: &str,
+    scale: Option<f64>,
+    body: &str,
+) -> PathBuf {
+    let scale_json = scale.map_or_else(|| "null".to_owned(), json_num);
+    let wrapped = format!(
+        "{{\"section\": \"{section}\", \"scale\": {scale_json}, \"data\": {}}}",
+        body.trim()
+    );
+    bench_json_file(out_name, section, &wrapped)
+}
+
 /// Writes one named section of `target/experiments/<out_name>` and returns
 /// the merged summary's path. Sections of different output files keep
 /// separate fragment directories, so e.g. `BENCH_multiquery.json` never
@@ -180,7 +201,26 @@ fn merge_bench_json(dir: &std::path::Path, out_name: &str) -> PathBuf {
         })
         .collect();
     sections.sort();
+    // A `_meta` header leads every merged summary: schema version, a run id
+    // for provenance (last merge wins — the id identifies the merge, not
+    // each section's measurement), and the section list.
+    let run_id = {
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        format!("{secs:08x}-{:04x}", std::process::id() & 0xffff)
+    };
+    let names: Vec<String> = sections
+        .iter()
+        .map(|(name, _)| format!("\"{name}\""))
+        .collect();
     let mut doc = String::from("{\n");
+    doc.push_str(&format!(
+        "  \"_meta\": {{\"schema\": \"wsmed-bench/v1\", \"run_id\": \"{run_id}\", \
+         \"sections\": [{}]}},\n",
+        names.join(", ")
+    ));
     for (i, (name, body)) in sections.iter().enumerate() {
         if i > 0 {
             doc.push_str(",\n");
@@ -467,6 +507,19 @@ mod tests {
         let zz = doc.find("\"zz_selftest\": {\"a\": 1}").expect("zz section");
         assert!(aa < zz, "sections must be sorted by name");
         assert!(doc.starts_with("{\n") && doc.ends_with("\n}\n"));
+    }
+
+    #[test]
+    fn emit_bench_section_wraps_shared_schema() {
+        let out = emit_bench_section("BENCH_selftest.json", "unit", Some(0.5), "{\"x\": 1}");
+        let doc = std::fs::read_to_string(&out).unwrap();
+        assert!(doc.contains("\"_meta\": {\"schema\": \"wsmed-bench/v1\", \"run_id\": \""));
+        assert!(doc
+            .contains("\"unit\": {\"section\": \"unit\", \"scale\": 0.500, \"data\": {\"x\": 1}}"));
+        let out2 = emit_bench_section("BENCH_selftest.json", "wall", None, "[]");
+        let doc2 = std::fs::read_to_string(&out2).unwrap();
+        assert!(doc2.contains("\"scale\": null"));
+        assert!(doc2.contains("\"sections\": [\"unit\", \"wall\"]"));
     }
 
     #[test]

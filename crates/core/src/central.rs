@@ -200,6 +200,42 @@ pub fn create_central_plan(
     })
 }
 
+/// Builds the central plan for `calc` with its atoms re-ordered by
+/// `order`, a permutation of `0..calc.atoms.len()`.
+///
+/// Used by the cost-based planner ([`crate::planner`]) to realize an
+/// alternative join ordering: atom permutation leaves every `VarId` (and
+/// hence the head, `ORDER BY`, and grouping references) valid, so the
+/// reordered expression plans exactly like the original — provided it
+/// still satisfies the binding-pattern constraints, which
+/// [`create_central_plan`] re-checks.
+pub fn create_central_plan_for_order(
+    calc: &CalculusExpr,
+    order: &[usize],
+    owfs: &OwfCatalog,
+    functions: &FunctionRegistry,
+) -> CoreResult<QueryPlan> {
+    if order.len() != calc.atoms.len() {
+        return Err(CoreError::InvalidPlan(format!(
+            "ordering has {} entries but the calculus has {} atoms",
+            order.len(),
+            calc.atoms.len()
+        )));
+    }
+    let mut seen = vec![false; calc.atoms.len()];
+    for &i in order {
+        if i >= calc.atoms.len() || seen[i] {
+            return Err(CoreError::InvalidPlan(format!(
+                "ordering is not a permutation of the atom indices: {order:?}"
+            )));
+        }
+        seen[i] = true;
+    }
+    let mut reordered = calc.clone();
+    reordered.atoms = order.iter().map(|&i| calc.atoms[i].clone()).collect();
+    create_central_plan(&reordered, owfs, functions)
+}
+
 fn term_to_arg(term: &Term, columns: &HashMap<VarId, usize>) -> CoreResult<ArgExpr> {
     match term {
         Term::Const(c) => Ok(ArgExpr::Const(c.clone())),
@@ -389,6 +425,31 @@ mod tests {
         let err =
             create_central_plan(&calc, &owfs, &FunctionRegistry::with_builtins()).unwrap_err();
         assert!(matches!(err, CoreError::UnknownOwf(_)));
+    }
+
+    #[test]
+    fn reordering_preserves_head_and_rejects_bad_permutations() {
+        let owfs = owf_catalog();
+        let stmt = parse_select(
+            "select gi.GetInfoByStateResult from GetAllStates gs, GetInfoByState gi \
+             where gs.State=gi.USState",
+        )
+        .unwrap();
+        let calc = generate_calculus(&stmt, &sql_catalog(&owfs)).unwrap();
+        let funcs = FunctionRegistry::with_builtins();
+        // The identity ordering reproduces the original plan exactly.
+        let base = create_central_plan(&calc, &owfs, &funcs).unwrap();
+        let same = create_central_plan_for_order(&calc, &[0, 1], &owfs, &funcs).unwrap();
+        assert_eq!(base, same);
+        // Swapping the atoms makes GetInfoByState consume an unbound
+        // variable — the binding check rejects it.
+        let err = create_central_plan_for_order(&calc, &[1, 0], &owfs, &funcs).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidPlan(_)));
+        // Non-permutations are rejected outright.
+        for bad in [vec![0], vec![0, 0], vec![0, 2]] {
+            let err = create_central_plan_for_order(&calc, &bad, &owfs, &funcs).unwrap_err();
+            assert!(matches!(err, CoreError::InvalidPlan(_)));
+        }
     }
 
     #[test]

@@ -101,6 +101,15 @@ pub struct ExecContext {
     trace_on: AtomicBool,
     /// The current (or last) run's trace log, when tracing was enabled.
     trace: RwLock<Option<Arc<TraceLog>>>,
+    /// Planner-statistics sink: operator cardinalities, call latencies and
+    /// empty-parameter observations feed back into it during execution.
+    /// Installed by [`crate::Wsmed`] under a cost-based planner policy;
+    /// `None` (the default) keeps every hook to one atomic load.
+    planner_obs: RwLock<Option<Arc<crate::costs::PlannerStats>>>,
+    /// Mirrors `planner_obs.is_some()` (same pattern as `trace_on`).
+    obs_on: AtomicBool,
+    /// Parameter tuples dropped parent-side by semi-join pruning this run.
+    pruned_params: AtomicU64,
 }
 
 impl ExecContext {
@@ -138,6 +147,9 @@ impl ExecContext {
             trace_policy: RwLock::new(TracePolicy::default()),
             trace_on: AtomicBool::new(false),
             trace: RwLock::new(None),
+            planner_obs: RwLock::new(None),
+            obs_on: AtomicBool::new(false),
+            pruned_params: AtomicU64::new(0),
         })
     }
 
@@ -243,9 +255,20 @@ impl ExecContext {
         args: &[Value],
         deadline_model_secs: Option<f64>,
     ) -> CoreResult<Value> {
+        // Latency observation for the cost-based planner: the model-time
+        // delta across the (blocking, latency-sleeping) call is the call's
+        // own latency. Meaningless at time scale 0, where calls are
+        // instant — the calibrated seed profiles stand in there.
+        let observe = self.obs_on.load(Ordering::Relaxed) && self.sim.time_scale > 0.0;
+        let started = observe.then(|| self.transport.model_now());
         let result = self
             .transport
             .call_operation_metered(owf, args, deadline_model_secs);
+        if let (Some(started), Ok(_)) = (started, &result) {
+            if let Some(obs) = self.planner_obs() {
+                obs.observe_latency(&owf.name, self.transport.model_now() - started);
+            }
+        }
         self.ws_calls.fetch_add(1, Ordering::Relaxed);
         if let Ok((_, bytes)) = &result {
             self.ws_bytes.fetch_add(*bytes, Ordering::Relaxed);
@@ -407,6 +430,30 @@ impl ExecContext {
             let (id, level, pf) = obs::current_proc();
             log.emit(id, level, &pf, kind);
         }
+    }
+
+    /// Installs (or clears, with `None`) the planner-statistics sink that
+    /// execution feeds operator cardinalities, observed call latencies and
+    /// empty-parameter observations into. [`crate::Wsmed`] installs its
+    /// mediator-lifetime [`crate::costs::PlannerStats`] here when the
+    /// planner policy is cost-based.
+    pub fn install_planner_obs(&self, stats: Option<Arc<crate::costs::PlannerStats>>) {
+        self.obs_on.store(stats.is_some(), Ordering::Relaxed);
+        *self.planner_obs.write() = stats;
+    }
+
+    /// The installed planner-statistics sink — `None` (after one atomic
+    /// load) when planner observation is off.
+    pub(crate) fn planner_obs(&self) -> Option<Arc<crate::costs::PlannerStats>> {
+        if !self.obs_on.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.planner_obs.read().clone()
+    }
+
+    /// Counts parameter tuples dropped parent-side by semi-join pruning.
+    pub(crate) fn note_pruned_params(&self, n: u64) {
+        self.pruned_params.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Arms the failure-injection knob: after `n` end-of-call messages at
@@ -734,6 +781,7 @@ impl ExecContext {
         self.pool_scope.reset();
         self.ws_calls.store(0, Ordering::Relaxed);
         self.ws_bytes.store(0, Ordering::Relaxed);
+        self.pruned_params.store(0, Ordering::Relaxed);
 
         let shipped_before = self.shipped_bytes.load(Ordering::Relaxed);
 
@@ -809,6 +857,7 @@ impl ExecContext {
             }),
             pool: pool.map_or_else(PoolStats::default, |_| self.pool_scope.snapshot()),
             resilience: self.res_stats.snapshot(),
+            pruned_params: self.pruned_params.load(Ordering::Relaxed),
             first_row_wall: match self.first_result_nanos.load(Ordering::Relaxed) {
                 0 => None,
                 nanos => Some(std::time::Duration::from_nanos(nanos)),
@@ -1091,6 +1140,7 @@ pub(crate) fn eval(
         ExecNode::Param => Ok(vec![param.clone()]),
         ExecNode::ApplyOwf { owf, args, input } => {
             let rows = eval(input, ctx, param)?;
+            let rows_in = rows.len() as u64;
             let partial = ctx.failure_mode() == FailureMode::Partial;
             let mut out = Vec::new();
             for row in rows {
@@ -1113,6 +1163,9 @@ pub(crate) fn eval(
                     out.push(row.concat(&produced.row(i)));
                 }
             }
+            if let Some(obs) = ctx.planner_obs() {
+                obs.observe_op(&owf.name, rows_in, out.len() as u64);
+            }
             Ok(out)
         }
         ExecNode::ApplyFunction {
@@ -1121,12 +1174,16 @@ pub(crate) fn eval(
             input,
         } => {
             let rows = eval(input, ctx, param)?;
+            let rows_in = rows.len() as u64;
             let mut out = Vec::new();
             for row in rows {
                 let values = resolve_args(args, &row);
                 for produced in ctx.functions.apply(function, &values)? {
                     out.push(row.concat(&produced));
                 }
+            }
+            if let Some(obs) = ctx.planner_obs() {
+                obs.observe_op(function, rows_in, out.len() as u64);
             }
             Ok(out)
         }

@@ -130,6 +130,11 @@ pub(crate) struct ParallelApply {
     /// this operator's child-side trace events.
     pf_digest: Arc<str>,
     env: ProcEnv,
+    /// Semi-join prune set: wire-encoded parameter tuples learned to
+    /// evaluate empty, dropped before shipping ([`PlanFunction::prune`]).
+    /// `None` when the plan carries no drop list — the common case, and
+    /// zero overhead per parameter.
+    prune: Option<std::collections::HashSet<Bytes>>,
     slots: Vec<Slot>,
     idle: VecDeque<usize>,
     results_tx: Sender<FromChild>,
@@ -190,11 +195,17 @@ impl ParallelApply {
         // clones of these bytes, never a deep copy of the plan.
         let pf_bytes = wire::encode_plan_function(pf);
         let pf_digest: Arc<str> = Arc::from(cache::pf_digest(&pf.name, &pf_bytes));
+        let prune = pf
+            .prune
+            .as_ref()
+            .filter(|spec| !spec.drop_params.is_empty())
+            .map(|spec| spec.drop_params.iter().cloned().collect());
         let mut this = ParallelApply {
             pf_name: pf.name.clone(),
             pf_bytes,
             pf_digest,
             env: *env,
+            prune,
             slots: Vec::new(),
             idle: VecDeque::new(),
             results_tx,
@@ -299,10 +310,29 @@ impl ParallelApply {
         // are already memoized parent-side, without shipping them to a
         // child — no frame, no child round-trip, no repeated OWF call.
         let mut to_ship: Vec<ShipParam> = Vec::with_capacity(params.len());
+        let mut pruned: u64 = 0;
         for row in params {
             let encoded = wire::encode_tuple(&row);
+            // Semi-join pruning first: a parameter learned to evaluate
+            // empty contributes nothing to the result stream, so it is
+            // dropped before the memo screen and before any child sees it.
+            if let Some(prune) = &self.prune {
+                if prune.contains(&encoded) {
+                    pruned += 1;
+                    continue;
+                }
+            }
             if !self.screen_param(ctx, &cache, &encoded, &mut out) {
                 to_ship.push(ShipParam { encoded, row });
+            }
+        }
+        if pruned > 0 {
+            ctx.note_pruned_params(pruned);
+            if ctx.tracing() {
+                ctx.trace_here(TraceEventKind::ParamsPruned {
+                    pf: self.pf_name.clone(),
+                    count: pruned,
+                });
             }
         }
         let mut pending = PendingParams::new(policy, self.slots.len(), to_ship);

@@ -493,8 +493,9 @@ fn child_main(
     while let Ok(msg) = rx.recv() {
         match msg {
             ToChild::Call { call_id, params } => {
+                let prune_key = pf.prune.as_ref().map(|s| s.section_key.as_str());
                 if !handle_call(
-                    &ctx, &env, slot, &mut body, &pf_digest, call_id, params, &results,
+                    &ctx, &env, slot, &mut body, &pf_digest, prune_key, call_id, params, &results,
                 ) {
                     return; // parent hung up
                 }
@@ -553,6 +554,7 @@ fn handle_call(
     slot: usize,
     body: &mut crate::exec::ExecNode,
     pf_digest: &str,
+    prune_key: Option<&str>,
     call_id: u64,
     params: Bytes,
     results: &Sender<FromChild>,
@@ -576,6 +578,15 @@ fn handle_call(
             for tuple in &rows {
                 if !flush.push(tuple) {
                     return Err(crate::CoreError::ProcessFailure("parent gone".into()));
+                }
+            }
+            // A parameter that deterministically produced no rows (no call
+            // was skipped) is a semi-join pruning candidate: report it under
+            // this section's stable key so a later planning pass can drop it
+            // parent-side before any dependent call is issued.
+            if rows.is_empty() && crate::resilience::skip_sink_len() == skips_before {
+                if let (Some(key), Some(obs)) = (prune_key, ctx.planner_obs()) {
+                    obs.observe_empty(key, wire::encode_tuple(param));
                 }
             }
             if let Some(cache) = &cache {

@@ -101,6 +101,7 @@ fn echo_plan(seed: &str, parallel: Option<(usize, bool)>) -> QueryPlan {
                 param_arity: 2,
                 body: Box::new(per_value(PlanOp::Param { arity: 2 }, 1)),
                 output_arity: 3,
+                prune: None,
             };
             let par = if adaptive {
                 PlanOp::AffApply {
@@ -175,6 +176,7 @@ fn nested_plan(fo1: usize, fo2: usize) -> QueryPlan {
             input: Box::new(PlanOp::Param { arity: 2 }),
         }),
         output_arity: 3,
+        prune: None,
     };
     let outer_pf = PlanFunction {
         name: "PF1".into(),
@@ -190,6 +192,7 @@ fn nested_plan(fo1: usize, fo2: usize) -> QueryPlan {
             }),
         }),
         output_arity: 3,
+        prune: None,
     };
     QueryPlan {
         root: PlanOp::Project {

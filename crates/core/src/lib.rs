@@ -33,12 +33,14 @@
 pub mod cache;
 pub mod catalog;
 pub mod central;
+pub mod costs;
 pub mod error;
 pub mod exec;
 pub mod materialized;
 pub mod obs;
 pub mod parallel;
 pub mod plan;
+pub mod planner;
 pub mod resilience;
 pub mod stats;
 pub mod transport;
@@ -47,16 +49,21 @@ mod wsmed;
 
 pub use cache::{CacheKey, CachePolicy, CacheStats, CallCache, CallLookup, Flight};
 pub use catalog::OwfCatalog;
-pub use central::create_central_plan;
+pub use central::{create_central_plan, create_central_plan_for_order};
+pub use costs::{CostModel, CostStage, LevelCost, OpObs, PlanCost, PlannerStats, ProviderProfile};
 pub use error::{CoreError, CoreResult};
 pub use exec::pool::{PoolPolicy, PoolStats, ProcessPool};
 pub use exec::ExecContext;
 pub use materialized::run_materialized;
 pub use obs::{KindMask, TraceEvent, TraceEventKind, TraceLog, TracePolicy};
 pub use parallel::{
-    parallel_level_count, parallelize, parallelize_adaptive, parallelize_unprojected, FanoutVector,
+    parallel_level_count, parallelize, parallelize_adaptive, parallelize_adaptive_masked,
+    parallelize_unprojected, plan_sections, FanoutVector, SectionStage,
 };
-pub use plan::{AdaptDecision, AdaptiveConfig, ArgExpr, PlanFunction, PlanOp, QueryPlan};
+pub use plan::{
+    AdaptDecision, AdaptiveConfig, ArgExpr, PlanFunction, PlanOp, PruneSpec, QueryPlan,
+};
+pub use planner::{PlanExplanation, PlannerPolicy};
 pub use resilience::{
     AdmissionControl, AdmissionStats, BreakerPolicy, BreakerTotals, FailureMode, HedgePolicy,
     ProviderResilience, QueryGuard, QuotaPolicy, ResiliencePolicy, ResilienceStats,

@@ -273,6 +273,14 @@ pub enum TraceEventKind {
         /// OWF name whose call failed terminally.
         op: String,
     },
+    /// Parameter tuples dropped parent-side by semi-join pruning
+    /// ([`crate::plan::PruneSpec`]) before any dependent call was issued.
+    ParamsPruned {
+        /// Plan-function digest of the operator whose parameters were pruned.
+        pf: String,
+        /// Number of parameter tuples dropped in this batch.
+        count: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -286,9 +294,11 @@ impl TraceEventKind {
                 KindMask::LIFECYCLE
             }
             CallDispatched { .. } | ShortCircuit { .. } => KindMask::CALLS,
-            CacheHit { .. } | CacheMiss { .. } | CacheRetry { .. } | RetryAttempt { .. } => {
-                KindMask::CACHE
-            }
+            CacheHit { .. }
+            | CacheMiss { .. }
+            | CacheRetry { .. }
+            | RetryAttempt { .. }
+            | ParamsPruned { .. } => KindMask::CACHE,
             WsCall { .. } => KindMask::WS,
             BlockedSend { .. } => KindMask::STALLS,
             BreakerOpen { .. }
@@ -332,6 +342,7 @@ impl TraceEventKind {
             HedgeLaunch { .. } => "hedge_launch",
             HedgeWin { .. } => "hedge_win",
             ParamSkipped { .. } => "param_skipped",
+            ParamsPruned { .. } => "params_pruned",
         }
     }
 }
@@ -608,6 +619,10 @@ pub fn event_to_jsonl(e: &TraceEvent) -> String {
         HedgeLaunch { op } | HedgeWin { op } | ParamSkipped { op } => {
             s.push_str(&format!(",\"op\":\"{}\"", json_escape(op)))
         }
+        ParamsPruned { pf, count } => s.push_str(&format!(
+            ",\"pruned_pf\":\"{}\",\"count\":{count}",
+            json_escape(pf)
+        )),
     }
     s.push('}');
     s
@@ -876,6 +891,10 @@ fn parse_kind(name: &str, map: &HashMap<String, Scalar>) -> Result<TraceEventKin
         },
         "param_skipped" => ParamSkipped {
             op: get_str(map, "op")?,
+        },
+        "params_pruned" => ParamsPruned {
+            pf: get_str(map, "pruned_pf")?,
+            count: get_num(map, "count")? as u64,
         },
         other => return Err(format!("unknown kind {other:?}")),
     })
@@ -1234,6 +1253,10 @@ mod tests {
             },
             ParamSkipped {
                 op: "GetPlacesInside".to_owned(),
+            },
+            ParamsPruned {
+                pf: "a1b2c3d4e5f60718".to_owned(),
+                count: 5,
             },
         ];
         let events: Vec<TraceEvent> = kinds

@@ -30,8 +30,10 @@ pub type FanoutVector = Vec<usize>;
 enum Mode {
     /// `FF_APPLYP` with explicit fanouts.
     Fixed(FanoutVector),
-    /// `AFF_APPLYP` everywhere with one shared config.
-    Adaptive(AdaptiveConfig),
+    /// `AFF_APPLYP` everywhere with one shared config; the optional mask
+    /// merges sections into their predecessors (the AFF analogue of a
+    /// `0` fanout entry).
+    Adaptive(AdaptiveConfig, Option<Vec<bool>>),
 }
 
 /// Number of parallelizable sections (= required fanout-vector length) in
@@ -64,7 +66,59 @@ pub fn parallelize_unprojected(plan: &QueryPlan, fanouts: &FanoutVector) -> Core
 /// Rewrites a central plan with `AFF_APPLYP` operators (paper §V.A): every
 /// level starts as a binary tree and adapts locally.
 pub fn parallelize_adaptive(plan: &QueryPlan, config: &AdaptiveConfig) -> CoreResult<QueryPlan> {
-    rewrite(plan, Mode::Adaptive(config.clone()), true)
+    rewrite(plan, Mode::Adaptive(config.clone(), None), true)
+}
+
+/// [`parallelize_adaptive`] with an explicit merge mask: `mask[i] == true`
+/// folds section `i` into its predecessor's plan function, so the merged
+/// pair runs at a single adaptive level — the `AFF_APPLYP` analogue of a
+/// `0` entry in a fixed fanout vector. `mask.len()` must equal the number
+/// of parallelizable sections, and `mask[0]` must be `false`.
+pub fn parallelize_adaptive_masked(
+    plan: &QueryPlan,
+    config: &AdaptiveConfig,
+    mask: &[bool],
+) -> CoreResult<QueryPlan> {
+    rewrite(
+        plan,
+        Mode::Adaptive(config.clone(), Some(mask.to_vec())),
+        true,
+    )
+}
+
+/// One γ-operator of a section (or of the coordinator prefix), summarized
+/// for the cost model's cardinality walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SectionStage {
+    /// A web service call, by OWF name.
+    Owf(String),
+    /// A local helping function, by name.
+    Function(String),
+}
+
+/// The parallel structure the rewriter would give `plan`, as
+/// `(coordinator stages, per-section stages)` — section `i` becomes
+/// process-tree level `i + 1`. Blocking tail operators (final projection,
+/// `ORDER BY`, …) are coordinator-side and carry no per-tuple call cost,
+/// so they are omitted.
+pub fn plan_sections(plan: &QueryPlan) -> (Vec<SectionStage>, Vec<Vec<SectionStage>>) {
+    let (coordinator, sections, _tail) = split_sections(&plan.root);
+    let summarize = |stages: &[Stage]| -> Vec<SectionStage> {
+        stages
+            .iter()
+            .filter_map(|stage| match stage {
+                PlanOp::ApplyOwf { owf, .. } => Some(SectionStage::Owf(owf.clone())),
+                PlanOp::ApplyFunction { function, .. } => {
+                    Some(SectionStage::Function(function.clone()))
+                }
+                _ => None,
+            })
+            .collect()
+    };
+    (
+        summarize(&coordinator),
+        sections.iter().map(|s| summarize(s)).collect(),
+    )
 }
 
 fn rewrite(plan: &QueryPlan, mode: Mode, project_parameters: bool) -> CoreResult<QueryPlan> {
@@ -110,7 +164,34 @@ fn rewrite(plan: &QueryPlan, mode: Mode, project_parameters: bool) -> CoreResult
             }
             kept
         }
-        Mode::Adaptive(_) => vec![0; sections.len()], // unused placeholders
+        Mode::Adaptive(_, mask) => {
+            if let Some(mask) = mask {
+                if mask.len() != sections.len() {
+                    return Err(CoreError::InvalidPlan(format!(
+                        "merge mask has {} entries but the plan has {} parallelizable \
+                         sections",
+                        mask.len(),
+                        sections.len()
+                    )));
+                }
+                if mask.first() == Some(&true) {
+                    return Err(CoreError::InvalidPlan(
+                        "the first section cannot merge (there is no previous level)".into(),
+                    ));
+                }
+                // Same right-to-left folding as a 0 fanout entry.
+                let mut kept = 0usize;
+                for &merge in mask {
+                    if merge {
+                        let merged = sections.remove(kept);
+                        sections[kept - 1].extend(merged);
+                    } else {
+                        kept += 1;
+                    }
+                }
+            }
+            vec![0; sections.len()] // unused placeholders
+        }
     };
 
     // ---- compute the arity entering each section ---------------------------
@@ -254,6 +335,7 @@ fn rewrite(plan: &QueryPlan, mode: Mode, project_parameters: bool) -> CoreResult
             param_arity,
             body: Box::new(body),
             output_arity: projected_output_arity,
+            prune: None,
         });
     }
     let first_pf = inner.expect("at least one section");
@@ -383,7 +465,7 @@ fn make_parallel(mode: &Mode, pf: PlanFunction, fanout: Option<usize>, input: Pl
             fanout: fanout.expect("fanout validated"),
             input: Box::new(input),
         },
-        Mode::Adaptive(config) => PlanOp::AffApply {
+        Mode::Adaptive(config, _) => PlanOp::AffApply {
             pf,
             config: config.clone(),
             input: Box::new(input),
@@ -656,6 +738,49 @@ mod tests {
         };
         assert!(matches!(&**input, PlanOp::AffApply { .. }));
         assert_eq!(plan.root.parallel_depth(), 2);
+    }
+
+    #[test]
+    fn masked_adaptive_merges_sections() {
+        let config = AdaptiveConfig::default();
+        let plan =
+            parallelize_adaptive_masked(&query1_like_central(), &config, &[false, true]).unwrap();
+        let PlanOp::Project { input, .. } = &plan.root else {
+            panic!()
+        };
+        let PlanOp::AffApply { pf, .. } = &**input else {
+            panic!()
+        };
+        // Single adaptive level containing both OWFs, like `{fo, 0}`.
+        assert_eq!(plan.root.parallel_depth(), 1);
+        assert_eq!(pf.body.owf_calls(), vec!["GetPlacesWithin", "GetPlaceList"]);
+        // An all-false mask is exactly parallelize_adaptive.
+        let unmasked = parallelize_adaptive(&query1_like_central(), &config).unwrap();
+        let masked =
+            parallelize_adaptive_masked(&query1_like_central(), &config, &[false, false]).unwrap();
+        assert_eq!(unmasked, masked);
+        // Bad masks are rejected.
+        for bad in [vec![true, false], vec![false], vec![false; 3]] {
+            let err =
+                parallelize_adaptive_masked(&query1_like_central(), &config, &bad).unwrap_err();
+            assert!(matches!(err, CoreError::InvalidPlan(_)));
+        }
+    }
+
+    #[test]
+    fn plan_sections_summarizes_stage_chains() {
+        let (coordinator, sections) = plan_sections(&query1_like_central());
+        assert_eq!(coordinator, vec![SectionStage::Owf("GetAllStates".into())]);
+        assert_eq!(
+            sections,
+            vec![
+                vec![
+                    SectionStage::Owf("GetPlacesWithin".into()),
+                    SectionStage::Function("concat3".into()),
+                ],
+                vec![SectionStage::Owf("GetPlaceList".into())],
+            ]
+        );
     }
 
     #[test]

@@ -111,6 +111,24 @@ impl AdaptiveConfig {
     }
 }
 
+/// Semi-join parameter pruning pushed into a plan function.
+///
+/// Attached by the cost-based planner ([`crate::Wsmed::annotate_prune`]):
+/// the parent drops any parameter tuple whose wire encoding is in
+/// `drop_params` *before* shipping it to children — those parameters were
+/// observed to evaluate to the empty stream in an earlier run, and the
+/// concatenated result stream is unchanged when deterministically-empty
+/// parameters are skipped. `section_key` names the section stably across
+/// fanout changes so child processes can keep feeding observations back.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PruneSpec {
+    /// Stable digest of the section's own stages (fanouts excluded), the
+    /// key under which empty-parameter observations accumulate.
+    pub section_key: String,
+    /// Wire-encoded parameter tuples known to produce no rows.
+    pub drop_params: Vec<bytes::Bytes>,
+}
+
 /// A parameterized sub-plan shipped to child query processes.
 ///
 /// `PF1(Charstring st1) -> Stream of Charstring str` in the paper's
@@ -126,6 +144,10 @@ pub struct PlanFunction {
     pub body: Box<PlanOp>,
     /// Arity of the tuples the body emits.
     pub output_arity: usize,
+    /// Semi-join pruning annotation, `None` under the paper's heuristic
+    /// plans (the default — zero overhead, byte-identical wire encoding
+    /// aside from the presence flag).
+    pub prune: Option<PruneSpec>,
 }
 
 /// One operator of the execution plan.
@@ -237,6 +259,24 @@ pub enum PlanOp {
 impl PlanOp {
     /// The upstream operator, if any.
     pub fn input(&self) -> Option<&PlanOp> {
+        match self {
+            PlanOp::Unit | PlanOp::Param { .. } => None,
+            PlanOp::ApplyOwf { input, .. }
+            | PlanOp::ApplyFunction { input, .. }
+            | PlanOp::Extend { input, .. }
+            | PlanOp::Project { input, .. }
+            | PlanOp::Sort { input, .. }
+            | PlanOp::Distinct { input }
+            | PlanOp::Limit { input, .. }
+            | PlanOp::Count { input }
+            | PlanOp::GroupBy { input, .. }
+            | PlanOp::FfApply { input, .. }
+            | PlanOp::AffApply { input, .. } => Some(input),
+        }
+    }
+
+    /// The upstream operator, mutably, if any.
+    pub fn input_mut(&mut self) -> Option<&mut PlanOp> {
         match self {
             PlanOp::Unit | PlanOp::Param { .. } => None,
             PlanOp::ApplyOwf { input, .. }
@@ -480,6 +520,7 @@ mod tests {
                 input: Box::new(PlanOp::Param { arity: 1 }),
             }),
             output_arity: 2,
+            prune: None,
         };
         let parallel = PlanOp::FfApply {
             pf,

@@ -415,6 +415,11 @@ pub struct ExecutionReport {
     /// (partial failure mode). All zero — [`ResilienceStats::is_quiet`] —
     /// under the default non-resilient policy.
     pub resilience: ResilienceStats,
+    /// Parameter tuples dropped parent-side by semi-join pruning
+    /// ([`crate::plan::PruneSpec`]) — dependent calls that were never
+    /// issued because the parameter was learned to evaluate empty. Zero
+    /// under the default heuristic policy (no prune annotations).
+    pub pruned_params: u64,
     /// Time from run start until the coordinator received its first result
     /// tuple from a child process — the streaming latency of the parallel
     /// plan. `None` for central plans (no child processes).

@@ -210,6 +210,16 @@ pub trait WsTransport: Send + Sync {
     /// events should be emitted into for the current run. The default (for
     /// mocks) ignores tracing entirely.
     fn install_trace(&self, _trace: Option<Arc<TraceLog>>) {}
+
+    /// The calibrated planner profile for an OWF's provider — capacity and
+    /// expected per-call latency at nominal request/response sizes — used
+    /// to warm-start [`crate::costs::PlannerStats`] before anything has
+    /// executed. The default (for mocks without a latency model) reports
+    /// nothing, leaving the cost model on its own defaults.
+    fn provider_profile(&self, owf: &OwfDef) -> Option<crate::costs::ProviderProfile> {
+        let _ = owf;
+        None
+    }
 }
 
 /// Stable one-word class of a call error, carried on
@@ -343,6 +353,22 @@ impl WsTransport for SimTransport {
         self.trace_on.store(trace.is_some(), Ordering::Relaxed);
         *self.trace.write() = trace;
     }
+
+    fn provider_profile(&self, owf: &OwfDef) -> Option<crate::costs::ProviderProfile> {
+        let endpoint = self.registry.endpoint(&owf.wsdl_uri).ok()?;
+        // Nominal sizes: a small request and a ~1 KiB response at quiet
+        // congestion — a warm-start estimate the stats layer refines from
+        // observed calls.
+        let latency_secs = endpoint
+            .provider
+            .latency_model(&owf.operation)
+            .expected_latency(200, 1024, 1.0);
+        Some(crate::costs::ProviderProfile {
+            provider: endpoint.provider.name().to_owned(),
+            capacity: endpoint.provider.capacity(),
+            latency_secs,
+        })
+    }
 }
 
 /// The closure type a [`MockTransport`] dispatches to.
@@ -467,6 +493,19 @@ mod tests {
             )
             .unwrap();
         assert!(owf.flatten(&value).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sim_transport_reports_provider_profiles() {
+        let t = sim();
+        let owf = states_owf(&t);
+        let profile = t.provider_profile(&owf).unwrap();
+        assert_eq!(profile.provider, t.provider_name(&owf));
+        assert!(profile.capacity >= 1);
+        assert!(profile.latency_secs > 0.0);
+        // Mocks report nothing.
+        let mock = MockTransport::new(|_, _| Ok(Value::Sequence(vec![])));
+        assert!(mock.provider_profile(&owf).is_none());
     }
 
     #[test]

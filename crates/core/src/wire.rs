@@ -647,6 +647,18 @@ fn put_plan_function(buf: &mut BytesMut, pf: &PlanFunction) {
     buf.put_u32_le(pf.param_arity as u32);
     buf.put_u32_le(pf.output_arity as u32);
     put_plan_op(buf, &pf.body);
+    match &pf.prune {
+        None => buf.put_u8(0),
+        Some(spec) => {
+            buf.put_u8(1);
+            put_str(buf, &spec.section_key);
+            buf.put_u32_le(spec.drop_params.len() as u32);
+            for param in &spec.drop_params {
+                buf.put_u32_le(param.len() as u32);
+                buf.extend_from_slice(param);
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------- decode --
@@ -985,11 +997,30 @@ fn get_plan_function(buf: &mut Bytes) -> CoreResult<PlanFunction> {
     let param_arity = get_u32(buf)?;
     let output_arity = get_u32(buf)?;
     let body = Box::new(get_plan_op(buf)?);
+    let prune = match get_u8(buf)? {
+        0 => None,
+        1 => {
+            let section_key = get_str(buf)?;
+            let n = get_u32(buf)?;
+            let mut drop_params = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let len = get_u32(buf)?;
+                need(buf, len)?;
+                drop_params.push(buf.copy_to_bytes(len));
+            }
+            Some(crate::plan::PruneSpec {
+                section_key,
+                drop_params,
+            })
+        }
+        tag => return Err(CoreError::Wire(format!("bad prune-spec tag {tag}"))),
+    };
     Ok(PlanFunction {
         name,
         param_arity,
         body,
         output_arity,
+        prune,
     })
 }
 
@@ -1019,6 +1050,7 @@ mod tests {
                     input: Box::new(PlanOp::Param { arity: 1 }),
                 }),
             }),
+            prune: None,
         }
     }
 
@@ -1028,6 +1060,26 @@ mod tests {
         let bytes = encode_plan_function(&pf);
         let back = decode_plan_function(bytes).unwrap();
         assert_eq!(back, pf);
+    }
+
+    #[test]
+    fn prune_spec_roundtrip() {
+        let mut pf = sample_pf();
+        pf.prune = Some(crate::plan::PruneSpec {
+            section_key: "a1b2c3d4e5f60718".into(),
+            drop_params: vec![
+                encode_tuple(&Tuple::new(vec![Value::str("GA")])),
+                encode_tuple(&Tuple::new(vec![Value::str("TX")])),
+                Bytes::new(), // empty params survive too
+            ],
+        });
+        let bytes = encode_plan_function(&pf);
+        let back = decode_plan_function(bytes).unwrap();
+        assert_eq!(back, pf);
+        // An empty drop list is distinct from no annotation at all.
+        pf.prune = Some(crate::plan::PruneSpec::default());
+        let back = decode_plan_function(encode_plan_function(&pf)).unwrap();
+        assert_eq!(back.prune, Some(crate::plan::PruneSpec::default()));
     }
 
     #[test]
@@ -1042,6 +1094,7 @@ mod tests {
                 fanout: 4,
                 input: Box::new(PlanOp::Param { arity: 1 }),
             }),
+            prune: None,
         };
         let back = decode_plan_function(encode_plan_function(&outer)).unwrap();
         assert_eq!(back, outer);
@@ -1064,6 +1117,7 @@ mod tests {
                 },
                 input: Box::new(PlanOp::Unit),
             }),
+            prune: None,
         };
         let back = decode_plan_function(encode_plan_function(&pf)).unwrap();
         assert_eq!(back, pf);
@@ -1084,6 +1138,7 @@ mod tests {
                     }),
                 }),
             }),
+            prune: None,
         };
         let back = decode_plan_function(encode_plan_function(&pf)).unwrap();
         assert_eq!(back, pf);

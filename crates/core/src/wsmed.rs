@@ -11,14 +11,16 @@ use wsmed_store::FunctionRegistry;
 use crate::cache::{CachePolicy, CallCache};
 use crate::catalog::OwfCatalog;
 use crate::central::create_central_plan;
+use crate::costs::{CostModel, PlannerStats};
 use crate::exec::pool::{PoolPolicy, ProcessPool};
 use crate::exec::ExecContext;
 use crate::obs::{TraceLog, TracePolicy};
 use crate::parallel::{parallel_level_count, parallelize, parallelize_adaptive, FanoutVector};
 use crate::plan::{AdaptiveConfig, QueryPlan};
+use crate::planner::{self, PlanExplanation, PlannerPolicy};
 use crate::resilience::{AdmissionControl, BreakerTotals, Breakers, QuotaPolicy};
 use crate::stats::ExecutionReport;
-use crate::transport::SimTransport;
+use crate::transport::{SimTransport, WsTransport};
 use crate::CoreResult;
 
 /// The default tenant name for executions posed without a session.
@@ -74,9 +76,15 @@ pub struct Wsmed {
     /// (starts at 1; id 0 is the standalone-context sentinel).
     next_query_id: AtomicU64,
     trace_policy: TracePolicy,
-    /// The trace of the most recent execution (also stashed when the run
-    /// itself failed), for the shell's `trace dump` and post-mortems.
-    last_trace: parking_lot::Mutex<Option<Arc<TraceLog>>>,
+    /// Planning policy for [`Wsmed::plan_query`] — interior-mutable so the
+    /// shell (and concurrent sessions) can toggle it on a shared mediator.
+    planner_policy: parking_lot::RwLock<PlannerPolicy>,
+    /// Calibrated + learned provider statistics feeding the cost model:
+    /// warm-started from the transport's provider profiles at WSDL import,
+    /// refined from execution observations under a cost-based policy.
+    planner_stats: Arc<PlannerStats>,
+    /// Client-side cost model parameters (startup and default estimates).
+    cost_model: CostModel,
 }
 
 impl Wsmed {
@@ -99,7 +107,9 @@ impl Wsmed {
             admission: Arc::new(AdmissionControl::default()),
             next_query_id: AtomicU64::new(1),
             trace_policy: TracePolicy::default(),
-            last_trace: parking_lot::Mutex::new(None),
+            planner_policy: parking_lot::RwLock::new(PlannerPolicy::default()),
+            planner_stats: PlannerStats::new(),
+            cost_model: CostModel::default(),
         }
     }
 
@@ -115,19 +125,29 @@ impl Wsmed {
         self.trace_policy
     }
 
-    /// The trace log of the most recent traced execution, if any — kept
-    /// even when the run returned an error, so failed runs can be
-    /// post-mortemed.
-    ///
-    /// Under concurrent executions "most recent" is whichever run stashed
-    /// last; per-query code should read [`ExecutionReport::trace`], which
-    /// is raced by nothing.
-    #[deprecated(
-        since = "0.7.0",
-        note = "races under concurrent executions; read `ExecutionReport::trace` instead"
-    )]
-    pub fn last_trace(&self) -> Option<Arc<TraceLog>> {
-        self.last_trace.lock().clone()
+    /// Installs the planning policy used by [`Wsmed::plan_query`] and
+    /// [`Wsmed::run_planned`]. The default ([`PlannerPolicy::Heuristic`])
+    /// reproduces the paper's plans exactly; takes `&self` so the shell and
+    /// concurrent sessions can toggle it on a shared mediator.
+    pub fn set_planner_policy(&self, policy: PlannerPolicy) {
+        *self.planner_policy.write() = policy;
+    }
+
+    /// The current planning policy.
+    pub fn planner_policy(&self) -> PlannerPolicy {
+        *self.planner_policy.read()
+    }
+
+    /// The mediator's provider-statistics store: calibrated profiles seeded
+    /// at WSDL import plus per-operator observations harvested from runs
+    /// executed under a cost-based policy.
+    pub fn planner_stats(&self) -> &Arc<PlannerStats> {
+        &self.planner_stats
+    }
+
+    /// The client-side cost model the planner estimates with.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
     }
 
     /// Installs the admission-control quota policy (max concurrent
@@ -279,6 +299,15 @@ impl Wsmed {
         let xml = self.transport.registry().wsdl_xml(wsdl_uri)?;
         let doc = wsmed_wsdl::parse_wsdl(&xml)?;
         let names = self.owfs.import(&doc, wsdl_uri)?;
+        // Warm-start the planner's provider statistics from the transport's
+        // calibrated profiles (latency model + capacity) for the new OWFs.
+        for name in &names {
+            if let Ok(owf) = self.owfs.get(name) {
+                if let Some(profile) = self.transport.provider_profile(owf) {
+                    self.planner_stats.seed_profile(&owf.name, profile);
+                }
+            }
+        }
         // Warm processes hold plans compiled against the old catalog.
         self.invalidate_warm_state();
         Ok(names)
@@ -356,6 +385,53 @@ impl Wsmed {
         parallelize_adaptive(&self.compile_central(sql)?, config)
     }
 
+    /// Plans a query under the installed [`PlannerPolicy`] and returns the
+    /// plan together with the planner's decision record.
+    ///
+    /// Under [`PlannerPolicy::Heuristic`] this is byte-identical to
+    /// [`Wsmed::compile_parallel`] with a fanout vector of 2s. Under
+    /// [`PlannerPolicy::CostBased`] the planner searches binding-valid join
+    /// orderings, section merges, and fanouts for the estimated-makespan
+    /// argmin; with `prune: true` it additionally annotates plan functions
+    /// with learned empty-parameter drop lists (semi-join pruning).
+    pub fn plan_query_explained(&self, sql: &str) -> CoreResult<(QueryPlan, PlanExplanation)> {
+        let policy = self.planner_policy();
+        let calc = self.calculus(sql)?;
+        let planned = planner::plan_with_policy(
+            policy,
+            &calc,
+            &self.owfs,
+            &FunctionRegistry::with_builtins(),
+            &self.planner_stats,
+            &self.cost_model,
+        )?;
+        let mut plan = planned.parallel;
+        let mut explanation = planned.explanation;
+        if let PlannerPolicy::CostBased { prune: true } = policy {
+            explanation.prune_sections = planner::annotate_prune(&mut plan, &self.planner_stats);
+        }
+        Ok((plan, explanation))
+    }
+
+    /// Plans a query under the installed [`PlannerPolicy`]; see
+    /// [`Wsmed::plan_query_explained`].
+    pub fn plan_query(&self, sql: &str) -> CoreResult<QueryPlan> {
+        Ok(self.plan_query_explained(sql)?.0)
+    }
+
+    /// The planner's decision record for a query — join order, section
+    /// splits, per-level estimated cost, and pushed-down semi-join filters —
+    /// without executing anything.
+    pub fn plan_explain(&self, sql: &str) -> CoreResult<PlanExplanation> {
+        Ok(self.plan_query_explained(sql)?.1)
+    }
+
+    /// Compile + execute under the installed [`PlannerPolicy`].
+    pub fn run_planned(&self, sql: &str) -> CoreResult<ExecutionReport> {
+        let plan = self.plan_query(sql)?;
+        self.execute(&plan)
+    }
+
     /// Executes any compiled plan as the coordinator, attributed to the
     /// default tenant. Takes `&self`: concurrent executions from many
     /// threads over one mediator are supported and share the call cache,
@@ -368,7 +444,33 @@ impl Wsmed {
     /// by the mediator's [`QuotaPolicy`]: over-quota executions fail fast
     /// with [`crate::CoreError::Admission`] without compiling a context.
     pub fn execute_for(&self, tenant: &str, plan: &QueryPlan) -> CoreResult<ExecutionReport> {
-        let _guard = self.admission.admit_query(tenant)?;
+        self.execute_traced_for(tenant, plan).0
+    }
+
+    /// Executes a plan as the default tenant, returning the run's trace log
+    /// alongside the result — also when the run itself failed, so failed
+    /// runs can be post-mortemed (successful runs additionally surface the
+    /// same log on [`ExecutionReport::trace`]).
+    pub fn execute_traced(
+        &self,
+        plan: &QueryPlan,
+    ) -> (CoreResult<ExecutionReport>, Option<Arc<TraceLog>>) {
+        self.execute_traced_for(DEFAULT_TENANT, plan)
+    }
+
+    /// Executes a plan on behalf of `tenant`, returning the run's trace log
+    /// alongside the result (see [`Wsmed::execute_traced`]). Unlike the
+    /// removed mediator-global `last_trace` stash, the returned log belongs
+    /// to *this* run — nothing races it under concurrent executions.
+    pub fn execute_traced_for(
+        &self,
+        tenant: &str,
+        plan: &QueryPlan,
+    ) -> (CoreResult<ExecutionReport>, Option<Arc<TraceLog>>) {
+        let _guard = match self.admission.admit_query(tenant) {
+            Ok(guard) => guard,
+            Err(e) => return (Err(e), None),
+        };
         let ctx = self.context_for_run();
         ctx.set_query_id(self.next_query_id.fetch_add(1, Ordering::Relaxed));
         ctx.set_resilience_policy(self.resilience);
@@ -378,12 +480,14 @@ impl Wsmed {
         ctx.install_breakers(Arc::clone(&self.breakers));
         ctx.install_admission(Some(self.admission.gate(tenant)));
         ctx.set_trace_policy(self.trace_policy);
+        // Under a cost-based policy, harvest per-operator latencies,
+        // cardinalities, and empty-parameter sets into the planner's stats
+        // so later plans of the same shapes improve.
+        let observing = matches!(self.planner_policy(), PlannerPolicy::CostBased { .. });
+        ctx.install_planner_obs(observing.then(|| Arc::clone(&self.planner_stats)));
         let result = ctx.run_plan(plan);
-        // Stash the run's trace (also on error) for `last_trace`.
-        if self.trace_policy.enabled {
-            *self.last_trace.lock() = ctx.trace_handle();
-        }
-        result
+        let trace = ctx.trace_handle();
+        (result, trace)
     }
 
     /// The execution context for one run: always fresh. Warm pool

@@ -33,6 +33,18 @@ pub const PAPER_Q2_BEST_FANOUT: (usize, usize) = (4, 3);
 /// The adaptation threshold AFF_APPLYP used in the paper's experiments.
 pub const PAPER_AFF_THRESHOLD: f64 = 0.25;
 
+/// All five calibrated provider specs in one vector — the planner seeds its
+/// provider profiles from these before any traces exist.
+pub fn paper_specs() -> Vec<ProviderSpec> {
+    vec![
+        geoplaces_spec(),
+        terraservice_spec(),
+        uszip_spec(),
+        zipcodes_spec(),
+        aviation_spec(),
+    ]
+}
+
 /// Provider spec for codebump GeoPlaces (GetAllStates, GetPlacesWithin).
 pub fn geoplaces_spec() -> ProviderSpec {
     ProviderSpec::new(

@@ -368,10 +368,15 @@ impl Dataset {
             }
             airports.insert(state.abbr.clone(), list);
         }
-        let all_codes: Vec<String> = airports
+        // Sorted so generation is deterministic across `Dataset` instances:
+        // HashMap iteration order varies per instance, and when two airports
+        // mint the same flight number the *last* insert below decides its
+        // status.
+        let mut all_codes: Vec<String> = airports
             .values()
             .flat_map(|list| list.iter().map(|(code, _)| code.clone()))
             .collect();
+        all_codes.sort();
         let mut departures: HashMap<String, Vec<(String, String)>> = HashMap::new();
         let mut flight_status: HashMap<String, (&'static str, i64)> = HashMap::new();
         for code in &all_codes {
@@ -716,6 +721,24 @@ mod tests {
         assert!(ds.airports("??").is_empty());
         assert!(ds.departures("??").is_empty());
         assert!(ds.flight_status("??").is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_across_instances() {
+        // Two datasets from the same config must agree on *everything*,
+        // including the status of flight numbers minted by two different
+        // airports (insert order used to depend on HashMap iteration).
+        let a = Dataset::generate(DatasetConfig::small());
+        let b = Dataset::generate(DatasetConfig::small());
+        for state in a.states() {
+            assert_eq!(a.airports(&state.abbr), b.airports(&state.abbr));
+            for (code, _) in a.airports(&state.abbr) {
+                assert_eq!(a.departures(&code), b.departures(&code));
+                for (flight, _) in a.departures(&code) {
+                    assert_eq!(a.flight_status(&flight), b.flight_status(&flight));
+                }
+            }
+        }
     }
 
     #[test]

@@ -24,6 +24,9 @@ enum Mode {
     Central,
     Parallel(FanoutVector),
     Adaptive(AdaptiveConfig),
+    /// Plans chosen by the mediator's installed planner policy
+    /// (`plan heuristic|cost|cost+prune`).
+    Planned,
 }
 
 struct Shell {
@@ -33,6 +36,9 @@ struct Shell {
     mode: Mode,
     last_tree: Option<wsmed::core::TreeSnapshot>,
     last_resilience: Option<wsmed::core::ResilienceStats>,
+    /// Trace of the most recent traced query (kept across untraced ones),
+    /// for `trace dump`.
+    last_trace: Option<std::sync::Arc<wsmed::core::TraceLog>>,
 }
 
 fn main() {
@@ -90,6 +96,7 @@ impl Shell {
             mode: Mode::Adaptive(AdaptiveConfig::default()),
             last_tree: None,
             last_resilience: None,
+            last_trace: None,
         }
     }
 
@@ -107,6 +114,7 @@ impl Shell {
             _ if lower == "query2" => self.run_sql(paper::QUERY2_SQL),
             _ if lower == "query3" => self.run_sql(paper::QUERY3_SQL),
             _ if lower.starts_with("mode") => self.cmd_mode(line),
+            _ if lower.starts_with("plan") => self.cmd_plan(line),
             _ if lower.starts_with("explain") => self.cmd_explain(line),
             _ if lower.starts_with("scale") => self.cmd_scale(line),
             _ if lower.starts_with("dataset") => self.cmd_dataset(line),
@@ -211,6 +219,57 @@ impl Shell {
             }
             Err(msg) => println!("{msg}"),
         }
+    }
+
+    /// `plan explain <sql|queryN>` shows the planner's decision record;
+    /// `plan heuristic|cost|cost+prune` installs the policy and switches to
+    /// planned mode; `plan` / `plan show` prints the current policy.
+    fn cmd_plan(&mut self, line: &str) {
+        use wsmed::core::PlannerPolicy;
+        let rest = line["plan".len()..].trim();
+        if let Some(sql) = rest.strip_prefix("explain") {
+            let sql = sql.trim();
+            let sql = match sql.to_ascii_lowercase().as_str() {
+                "query1" => paper::QUERY1_SQL,
+                "query2" => paper::QUERY2_SQL,
+                "query3" => paper::QUERY3_SQL,
+                _ => sql,
+            };
+            if sql.is_empty() {
+                println!("usage: plan explain <sql | query1 | query2 | query3>");
+                return;
+            }
+            match self.setup.wsmed.plan_explain(sql) {
+                Ok(explanation) => println!("{explanation}"),
+                Err(e) => println!("error: {e}"),
+            }
+            return;
+        }
+        let policy = match rest {
+            "heuristic" => PlannerPolicy::Heuristic,
+            "cost" => PlannerPolicy::CostBased { prune: false },
+            "cost+prune" => PlannerPolicy::CostBased { prune: true },
+            "" | "show" => {
+                println!(
+                    "planner policy: {} (mode {:?})",
+                    self.setup.wsmed.planner_policy().name(),
+                    self.mode
+                );
+                return;
+            }
+            _ => {
+                println!(
+                    "usage: plan explain <sql|queryN> | plan heuristic|cost|cost+prune | plan show"
+                );
+                return;
+            }
+        };
+        self.setup.wsmed.set_planner_policy(policy);
+        self.mode = Mode::Planned;
+        println!(
+            "planner policy: {} — subsequent queries run planner-chosen plans",
+            policy.name()
+        );
     }
 
     fn cmd_explain(&self, line: &str) {
@@ -540,8 +599,7 @@ impl Shell {
                     .set_trace_policy(wsmed::core::TracePolicy::default());
                 println!("structured tracing disabled");
             }
-            #[allow(deprecated)] // the shell's `trace dump` is single-threaded
-            "dump" => match self.setup.wsmed.last_trace() {
+            "dump" => match self.last_trace.clone() {
                 None => println!("no traced query yet — `trace on`, then run one"),
                 Some(trace) => {
                     let events = trace.events();
@@ -570,11 +628,23 @@ impl Shell {
 
     fn run_sql(&mut self, sql: &str) {
         let t0 = std::time::Instant::now();
-        let result = match &self.mode {
-            Mode::Central => self.setup.wsmed.run_central(sql),
-            Mode::Parallel(fanouts) => self.setup.wsmed.run_parallel(sql, fanouts),
-            Mode::Adaptive(config) => self.setup.wsmed.run_adaptive(sql, config),
+        let plan = match &self.mode {
+            Mode::Central => self.setup.wsmed.compile_central(sql),
+            Mode::Parallel(fanouts) => self.setup.wsmed.compile_parallel(sql, fanouts),
+            Mode::Adaptive(config) => self.setup.wsmed.compile_adaptive(sql, config),
+            Mode::Planned => self.setup.wsmed.plan_query(sql),
         };
+        let plan = match plan {
+            Ok(plan) => plan,
+            Err(e) => {
+                println!("error: {e}");
+                return;
+            }
+        };
+        let (result, trace) = self.setup.wsmed.execute_traced(&plan);
+        if trace.is_some() {
+            self.last_trace = trace;
+        }
         match result {
             Ok(report) => {
                 print_rows(&report);
@@ -602,6 +672,12 @@ impl Shell {
                     println!(
                         "pool: {} warm / {} cold, {:.3} model-s startup saved",
                         p.warm_acquires, p.cold_spawns, p.startup_model_secs_saved
+                    );
+                }
+                if report.pruned_params > 0 {
+                    println!(
+                        "semi-join pruning: {} parameter(s) dropped parent-side",
+                        report.pruned_params
                     );
                 }
                 let r = &report.resilience;
@@ -660,6 +736,7 @@ impl Shell {
             Mode::Central => med.compile_central(sql),
             Mode::Parallel(fanouts) => med.compile_parallel(sql, fanouts),
             Mode::Adaptive(config) => med.compile_adaptive(sql, config),
+            Mode::Planned => med.plan_query(sql),
         };
         let plan = match plan {
             Ok(plan) => plan,
@@ -800,7 +877,8 @@ fn parse_mode(line: &str) -> Result<Mode, String> {
             }
             Ok(Mode::Adaptive(config))
         }
-        _ => Err("usage: mode central | mode parallel <fo1,fo2> | mode adaptive [p=N] [drop] [threshold=F]".into()),
+        Some("planned") => Ok(Mode::Planned),
+        _ => Err("usage: mode central | mode parallel <fo1,fo2> | mode adaptive [p=N] [drop] [threshold=F] | mode planned".into()),
     }
 }
 
@@ -828,6 +906,11 @@ commands:
   mode parallel <fo1,fo2,…>        FF_APPLYP with a manual fanout vector
   mode adaptive [p=N] [drop] [threshold=F]
                                    AFF_APPLYP (default: p=2, no drop, 25%)
+  mode planned                     run plans chosen by the planner policy
+  plan heuristic|cost|cost+prune   install the planning policy (and switch
+                                   to planned mode); `plan show` prints it
+  plan explain <sql|queryN>        join order, section splits, estimated
+                                   per-level cost, pushed semi-join filters
   views                            imported OWF views and their schemas
   metrics                          per-provider web service call metrics
   tree                             process tree of the last query
@@ -950,14 +1033,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the deprecated `last_trace` shim
     fn shell_trace_commands() {
         let mut shell = Shell::new(0.0, "tiny".into());
         assert!(shell.dispatch("trace dump")); // nothing traced yet
         assert!(shell.dispatch("trace on"));
         shell.mode = Mode::Adaptive(AdaptiveConfig::default());
         assert!(shell.dispatch("query2"));
-        let trace = shell.setup.wsmed.last_trace().expect("trace stashed");
+        let trace = shell.last_trace.clone().expect("trace stashed");
         assert!(!trace.events().is_empty());
         assert!(wsmed::core::obs::validate(&trace.events()).is_empty());
         assert!(shell.dispatch("trace dump"));
@@ -965,7 +1047,32 @@ mod tests {
         assert!(shell.dispatch("trace bogus"));
         // A query after `trace off` leaves the stashed trace untouched.
         assert!(shell.dispatch("query2"));
-        assert!(shell.setup.wsmed.last_trace().is_some());
+        assert!(shell.last_trace.is_some());
+    }
+
+    #[test]
+    fn shell_plan_commands() {
+        use wsmed::core::PlannerPolicy;
+        let mut shell = Shell::new(0.0, "tiny".into());
+        assert!(shell.dispatch("plan show")); // default policy, prints fine
+        assert_eq!(shell.setup.wsmed.planner_policy(), PlannerPolicy::Heuristic);
+        assert!(shell.dispatch("plan explain query2"));
+        assert!(shell.dispatch("plan explain")); // usage, shell stays alive
+        assert!(shell.dispatch("plan bogus"));
+        assert!(shell.dispatch("plan cost"));
+        assert_eq!(
+            shell.setup.wsmed.planner_policy(),
+            PlannerPolicy::CostBased { prune: false }
+        );
+        assert_eq!(shell.mode, Mode::Planned);
+        assert!(shell.dispatch("query2"));
+        assert!(shell.last_tree.is_some(), "planned run stashes a tree");
+        assert!(shell.dispatch("plan cost+prune"));
+        assert!(shell.dispatch("plan explain query3"));
+        assert!(shell.dispatch("query3"));
+        assert!(shell.dispatch("plan heuristic"));
+        assert_eq!(shell.setup.wsmed.planner_policy(), PlannerPolicy::Heuristic);
+        assert_eq!(parse_mode("mode planned").unwrap(), Mode::Planned);
     }
 
     #[test]

@@ -119,6 +119,7 @@ fn first_finished_beats_round_robin_under_skew() {
                         input: Box::new(PlanOp::Param { arity: 2 }),
                     }),
                     output_arity: 3,
+                    prune: None,
                 },
                 fanout: 2,
                 input: Box::new(PlanOp::ApplyOwf {

@@ -192,7 +192,6 @@ fn retry_policy_does_not_mask_permanent_faults() {
 }
 
 #[test]
-#[allow(deprecated)] // failed runs have no report; `last_trace` is the shim
 fn fault_inside_adaptation_window_surfaces_with_trace() {
     // The every-40th fault lands well after the first monitoring cycles
     // have run add stages, i.e. *inside* the adaptation window — the run
@@ -203,13 +202,15 @@ fn fault_inside_adaptation_window_surfaces_with_trace() {
     let zip = setup.network.provider(ZipCodesService::PROVIDER).unwrap();
     zip.set_fault(FaultSpec::every(40));
 
-    let err = setup
+    let plan = setup
         .wsmed
-        .run_adaptive(paper::QUERY2_SQL, &AdaptiveConfig::default())
-        .unwrap_err();
+        .compile_adaptive(paper::QUERY2_SQL, &AdaptiveConfig::default())
+        .expect("query compiles");
+    let (result, trace) = setup.wsmed.execute_traced(&plan);
+    let err = result.unwrap_err();
     assert!(matches!(err, CoreError::ProcessFailure(_)), "{err:?}");
 
-    let trace = setup.wsmed.last_trace().expect("failed run still traced");
+    let trace = trace.expect("failed run still traced");
     let events = settled_events(&trace);
     let cycles = events
         .iter()
@@ -224,7 +225,6 @@ fn fault_inside_adaptation_window_surfaces_with_trace() {
 }
 
 #[test]
-#[allow(deprecated)] // failed runs have no report; `last_trace` is the shim
 fn retry_exhaustion_during_adaptation_errors_not_hangs() {
     use wsmed::core::RetryPolicy;
     // 30% per-call fault probability: two attempts per call exhaust on
@@ -241,12 +241,14 @@ fn retry_exhaustion_during_adaptation_errors_not_hangs() {
         ..Default::default()
     });
 
-    let result = setup
+    let plan = setup
         .wsmed
-        .run_adaptive(paper::QUERY2_SQL, &AdaptiveConfig::default());
+        .compile_adaptive(paper::QUERY2_SQL, &AdaptiveConfig::default())
+        .expect("query compiles");
+    let (result, trace) = setup.wsmed.execute_traced(&plan);
     assert!(result.is_err(), "30% faults must exhaust 2 attempts");
 
-    let trace = setup.wsmed.last_trace().expect("failed run still traced");
+    let trace = trace.expect("failed run still traced");
     let events = settled_events(&trace);
     let max_attempt = events
         .iter()
@@ -263,7 +265,6 @@ fn retry_exhaustion_during_adaptation_errors_not_hangs() {
 }
 
 #[test]
-#[allow(deprecated)] // failed runs have no report; `last_trace` is the shim
 fn fault_during_warm_pool_reattach_errors_cleanly() {
     // Run 1 parks a warm tree; a total outage then makes the reattached
     // run 2 fail; clearing the fault lets run 3 succeed again — and every
@@ -289,12 +290,14 @@ fn fault_during_warm_pool_reattach_errors_cleanly() {
         fail_probability: 1.0,
         ..Default::default()
     });
-    let err = setup
+    let plan2 = setup
         .wsmed
-        .run_parallel(paper::QUERY2_SQL, &vec![2, 2])
-        .unwrap_err();
+        .compile_parallel(paper::QUERY2_SQL, &vec![2, 2])
+        .expect("query compiles");
+    let (result2, trace2) = setup.wsmed.execute_traced(&plan2);
+    let err = result2.unwrap_err();
     assert!(matches!(err, CoreError::ProcessFailure(_)), "{err:?}");
-    let trace2 = setup.wsmed.last_trace().expect("failed run still traced");
+    let trace2 = trace2.expect("failed run still traced");
     let events2 = settled_events(&trace2);
     assert!(
         events2
