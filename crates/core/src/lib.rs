@@ -72,4 +72,4 @@ pub use stats::{AdaptEvent, ExecutionReport, LevelStats, TreeNode, TreeRegistry,
 pub use transport::{
     BatchPolicy, DispatchPolicy, MockTransport, RetryPolicy, SimTransport, WsTransport,
 };
-pub use wsmed::{paper, QuerySession, Wsmed, DEFAULT_TENANT};
+pub use wsmed::{paper, ArrivalOutcome, QuerySession, Wsmed, DEFAULT_TENANT};

@@ -490,6 +490,47 @@ impl Wsmed {
         (result, trace)
     }
 
+    /// Executes a plan on behalf of `tenant`, attributing every terminal
+    /// outcome to a recorded arrival instant — the open-loop hookpoint.
+    ///
+    /// Closed-loop timing starts the clock when execution starts; under
+    /// load, that hides queueing delay. Here the caller passes the moment
+    /// the query *arrived* (which may lie in the past if the dispatcher
+    /// lagged), and the outcome carries wall time from that arrival to the
+    /// terminal event:
+    ///
+    /// * admission rejection ([`crate::CoreError::Admission`], from the
+    ///   query quota up front or a call quota mid-run) terminates as
+    ///   [`ArrivalOutcome::Shed`] with an arrival→reject latency — shed
+    ///   work is *never* reported as a completion;
+    /// * any other error terminates as [`ArrivalOutcome::Failed`];
+    /// * success terminates as [`ArrivalOutcome::Completed`] with the
+    ///   arrival→last-row latency next to the report's own run-scoped
+    ///   [`ExecutionReport::wall`].
+    pub fn execute_arrival_for(
+        &self,
+        tenant: &str,
+        plan: &QueryPlan,
+        arrival: std::time::Instant,
+    ) -> ArrivalOutcome {
+        let (result, _) = self.execute_traced_for(tenant, plan);
+        let latency_wall = arrival.elapsed();
+        match result {
+            Ok(report) => ArrivalOutcome::Completed {
+                report: Box::new(report),
+                latency_wall,
+            },
+            Err(crate::CoreError::Admission { reason, .. }) => ArrivalOutcome::Shed {
+                latency_wall,
+                reason,
+            },
+            Err(error) => ArrivalOutcome::Failed {
+                latency_wall,
+                error,
+            },
+        }
+    }
+
     /// The execution context for one run: always fresh. Warm pool
     /// processes re-home into the acquiring run's context on attach, so
     /// no persistent context is needed for pooling.
@@ -562,6 +603,57 @@ impl Wsmed {
                 .expect("write to string");
         }
         Ok(out)
+    }
+}
+
+/// Terminal outcome of an arrival-attributed execution
+/// ([`Wsmed::execute_arrival_for`]). Every variant carries the wall time
+/// from the recorded arrival instant to the terminal event, so open-loop
+/// harnesses measure queueing delay plus service time, and a shed query
+/// contributes an (arrival → reject) sample instead of vanishing.
+#[derive(Debug)]
+pub enum ArrivalOutcome {
+    /// The query ran to completion.
+    Completed {
+        /// The run's report (boxed: the variant dwarfs the others).
+        report: Box<ExecutionReport>,
+        /// Arrival → last result row, in wall time.
+        latency_wall: std::time::Duration,
+    },
+    /// Admission control shed the query (query quota at admission, or a
+    /// call quota mid-run). Counted in
+    /// [`crate::resilience::AdmissionStats`], never as goodput.
+    Shed {
+        /// Arrival → rejection, in wall time.
+        latency_wall: std::time::Duration,
+        /// The admission controller's reason string.
+        reason: String,
+    },
+    /// The query failed for a non-admission reason.
+    Failed {
+        /// Arrival → failure, in wall time.
+        latency_wall: std::time::Duration,
+        /// The terminal error.
+        error: crate::CoreError,
+    },
+}
+
+impl ArrivalOutcome {
+    /// The arrival→terminal wall latency, whatever the outcome.
+    pub fn latency_wall(&self) -> std::time::Duration {
+        match self {
+            ArrivalOutcome::Completed { latency_wall, .. }
+            | ArrivalOutcome::Shed { latency_wall, .. }
+            | ArrivalOutcome::Failed { latency_wall, .. } => *latency_wall,
+        }
+    }
+
+    /// The completed report, if the query ran to completion.
+    pub fn report(&self) -> Option<&ExecutionReport> {
+        match self {
+            ArrivalOutcome::Completed { report, .. } => Some(report),
+            _ => None,
+        }
     }
 }
 

@@ -84,6 +84,19 @@ pub struct DatasetConfig {
     pub max_neighbors: usize,
     /// Zip code areas per state.
     pub zips_per_state: usize,
+    /// Population multiplier applied to every per-state entity count (zip
+    /// areas, airports, Atlanta neighbors). Per-parent fan-outs whose
+    /// parent already scales (departures per airport) keep their base
+    /// draw, so total flights grow linearly with `scale` through the
+    /// airport population rather than quadratically. `1` reproduces the
+    /// base dataset byte-for-byte; `100`–`1000` grow the world for
+    /// open-loop load experiments while keeping referential integrity.
+    pub scale: usize,
+    /// Fractional seeded jitter on scaled counts: each entity's count is
+    /// multiplied by a deterministic factor in `[1 - j, 1 + j]`, so scaled
+    /// worlds are not perfectly uniform. `0.0` (the default) draws nothing
+    /// and keeps base datasets byte-identical.
+    pub count_jitter: f64,
 }
 
 impl DatasetConfig {
@@ -96,6 +109,8 @@ impl DatasetConfig {
             min_neighbors: 5,
             max_neighbors: 11,
             zips_per_state: 100,
+            scale: 1,
+            count_jitter: 0.0,
         }
     }
 
@@ -116,7 +131,71 @@ impl DatasetConfig {
             min_neighbors: 2,
             max_neighbors: 4,
             zips_per_state: 3,
+            scale: 1,
+            count_jitter: 0.0,
         }
+    }
+
+    /// Returns this configuration with the population multiplier set.
+    pub fn scaled(self, scale: usize) -> Self {
+        DatasetConfig {
+            scale: scale.max(1),
+            ..self
+        }
+    }
+
+    /// Returns this configuration with seeded count jitter set
+    /// (clamped to `[0, 0.9]` so counts stay positive).
+    pub fn with_jitter(self, count_jitter: f64) -> Self {
+        DatasetConfig {
+            count_jitter: count_jitter.clamp(0.0, 0.9),
+            ..self
+        }
+    }
+
+    /// The deterministic per-entity count for a base count of `base`:
+    /// `base × scale`, perturbed by the seeded jitter factor for `key`.
+    /// With `scale == 1` and `count_jitter == 0` this is exactly `base`
+    /// and draws nothing, keeping base datasets byte-identical.
+    fn scaled_count(&self, base: usize, kind: &str, key: &str) -> usize {
+        if self.scale <= 1 && self.count_jitter == 0.0 {
+            return base;
+        }
+        let mut n = (base * self.scale.max(1)) as f64;
+        if self.count_jitter > 0.0 {
+            let mut rng = DetRng::keyed(
+                self.seed,
+                "count-jitter",
+                hash_str(kind) ^ hash_str(key).rotate_left(17),
+            );
+            n *= 1.0 + rng.uniform(-self.count_jitter, self.count_jitter);
+        }
+        (n.round() as usize).max(1)
+    }
+
+    /// The deterministic jitter-only count for `base`: perturbed by the
+    /// seeded jitter factor for `key` but *not* multiplied by `scale`.
+    /// Used for per-parent fan-outs (departures per airport) whose parent
+    /// population already scales — scaling both would grow totals
+    /// quadratically in `scale`.
+    fn jittered_count(&self, base: usize, kind: &str, key: &str) -> usize {
+        if self.count_jitter == 0.0 {
+            return base;
+        }
+        let mut rng = DetRng::keyed(
+            self.seed,
+            "count-jitter",
+            hash_str(kind) ^ hash_str(key).rotate_left(17),
+        );
+        let n = base as f64 * (1.0 + rng.uniform(-self.count_jitter, self.count_jitter));
+        (n.round() as usize).max(1)
+    }
+
+    /// An upper bound on any per-state zip-area count under this config
+    /// (used to size the zip numbering span so zips stay globally unique).
+    fn max_zip_count_bound(&self) -> usize {
+        let n = (self.zips_per_state * self.scale.max(1)) as f64 * (1.0 + self.count_jitter);
+        n.ceil() as usize + 1
     }
 }
 
@@ -270,7 +349,11 @@ impl Dataset {
         for state in &has_atlanta {
             let mut rng = DetRng::keyed(config.seed, "neighbors", hash_str(&state.abbr));
             let span = (config.max_neighbors - config.min_neighbors) as u64 + 1;
-            let count = config.min_neighbors + rng.below(span) as usize;
+            let count = config.scaled_count(
+                config.min_neighbors + rng.below(span) as usize,
+                "neighbors",
+                &state.abbr,
+            );
             let mut list = Vec::with_capacity(count);
             for n in 0..count {
                 let prefix = NEIGHBOR_PREFIXES[rng.below(NEIGHBOR_PREFIXES.len() as u64) as usize];
@@ -323,11 +406,21 @@ impl Dataset {
         // --- Zip areas (Query2) -------------------------------------------
         let mut zipareas: HashMap<String, Vec<ZipArea>> = HashMap::new();
         let mut zip_index: HashMap<String, (String, usize)> = HashMap::new();
+        // The base numbering packs 200 zips per state into five digits;
+        // scaled worlds overflow that, so they switch to a nine-digit
+        // scheme with a span wide enough for any jittered per-state count.
+        let wide_zips = config.max_zip_count_bound() > 200;
+        let zip_span = config.max_zip_count_bound().next_multiple_of(1000);
         for (state_idx, state) in states.iter().enumerate() {
             let mut rng = DetRng::keyed(config.seed, "zips", hash_str(&state.abbr));
-            let mut areas = Vec::with_capacity(config.zips_per_state);
-            for z in 0..config.zips_per_state {
-                let zip = format!("{:05}", 10_000 + state_idx * 200 + z);
+            let zip_count = config.scaled_count(config.zips_per_state, "zips", &state.abbr);
+            let mut areas = Vec::with_capacity(zip_count);
+            for z in 0..zip_count {
+                let zip = if wide_zips {
+                    format!("{:09}", 100_000_000 + state_idx * zip_span + z)
+                } else {
+                    format!("{:05}", 10_000 + state_idx * 200 + z)
+                };
                 let count = 1 + rng.below(3) as usize;
                 let mut places = Vec::with_capacity(count);
                 for _ in 0..count {
@@ -357,7 +450,8 @@ impl Dataset {
         let mut airports: HashMap<String, Vec<(String, String)>> = HashMap::new();
         for state in &states {
             let mut rng = DetRng::keyed(config.seed, "airports", hash_str(&state.abbr));
-            let count = 2 + rng.below(2) as usize; // 2..=3 airports per state
+            // 2..=3 airports per state at base scale.
+            let count = config.scaled_count(2 + rng.below(2) as usize, "airports", &state.abbr);
             let mut list = Vec::with_capacity(count);
             for a in 0..count {
                 let stem = AIRPORT_CITY_STEMS[rng.below(AIRPORT_CITY_STEMS.len() as u64) as usize];
@@ -381,7 +475,8 @@ impl Dataset {
         let mut flight_status: HashMap<String, (&'static str, i64)> = HashMap::new();
         for code in &all_codes {
             let mut rng = DetRng::keyed(config.seed, "departures", hash_str(code));
-            let count = 3 + rng.below(3) as usize; // 3..=5 departures
+            // 3..=5 departures per airport at base scale.
+            let count = config.jittered_count(3 + rng.below(3) as usize, "departures", code);
             let mut list = Vec::with_capacity(count);
             for f in 0..count {
                 let airline = AIRLINE_CODES[rng.below(AIRLINE_CODES.len() as u64) as usize];

@@ -32,6 +32,7 @@ mod error;
 mod lexer;
 mod parser;
 mod resolver;
+mod template;
 
 pub use ast::{
     sql_literal, AggFunc, CompareOp, Expr, OrderItem, Predicate, Projection, SelectStmt, TableRef,
@@ -42,3 +43,4 @@ pub use error::{SqlError, SqlResult};
 pub use lexer::{tokenize, Token};
 pub use parser::parse_select;
 pub use resolver::generate_calculus;
+pub use template::SqlTemplate;

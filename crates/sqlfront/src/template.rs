@@ -1,0 +1,155 @@
+//! Parameterized SQL templates for workload generation.
+//!
+//! A template is ordinary WSMED SQL with `{name}` placeholders standing in
+//! for literal values; [`SqlTemplate::render`] substitutes bound values as
+//! properly quoted SQL literals (via [`crate::sql_literal`], so embedded
+//! quotes cannot break out of the literal). Traffic generators draw the
+//! parameter values from popularity distributions and render one concrete
+//! query per arrival, which keeps the workload's *shape* (the template)
+//! separate from its *population* (the parameter draws).
+
+use std::collections::BTreeMap;
+
+use wsmed_store::Value;
+
+use crate::ast::sql_literal;
+use crate::{SqlError, SqlResult};
+
+/// A SQL text with named `{placeholder}` slots for literal parameters.
+///
+/// ```
+/// use wsmed_sql::SqlTemplate;
+/// use wsmed_store::Value;
+///
+/// let t = SqlTemplate::parse("select a from V where V.s={state}").unwrap();
+/// assert_eq!(t.placeholders(), ["state"]);
+/// let sql = t.render(&[("state", Value::str("CO"))]).unwrap();
+/// assert_eq!(sql, "select a from V where V.s='CO'");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlTemplate {
+    /// Literal text segments; `parts[i]` precedes `slots[i]`, and the
+    /// final part follows the last slot.
+    parts: Vec<String>,
+    /// Placeholder names, in appearance order (duplicates allowed — the
+    /// same binding fills every occurrence).
+    slots: Vec<String>,
+}
+
+impl SqlTemplate {
+    /// Parses a template: `{name}` marks a slot, where `name` is one or
+    /// more alphanumeric/underscore characters. Braces that do not form a
+    /// well-formed placeholder are an error (templates are hand-written;
+    /// silent literal braces would hide typos).
+    pub fn parse(text: &str) -> SqlResult<SqlTemplate> {
+        let mut parts = Vec::new();
+        let mut slots = Vec::new();
+        let mut current = String::new();
+        let mut chars = text.char_indices();
+        while let Some((pos, c)) = chars.next() {
+            match c {
+                '{' => {
+                    let mut name = String::new();
+                    loop {
+                        match chars.next() {
+                            Some((_, '}')) => break,
+                            Some((_, c)) if c.is_ascii_alphanumeric() || c == '_' => name.push(c),
+                            _ => {
+                                return Err(SqlError::Unsupported(format!(
+                                    "malformed template placeholder at byte {pos}"
+                                )))
+                            }
+                        }
+                    }
+                    if name.is_empty() {
+                        return Err(SqlError::Unsupported(format!(
+                            "empty template placeholder at byte {pos}"
+                        )));
+                    }
+                    parts.push(std::mem::take(&mut current));
+                    slots.push(name);
+                }
+                '}' => {
+                    return Err(SqlError::Unsupported(format!(
+                        "unmatched '}}' at byte {pos} in template"
+                    )))
+                }
+                c => current.push(c),
+            }
+        }
+        parts.push(current);
+        Ok(SqlTemplate { parts, slots })
+    }
+
+    /// The distinct placeholder names, in first-appearance order.
+    pub fn placeholders(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for slot in &self.slots {
+            if !seen.contains(&slot.as_str()) {
+                seen.push(slot.as_str());
+            }
+        }
+        seen
+    }
+
+    /// Renders the template with every placeholder bound. Values are
+    /// substituted as SQL literals (strings quoted and escaped). Unbound
+    /// placeholders are an error; extra bindings are ignored.
+    pub fn render(&self, bindings: &[(&str, Value)]) -> SqlResult<String> {
+        let map: BTreeMap<&str, &Value> = bindings.iter().map(|(k, v)| (*k, v)).collect();
+        let mut out = String::new();
+        for (i, part) in self.parts.iter().enumerate() {
+            out.push_str(part);
+            if let Some(slot) = self.slots.get(i) {
+                let value = map.get(slot.as_str()).ok_or_else(|| {
+                    SqlError::Unsupported(format!("template placeholder {{{slot}}} is unbound"))
+                })?;
+                out.push_str(&sql_literal(value));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_literals_with_quoting() {
+        let t = SqlTemplate::parse("where a.s={state} and a.d={dist}").unwrap();
+        let sql = t
+            .render(&[("state", Value::str("O'Hare")), ("dist", Value::Real(15.0))])
+            .unwrap();
+        assert_eq!(sql, "where a.s='O''Hare' and a.d=15.0");
+    }
+
+    #[test]
+    fn repeated_placeholder_fills_every_occurrence() {
+        let t = SqlTemplate::parse("{x} + {x}").unwrap();
+        assert_eq!(t.placeholders(), ["x"]);
+        assert_eq!(t.render(&[("x", Value::Int(3))]).unwrap(), "3 + 3");
+    }
+
+    #[test]
+    fn unbound_placeholder_is_an_error() {
+        let t = SqlTemplate::parse("v={x}").unwrap();
+        assert!(t.render(&[]).is_err());
+    }
+
+    #[test]
+    fn template_without_placeholders_is_identity() {
+        let text = "select a from V";
+        let t = SqlTemplate::parse(text).unwrap();
+        assert!(t.placeholders().is_empty());
+        assert_eq!(t.render(&[]).unwrap(), text);
+    }
+
+    #[test]
+    fn malformed_placeholders_are_rejected() {
+        assert!(SqlTemplate::parse("a{").is_err());
+        assert!(SqlTemplate::parse("a}").is_err());
+        assert!(SqlTemplate::parse("a{}b").is_err());
+        assert!(SqlTemplate::parse("a{x y}b").is_err());
+    }
+}

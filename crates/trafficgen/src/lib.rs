@@ -1,0 +1,41 @@
+#![deny(missing_docs)]
+
+//! # wsmed-trafficgen
+//!
+//! The open-loop traffic harness for the WSMED mediator: everything needed
+//! to pose a *population* of queries at the multi-query mediator the way a
+//! real client fleet would, and to reduce the outcome to
+//! latency-percentile numbers a regression gate can assert on.
+//!
+//! The paper's experiments (§VI) time one query at a time; a mediator
+//! shared by many tenants instead faces a *stream* whose arrival process
+//! does not care how long queries take. The layers here, bottom-up:
+//!
+//! * [`ZipfSampler`] — seeded skewed popularity over parameter ranks;
+//! * [`ArrivalProfile`] — seeded open-loop arrival processes on the model
+//!   clock (Poisson, diurnal, square-wave bursts) via thinning;
+//! * [`Workload`] / [`WorkloadSpec`] — a fully materialized, byte-stable
+//!   transcript of arrivals × tenants × query templates × parameter
+//!   draws ([`TemplateKind`] renders paper-shaped SQL through
+//!   [`wsmed_sql::SqlTemplate`]);
+//! * [`replay`] — injects the workload against a [`wsmed_core::Wsmed`] at
+//!   a wall time-scale, attributing each query's latency from its
+//!   *scheduled* arrival so queueing shows up in the tail;
+//! * [`LoadReport`] — exact nearest-rank percentiles, goodput and shed
+//!   rate per arrival phase, plus [`SubsystemCounters`] scoped to the
+//!   replay.
+//!
+//! Every stage is a pure function of its seed, which is what lets tests
+//! assert byte-identical transcripts and deterministic replay projections.
+
+mod arrival;
+mod report;
+mod runner;
+mod workload;
+mod zipf;
+
+pub use arrival::ArrivalProfile;
+pub use report::{exact_quantile, fnv1a, LoadReport, PhaseReport, SubsystemCounters};
+pub use runner::{replay, InjectionOutcome, OutcomeKind};
+pub use workload::{Injection, TemplateKind, Workload, WorkloadSpec};
+pub use zipf::ZipfSampler;

@@ -1,0 +1,340 @@
+//! Population-realistic workload generation.
+//!
+//! A [`Workload`] is the full, pre-materialized transcript of one load
+//! run: for each arrival, *when* it lands (from an [`ArrivalProfile`]),
+//! *who* sends it (a tenant drawn uniformly), and *what* it asks (a query
+//! template drawn from a shape mix, with parameters drawn from a seeded
+//! Zipf popularity distribution over the dataset's states). Everything is
+//! a pure function of `(spec, states)`, so two generations with the same
+//! seed are byte-identical — the property the replay determinism tests
+//! pin down via [`Workload::transcript`].
+
+use wsmed_netsim::DetRng;
+use wsmed_sql::SqlTemplate;
+use wsmed_store::Value;
+
+use crate::arrival::ArrivalProfile;
+use crate::zipf::ZipfSampler;
+
+/// Query1 with the search radius parameterized: places within `{distance}`
+/// km of each Atlanta (the paper's Fig. 1 shape).
+const QUERY1_TEMPLATE: &str = "\
+    Select gl.placename, gl.state \
+    From GetAllStates gs, GetPlacesWithin gp, GetPlaceList gl \
+    Where gs.State=gp.state and gp.distance={distance} \
+      and gp.placeTypeToFind='City' and gp.place='Atlanta' \
+      and gl.placeName=gp.ToPlace+', '+gp.ToState \
+      and gl.MaxItems=100 and gl.imagePresence='true'";
+
+/// Query2's dependent chain pinned to one `{state}`: the zip and state of
+/// 'USAF Academy' via that state's zip list (the paper's Fig. 3 shape,
+/// parameter-skewed like the cache ablation's workload).
+const QUERY2_TEMPLATE: &str = "\
+    select gp.ToState, gp.zip \
+    From GetAllStates gs, GetInfoByState gi, getzipcode gc, GetPlacesInside gp \
+    Where gi.USState={state} and gi.GetInfoByStateResult=gc.zipstr \
+      and gc.zipcode=gp.zip and gp.ToPlace='USAF Academy'";
+
+/// Query3's three-level flight chain pinned to one `{state}`: every
+/// delayed departure from that state's airports.
+const QUERY3_TEMPLATE: &str = "\
+    select d.FlightNo, a.Code, fs.DelayMinutes \
+    From GetAllStates gs, GetAirports a, GetDepartures d, GetFlightStatus fs \
+    Where a.stateAbbr={state} and a.Code = d.airportCode \
+      and d.FlightNo = fs.flightNo and fs.Status = 'Delayed' \
+    order by d.FlightNo";
+
+/// Search radii for Query1, most-popular first (Zipf rank order).
+const DISTANCES: [f64; 6] = [15.0, 10.0, 25.0, 5.0, 40.0, 60.0];
+
+/// The query shapes a workload can mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TemplateKind {
+    /// Paper Query1 with a Zipf-drawn search radius.
+    Query1Places,
+    /// Paper Query2 pinned to a Zipf-drawn state.
+    Query2ZipState,
+    /// Query3 (flight chain) pinned to a Zipf-drawn state.
+    Query3FlightsState,
+}
+
+impl TemplateKind {
+    /// Stable short name for transcripts and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TemplateKind::Query1Places => "q1-places",
+            TemplateKind::Query2ZipState => "q2-zip",
+            TemplateKind::Query3FlightsState => "q3-flights",
+        }
+    }
+
+    /// The template SQL text with `{placeholder}` slots.
+    pub fn template_text(&self) -> &'static str {
+        match self {
+            TemplateKind::Query1Places => QUERY1_TEMPLATE,
+            TemplateKind::Query2ZipState => QUERY2_TEMPLATE,
+            TemplateKind::Query3FlightsState => QUERY3_TEMPLATE,
+        }
+    }
+}
+
+/// Everything needed to (re)generate a workload deterministically.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Master seed; every stream (arrivals, shuffle, draws) is keyed off it.
+    pub seed: u64,
+    /// Run length in model seconds.
+    pub duration_model_secs: f64,
+    /// The open-loop arrival process.
+    pub profile: ArrivalProfile,
+    /// Number of tenants; each arrival is assigned one uniformly.
+    pub tenants: usize,
+    /// Zipf exponent for parameter popularity (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Query-shape mix as `(kind, weight)`; weights need not sum to 1.
+    pub mix: Vec<(TemplateKind, f64)>,
+}
+
+impl WorkloadSpec {
+    /// A balanced three-shape mix at the given seed/profile/duration.
+    pub fn standard(seed: u64, profile: ArrivalProfile, duration_model_secs: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            seed,
+            duration_model_secs,
+            profile,
+            tenants: 4,
+            zipf_exponent: 1.1,
+            mix: vec![
+                (TemplateKind::Query1Places, 0.2),
+                (TemplateKind::Query2ZipState, 0.5),
+                (TemplateKind::Query3FlightsState, 0.3),
+            ],
+        }
+    }
+}
+
+/// One scheduled query injection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Injection {
+    /// Position in arrival order (0-based).
+    pub index: usize,
+    /// Scheduled arrival on the model clock, seconds from run start.
+    pub arrival_model_secs: f64,
+    /// The arrival profile's phase label at the arrival instant.
+    pub phase: &'static str,
+    /// Tenant name (`t0`, `t1`, ...).
+    pub tenant: String,
+    /// The query shape drawn for this arrival.
+    pub template: TemplateKind,
+    /// The rendered parameter, human-readable (e.g. `state=CO`).
+    pub params: String,
+    /// The fully rendered SQL.
+    pub sql: String,
+}
+
+/// A fully materialized open-loop workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The spec this workload was generated from.
+    pub spec: WorkloadSpec,
+    /// States in popularity order (rank 0 = hottest).
+    pub popularity: Vec<String>,
+    /// The injections, in arrival order.
+    pub injections: Vec<Injection>,
+}
+
+impl Workload {
+    /// Generates the workload: arrivals from the profile, popularity from
+    /// a seeded shuffle of `states`, parameters and shapes from seeded
+    /// Zipf/weighted draws. Pure in `(spec, states)`.
+    ///
+    /// # Panics
+    /// Panics if the spec has no tenants, an empty mix, or `states` is
+    /// empty.
+    pub fn generate(spec: WorkloadSpec, states: &[String]) -> Workload {
+        assert!(spec.tenants > 0, "workload needs at least one tenant");
+        assert!(!spec.mix.is_empty(), "workload needs a non-empty mix");
+        assert!(!states.is_empty(), "workload needs candidate states");
+
+        // Popularity ranking: a seeded Fisher-Yates shuffle, so the hot
+        // states are an arbitrary (but reproducible) subset rather than
+        // the alphabetically-first ones.
+        let mut popularity: Vec<String> = states.to_vec();
+        let mut shuffle_rng = DetRng::keyed(spec.seed, "popularity-shuffle", 0);
+        for i in (1..popularity.len()).rev() {
+            let j = shuffle_rng.below(i as u64 + 1) as usize;
+            popularity.swap(i, j);
+        }
+
+        let state_zipf = ZipfSampler::new(popularity.len(), spec.zipf_exponent);
+        let distance_zipf = ZipfSampler::new(DISTANCES.len(), spec.zipf_exponent);
+        let mix_total: f64 = spec.mix.iter().map(|(_, w)| w).sum();
+        assert!(mix_total > 0.0, "mix weights must sum positive");
+
+        let templates: Vec<(TemplateKind, SqlTemplate)> = spec
+            .mix
+            .iter()
+            .map(|(kind, _)| {
+                (
+                    *kind,
+                    SqlTemplate::parse(kind.template_text()).expect("built-in template parses"),
+                )
+            })
+            .collect();
+
+        let arrivals = spec.profile.arrivals(spec.seed, spec.duration_model_secs);
+        let mut draw_rng = DetRng::keyed(spec.seed, "workload-draws", 0);
+        let mut injections = Vec::with_capacity(arrivals.len());
+        for (index, &arrival_model_secs) in arrivals.iter().enumerate() {
+            let tenant = format!("t{}", draw_rng.below(spec.tenants as u64));
+            // Weighted shape draw from the mix.
+            let mut pick = draw_rng.next_f64() * mix_total;
+            let mut chosen = 0usize;
+            for (i, (_, w)) in spec.mix.iter().enumerate() {
+                chosen = i;
+                pick -= w;
+                if pick < 0.0 {
+                    break;
+                }
+            }
+            let (kind, template) = &templates[chosen];
+            let (params, sql) = match kind {
+                TemplateKind::Query1Places => {
+                    let d = DISTANCES[distance_zipf.sample(&mut draw_rng)];
+                    (
+                        format!("distance={d}"),
+                        template
+                            .render(&[("distance", Value::Real(d))])
+                            .expect("distance binds"),
+                    )
+                }
+                TemplateKind::Query2ZipState | TemplateKind::Query3FlightsState => {
+                    let state = &popularity[state_zipf.sample(&mut draw_rng)];
+                    (
+                        format!("state={state}"),
+                        template
+                            .render(&[("state", Value::str(state))])
+                            .expect("state binds"),
+                    )
+                }
+            };
+            injections.push(Injection {
+                index,
+                arrival_model_secs,
+                phase: spec.profile.phase_of(arrival_model_secs),
+                tenant,
+                template: *kind,
+                params,
+                sql,
+            });
+        }
+        Workload {
+            spec,
+            popularity,
+            injections,
+        }
+    }
+
+    /// A byte-stable transcript of the whole workload: one line per
+    /// injection with arrival time (9 decimal places), phase, tenant,
+    /// shape, and parameters. Equal transcripts ⇔ equal workloads.
+    pub fn transcript(&self) -> String {
+        let mut out = String::new();
+        for inj in &self.injections {
+            out.push_str(&format!(
+                "{}|{:.9}|{}|{}|{}|{}\n",
+                inj.index,
+                inj.arrival_model_secs,
+                inj.phase,
+                inj.tenant,
+                inj.template.name(),
+                inj.params,
+            ));
+        }
+        out
+    }
+
+    /// The distinct rendered SQL texts, in first-appearance order (for
+    /// plan precompilation).
+    pub fn unique_sqls(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for inj in &self.injections {
+            if !seen.contains(&inj.sql) {
+                seen.push(inj.sql.clone());
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn states() -> Vec<String> {
+        ["CO", "GA", "TX", "CA", "NY", "WA", "FL", "OH"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    fn spec(seed: u64) -> WorkloadSpec {
+        WorkloadSpec::standard(seed, ArrivalProfile::Poisson { rate: 4.0 }, 50.0)
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical() {
+        let a = Workload::generate(spec(9), &states());
+        let b = Workload::generate(spec(9), &states());
+        assert_eq!(a.transcript(), b.transcript());
+        assert_eq!(a.injections, b.injections);
+        let c = Workload::generate(spec(10), &states());
+        assert_ne!(a.transcript(), c.transcript());
+    }
+
+    #[test]
+    fn mix_weights_are_respected() {
+        let w = Workload::generate(spec(3), &states());
+        assert!(w.injections.len() > 100);
+        let count = |k: TemplateKind| {
+            w.injections.iter().filter(|i| i.template == k).count() as f64
+                / w.injections.len() as f64
+        };
+        assert!((count(TemplateKind::Query1Places) - 0.2).abs() < 0.1);
+        assert!((count(TemplateKind::Query2ZipState) - 0.5).abs() < 0.12);
+        assert!((count(TemplateKind::Query3FlightsState) - 0.3).abs() < 0.1);
+    }
+
+    #[test]
+    fn hot_state_dominates_parameter_draws() {
+        let w = Workload::generate(spec(5), &states());
+        let hot = format!("state={}", w.popularity[0]);
+        let cold = format!("state={}", w.popularity.last().expect("non-empty"));
+        let hot_n = w.injections.iter().filter(|i| i.params == hot).count();
+        let cold_n = w.injections.iter().filter(|i| i.params == cold).count();
+        assert!(hot_n > 2 * cold_n, "{hot_n} hot vs {cold_n} cold");
+    }
+
+    #[test]
+    fn rendered_sql_quotes_states() {
+        let w = Workload::generate(spec(2), &states());
+        let q2 = w
+            .injections
+            .iter()
+            .find(|i| i.template == TemplateKind::Query2ZipState)
+            .expect("mix includes q2");
+        assert!(q2.sql.contains("gi.USState='"));
+        assert!(!q2.sql.contains('{'), "no unexpanded placeholders");
+    }
+
+    #[test]
+    fn unique_sqls_deduplicate() {
+        let w = Workload::generate(spec(4), &states());
+        let uniq = w.unique_sqls();
+        let mut sorted = uniq.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(uniq.len(), sorted.len());
+        assert!(uniq.len() < w.injections.len());
+    }
+}

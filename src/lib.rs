@@ -13,5 +13,6 @@ pub use wsmed_netsim as netsim;
 pub use wsmed_services as services;
 pub use wsmed_sql as sql;
 pub use wsmed_store as store;
+pub use wsmed_trafficgen as trafficgen;
 pub use wsmed_wsdl as wsdl;
 pub use wsmed_xml as xml;

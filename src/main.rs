@@ -126,6 +126,7 @@ impl Shell {
             _ if lower.starts_with("resilience") => self.cmd_resilience(line),
             _ if lower.starts_with("trace") => self.cmd_trace(line),
             _ if lower.starts_with("mq") => self.cmd_mq(line),
+            _ if lower.starts_with("load") => self.cmd_load(line),
             _ if lower.starts_with("select") => self.run_sql(line),
             _ => println!("unknown command; try `help`"),
         }
@@ -832,6 +833,98 @@ impl Shell {
             self.last_tree = Some(report.tree);
         }
     }
+
+    /// `load run <poisson|diurnal|square> <rate> <secs>`: replays a seeded
+    /// open-loop workload against the live mediator (with whatever cache,
+    /// pool, planner and resilience settings the shell has configured) and
+    /// prints the per-phase percentile table.
+    fn cmd_load(&mut self, line: &str) {
+        use wsmed::trafficgen::{
+            replay, ArrivalProfile, LoadReport, SubsystemCounters, Workload, WorkloadSpec,
+        };
+        const USAGE: &str = "usage: load run <poisson|diurnal|square> <rate> <secs>";
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let ["load", "run", profile_name, rate_str, secs_str] = words.as_slice() else {
+            println!("{USAGE}");
+            return;
+        };
+        let (Ok(rate), Ok(secs)) = (rate_str.parse::<f64>(), secs_str.parse::<f64>()) else {
+            println!("{USAGE}");
+            return;
+        };
+        if !(rate > 0.0 && secs > 0.0) {
+            println!("rate and secs must be positive");
+            return;
+        }
+        let profile = match *profile_name {
+            "poisson" => ArrivalProfile::Poisson { rate },
+            "diurnal" => ArrivalProfile::Diurnal {
+                trough_rate: 0.3 * rate,
+                peak_rate: 1.7 * rate,
+                period_model_secs: secs / 2.0,
+            },
+            "square" => ArrivalProfile::SquareWave {
+                quiet_rate: 0.4 * rate,
+                burst_rate: 3.0 * rate,
+                period_model_secs: secs / 4.0,
+                burst_fraction: 0.25,
+            },
+            _ => {
+                println!("{USAGE}");
+                return;
+            }
+        };
+        let states: Vec<String> = self
+            .setup
+            .dataset
+            .states()
+            .iter()
+            .map(|s| s.abbr.clone())
+            .collect();
+        let workload = Workload::generate(WorkloadSpec::standard(0x10AD, profile, secs), &states);
+        println!(
+            "replaying {} injection(s) over {secs} model s (wall ≈ {:.1}s)...",
+            workload.injections.len(),
+            secs * self.scale
+        );
+        let med = &self.setup.wsmed;
+        let before = SubsystemCounters::collect(med, &self.setup.network);
+        let outcomes = match replay(med, &workload, self.scale) {
+            Ok(outcomes) => outcomes,
+            Err(e) => {
+                println!("error: {e}");
+                return;
+            }
+        };
+        let after = SubsystemCounters::collect(med, &self.setup.network);
+        let report = LoadReport::build(
+            "shell",
+            &workload,
+            &outcomes,
+            self.scale,
+            after.since(&before),
+        );
+        print!("{}", report.table());
+        let c = &report.counters;
+        println!(
+            "counters: cache {}/{} ({} cross-query), pool {} warm / {} cold, \
+             {} breaker open(s), {} quer(ies) / {} call(s) shed, \
+             {} provider call(s), {} param(s) pruned",
+            c.cache_hits,
+            c.cache_misses,
+            c.cross_query_hits,
+            c.warm_acquires,
+            c.cold_spawns,
+            c.breaker_opens,
+            c.shed_queries,
+            c.shed_calls,
+            c.provider_calls,
+            c.pruned_params,
+        );
+        if self.scale == 0.0 {
+            println!("note: scale 0 — latency columns are meaningless (sim does not sleep)");
+        }
+    }
 }
 
 fn dataset_by_name(name: &str) -> DatasetConfig {
@@ -933,6 +1026,10 @@ commands:
   trace on|off|dump                structured model-time execution traces
                                    (`dump` replays the last traced query
                                    and writes JSONL for trace_export --check)
+  load run <profile> <rate> <secs> open-loop workload replay: seeded
+                                   poisson|diurnal|square arrivals at
+                                   <rate>/model-s for <secs> model-s, with
+                                   per-phase latency percentiles
   mq run <K> <sql|queryN>          K concurrent executions over the shared
                                    mediator (cache/pool/breakers shared),
                                    with per-query + shared stats

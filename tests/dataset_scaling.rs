@@ -1,0 +1,193 @@
+//! Referential-integrity properties of scaled synthetic datasets.
+//!
+//! The open-loop harness grows the geo world 100×–1000× with the
+//! `DatasetConfig::scaled`/`with_jitter` knobs. Scaling must never break
+//! the cross-service joins the paper's queries depend on:
+//!
+//! * every departure's flight has exactly one flight-status row, and its
+//!   destination is a real airport of some state;
+//! * zip codes stay globally unique across states (scaled worlds switch
+//!   to the wide nine-digit numbering), and every zip resolves to at
+//!   least one place;
+//! * per-state counts actually multiply by the scale factor, while the
+//!   flight population grows linearly (through airports), never
+//!   quadratically;
+//! * jitter varies counts but preserves integrity;
+//! * `scale == 1` with zero jitter is byte-identical to the unscaled
+//!   generation — the knobs are invisible until turned.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use wsmed::services::{Dataset, DatasetConfig};
+
+/// Checks every join edge the paper's queries traverse.
+fn assert_referential_integrity(ds: &Dataset) {
+    // All airport codes, for destination lookups.
+    let mut all_codes: HashSet<String> = HashSet::new();
+    for state in ds.states() {
+        for (code, city) in ds.airports(&state.abbr) {
+            assert!(
+                code.starts_with(&state.abbr),
+                "airport {code} not coded for its state {}",
+                state.abbr
+            );
+            assert!(city.ends_with(&state.abbr));
+            assert!(all_codes.insert(code), "duplicate airport code");
+        }
+    }
+    assert_eq!(all_codes.len(), ds.total_airport_count());
+
+    // Aviation chain: departures → destination airports and flight status.
+    let mut flights_seen = 0usize;
+    for code in &all_codes {
+        for (flight, dest) in ds.departures(code) {
+            flights_seen += 1;
+            assert!(
+                all_codes.contains(&dest),
+                "flight {flight} departs {code} for unknown airport {dest}"
+            );
+            assert_eq!(
+                ds.flight_status(&flight).len(),
+                1,
+                "flight {flight} must have exactly one status row"
+            );
+        }
+    }
+    assert_eq!(flights_seen, ds.total_flight_count());
+
+    // Zip chain: globally unique zips, each resolving to places.
+    let mut zips_seen = HashSet::new();
+    for state in ds.states() {
+        let zipstr = ds
+            .zips_for_state(&state.abbr)
+            .expect("every state has zips");
+        for zip in zipstr.split(',') {
+            assert!(
+                zips_seen.insert(zip.to_owned()),
+                "zip {zip} appears in two states"
+            );
+            let places = ds.places_inside(zip);
+            assert!(!places.is_empty(), "zip {zip} resolves to no places");
+            for (_, st, _) in places {
+                assert_eq!(st, state.abbr, "zip {zip} places claim the wrong state");
+            }
+        }
+    }
+    assert_eq!(zips_seen.len(), ds.total_zip_count());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    // Integrity holds at 100× across arbitrary seeds and jitters, and the
+    // per-state populations really do multiply: with zero jitter scaled
+    // counts are exact, with jitter they stay within the jitter band.
+    #[test]
+    fn hundredfold_scaled_worlds_keep_referential_integrity(
+        seed in 0u64..1_000_000,
+        jitter in 0.0f64..0.4,
+    ) {
+        let base_cfg = DatasetConfig { seed, ..DatasetConfig::tiny() };
+        let base = Dataset::generate(base_cfg.clone());
+        let scaled = Dataset::generate(base_cfg.scaled(100).with_jitter(jitter));
+        assert_referential_integrity(&scaled);
+
+        let lo = (1.0 - jitter) * 100.0 * base.total_zip_count() as f64 - 51.0;
+        let hi = (1.0 + jitter) * 100.0 * base.total_zip_count() as f64 + 51.0;
+        let got = scaled.total_zip_count() as f64;
+        prop_assert!(
+            got >= lo && got <= hi,
+            "zip population {got} outside jitter band [{lo:.0}, {hi:.0}]"
+        );
+        if jitter == 0.0 {
+            prop_assert_eq!(scaled.total_zip_count(), 100 * base.total_zip_count());
+            prop_assert_eq!(scaled.total_airport_count(), 100 * base.total_airport_count());
+        }
+        // Flights scale linearly through airports (3..=5 per airport),
+        // never quadratically.
+        prop_assert!(scaled.total_flight_count() >= 3 * scaled.total_airport_count());
+        prop_assert!(scaled.total_flight_count() <= 5 * scaled.total_airport_count() + 51);
+        // Anchor-state population is a selection, not a per-state count —
+        // scaling must leave it alone.
+        prop_assert_eq!(scaled.atlanta_state_count(), base.atlanta_state_count());
+    }
+}
+
+/// The full 1000× world stays consistent and is still cheap enough to
+/// generate (flights grow linearly, so this is ~hundreds of thousands of
+/// rows, not hundreds of millions).
+#[test]
+fn thousandfold_scaled_world_keeps_referential_integrity() {
+    let ds = Dataset::generate(DatasetConfig::tiny().scaled(1000));
+    assert_referential_integrity(&ds);
+    let base = Dataset::generate(DatasetConfig::tiny());
+    assert_eq!(ds.total_zip_count(), 1000 * base.total_zip_count());
+    assert_eq!(ds.total_airport_count(), 1000 * base.total_airport_count());
+    assert!(ds.total_flight_count() >= 3 * ds.total_airport_count());
+    assert!(ds.total_flight_count() <= 5 * ds.total_airport_count());
+    // Wide numbering: scaled zips are nine digits, still unique per state.
+    let zipstr = ds.zips_for_state("CO").expect("CO has zips");
+    assert!(zipstr.split(',').all(|z| z.len() == 9 || z == "80840"));
+}
+
+/// Jitter actually varies per-state counts (a flat multiplier would make
+/// every state identical), while zero jitter keeps them uniform.
+#[test]
+fn jitter_varies_per_state_counts() {
+    let uniform = Dataset::generate(DatasetConfig::tiny().scaled(100));
+    let jittered = Dataset::generate(DatasetConfig::tiny().scaled(100).with_jitter(0.3));
+
+    let counts = |ds: &Dataset| -> Vec<usize> {
+        ds.states()
+            .iter()
+            .map(|s| ds.zips_for_state(&s.abbr).unwrap().split(',').count())
+            .collect()
+    };
+    let uniform_counts = counts(&uniform);
+    let jittered_counts = counts(&jittered);
+    assert!(
+        uniform_counts.iter().all(|&c| c == uniform_counts[0]),
+        "zero jitter must give every state the same zip count"
+    );
+    let distinct: HashSet<usize> = jittered_counts.iter().copied().collect();
+    assert!(
+        distinct.len() > 5,
+        "0.3 jitter across 51 states should spread counts, got {distinct:?}"
+    );
+    assert_ne!(uniform.total_zip_count(), jittered.total_zip_count());
+    // And jitter is itself seeded: regeneration reproduces it exactly.
+    let again = Dataset::generate(DatasetConfig::tiny().scaled(100).with_jitter(0.3));
+    assert_eq!(jittered_counts, counts(&again));
+}
+
+/// `scaled(1)` with zero jitter is invisible: every accessor output is
+/// byte-identical to the unscaled generation.
+#[test]
+fn scale_one_is_byte_identical_to_base() {
+    let base = Dataset::generate(DatasetConfig::tiny());
+    let scaled = Dataset::generate(DatasetConfig::tiny().scaled(1).with_jitter(0.0));
+    assert_eq!(base.states(), scaled.states());
+    assert_eq!(base.atlanta_state_count(), scaled.atlanta_state_count());
+    for state in base.states() {
+        assert_eq!(
+            base.zips_for_state(&state.abbr),
+            scaled.zips_for_state(&state.abbr)
+        );
+        assert_eq!(base.airports(&state.abbr), scaled.airports(&state.abbr));
+        for zip in base.zips_for_state(&state.abbr).unwrap().split(',') {
+            assert_eq!(base.places_inside(zip), scaled.places_inside(zip));
+        }
+        for (code, _) in base.airports(&state.abbr) {
+            assert_eq!(base.departures(&code), scaled.departures(&code));
+            for (flight, _) in base.departures(&code) {
+                assert_eq!(base.flight_status(&flight), scaled.flight_status(&flight));
+            }
+        }
+        assert_eq!(
+            base.places_within("Atlanta", &state.abbr, 15.0, "City"),
+            scaled.places_within("Atlanta", &state.abbr, 15.0, "City")
+        );
+    }
+}

@@ -19,6 +19,7 @@ fn dataset(seed: u64) -> DatasetConfig {
         min_neighbors: 1,
         max_neighbors: 4,
         zips_per_state: 3,
+        ..DatasetConfig::tiny()
     }
 }
 
