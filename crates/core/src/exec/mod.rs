@@ -23,6 +23,7 @@ use crate::plan::{ArgExpr, PlanOp, QueryPlan};
 use crate::resilience::{
     self, Breakers, CallGate, FailureMode, ResilienceCollector, ResiliencePolicy, Transition,
 };
+use crate::router::{GroupView, Router, RouterCollector};
 use crate::stats::{ExecutionReport, TreeRegistry};
 use crate::transport::{BatchPolicy, DispatchPolicy, RetryPolicy, WsTransport};
 use crate::{CoreError, CoreResult};
@@ -65,6 +66,11 @@ pub struct ExecContext {
     /// Run-scoped resilience counters behind
     /// [`crate::ResilienceStats`].
     res_stats: ResilienceCollector,
+    /// Client-side replica router, when [`crate::Wsmed`] installed one.
+    /// `None` (the default) keeps every call on the legacy direct path.
+    router: RwLock<Option<Arc<Router>>>,
+    /// Run-scoped routing counters behind [`crate::RouterStats`].
+    router_stats: RouterCollector,
     /// Parameter dispatch policy for fixed-fanout FF_APPLYP operators.
     dispatch: RwLock<DispatchPolicy>,
     /// Tuple batching policy for parent↔child message frames.
@@ -133,6 +139,8 @@ impl ExecContext {
             breakers: RwLock::new(Arc::new(Breakers::default())),
             admission: RwLock::new(None),
             res_stats: ResilienceCollector::default(),
+            router: RwLock::new(None),
+            router_stats: RouterCollector::default(),
             dispatch: RwLock::new(DispatchPolicy::default()),
             batch: RwLock::new(BatchPolicy::default()),
             call_cache: RwLock::new(None),
@@ -229,6 +237,23 @@ impl ExecContext {
         *self.admission.write() = gate;
     }
 
+    /// Installs (or clears, with `None`) the client-side replica router.
+    /// [`crate::Wsmed`] shares one mediator-global instance across its
+    /// per-query contexts so the round-robin rotation stays coherent.
+    pub(crate) fn install_router(&self, router: Option<Arc<Router>>) {
+        *self.router.write() = router;
+    }
+
+    /// The installed router, if any (one cheap refcounted handle).
+    pub(crate) fn router(&self) -> Option<Arc<Router>> {
+        self.router.read().clone()
+    }
+
+    /// Routing counters accumulated so far this run.
+    pub fn router_stats(&self) -> crate::router::RouterStats {
+        self.router_stats.snapshot()
+    }
+
     /// Tags this context with the mediator-assigned query id used for
     /// cross-query cache attribution. Standalone contexts keep id 0.
     pub fn set_query_id(&self, id: u64) {
@@ -255,15 +280,34 @@ impl ExecContext {
         args: &[Value],
         deadline_model_secs: Option<f64>,
     ) -> CoreResult<Value> {
+        self.transport_call_on(owf, args, deadline_model_secs, None)
+    }
+
+    /// [`ExecContext::transport_call`] pinned to a specific replica of the
+    /// OWF's provider group when the router chose one (`None` keeps the
+    /// transport's own endpoint resolution).
+    pub(crate) fn transport_call_on(
+        &self,
+        owf: &OwfDef,
+        args: &[Value],
+        deadline_model_secs: Option<f64>,
+        replica: Option<&str>,
+    ) -> CoreResult<Value> {
         // Latency observation for the cost-based planner: the model-time
         // delta across the (blocking, latency-sleeping) call is the call's
         // own latency. Meaningless at time scale 0, where calls are
         // instant — the calibrated seed profiles stand in there.
         let observe = self.obs_on.load(Ordering::Relaxed) && self.sim.time_scale > 0.0;
         let started = observe.then(|| self.transport.model_now());
-        let result = self
-            .transport
-            .call_operation_metered(owf, args, deadline_model_secs);
+        let result = match replica {
+            Some(replica) => {
+                self.transport
+                    .call_operation_replica(owf, args, deadline_model_secs, replica)
+            }
+            None => self
+                .transport
+                .call_operation_metered(owf, args, deadline_model_secs),
+        };
         if let (Some(started), Ok(_)) = (started, &result) {
             if let Some(obs) = self.planner_obs() {
                 obs.observe_latency(&owf.name, self.transport.model_now() - started);
@@ -560,48 +604,160 @@ impl ExecContext {
             None => None,
         };
         let policy = self.resilience_policy();
-        if policy.is_plain() && policy.max_attempts <= 1 {
+        // Resolve the routable replica view when a router is installed.
+        // Resolution advances the topology scenario, so membership events
+        // (joins, leaves, autoscale activations) surface here — once per
+        // logical call, before any attempt.
+        let routing: Option<(Arc<Router>, GroupView)> = match self.router() {
+            Some(router) => self.transport.group_view(owf).map(|view| (router, view)),
+            None => None,
+        };
+        if let Some((_, view)) = &routing {
+            for change in &view.changes {
+                self.router_stats.note_membership();
+                if self.tracing() {
+                    self.trace_here(TraceEventKind::Membership {
+                        group: change.group.clone(),
+                        replica: change.replica.clone(),
+                        joined: change.joined,
+                    });
+                }
+            }
+        }
+        if routing.is_none() && policy.is_plain() && policy.max_attempts <= 1 {
             return self.transport_call(owf, args, None);
         }
         let provider = self.transport.provider_name(owf);
         let breakers = self.breakers();
         let mut attempt: usize = 1;
+        // Replicas that already failed an attempt of this logical call;
+        // routing avoids them while fresh alternatives remain.
+        let mut failed_replicas: Vec<String> = Vec::new();
         loop {
-            if let Some(bp) = &policy.breaker {
-                let admission = breakers.admit(&provider, bp, self.transport.model_now());
-                if admission.went_half_open {
-                    self.res_stats.note_breaker_half_open();
+            // Pick this attempt's target. Routed: walk the router's choices
+            // until one passes breaker admission — a rejected replica is a
+            // failover, not a terminal error, and only when *every* routable
+            // replica rejects is the group circuit-open. Direct: the single
+            // provider's breaker decides alone, exactly as before.
+            let route: Option<String> = match &routing {
+                Some((router, view)) => {
+                    let mut rejected: Vec<String> = Vec::new();
+                    let chosen = loop {
+                        let exclude: Vec<&str> = failed_replicas
+                            .iter()
+                            .chain(rejected.iter())
+                            .map(String::as_str)
+                            .collect();
+                        let pick = router.select(view, &exclude).or_else(|| {
+                            // Every fresh replica is spoken for: forgive
+                            // earlier-attempt failures, but never a replica
+                            // whose breaker rejected this very attempt.
+                            let rejected_only: Vec<&str> =
+                                rejected.iter().map(String::as_str).collect();
+                            router.select(view, &rejected_only)
+                        });
+                        let Some(replica) = pick else { break None };
+                        if let Some(bp) = &policy.breaker {
+                            let admission =
+                                breakers.admit(&replica, bp, self.transport.model_now());
+                            if admission.went_half_open {
+                                self.res_stats.note_breaker_half_open();
+                                if self.tracing() {
+                                    self.trace_here(TraceEventKind::BreakerHalfOpen {
+                                        provider: replica.clone(),
+                                    });
+                                }
+                            }
+                            if !admission.allowed {
+                                self.res_stats.note_breaker_rejection(&provider, &replica);
+                                self.router_stats.note_failover();
+                                if self.tracing() {
+                                    self.trace_here(TraceEventKind::BreakerReject {
+                                        provider: replica.clone(),
+                                        op: owf.operation.clone(),
+                                    });
+                                    self.trace_here(TraceEventKind::ReplicaSkipped {
+                                        group: provider.clone(),
+                                        replica: replica.clone(),
+                                        reason: "breaker_open".to_owned(),
+                                    });
+                                }
+                                rejected.push(replica);
+                                continue;
+                            }
+                        }
+                        break Some(replica);
+                    };
+                    let Some(replica) = chosen else {
+                        // Every routable replica is breaker-rejected (or
+                        // the group has no active replica left).
+                        return Err(CoreError::CircuitOpen {
+                            provider,
+                            operation: owf.operation.clone(),
+                        });
+                    };
+                    self.router_stats.note_decision(&provider, &replica);
                     if self.tracing() {
-                        self.trace_here(TraceEventKind::BreakerHalfOpen {
-                            provider: provider.clone(),
+                        self.trace_here(TraceEventKind::RouteDecision {
+                            group: provider.clone(),
+                            replica: replica.clone(),
+                            alternatives: view.replicas.len() as u64,
                         });
                     }
+                    Some(replica)
                 }
-                if !admission.allowed {
-                    self.res_stats.note_breaker_rejection(&provider);
-                    if self.tracing() {
-                        self.trace_here(TraceEventKind::BreakerReject {
-                            provider: provider.clone(),
-                            op: owf.operation.clone(),
-                        });
+                None => {
+                    if let Some(bp) = &policy.breaker {
+                        let admission = breakers.admit(&provider, bp, self.transport.model_now());
+                        if admission.went_half_open {
+                            self.res_stats.note_breaker_half_open();
+                            if self.tracing() {
+                                self.trace_here(TraceEventKind::BreakerHalfOpen {
+                                    provider: provider.clone(),
+                                });
+                            }
+                        }
+                        if !admission.allowed {
+                            self.res_stats.note_breaker_rejection(&provider, &provider);
+                            if self.tracing() {
+                                self.trace_here(TraceEventKind::BreakerReject {
+                                    provider: provider.clone(),
+                                    op: owf.operation.clone(),
+                                });
+                            }
+                            // Terminal for this call: retrying against an open
+                            // breaker would only burn the backoff budget.
+                            return Err(CoreError::CircuitOpen {
+                                provider,
+                                operation: owf.operation.clone(),
+                            });
+                        }
                     }
-                    // Terminal for this call: retrying against an open
-                    // breaker would only burn the backoff budget.
-                    return Err(CoreError::CircuitOpen {
-                        provider,
-                        operation: owf.operation.clone(),
-                    });
+                    None
                 }
-            }
-            match self.call_attempt(owf, args, &policy) {
+            };
+            // The breaker (and per-replica counter) key for this attempt:
+            // the replica actually called, or the lone provider itself.
+            let breaker_key = route.clone().unwrap_or_else(|| provider.clone());
+            // Pre-select the hedge's alternate replica (never the primary)
+            // so a hedged backup lands on different hardware when any
+            // exists. Selected up front — the seq bump is deterministic
+            // whether or not the hedge ends up launching.
+            let hedge_alt: Option<String> = match (&routing, &route) {
+                (Some((router, view)), Some(primary)) if policy.hedge.is_some() => {
+                    router.select(view, &[primary.as_str()])
+                }
+                _ => None,
+            };
+            match self.call_attempt(owf, args, &policy, route.as_deref(), hedge_alt.as_deref()) {
                 Ok(value) => {
                     if policy.breaker.is_some()
-                        && breakers.on_success(&provider) == Some(Transition::Closed)
+                        && breakers.on_success(&breaker_key) == Some(Transition::Closed)
                     {
                         self.res_stats.note_breaker_close();
                         if self.tracing() {
                             self.trace_here(TraceEventKind::BreakerClose {
-                                provider: provider.clone(),
+                                provider: breaker_key.clone(),
                             });
                         }
                     }
@@ -612,15 +768,20 @@ impl ExecContext {
                         self.res_stats.note_deadline_exceeded();
                     }
                     if let Some(bp) = &policy.breaker {
-                        if breakers.on_failure(&provider, bp, self.transport.model_now())
+                        if breakers.on_failure(&breaker_key, bp, self.transport.model_now())
                             == Some(Transition::Opened)
                         {
-                            self.res_stats.note_breaker_open(&provider);
+                            self.res_stats.note_breaker_open(&provider, &breaker_key);
                             if self.tracing() {
                                 self.trace_here(TraceEventKind::BreakerOpen {
-                                    provider: provider.clone(),
+                                    provider: breaker_key.clone(),
                                 });
                             }
+                        }
+                    }
+                    if let Some(replica) = &route {
+                        if !failed_replicas.contains(replica) {
+                            failed_replicas.push(replica.clone());
                         }
                     }
                     if attempt >= policy.max_attempts {
@@ -642,7 +803,7 @@ impl ExecContext {
                     };
                     self.sim.sleep_model(policy.backoff_for(attempt, roll));
                     attempt += 1;
-                    self.res_stats.note_retry(&provider);
+                    self.res_stats.note_retry(&provider, &breaker_key);
                     if self.tracing() {
                         self.trace_here(TraceEventKind::RetryAttempt {
                             op: owf.name.clone(),
@@ -661,15 +822,21 @@ impl ExecContext {
     /// flight — issues the same call and the first success wins. The
     /// loser's value is dropped here, below the caching layer, so a
     /// hedge can never insert a value the winner did not produce.
+    /// When the router picked a `replica`, both the primary and the hedge
+    /// pin their transport calls: the hedge to `hedge_replica` (a
+    /// different replica, when the group has one) so the backup lands on
+    /// different hardware than the call it is hedging against.
     fn call_attempt(
         &self,
         owf: &OwfDef,
         args: &[Value],
         policy: &ResiliencePolicy,
+        replica: Option<&str>,
+        hedge_replica: Option<&str>,
     ) -> CoreResult<Value> {
         let deadline = policy.deadline_model_secs;
         let Some(hedge) = policy.hedge else {
-            return self.transport_call(owf, args, deadline);
+            return self.transport_call_on(owf, args, deadline, replica);
         };
         let settled = AtomicBool::new(false);
         let binding = obs::current_proc();
@@ -689,15 +856,23 @@ impl ExecContext {
                     // to the same process-tree node as the primary.
                     obs::set_current_proc(binding.0, binding.1, Arc::clone(&binding.2));
                     self.res_stats.note_hedge_launched();
+                    if hedge_replica.is_some() {
+                        self.router_stats.note_hedge_reroute();
+                    }
                     if self.tracing() {
                         self.trace_here(TraceEventKind::HedgeLaunch {
                             op: owf.operation.clone(),
                         });
                     }
-                    let _ = tx.send(Some(self.transport_call(owf, args, deadline)));
+                    let _ = tx.send(Some(self.transport_call_on(
+                        owf,
+                        args,
+                        deadline,
+                        hedge_replica.or(replica),
+                    )));
                 });
             }
-            let primary = self.transport_call(owf, args, deadline);
+            let primary = self.transport_call_on(owf, args, deadline, replica);
             settled.store(true, Ordering::Release);
             if primary.is_ok() {
                 // The hedge either never launches (it sees `settled`) or
@@ -776,6 +951,7 @@ impl ExecContext {
         breakers.begin_run();
         // Per-query state is unconditionally fresh.
         self.res_stats.reset();
+        self.router_stats.reset();
         self.cache_scope
             .reset(self.query_id.load(Ordering::Relaxed));
         self.pool_scope.reset();
@@ -857,6 +1033,7 @@ impl ExecContext {
             }),
             pool: pool.map_or_else(PoolStats::default, |_| self.pool_scope.snapshot()),
             resilience: self.res_stats.snapshot(),
+            router: self.router_stats.snapshot(),
             pruned_params: self.pruned_params.load(Ordering::Relaxed),
             first_row_wall: match self.first_result_nanos.load(Ordering::Relaxed) {
                 0 => None,

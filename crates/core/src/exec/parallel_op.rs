@@ -102,6 +102,9 @@ struct AdaptState {
     stopped: bool,
     /// The previous stage was a drop (a second worsening stops adaptation).
     last_was_drop: bool,
+    /// Per-tuple time at the convergence cycle — the baseline the re-arm
+    /// check ([`AdaptiveConfig::rearm_factor`]) measures deviation against.
+    converged_t: Option<f64>,
     /// Completed monitoring cycles this run (trace record numbering).
     cycles: u64,
 }
@@ -116,6 +119,7 @@ impl AdaptState {
         self.prev_t = None;
         self.stopped = false;
         self.last_was_drop = false;
+        self.converged_t = None;
         self.cycles = 0;
     }
 }
@@ -173,6 +177,7 @@ impl ParallelApply {
             prev_t: None,
             stopped: false,
             last_was_drop: false,
+            converged_t: None,
             cycles: 0,
         };
         Self::new(ctx, env, pf, init, Some(adapt))
@@ -668,6 +673,13 @@ impl ParallelApply {
     /// operator then compares the average time per incoming tuple with the
     /// previous cycle and adds or drops children.
     fn monitoring_step(&mut self, ctx: &Arc<ExecContext>, segment_start: &mut Instant) {
+        /// What the cycle boundary asks the pool to do structurally.
+        enum Action {
+            Add(usize),
+            DropOne,
+            /// Re-arm: reset the tree to this width and restart adaptation.
+            Rearm(usize),
+        }
         let alive = self.alive_count();
         let action = {
             let Some(adapt) = &mut self.adapt else { return };
@@ -684,6 +696,15 @@ impl ParallelApply {
             let eocs = adapt.eoc_in_cycle as u64;
             let tuples = adapt.tuples_in_cycle;
             adapt.cycles += 1;
+            // A converged operator under a re-arm policy keeps watching t:
+            // drifting beyond the configured fraction of the converged
+            // baseline — in either direction — restarts adaptation, so the
+            // fanout tracks a moving optimum (topology churn, brownouts).
+            let rearmed = adapt.stopped
+                && match (adapt.config.rearm_factor, adapt.converged_t) {
+                    (Some(factor), Some(base)) => (t - base).abs() > base * factor,
+                    _ => false,
+                };
             let decision = if adapt.stopped {
                 None
             } else {
@@ -701,6 +722,7 @@ impl ParallelApply {
                 Some(AdaptDecision::Add(n)) => format!("add:{n}"),
                 Some(AdaptDecision::DropOne) => "drop".to_owned(),
                 Some(AdaptDecision::Stop) => "stop".to_owned(),
+                None if rearmed => "rearm".to_owned(),
                 None => "converged".to_owned(),
             };
             if ctx.tracing() {
@@ -725,21 +747,29 @@ impl ParallelApply {
             match decision {
                 Some(AdaptDecision::Add(n)) => {
                     adapt.last_was_drop = false;
-                    Some(AdaptDecision::Add(n))
+                    Some(Action::Add(n))
                 }
                 Some(AdaptDecision::DropOne) => {
                     adapt.last_was_drop = true;
-                    Some(AdaptDecision::DropOne)
+                    Some(Action::DropOne)
                 }
                 Some(AdaptDecision::Stop) => {
                     adapt.stopped = true;
+                    adapt.converged_t = Some(t);
                     None
+                }
+                None if rearmed => {
+                    adapt.stopped = false;
+                    adapt.prev_t = None;
+                    adapt.last_was_drop = false;
+                    adapt.converged_t = None;
+                    Some(Action::Rearm(adapt.config.init_fanout.max(1)))
                 }
                 None => None,
             }
         };
         match action {
-            Some(AdaptDecision::Add(n)) => {
+            Some(Action::Add(n)) => {
                 for _ in 0..n {
                     // An add-stage spawn failure is not fatal: the pool
                     // keeps running at its current width.
@@ -748,8 +778,24 @@ impl ParallelApply {
                     }
                 }
             }
-            Some(AdaptDecision::DropOne) => self.drop_one_child(ctx),
-            _ => {}
+            Some(Action::DropOne) => self.drop_one_child(ctx),
+            Some(Action::Rearm(target)) => {
+                // Reset the tree to the initial width; the next cycles'
+                // add (or drop) stages walk toward the new optimum.
+                let alive = self.alive_count();
+                if alive > target {
+                    for _ in 0..(alive - target) {
+                        self.drop_one_child(ctx);
+                    }
+                } else {
+                    for _ in 0..(target - alive) {
+                        if self.spawn_child(ctx).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            None => {}
         }
     }
 

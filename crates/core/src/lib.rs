@@ -42,6 +42,7 @@ pub mod parallel;
 pub mod plan;
 pub mod planner;
 pub mod resilience;
+pub mod router;
 pub mod stats;
 pub mod transport;
 pub mod wire;
@@ -68,6 +69,7 @@ pub use resilience::{
     AdmissionControl, AdmissionStats, BreakerPolicy, BreakerTotals, FailureMode, HedgePolicy,
     ProviderResilience, QueryGuard, QuotaPolicy, ResiliencePolicy, ResilienceStats,
 };
+pub use router::{GroupView, ReplicaView, RouterPolicy, RouterStats};
 pub use stats::{AdaptEvent, ExecutionReport, LevelStats, TreeNode, TreeRegistry, TreeSnapshot};
 pub use transport::{
     BatchPolicy, DispatchPolicy, MockTransport, RetryPolicy, SimTransport, WsTransport,

@@ -63,8 +63,12 @@ impl KindMask {
     /// Resilience events: circuit-breaker transitions and rejections,
     /// hedged calls, parameter skips under partial failure mode.
     pub const RESILIENCE: KindMask = KindMask(1 << 7);
+    /// Replica routing: per-call routing decisions, group membership
+    /// changes (topology scenarios, autoscaling) and breaker-driven
+    /// replica skips.
+    pub const ROUTING: KindMask = KindMask(1 << 8);
     /// Every event group.
-    pub const ALL: KindMask = KindMask(0xff);
+    pub const ALL: KindMask = KindMask(0x1ff);
 
     /// True when every bit of `other` is set in `self`.
     pub fn contains(self, other: KindMask) -> bool {
@@ -281,6 +285,35 @@ pub enum TraceEventKind {
         /// Number of parameter tuples dropped in this batch.
         count: u64,
     },
+    /// The client-side router picked a replica for one call attempt.
+    RouteDecision {
+        /// Logical provider (replica group) name.
+        group: String,
+        /// Replica the attempt was routed to.
+        replica: String,
+        /// Other routable replicas that were passed over.
+        alternatives: u64,
+    },
+    /// A replica joined or left its group (topology scenario event,
+    /// graceful drain, or autoscale activation).
+    Membership {
+        /// Logical provider (replica group) name.
+        group: String,
+        /// Replica whose membership changed.
+        replica: String,
+        /// True for a join/rejoin, false for a leave.
+        joined: bool,
+    },
+    /// The router skipped a selected replica and failed over to another
+    /// (the skipped replica's breaker rejected the attempt).
+    ReplicaSkipped {
+        /// Logical provider (replica group) name.
+        group: String,
+        /// Replica that was skipped.
+        replica: String,
+        /// Why it was skipped (currently always `breaker_open`).
+        reason: String,
+    },
 }
 
 impl TraceEventKind {
@@ -309,6 +342,7 @@ impl TraceEventKind {
             | HedgeLaunch { .. }
             | HedgeWin { .. }
             | ParamSkipped { .. } => KindMask::RESILIENCE,
+            RouteDecision { .. } | Membership { .. } | ReplicaSkipped { .. } => KindMask::ROUTING,
         }
     }
 
@@ -343,6 +377,9 @@ impl TraceEventKind {
             HedgeWin { .. } => "hedge_win",
             ParamSkipped { .. } => "param_skipped",
             ParamsPruned { .. } => "params_pruned",
+            RouteDecision { .. } => "route_decision",
+            Membership { .. } => "membership",
+            ReplicaSkipped { .. } => "replica_skipped",
         }
     }
 }
@@ -623,6 +660,34 @@ pub fn event_to_jsonl(e: &TraceEvent) -> String {
             ",\"pruned_pf\":\"{}\",\"count\":{count}",
             json_escape(pf)
         )),
+        RouteDecision {
+            group,
+            replica,
+            alternatives,
+        } => s.push_str(&format!(
+            ",\"group\":\"{}\",\"replica\":\"{}\",\"alternatives\":{alternatives}",
+            json_escape(group),
+            json_escape(replica)
+        )),
+        Membership {
+            group,
+            replica,
+            joined,
+        } => s.push_str(&format!(
+            ",\"group\":\"{}\",\"replica\":\"{}\",\"joined\":{joined}",
+            json_escape(group),
+            json_escape(replica)
+        )),
+        ReplicaSkipped {
+            group,
+            replica,
+            reason,
+        } => s.push_str(&format!(
+            ",\"group\":\"{}\",\"replica\":\"{}\",\"reason\":\"{}\"",
+            json_escape(group),
+            json_escape(replica),
+            json_escape(reason)
+        )),
     }
     s.push('}');
     s
@@ -895,6 +960,21 @@ fn parse_kind(name: &str, map: &HashMap<String, Scalar>) -> Result<TraceEventKin
         "params_pruned" => ParamsPruned {
             pf: get_str(map, "pruned_pf")?,
             count: get_num(map, "count")? as u64,
+        },
+        "route_decision" => RouteDecision {
+            group: get_str(map, "group")?,
+            replica: get_str(map, "replica")?,
+            alternatives: get_num(map, "alternatives")? as u64,
+        },
+        "membership" => Membership {
+            group: get_str(map, "group")?,
+            replica: get_str(map, "replica")?,
+            joined: get_bool(map, "joined")?,
+        },
+        "replica_skipped" => ReplicaSkipped {
+            group: get_str(map, "group")?,
+            replica: get_str(map, "replica")?,
+            reason: get_str(map, "reason")?,
         },
         other => return Err(format!("unknown kind {other:?}")),
     })
@@ -1257,6 +1337,21 @@ mod tests {
             ParamsPruned {
                 pf: "a1b2c3d4e5f60718".to_owned(),
                 count: 5,
+            },
+            RouteDecision {
+                group: "codebump.com/zip".to_owned(),
+                replica: "codebump.com/zip#1".to_owned(),
+                alternatives: 2,
+            },
+            Membership {
+                group: "codebump.com/zip".to_owned(),
+                replica: "codebump.com/zip#2".to_owned(),
+                joined: false,
+            },
+            ReplicaSkipped {
+                group: "codebump.com/zip".to_owned(),
+                replica: "codebump.com/zip".to_owned(),
+                reason: "breaker_open".to_owned(),
             },
         ];
         let events: Vec<TraceEvent> = kinds

@@ -44,6 +44,14 @@ pub struct AdaptiveConfig {
     pub init_fanout: usize,
     /// Hard cap on children per node, bounding runaway growth.
     pub max_fanout: usize,
+    /// Re-arm threshold for converged operators (`None` = the paper's
+    /// one-shot convergence, byte-identical behavior). When set, a
+    /// converged `AFF_APPLYP` keeps monitoring its per-tuple time: a
+    /// relative deviation beyond this fraction of the converged baseline
+    /// (either direction — a provider browned out, or freed capacity
+    /// rejoined) resets the operator to `init_fanout` and restarts
+    /// adaptation, so the fanout tracks a *moving* optimum.
+    pub rearm_factor: Option<f64>,
 }
 
 impl Default for AdaptiveConfig {
@@ -55,6 +63,7 @@ impl Default for AdaptiveConfig {
             drop_enabled: false,
             init_fanout: 2,
             max_fanout: 16,
+            rearm_factor: None,
         }
     }
 }

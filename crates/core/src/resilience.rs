@@ -215,8 +215,15 @@ pub struct ResilienceStats {
     /// Calls shed by admission control ([`QuotaPolicy`] budgets) before
     /// reaching the wire.
     pub admission_rejections: u64,
-    /// Per-provider breakdown, sorted by provider name.
+    /// Per-provider breakdown, sorted by provider name. For replicated
+    /// providers this is the *group-level rollup* (each entry sums its
+    /// replicas), so group dashboards and the chaos ablation keep their
+    /// historical shape; a non-replicated provider is its own group.
     pub per_provider: Vec<(String, ProviderResilience)>,
+    /// Per-replica breakdown keyed `(group, replica)`, sorted by key.
+    /// For a non-replicated provider the replica name equals the group
+    /// name, so this is a superset view of `per_provider`.
+    pub per_replica: Vec<((String, String), ProviderResilience)>,
     /// Skipped-parameter counts per OWF name, sorted by name.
     pub skipped_by_owf: Vec<(String, u64)>,
 }
@@ -242,7 +249,7 @@ pub(crate) struct ResilienceCollector {
     breaker_rejections: AtomicU64,
     skipped_params: AtomicU64,
     admission_rejections: AtomicU64,
-    per_provider: Mutex<BTreeMap<String, ProviderResilience>>,
+    per_replica: Mutex<BTreeMap<(String, String), ProviderResilience>>,
     skipped_by_owf: Mutex<BTreeMap<String, u64>>,
 }
 
@@ -258,15 +265,15 @@ impl ResilienceCollector {
         self.breaker_rejections.store(0, Ordering::Relaxed);
         self.skipped_params.store(0, Ordering::Relaxed);
         self.admission_rejections.store(0, Ordering::Relaxed);
-        self.per_provider.lock().clear();
+        self.per_replica.lock().clear();
         self.skipped_by_owf.lock().clear();
     }
 
-    pub(crate) fn note_retry(&self, provider: &str) {
+    pub(crate) fn note_retry(&self, group: &str, replica: &str) {
         self.retries.fetch_add(1, Ordering::Relaxed);
-        self.per_provider
+        self.per_replica
             .lock()
-            .entry(provider.to_owned())
+            .entry((group.to_owned(), replica.to_owned()))
             .or_default()
             .retries += 1;
     }
@@ -283,11 +290,11 @@ impl ResilienceCollector {
         self.hedge_wins.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn note_breaker_open(&self, provider: &str) {
+    pub(crate) fn note_breaker_open(&self, group: &str, replica: &str) {
         self.breaker_opens.fetch_add(1, Ordering::Relaxed);
-        self.per_provider
+        self.per_replica
             .lock()
-            .entry(provider.to_owned())
+            .entry((group.to_owned(), replica.to_owned()))
             .or_default()
             .breaker_opens += 1;
     }
@@ -304,11 +311,11 @@ impl ResilienceCollector {
         self.admission_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn note_breaker_rejection(&self, provider: &str) {
+    pub(crate) fn note_breaker_rejection(&self, group: &str, replica: &str) {
         self.breaker_rejections.fetch_add(1, Ordering::Relaxed);
-        self.per_provider
+        self.per_replica
             .lock()
-            .entry(provider.to_owned())
+            .entry((group.to_owned(), replica.to_owned()))
             .or_default()
             .breaker_rejections += 1;
     }
@@ -339,8 +346,19 @@ impl ResilienceCollector {
             breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
             skipped_params: self.skipped_params.load(Ordering::Relaxed),
             admission_rejections: self.admission_rejections.load(Ordering::Relaxed),
-            per_provider: self
-                .per_provider
+            per_provider: {
+                let map = self.per_replica.lock();
+                let mut groups: BTreeMap<String, ProviderResilience> = BTreeMap::new();
+                for ((group, _), v) in map.iter() {
+                    let g = groups.entry(group.clone()).or_default();
+                    g.retries += v.retries;
+                    g.breaker_opens += v.breaker_opens;
+                    g.breaker_rejections += v.breaker_rejections;
+                }
+                groups.into_iter().collect()
+            },
+            per_replica: self
+                .per_replica
                 .lock()
                 .iter()
                 .map(|(k, v)| (k.clone(), *v))
@@ -932,12 +950,12 @@ mod tests {
     #[test]
     fn collector_aggregates_and_resets() {
         let c = ResilienceCollector::default();
-        c.note_retry("a");
-        c.note_retry("a");
-        c.note_retry("b");
+        c.note_retry("a", "a");
+        c.note_retry("a", "a#1");
+        c.note_retry("b", "b");
         c.note_deadline_exceeded();
-        c.note_breaker_open("a");
-        c.note_breaker_rejection("a");
+        c.note_breaker_open("a", "a#1");
+        c.note_breaker_rejection("a", "a#1");
         c.note_skips("GetInfoByState", 3);
         c.note_skips("GetInfoByState", 0); // no-op
         c.note_skips("GetPlacesInside", 1);
@@ -960,6 +978,33 @@ mod tests {
                 ),
                 (
                     "b".to_owned(),
+                    ProviderResilience {
+                        retries: 1,
+                        ..Default::default()
+                    }
+                ),
+            ]
+        );
+        assert_eq!(
+            s.per_replica,
+            vec![
+                (
+                    ("a".to_owned(), "a".to_owned()),
+                    ProviderResilience {
+                        retries: 1,
+                        ..Default::default()
+                    }
+                ),
+                (
+                    ("a".to_owned(), "a#1".to_owned()),
+                    ProviderResilience {
+                        retries: 1,
+                        breaker_opens: 1,
+                        breaker_rejections: 1,
+                    }
+                ),
+                (
+                    ("b".to_owned(), "b".to_owned()),
                     ProviderResilience {
                         retries: 1,
                         ..Default::default()

@@ -11,6 +11,7 @@ use wsmed_store::Tuple;
 use crate::cache::CacheStats;
 use crate::exec::pool::PoolStats;
 use crate::resilience::ResilienceStats;
+use crate::router::RouterStats;
 
 /// Live registry of query processes, maintained by the runtime so the
 /// process tree (paper Fig. 4, 14, 15, 18–20) can be observed at any time.
@@ -415,6 +416,11 @@ pub struct ExecutionReport {
     /// (partial failure mode). All zero — [`ResilienceStats::is_quiet`] —
     /// under the default non-resilient policy.
     pub resilience: ResilienceStats,
+    /// Per-run client-side routing counters: route decisions, breaker
+    /// failovers, hedge reroutes and membership events, plus per-(group,
+    /// replica) decision counts. All zero — [`RouterStats::is_quiet`] —
+    /// when no router is installed (the default).
+    pub router: RouterStats,
     /// Parameter tuples dropped parent-side by semi-join pruning
     /// ([`crate::plan::PruneSpec`]) — dependent calls that were never
     /// issued because the parameter was learned to evaluate empty. Zero

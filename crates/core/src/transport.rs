@@ -186,6 +186,34 @@ pub trait WsTransport: Send + Sync {
         Ok((self.call_operation_ext(owf, args, deadline_model_secs)?, 0))
     }
 
+    /// [`WsTransport::call_operation_metered`] pinned to a specific
+    /// replica of the OWF's provider group (client-side routing). The
+    /// default (for transports without a replica topology) ignores the
+    /// replica name and delegates, so routing degrades to the plain call.
+    fn call_operation_replica(
+        &self,
+        owf: &OwfDef,
+        args: &[Value],
+        deadline_model_secs: Option<f64>,
+        replica: &str,
+    ) -> CoreResult<(Value, u64)> {
+        let _ = replica;
+        self.call_operation_metered(owf, args, deadline_model_secs)
+    }
+
+    /// The routable replica-group view for an OWF's provider, when the
+    /// provider was scaled out into a [`wsmed_netsim::ReplicaGroup`].
+    /// Building the view advances the group's topology scenario to the
+    /// current model time, so the returned
+    /// [`crate::router::GroupView::changes`] carries any membership events
+    /// that just fired. The default (no topology) reports `None`, which
+    /// keeps every non-replicated call on the historical single-provider
+    /// path.
+    fn group_view(&self, owf: &OwfDef) -> Option<crate::router::GroupView> {
+        let _ = owf;
+        None
+    }
+
     /// The provider name an OWF's calls resolve to — the key the per-
     /// provider circuit breaker trips on. The default uses the OWF's
     /// service name; transports that know the real endpoint override it.
@@ -258,28 +286,17 @@ impl SimTransport {
     pub fn registry(&self) -> &ServiceRegistry {
         &self.registry
     }
-}
 
-impl WsTransport for SimTransport {
-    fn call_operation(&self, owf: &OwfDef, args: &[Value]) -> CoreResult<Value> {
-        self.call_operation_ext(owf, args, None)
-    }
-
-    fn call_operation_ext(
+    /// The metered call body shared by the plain and replica-pinned entry
+    /// points: arity check, typed argument rendering, the registry call
+    /// (optionally pinned to a replica provider), deadline mapping and the
+    /// per-call trace event.
+    fn dispatch_metered(
         &self,
         owf: &OwfDef,
         args: &[Value],
         deadline_model_secs: Option<f64>,
-    ) -> CoreResult<Value> {
-        self.call_operation_metered(owf, args, deadline_model_secs)
-            .map(|(value, _bytes)| value)
-    }
-
-    fn call_operation_metered(
-        &self,
-        owf: &OwfDef,
-        args: &[Value],
-        deadline_model_secs: Option<f64>,
+        replica: Option<&std::sync::Arc<wsmed_netsim::Provider>>,
     ) -> CoreResult<(Value, u64)> {
         if args.len() != owf.inputs.len() {
             return Err(CoreError::InvalidPlan(format!(
@@ -295,12 +312,13 @@ impl WsTransport for SimTransport {
         }
         let response = self
             .registry
-            .call_with_deadline_stats(
+            .call_on_provider(
                 &owf.wsdl_uri,
                 &owf.service,
                 &owf.operation,
                 &rendered,
                 deadline_model_secs,
+                replica,
             )
             .map_err(|e| match e {
                 wsmed_netsim::NetError::Timeout {
@@ -333,6 +351,79 @@ impl WsTransport for SimTransport {
         let bytes = (stats.request_bytes + stats.response_bytes) as u64;
         Ok((xml_to_value(&element), bytes))
     }
+}
+
+impl WsTransport for SimTransport {
+    fn call_operation(&self, owf: &OwfDef, args: &[Value]) -> CoreResult<Value> {
+        self.call_operation_ext(owf, args, None)
+    }
+
+    fn call_operation_ext(
+        &self,
+        owf: &OwfDef,
+        args: &[Value],
+        deadline_model_secs: Option<f64>,
+    ) -> CoreResult<Value> {
+        self.call_operation_metered(owf, args, deadline_model_secs)
+            .map(|(value, _bytes)| value)
+    }
+
+    fn call_operation_metered(
+        &self,
+        owf: &OwfDef,
+        args: &[Value],
+        deadline_model_secs: Option<f64>,
+    ) -> CoreResult<(Value, u64)> {
+        self.dispatch_metered(owf, args, deadline_model_secs, None)
+    }
+
+    fn call_operation_replica(
+        &self,
+        owf: &OwfDef,
+        args: &[Value],
+        deadline_model_secs: Option<f64>,
+        replica: &str,
+    ) -> CoreResult<(Value, u64)> {
+        let provider = self
+            .registry
+            .network()
+            .provider(replica)
+            .map_err(CoreError::Net)?;
+        self.dispatch_metered(owf, args, deadline_model_secs, Some(&provider))
+    }
+
+    fn group_view(&self, owf: &OwfDef) -> Option<crate::router::GroupView> {
+        let name = self.provider_name(owf);
+        let group = self.registry.network().group(&name)?;
+        // Advance the scripted topology to "now" and let sustained
+        // saturation trigger autoscaling; both produce membership events
+        // the caller traces and counts.
+        let mut changes = group.poll(self.model_now());
+        let saturated = {
+            let active = group.active();
+            !active.is_empty() && active.iter().all(|p| p.in_flight() >= p.capacity())
+        };
+        if let Some(change) = group.note_pressure(saturated) {
+            changes.push(change);
+        }
+        let replicas: Vec<crate::router::ReplicaView> = group
+            .active()
+            .iter()
+            .map(|p| crate::router::ReplicaView {
+                name: p.name().to_owned(),
+                in_flight: p.in_flight(),
+                capacity: p.capacity(),
+                latency_secs: p
+                    .latency_model(&owf.operation)
+                    .expected_latency(200, 1024, 1.0),
+            })
+            .collect();
+        Some(crate::router::GroupView {
+            group: name,
+            replicas,
+            changes,
+        })
+    }
 
     fn provider_name(&self, owf: &OwfDef) -> String {
         self.registry
@@ -356,6 +447,32 @@ impl WsTransport for SimTransport {
 
     fn provider_profile(&self, owf: &OwfDef) -> Option<crate::costs::ProviderProfile> {
         let endpoint = self.registry.endpoint(&owf.wsdl_uri).ok()?;
+        let name = endpoint.provider.name().to_owned();
+        // A replicated provider presents its *group-level* effective
+        // capacity to the planner: the pooled capacity of the active
+        // replicas and their capacity-weighted expected latency. The cost
+        // model then prices fanout against the elastic pool, not just
+        // replica 0.
+        if let Some(group) = self.registry.network().group(&name) {
+            let active = group.active();
+            let capacity: usize = active.iter().map(|p| p.capacity()).sum();
+            if capacity > 0 {
+                let latency_secs = active
+                    .iter()
+                    .map(|p| {
+                        p.capacity() as f64
+                            * p.latency_model(&owf.operation)
+                                .expected_latency(200, 1024, 1.0)
+                    })
+                    .sum::<f64>()
+                    / capacity as f64;
+                return Some(crate::costs::ProviderProfile {
+                    provider: name,
+                    capacity,
+                    latency_secs,
+                });
+            }
+        }
         // Nominal sizes: a small request and a ~1 KiB response at quiet
         // congestion — a warm-start estimate the stats layer refines from
         // observed calls.
@@ -364,7 +481,7 @@ impl WsTransport for SimTransport {
             .latency_model(&owf.operation)
             .expected_latency(200, 1024, 1.0);
         Some(crate::costs::ProviderProfile {
-            provider: endpoint.provider.name().to_owned(),
+            provider: name,
             capacity: endpoint.provider.capacity(),
             latency_secs,
         })

@@ -637,6 +637,13 @@ fn put_plan_op(buf: &mut BytesMut, op: &PlanOp) {
             buf.put_u8(u8::from(config.drop_enabled));
             buf.put_u32_le(config.init_fanout as u32);
             buf.put_u32_le(config.max_fanout as u32);
+            match config.rearm_factor {
+                Some(factor) => {
+                    buf.put_u8(1);
+                    buf.put_f64_le(factor);
+                }
+                None => buf.put_u8(0),
+            }
             put_plan_op(buf, input);
         }
     }
@@ -919,6 +926,10 @@ fn get_plan_op(buf: &mut Bytes) -> CoreResult<PlanOp> {
                 drop_enabled: get_u8(buf)? != 0,
                 init_fanout: get_u32(buf)?,
                 max_fanout: get_u32(buf)?,
+                rearm_factor: match get_u8(buf)? {
+                    0 => None,
+                    _ => Some(get_f64(buf)?),
+                },
             };
             let input = Box::new(get_plan_op(buf)?);
             Ok(PlanOp::AffApply { pf, config, input })
@@ -1114,6 +1125,7 @@ mod tests {
                     drop_enabled: true,
                     init_fanout: 2,
                     max_fanout: 9,
+                    rearm_factor: Some(0.5),
                 },
                 input: Box::new(PlanOp::Unit),
             }),

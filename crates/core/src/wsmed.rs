@@ -85,6 +85,11 @@ pub struct Wsmed {
     planner_stats: Arc<PlannerStats>,
     /// Client-side cost model parameters (startup and default estimates).
     cost_model: CostModel,
+    /// Mediator-global client-side replica router (`None` = direct calls).
+    /// Shared across per-query contexts so the deterministic round-robin
+    /// rotation stays coherent; interior-mutable so the shell can switch
+    /// policies on a shared mediator.
+    router: parking_lot::RwLock<Option<Arc<crate::router::Router>>>,
 }
 
 impl Wsmed {
@@ -110,6 +115,37 @@ impl Wsmed {
             planner_policy: parking_lot::RwLock::new(PlannerPolicy::default()),
             planner_stats: PlannerStats::new(),
             cost_model: CostModel::default(),
+            router: parking_lot::RwLock::new(None),
+        }
+    }
+
+    /// Installs (or clears, with `None`) the client-side replica routing
+    /// policy for subsequent executions. Routing only engages for OWFs
+    /// whose provider was scaled out into a
+    /// [`wsmed_netsim::ReplicaGroup`]; single-provider calls keep the
+    /// direct path bit for bit.
+    pub fn set_router_policy(&self, policy: Option<crate::router::RouterPolicy>) {
+        *self.router.write() =
+            policy.map(|policy| Arc::new(crate::router::Router::new(policy, self.sim.seed)));
+    }
+
+    /// The currently installed routing policy, if any.
+    pub fn router_policy(&self) -> Option<crate::router::RouterPolicy> {
+        self.router.read().as_ref().map(|r| r.policy())
+    }
+
+    /// Re-warms the planner's provider statistics from the transport's
+    /// current profiles. Call after reshaping the replica topology
+    /// ([`wsmed_netsim::Network::replicate`]) so the cost model prices
+    /// fanout against the group's pooled effective capacity instead of
+    /// the single seed provider's.
+    pub fn reseed_profiles(&self) {
+        for name in self.owfs.names() {
+            if let Ok(owf) = self.owfs.get(name) {
+                if let Some(profile) = self.transport.provider_profile(owf) {
+                    self.planner_stats.seed_profile(&owf.name, profile);
+                }
+            }
         }
     }
 
@@ -479,6 +515,7 @@ impl Wsmed {
         ctx.install_call_cache(self.cache_for_run());
         ctx.install_breakers(Arc::clone(&self.breakers));
         ctx.install_admission(Some(self.admission.gate(tenant)));
+        ctx.install_router(self.router.read().clone());
         ctx.set_trace_policy(self.trace_policy);
         // Under a cost-based policy, harvest per-operator latencies,
         // cardinalities, and empty-parameter sets into the planner's stats

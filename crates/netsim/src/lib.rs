@@ -35,6 +35,7 @@ mod metrics;
 mod network;
 mod provider;
 mod rng;
+mod topology;
 mod trace;
 
 pub use fault::FaultSpec;
@@ -43,6 +44,10 @@ pub use metrics::{CallStats, MetricsSnapshot, ProviderMetrics};
 pub use network::{NetError, NetResult, Network};
 pub use provider::{CallOpts, Provider, ProviderSpec};
 pub use rng::DetRng;
+pub use topology::{
+    AutoscalePolicy, MembershipChange, ReplicaGroup, ReplicaStatus, TopologyAction, TopologyEvent,
+    TopologyScenario,
+};
 pub use trace::{CallTrace, TraceRecord};
 
 use std::sync::Arc;

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use crate::{MetricsSnapshot, Provider, ProviderSpec, SimConfig};
+use crate::{MetricsSnapshot, Provider, ProviderSpec, ReplicaGroup, SimConfig};
 
 /// Result alias for network operations.
 pub type NetResult<T> = Result<T, NetError>;
@@ -16,6 +16,10 @@ pub type NetResult<T> = Result<T, NetError>;
 pub enum NetError {
     /// No provider registered under the given name.
     UnknownProvider(String),
+    /// A provider (or replica group) with this name already exists.
+    /// Replica join/leave made re-registration a real path, so a silent
+    /// overwrite would orphan live `Arc<Provider>` handles mid-drain.
+    DuplicateProvider(String),
     /// The provider knows no such operation (raised by the services layer).
     UnknownOperation {
         /// Provider that rejected the call.
@@ -56,6 +60,9 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::UnknownProvider(name) => write!(f, "unknown provider {name:?}"),
+            NetError::DuplicateProvider(name) => {
+                write!(f, "provider {name:?} is already registered")
+            }
             NetError::UnknownOperation {
                 provider,
                 operation,
@@ -92,6 +99,7 @@ impl std::error::Error for NetError {}
 pub struct Network {
     config: SimConfig,
     providers: RwLock<HashMap<String, Arc<Provider>>>,
+    groups: RwLock<HashMap<String, Arc<ReplicaGroup>>>,
 }
 
 impl Network {
@@ -100,6 +108,7 @@ impl Network {
         Arc::new(Network {
             config,
             providers: RwLock::new(HashMap::new()),
+            groups: RwLock::new(HashMap::new()),
         })
     }
 
@@ -108,13 +117,53 @@ impl Network {
         &self.config
     }
 
-    /// Registers a provider, replacing any previous one with the same name.
-    pub fn register(&self, spec: ProviderSpec) -> Arc<Provider> {
+    /// Registers a provider. Names are unique: re-registering an existing
+    /// name returns [`NetError::DuplicateProvider`] instead of silently
+    /// overwriting the live provider (which would orphan in-flight calls
+    /// and split the metrics/model clocks). Use [`Network::replicate`] to
+    /// scale a logical provider out instead.
+    pub fn register(&self, spec: ProviderSpec) -> NetResult<Arc<Provider>> {
+        let mut providers = self.providers.write();
+        if providers.contains_key(&spec.name) {
+            return Err(NetError::DuplicateProvider(spec.name.clone()));
+        }
         let provider = Arc::new(Provider::new(spec));
-        self.providers
+        providers.insert(provider.name().to_owned(), Arc::clone(&provider));
+        Ok(provider)
+    }
+
+    /// Turns the registered provider `name` into a [`ReplicaGroup`]: the
+    /// existing provider becomes replica 0 (so non-routed callers keep the
+    /// exact historical behaviour) and each extra spec is registered as an
+    /// additional replica. Extra replica names must be unique on the
+    /// network — the `"{group}#{i}"` convention keeps them so.
+    pub fn replicate(&self, name: &str, extras: Vec<ProviderSpec>) -> NetResult<Arc<ReplicaGroup>> {
+        let primary = self.provider(name)?;
+        if self.groups.read().contains_key(name) {
+            return Err(NetError::DuplicateProvider(name.to_owned()));
+        }
+        let mut replicas = vec![primary];
+        for spec in extras {
+            replicas.push(self.register(spec)?);
+        }
+        let group = Arc::new(ReplicaGroup::new(name, replicas));
+        self.groups
             .write()
-            .insert(provider.name().to_owned(), Arc::clone(&provider));
-        provider
+            .insert(name.to_owned(), Arc::clone(&group));
+        Ok(group)
+    }
+
+    /// Looks up the replica group fronting logical provider `name`, if one
+    /// was created with [`Network::replicate`].
+    pub fn group(&self, name: &str) -> Option<Arc<ReplicaGroup>> {
+        self.groups.read().get(name).cloned()
+    }
+
+    /// Names of all replica groups, sorted.
+    pub fn group_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.groups.read().keys().cloned().collect();
+        names.sort();
+        names
     }
 
     /// Looks up a provider by name.
@@ -177,8 +226,10 @@ mod tests {
     #[test]
     fn register_and_lookup() {
         let net = Network::new(SimConfig::default());
-        net.register(ProviderSpec::new("a.example", 2, LatencyModel::fixed(0.1)));
-        net.register(ProviderSpec::new("b.example", 2, LatencyModel::fixed(0.1)));
+        net.register(ProviderSpec::new("a.example", 2, LatencyModel::fixed(0.1)))
+            .unwrap();
+        net.register(ProviderSpec::new("b.example", 2, LatencyModel::fixed(0.1)))
+            .unwrap();
         assert!(net.provider("a.example").is_ok());
         assert_eq!(
             net.provider("missing").unwrap_err(),
@@ -188,18 +239,61 @@ mod tests {
     }
 
     #[test]
-    fn reregistering_replaces() {
+    fn reregistering_is_rejected() {
+        // Regression: register used to silently overwrite the live
+        // provider, orphaning existing Arc handles (their in-flight calls
+        // and model clock kept running on the ghost). Now it errors.
         let net = Network::new(SimConfig::default());
-        net.register(ProviderSpec::new("p", 1, LatencyModel::fixed(1.0)));
-        net.register(ProviderSpec::new("p", 9, LatencyModel::fixed(1.0)));
-        assert_eq!(net.provider("p").unwrap().capacity(), 9);
+        let original = net
+            .register(ProviderSpec::new("p", 1, LatencyModel::fixed(1.0)))
+            .unwrap();
+        let err = net
+            .register(ProviderSpec::new("p", 9, LatencyModel::fixed(1.0)))
+            .unwrap_err();
+        assert_eq!(err, NetError::DuplicateProvider("p".into()));
+        // The original registration is untouched.
+        assert_eq!(net.provider("p").unwrap().capacity(), 1);
+        assert!(Arc::ptr_eq(&original, &net.provider("p").unwrap()));
+    }
+
+    #[test]
+    fn replicate_builds_group_around_existing_provider() {
+        let net = Network::new(SimConfig::default());
+        let primary = net
+            .register(ProviderSpec::new("svc", 2, LatencyModel::fixed(0.5)))
+            .unwrap();
+        let group = net
+            .replicate(
+                "svc",
+                vec![ProviderSpec::new("svc#1", 4, LatencyModel::fixed(0.25))],
+            )
+            .unwrap();
+        assert_eq!(group.name(), "svc");
+        assert_eq!(group.effective_capacity(), 6);
+        let actives = group.active();
+        assert!(Arc::ptr_eq(&actives[0], &primary));
+        // Extra replicas are first-class network providers (their model
+        // clocks count toward Network::model_time).
+        assert!(net.provider("svc#1").is_ok());
+        assert_eq!(net.group_names(), vec!["svc"]);
+        // A second group under the same name is rejected, as is a group
+        // whose extra replica collides with a registered provider.
+        assert!(net.replicate("svc", Vec::new()).is_err());
+        assert_eq!(
+            net.replicate("missing", Vec::new()).unwrap_err(),
+            NetError::UnknownProvider("missing".into())
+        );
     }
 
     #[test]
     fn total_metrics_aggregates() {
         let net = Network::new(SimConfig::default());
-        let a = net.register(ProviderSpec::new("a", 2, LatencyModel::fixed(0.5)));
-        let b = net.register(ProviderSpec::new("b", 2, LatencyModel::fixed(0.25)));
+        let a = net
+            .register(ProviderSpec::new("a", 2, LatencyModel::fixed(0.5)))
+            .unwrap();
+        let b = net
+            .register(ProviderSpec::new("b", 2, LatencyModel::fixed(0.25)))
+            .unwrap();
         let cfg = net.config().clone();
         a.call(&cfg, "X", 10, || ((), 20)).unwrap();
         a.call(&cfg, "X", 10, || ((), 20)).unwrap();

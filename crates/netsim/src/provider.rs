@@ -127,6 +127,13 @@ impl Provider {
         *self.fault.write() = fault;
     }
 
+    /// The currently installed fault-injection spec (a clone). Lets
+    /// topology scenarios merge brownout windows into whatever chaos the
+    /// test already configured instead of clobbering it.
+    pub fn fault(&self) -> FaultSpec {
+        self.fault.read().clone()
+    }
+
     /// Starts tracing calls into a fresh buffer of the given capacity,
     /// returning a handle to read it. Replaces any previous trace.
     pub fn start_trace(&self, capacity: usize) -> std::sync::Arc<crate::CallTrace> {

@@ -61,7 +61,10 @@ impl ServiceRegistry {
         );
         let provider = match self.network.provider(&provider_spec.name) {
             Ok(existing) => existing,
-            Err(_) => self.network.register(provider_spec),
+            Err(_) => self
+                .network
+                .register(provider_spec)
+                .expect("provider checked absent just above"),
         };
         let wsdl = service.wsdl();
         self.endpoints.insert(
@@ -140,7 +143,33 @@ impl ServiceRegistry {
         args: &[(String, String)],
         deadline_model_secs: Option<f64>,
     ) -> NetResult<(Element, CallStats)> {
+        self.call_on_provider(
+            wsdl_uri,
+            service_name,
+            operation,
+            args,
+            deadline_model_secs,
+            None,
+        )
+    }
+
+    /// [`Self::call_with_deadline_stats`] with an optional provider
+    /// override: the client-side router passes the replica it selected and
+    /// the call pays *that* replica's latency/capacity/fault model while
+    /// still running the endpoint's service implementation. `None` uses
+    /// the endpoint's own provider (replica 0 of a replicated group), the
+    /// exact historical path.
+    pub fn call_on_provider(
+        &self,
+        wsdl_uri: &str,
+        service_name: &str,
+        operation: &str,
+        args: &[(String, String)],
+        deadline_model_secs: Option<f64>,
+        replica: Option<&Arc<Provider>>,
+    ) -> NetResult<(Element, CallStats)> {
         let endpoint = self.endpoint(wsdl_uri)?;
+        let provider = replica.unwrap_or(&endpoint.provider);
         if endpoint.service.service_name() != service_name {
             return Err(NetError::BadRequest {
                 provider: endpoint.service.provider_name().to_owned(),
@@ -173,7 +202,7 @@ impl ServiceRegistry {
         let service = Arc::clone(&endpoint.service);
         let op = operation.to_owned();
         let config = self.network.config().clone();
-        let (response, stats) = endpoint.provider.call_with_opts(
+        let (response, stats) = provider.call_with_opts(
             &config,
             operation,
             request_bytes,

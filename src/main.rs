@@ -14,9 +14,9 @@
 
 use std::io::{BufRead, Write};
 
-use wsmed::core::{paper, AdaptiveConfig, ExecutionReport, FanoutVector};
-use wsmed::netsim::FaultSpec;
-use wsmed::services::DatasetConfig;
+use wsmed::core::{paper, AdaptiveConfig, ExecutionReport, FanoutVector, RouterPolicy};
+use wsmed::netsim::{FaultSpec, ProviderSpec, TopologyAction, TopologyScenario};
+use wsmed::services::{calibration, DatasetConfig};
 
 /// How queries are executed.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +127,8 @@ impl Shell {
             _ if lower.starts_with("trace") => self.cmd_trace(line),
             _ if lower.starts_with("mq") => self.cmd_mq(line),
             _ if lower.starts_with("load") => self.cmd_load(line),
+            _ if lower.starts_with("topology") => self.cmd_topology(line),
+            _ if lower.starts_with("route") => self.cmd_route(line),
             _ if lower.starts_with("select") => self.run_sql(line),
             _ => println!("unknown command; try `help`"),
         }
@@ -925,6 +927,177 @@ impl Shell {
             println!("note: scale 0 — latency columns are meaningless (sim does not sleep)");
         }
     }
+
+    /// `topology show | replicate <provider> [n] | scenario <name>`:
+    /// replicated provider groups with scripted elasticity. Scenarios are
+    /// scheduled on the network's model clock, which only advances as
+    /// queries charge work — run queries to drive the script forward.
+    fn cmd_topology(&mut self, line: &str) {
+        const USAGE: &str =
+            "usage: topology show | replicate <provider> [n] | scenario flap|drain|brownout";
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            ["topology"] | ["topology", "show"] => {
+                let names = self.setup.network.group_names();
+                if names.is_empty() {
+                    println!("no replica groups — `topology replicate <provider> [n]` creates one");
+                    return;
+                }
+                for name in names {
+                    let group = self
+                        .setup
+                        .network
+                        .group(&name)
+                        .expect("listed group exists");
+                    println!(
+                        "{name}: {} replica(s), effective capacity {}",
+                        group.status().len(),
+                        group.effective_capacity()
+                    );
+                    for s in group.status() {
+                        let state = if s.standby {
+                            "standby"
+                        } else if s.active {
+                            "active"
+                        } else {
+                            "left"
+                        };
+                        println!(
+                            "  {:<26} {state:<8} capacity {:>2}, {} in flight",
+                            s.replica, s.capacity, s.in_flight
+                        );
+                    }
+                }
+            }
+            ["topology", "replicate", provider] | ["topology", "replicate", provider, _] => {
+                let n = match parts.get(3) {
+                    None => 2usize,
+                    Some(v) => match v.parse() {
+                        Ok(n) if (1..=8).contains(&n) => n,
+                        _ => {
+                            println!("replica count must be between 1 and 8");
+                            return;
+                        }
+                    },
+                };
+                let Some(base) = calibration::paper_specs()
+                    .into_iter()
+                    .find(|s| s.name == *provider)
+                else {
+                    println!("unknown provider {provider:?}; `metrics` lists them");
+                    return;
+                };
+                let extras: Vec<ProviderSpec> = (1..=n)
+                    .map(|i| {
+                        let mut spec = base.clone();
+                        spec.name = format!("{provider}#{i}");
+                        spec
+                    })
+                    .collect();
+                match self.setup.network.replicate(provider, extras) {
+                    Ok(group) => {
+                        self.setup.wsmed.reseed_profiles();
+                        println!(
+                            "replica group {provider}: {} member(s), pooled capacity {} \
+                             (planner reseeded; `route …` picks a policy)",
+                            group.status().len(),
+                            group.effective_capacity()
+                        );
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            ["topology", "scenario", which] => {
+                let names = self.setup.network.group_names();
+                if names.is_empty() {
+                    println!("no replica groups — `topology replicate <provider>` first");
+                    return;
+                }
+                let start = self.setup.network.model_time() + 2.0;
+                for name in names {
+                    let group = self
+                        .setup
+                        .network
+                        .group(&name)
+                        .expect("listed group exists");
+                    let extras: Vec<String> = group
+                        .status()
+                        .into_iter()
+                        .map(|s| s.replica)
+                        .filter(|r| r != &name)
+                        .collect();
+                    if extras.is_empty() {
+                        println!("{name}: no extra replicas to script");
+                        continue;
+                    }
+                    let scenario = match *which {
+                        // One replica leaves, then rejoins 10 model-s later.
+                        "flap" => TopologyScenario::flap(&extras[0], start, start + 10.0),
+                        // Every extra replica drains away and stays gone.
+                        "drain" => {
+                            let mut s = TopologyScenario::new("drain");
+                            for r in &extras {
+                                s = s.at(start, TopologyAction::Leave { replica: r.clone() });
+                            }
+                            s
+                        }
+                        // Staggered ×4 slowdowns roll across the extras.
+                        "brownout" => {
+                            TopologyScenario::rolling_brownout(&extras, start, 5.0, 10.0, 4.0)
+                        }
+                        _ => {
+                            println!("usage: topology scenario flap|drain|brownout");
+                            return;
+                        }
+                    };
+                    println!(
+                        "{name}: scenario {:?} installed — {} event(s), first at \
+                         model-t {start:.1} (queries drive the clock)",
+                        scenario.name,
+                        scenario.events.len()
+                    );
+                    group.install_scenario(scenario);
+                }
+            }
+            _ => println!("{USAGE}"),
+        }
+    }
+
+    /// `route weighted|least|locality|random|off|show`: client-side routing
+    /// policy across replica groups. Changing it reseeds planner profiles so
+    /// cost estimates see the group's pooled capacity.
+    fn cmd_route(&mut self, line: &str) {
+        let policy = match line["route".len()..].trim() {
+            "" | "show" => {
+                match self.setup.wsmed.router_policy() {
+                    Some(p) => println!("router: {} across replica groups", p.name()),
+                    None => println!("router: off (every call goes to the group primary)"),
+                }
+                return;
+            }
+            "off" => {
+                self.setup.wsmed.set_router_policy(None);
+                self.setup.wsmed.reseed_profiles();
+                println!("router off: calls go to each group's primary replica");
+                return;
+            }
+            "weighted" => RouterPolicy::Weighted,
+            "least" | "least-in-flight" => RouterPolicy::LeastInFlight,
+            "locality" | "locality-aware" => RouterPolicy::LocalityAware,
+            "random" => RouterPolicy::Random,
+            _ => {
+                println!("usage: route weighted|least|locality|random|off|show");
+                return;
+            }
+        };
+        self.setup.wsmed.set_router_policy(Some(policy));
+        self.setup.wsmed.reseed_profiles();
+        println!(
+            "router: {} — calls spread across replica group members \
+             (per-replica breakers; hedges retarget)",
+            policy.name()
+        );
+    }
 }
 
 fn dataset_by_name(name: &str) -> DatasetConfig {
@@ -1033,6 +1206,16 @@ commands:
   mq run <K> <sql|queryN>          K concurrent executions over the shared
                                    mediator (cache/pool/breakers shared),
                                    with per-query + shared stats
+  topology show                    replica groups: members, state, pooled
+                                   capacity, in-flight calls
+  topology replicate <prov> [n]    clone a provider into an n+1-member
+                                   replica group (default n=2)
+  topology scenario flap|drain|brownout
+                                   script elasticity on the model clock:
+                                   leave/rejoin, permanent drain, or
+                                   staggered brownouts across the extras
+  route weighted|least|locality    client-side routing across replicas
+                                   (also: random | off | show)
   quit"
     );
 }
@@ -1227,6 +1410,60 @@ mod tests {
         assert!(shell.dispatch("resilience hedge off"));
         assert!(shell.dispatch("resilience mode abort"));
         assert!(shell.setup.wsmed.resilience_policy().is_plain());
+    }
+
+    #[test]
+    fn shell_topology_and_route_commands() {
+        let mut shell = Shell::new(0.0, "tiny".into());
+        assert!(shell.dispatch("topology show")); // no groups yet
+        assert!(shell.dispatch("topology scenario flap")); // needs a group
+        assert!(shell.dispatch("route show")); // off by default
+        assert!(shell.setup.wsmed.router_policy().is_none());
+        assert!(shell.dispatch("topology replicate codebump.com/zip 2"));
+        let group = shell
+            .setup
+            .network
+            .group("codebump.com/zip")
+            .expect("group created");
+        assert_eq!(group.status().len(), 3);
+        // Re-replicating is a duplicate-provider error, not a crash.
+        assert!(shell.dispatch("topology replicate codebump.com/zip 2"));
+        assert_eq!(
+            shell
+                .setup
+                .network
+                .group("codebump.com/zip")
+                .unwrap()
+                .status()
+                .len(),
+            3
+        );
+        assert!(shell.dispatch("route weighted"));
+        assert_eq!(
+            shell.setup.wsmed.router_policy(),
+            Some(RouterPolicy::Weighted)
+        );
+        shell.mode = Mode::Parallel(vec![2, 2]);
+        assert!(shell.dispatch("query2")); // routed query completes
+        assert!(shell.last_tree.is_some());
+        assert!(shell.dispatch("topology show"));
+        assert!(shell.dispatch("topology scenario flap"));
+        assert!(shell.dispatch("topology scenario drain"));
+        assert!(shell.dispatch("topology scenario brownout"));
+        assert!(shell.dispatch("topology scenario bogus"));
+        assert!(shell.dispatch("route least"));
+        assert_eq!(
+            shell.setup.wsmed.router_policy(),
+            Some(RouterPolicy::LeastInFlight)
+        );
+        assert!(shell.dispatch("route locality"));
+        assert!(shell.dispatch("route random"));
+        assert!(shell.dispatch("route off"));
+        assert!(shell.setup.wsmed.router_policy().is_none());
+        assert!(shell.dispatch("route bogus"));
+        assert!(shell.dispatch("topology replicate nosuch.example"));
+        assert!(shell.dispatch("topology replicate codebump.com/zip 99"));
+        assert!(shell.dispatch("topology bogus"));
     }
 
     #[test]

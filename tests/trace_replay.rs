@@ -12,9 +12,14 @@
 //! schedules are deliberately excluded because first-finished dispatch
 //! makes them scheduling-dependent even under a fixed seed.
 
-use wsmed::core::{obs, paper, AdaptiveConfig, ExecutionReport, TracePolicy, Wsmed};
-use wsmed::netsim::{Network, SimConfig};
-use wsmed::services::{install_paper_services, Dataset, DatasetConfig};
+use proptest::prelude::*;
+use wsmed::core::{
+    obs, paper, AdaptiveConfig, ExecutionReport, RouterPolicy, TraceEventKind, TracePolicy, Wsmed,
+};
+use wsmed::netsim::{Network, ReplicaGroup, SimConfig, TopologyAction, TopologyScenario};
+use wsmed::services::{
+    calibration, install_paper_services, Dataset, DatasetConfig, ZipCodesService,
+};
 
 /// A config whose coordinator verdicts are timing-independent: cycle 1
 /// has no previous measurement (always `add:2`, reaching `max_fanout`),
@@ -161,4 +166,218 @@ fn identically_seeded_chaos_runs_replay_byte_identical() {
     // The chaos was real: something was skipped, and the result shrank.
     assert!(r1.resilience.skipped_params > 0);
     assert!(r1.resilience.deadline_exceeded > 0);
+}
+
+/// The replicated leaf provider for the topology tests below.
+const LEAF: &str = ZipCodesService::PROVIDER;
+
+/// A fresh pinned-seed world with the leaf replicated ×3 (primary plus
+/// two calibrated clones) and weighted client-side routing installed.
+fn routed_leaf_setup() -> (paper::PaperSetup, std::sync::Arc<ReplicaGroup>) {
+    let setup = paper::setup(0.0, DatasetConfig::tiny());
+    let base = calibration::zipcodes_spec();
+    let extras = (1..=2)
+        .map(|i| {
+            let mut spec = base.clone();
+            spec.name = format!("{LEAF}#{i}");
+            spec
+        })
+        .collect();
+    let group = setup
+        .network
+        .replicate(LEAF, extras)
+        .expect("leaf replicates");
+    setup.wsmed.set_router_policy(Some(RouterPolicy::Weighted));
+    setup.wsmed.reseed_profiles();
+    (setup, group)
+}
+
+/// Total model time one central Query2 charges in a fresh routed world —
+/// the yardstick for placing scenario events mid-run. (The network clock
+/// is the sum of per-provider charged time, so it advances identically at
+/// any wall scale.)
+fn charged_total() -> f64 {
+    let (setup, _group) = routed_leaf_setup();
+    let before = setup.network.model_time();
+    setup
+        .wsmed
+        .run_central(paper::QUERY2_SQL)
+        .expect("calibration run completes");
+    setup.network.model_time() - before
+}
+
+/// Runs a traced central Query2 under `scenario` and projects the
+/// timing-independent routing story: every routing/membership/skip trace
+/// event in order, the row count, and the per-replica decision tallies.
+fn routed_projection(scenario: &TopologyScenario) -> String {
+    let (mut setup, group) = routed_leaf_setup();
+    setup.wsmed.set_trace_policy(TracePolicy::enabled());
+    group.install_scenario(scenario.clone());
+    let plan = setup
+        .wsmed
+        .compile_central(paper::QUERY2_SQL)
+        .expect("central plan compiles");
+    let (result, trace) = setup.wsmed.execute_traced(&plan);
+    let report = result.expect("routed central run completes");
+    let trace = trace.expect("traced run yields a log");
+    let mut lines = Vec::new();
+    for e in trace.events() {
+        match &e.kind {
+            TraceEventKind::RouteDecision {
+                group,
+                replica,
+                alternatives,
+            } => lines.push(format!("route {group} {replica} {alternatives}")),
+            TraceEventKind::Membership {
+                group,
+                replica,
+                joined,
+            } => lines.push(format!("membership {group} {replica} {joined}")),
+            TraceEventKind::ReplicaSkipped {
+                group,
+                replica,
+                reason,
+            } => lines.push(format!("skipped {group} {replica} {reason}")),
+            _ => {}
+        }
+    }
+    lines.push(format!("rows {}", report.rows.len()));
+    for ((group, replica), n) in &report.router.per_replica {
+        lines.push(format!("decisions {group} {replica} {n}"));
+    }
+    lines.join("\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    // Any scenario built from generated leave/rejoin points replays
+    // byte-identically under the same seed: the routed projection
+    // (decision order, membership transitions, skips, rows, tallies)
+    // is a pure function of (seed, scenario).
+    #[test]
+    fn same_seed_topology_scenarios_replay_identically(
+        leave_frac in 0.05f64..0.55,
+        gap_frac in 0.05f64..0.35,
+        flap_both in any::<bool>(),
+    ) {
+        let total = charged_total();
+        let leave_at = leave_frac * total;
+        let rejoin_at = (leave_frac + gap_frac) * total;
+        let mut scenario = TopologyScenario::flap(&format!("{LEAF}#1"), leave_at, rejoin_at);
+        if flap_both {
+            scenario = scenario
+                .at(leave_at, TopologyAction::Leave { replica: format!("{LEAF}#2") })
+                .at(rejoin_at, TopologyAction::Rejoin { replica: format!("{LEAF}#2") });
+        }
+        let first = routed_projection(&scenario);
+        let second = routed_projection(&scenario);
+        prop_assert!(!first.is_empty());
+        prop_assert_eq!(first, second);
+    }
+}
+
+#[test]
+fn fixed_scenario_drives_exact_membership_and_capacity_deltas() {
+    let total = charged_total();
+    let r1 = format!("{LEAF}#1");
+    let r2 = format!("{LEAF}#2");
+    // #1 flaps (leaves, later rejoins); #2 leaves for good.
+    let scenario = TopologyScenario::new("fixed-deltas")
+        .at(
+            0.30 * total,
+            TopologyAction::Leave {
+                replica: r1.clone(),
+            },
+        )
+        .at(
+            0.50 * total,
+            TopologyAction::Leave {
+                replica: r2.clone(),
+            },
+        )
+        .at(
+            0.70 * total,
+            TopologyAction::Rejoin {
+                replica: r1.clone(),
+            },
+        );
+
+    let (mut setup, group) = routed_leaf_setup();
+    let replica_cap = calibration::zipcodes_spec().capacity;
+    assert_eq!(group.effective_capacity(), 3 * replica_cap);
+    setup.wsmed.set_trace_policy(TracePolicy::enabled());
+    group.install_scenario(scenario);
+    let plan = setup
+        .wsmed
+        .compile_central(paper::QUERY2_SQL)
+        .expect("central plan compiles");
+    let (result, trace) = setup.wsmed.execute_traced(&plan);
+    let report = result.expect("routed run completes");
+    let events = trace.expect("traced run yields a log").events();
+
+    // Exactly the scripted membership transitions, in schedule order.
+    let memberships: Vec<(String, bool)> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            TraceEventKind::Membership {
+                replica, joined, ..
+            } => Some((replica.clone(), *joined)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        memberships,
+        vec![(r1.clone(), false), (r2.clone(), false), (r1.clone(), true)],
+        "scripted transitions must surface as trace events in order"
+    );
+    assert_eq!(report.router.membership_events, 3);
+
+    // No routing decision ever targets a replica while it is out: replay
+    // the membership transitions alongside the decisions.
+    let mut out = std::collections::BTreeSet::new();
+    for e in &events {
+        match &e.kind {
+            TraceEventKind::Membership {
+                replica, joined, ..
+            } => {
+                if *joined {
+                    out.remove(replica.as_str());
+                } else {
+                    out.insert(replica.clone());
+                }
+            }
+            TraceEventKind::RouteDecision { replica, .. } => {
+                assert!(
+                    !out.contains(replica.as_str()),
+                    "routed to {replica} while it was out of the group"
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // Exact capacity deltas: #2 stayed out (−1 replica), #1 came back.
+    assert_eq!(group.effective_capacity(), 2 * replica_cap);
+    let active: Vec<(String, bool)> = group
+        .status()
+        .into_iter()
+        .map(|s| (s.replica, s.active))
+        .collect();
+    assert_eq!(
+        active,
+        vec![
+            (LEAF.to_owned(), true),
+            (r1.clone(), true),
+            (r2.clone(), false),
+        ]
+    );
+
+    // Elasticity never costs answers: same rows as an unscripted world.
+    let (reference, _group) = routed_leaf_setup();
+    let expected = reference
+        .wsmed
+        .run_central(paper::QUERY2_SQL)
+        .expect("reference run completes");
+    assert_eq!(report.rows, expected.rows);
 }
